@@ -1,0 +1,78 @@
+// E8 — Theorems 3/5: linear-time implication.
+//
+// Scaling evidence for the closure engine: the counter-based
+// ClosureEngine grows linearly with the number of FDs, while the naive
+// Algorithm-1/2 loops grow quadratically. Also times full implication
+// queries for the combined class (FDs + keys).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sqlnf/reasoning/closure.h"
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+namespace {
+
+constexpr int kAttributes = 32;
+
+ConstraintSet MakeSigma(int num_fds) {
+  Rng rng(num_fds * 7 + 1);
+  return bench::RandomBenchSigma(&rng, kAttributes, num_fds, 0);
+}
+
+void BM_ClosureLinear(benchmark::State& state) {
+  const int num_fds = static_cast<int>(state.range(0));
+  Rng rng(3);
+  TableSchema schema = bench::RandomBenchSchema(&rng, kAttributes);
+  ConstraintSet sigma = MakeSigma(num_fds);
+  ClosureEngine engine(sigma, schema.nfs());
+  AttributeSet x = {0, 5, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.PClosure(x));
+    benchmark::DoNotOptimize(engine.CClosure(x));
+  }
+  state.SetComplexityN(num_fds);
+}
+BENCHMARK(BM_ClosureLinear)->RangeMultiplier(4)->Range(16, 4096)
+    ->Complexity(benchmark::oN);
+
+void BM_ClosureNaive(benchmark::State& state) {
+  const int num_fds = static_cast<int>(state.range(0));
+  Rng rng(3);
+  TableSchema schema = bench::RandomBenchSchema(&rng, kAttributes);
+  ConstraintSet sigma = MakeSigma(num_fds);
+  AttributeSet x = {0, 5, 9};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PClosureNaive(sigma, schema.nfs(), x));
+    benchmark::DoNotOptimize(CClosureNaive(sigma, schema.nfs(), x));
+  }
+  state.SetComplexityN(num_fds);
+}
+BENCHMARK(BM_ClosureNaive)->RangeMultiplier(4)->Range(16, 1024)
+    ->Complexity();
+
+void BM_ImplicationCombinedClass(benchmark::State& state) {
+  const int num_constraints = static_cast<int>(state.range(0));
+  Rng rng(11);
+  TableSchema schema = bench::RandomBenchSchema(&rng, kAttributes);
+  ConstraintSet sigma = bench::RandomBenchSigma(
+      &rng, kAttributes, num_constraints * 3 / 4, num_constraints / 4);
+  // Query: one FD and one key (engine built per iteration: the
+  // Theorem-5 bound covers building Σ|FD and the closure index).
+  FunctionalDependency fd{{0, 5}, {9}, Mode::kCertain};
+  KeyConstraint key{{0, 5, 9}, Mode::kPossible};
+  for (auto _ : state) {
+    Implication imp(schema, sigma);
+    benchmark::DoNotOptimize(imp.Implies(fd));
+    benchmark::DoNotOptimize(imp.Implies(key));
+  }
+  state.SetComplexityN(num_constraints);
+}
+BENCHMARK(BM_ImplicationCombinedClass)->RangeMultiplier(4)
+    ->Range(16, 4096)->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace sqlnf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// E7 — Example 2's comparison of FD semantics on the Turing relation:
+//
+//   | e(mployee) | d(ept) | m(anager)   | s(alary) |
+//   | Turing     | CS     | von Neumann | ⊥        |
+//   | Turing     | ⊥      | Gödel       | ⊥        |
+//
+// Columns: Vassiliou [39] (3-valued), Levene/Loizou weak & strong [24],
+// Lien's possible FDs [28], and this paper's certain FDs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/related/alt_semantics.h"
+#include "sqlnf/util/text_table.h"
+
+namespace sqlnf {
+namespace {
+
+int Run() {
+  using bench::ValueOrDie;
+
+  TableSchema schema = ValueOrDie(
+      TableSchema::MakeCompact("example2", "edms"), "schema");
+  Table t(schema);
+  bench::CheckOk(t.AddRow(Tuple({Value::Str("Turing"), Value::Str("CS"),
+                                 Value::Str("von Neumann"),
+                                 Value::Null()})),
+                 "row1");
+  bench::CheckOk(t.AddRow(Tuple({Value::Str("Turing"), Value::Null(),
+                                 Value::Str("Goedel"), Value::Null()})),
+                 "row2");
+  std::printf("%s\n", t.ToString().c_str());
+
+  struct Expected {
+    const char* fd;
+    AttributeSet lhs, rhs;
+    const char* paper;  // Vas | weak | strong | possible | certain
+  };
+  const Expected rows[] = {
+      {"e -> d", {0}, {1}, "unk T F F F"},
+      {"e -> m", {0}, {2}, "F F F F F"},
+      {"e -> s", {0}, {3}, "unk T F T T"},
+      {"d -> d", {1}, {1}, "T T T T F"},
+      {"d -> m", {1}, {2}, "unk T F T F"},
+      {"m -> e", {2}, {0}, "T T T T T"},
+      {"m -> d", {2}, {1}, "unk T T T T"},
+  };
+
+  TextTable tt;
+  tt.SetHeader({"FD", "[39] Vassiliou", "[24] weak", "[24] strong",
+                "[28] possible", "here: certain", "paper row"});
+  bool all_match = true;
+  for (const Expected& row : rows) {
+    ThreeValued vas = VassiliouFd(t, row.lhs, row.rhs);
+    bool weak = ValueOrDie(LeveneLoizouWeakFd(t, row.lhs, row.rhs), "w");
+    bool strong =
+        ValueOrDie(LeveneLoizouStrongFd(t, row.lhs, row.rhs), "s");
+    bool possible =
+        Satisfies(t, FunctionalDependency::Possible(row.lhs, row.rhs));
+    bool certain =
+        Satisfies(t, FunctionalDependency::Certain(row.lhs, row.rhs));
+
+    std::string measured = std::string(ThreeValuedToString(vas)) + " " +
+                           (weak ? "T" : "F") + " " +
+                           (strong ? "T" : "F") + " " +
+                           (possible ? "T" : "F") + " " +
+                           (certain ? "T" : "F");
+    if (measured != row.paper) all_match = false;
+    tt.AddRow({row.fd, ThreeValuedToString(vas), weak ? "T" : "F",
+               strong ? "T" : "F", possible ? "T" : "F",
+               certain ? "T" : "F", row.paper});
+  }
+  std::printf("%s\n", tt.ToString().c_str());
+  std::printf("all 35 cells match the paper's Example 2 table: %s\n",
+              all_match ? "OK" : "FAILED");
+  return all_match ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace sqlnf
+
+int main() { return sqlnf::Run(); }

@@ -1,0 +1,53 @@
+// E9 — Theorems 7/10/14: deciding BCNF / RFNF / SQL-BCNF in time
+// quadratic in the input (one linear-time implication query per given
+// FD). Sweeps the number of constraints.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sqlnf/normalform/normal_forms.h"
+
+namespace sqlnf {
+namespace {
+
+constexpr int kAttributes = 32;
+
+void BM_IsBcnf(benchmark::State& state) {
+  const int num_fds = static_cast<int>(state.range(0));
+  Rng rng(num_fds + 5);
+  TableSchema schema = bench::RandomBenchSchema(&rng, kAttributes);
+  ConstraintSet sigma =
+      bench::RandomBenchSigma(&rng, kAttributes, num_fds, num_fds / 4);
+  SchemaDesign design{schema, sigma};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsBcnf(design));
+  }
+  state.SetComplexityN(num_fds);
+}
+BENCHMARK(BM_IsBcnf)->RangeMultiplier(4)->Range(8, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_IsSqlBcnf(benchmark::State& state) {
+  const int num_fds = static_cast<int>(state.range(0));
+  Rng rng(num_fds + 9);
+  TableSchema schema = bench::RandomBenchSchema(&rng, kAttributes);
+  ConstraintSet sigma =
+      bench::RandomBenchSigma(&rng, kAttributes, num_fds, num_fds / 4);
+  // SQL-BCNF is defined for certain constraints only.
+  for (auto& fd : *sigma.mutable_fds()) fd.mode = Mode::kCertain;
+  for (auto& key : *sigma.mutable_keys()) key.mode = Mode::kCertain;
+  SchemaDesign design{schema, sigma};
+  for (auto _ : state) {
+    auto result = IsSqlBcnf(design);
+    bench::CheckOk(result.status(), "IsSqlBcnf");
+    benchmark::DoNotOptimize(*result);
+  }
+  state.SetComplexityN(num_fds);
+}
+BENCHMARK(BM_IsSqlBcnf)->RangeMultiplier(4)->Range(8, 2048)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace sqlnf
+
+BENCHMARK_MAIN();

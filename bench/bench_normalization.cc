@@ -1,0 +1,80 @@
+// E10 — Theorem 16 / Algorithm 3 cost, plus the classical-BCNF ablation
+// (T_S = T with a key: the idealized relational special case).
+//
+// The dominant cost is the exponential VRNF certification of the final
+// components (the projection problem is co-NP-complete, Theorem 17), so
+// the sweep is over the number of attributes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sqlnf/decomposition/bcnf_decompose.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+
+namespace sqlnf {
+namespace {
+
+// A design with `n` attributes and n/3 planted total FDs.
+SchemaDesign MakeDesign(int n, bool idealized) {
+  Rng rng(n * 13 + (idealized ? 1 : 0));
+  std::vector<std::string> names;
+  std::vector<std::string> not_null;
+  for (int i = 0; i < n; ++i) {
+    names.push_back("a" + std::to_string(i));
+    if (idealized || rng.Chance(0.5)) not_null.push_back(names.back());
+  }
+  TableSchema schema = bench::ValueOrDie(
+      TableSchema::Make("norm", names, not_null), "schema");
+  ConstraintSet sigma;
+  for (int f = 0; f < n / 3; ++f) {
+    AttributeSet lhs;
+    lhs.Add(static_cast<AttributeId>(rng.Index(n)));
+    lhs.Add(static_cast<AttributeId>(rng.Index(n)));
+    AttributeSet rhs = lhs;
+    rhs.Add(static_cast<AttributeId>(rng.Index(n)));
+    if (rhs == lhs) continue;
+    sigma.AddFd(FunctionalDependency::Certain(lhs, rhs));
+  }
+  if (idealized) {
+    sigma.AddKey(KeyConstraint::Certain(schema.all()));
+  }
+  return {std::move(schema), std::move(sigma)};
+}
+
+void BM_VrnfDecompose(benchmark::State& state) {
+  SchemaDesign design = MakeDesign(static_cast<int>(state.range(0)),
+                                   /*idealized=*/false);
+  for (auto _ : state) {
+    auto result = VrnfDecompose(design);
+    bench::CheckOk(result.status(), "VrnfDecompose");
+    benchmark::DoNotOptimize(result->decomposition.components.size());
+  }
+}
+BENCHMARK(BM_VrnfDecompose)->DenseRange(6, 18, 3);
+
+void BM_VrnfDecomposeIdealized(benchmark::State& state) {
+  SchemaDesign design = MakeDesign(static_cast<int>(state.range(0)),
+                                   /*idealized=*/true);
+  for (auto _ : state) {
+    auto result = VrnfDecompose(design);
+    bench::CheckOk(result.status(), "VrnfDecompose idealized");
+    benchmark::DoNotOptimize(result->decomposition.components.size());
+  }
+}
+BENCHMARK(BM_VrnfDecomposeIdealized)->DenseRange(6, 18, 3);
+
+void BM_ClassicalBcnfBaseline(benchmark::State& state) {
+  SchemaDesign design = MakeDesign(static_cast<int>(state.range(0)),
+                                   /*idealized=*/true);
+  for (auto _ : state) {
+    auto result = ClassicalBcnfDecompose(design);
+    bench::CheckOk(result.status(), "ClassicalBcnfDecompose");
+    benchmark::DoNotOptimize(result->components.size());
+  }
+}
+BENCHMARK(BM_ClassicalBcnfBaseline)->DenseRange(6, 18, 3);
+
+}  // namespace
+}  // namespace sqlnf
+
+BENCHMARK_MAIN();

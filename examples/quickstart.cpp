@@ -1,0 +1,68 @@
+// Quickstart: the sqlnf public API in ~80 lines.
+//
+//   1. declare a schema (attributes + NOT NULL columns),
+//   2. state constraints (possible/certain FDs and keys),
+//   3. reason: implication, normal forms,
+//   4. normalize: Algorithm 3, losslessness,
+//   5. emit SQL DDL.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+
+#include "sqlnf/constraints/parser.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+#include "sqlnf/engine/ddl.h"
+#include "sqlnf/normalform/normal_forms.h"
+#include "sqlnf/reasoning/implication.h"
+
+using namespace sqlnf;  // examples only; library code never does this
+
+int main() {
+  // 1. A purchase table: order_id, item, catalog, price. The catalog
+  //    may be unknown (nullable); everything else is NOT NULL.
+  auto schema_result =
+      TableSchema::Make("purchase", {"order_id", "item", "catalog", "price"},
+                        {"order_id", "item", "price"});
+  if (!schema_result.ok()) {
+    std::printf("schema error: %s\n",
+                schema_result.status().ToString().c_str());
+    return 1;
+  }
+  TableSchema schema = std::move(schema_result).value();
+
+  // 2. Business rule: the same item from the same catalog has one
+  //    price, even when the catalog is only partially known — a
+  //    CERTAIN functional dependency (weak similarity on the left).
+  auto sigma = ParseConstraintSet(
+      schema, "item,catalog ->w item,catalog,price");
+  SchemaDesign design{schema, std::move(sigma).value()};
+
+  // 3. Reasoning: is the FD's LHS a certain key? Is the design in
+  //    SQL-BCNF (equivalently: free of value redundancy, Theorem 15)?
+  Implication implication(design.table, design.sigma);
+  KeyConstraint candidate = KeyConstraint::Certain(
+      ParseAttributeSet(schema, "item,catalog").value());
+  std::printf("Sigma implies c<item,catalog>: %s\n",
+              implication.Implies(candidate) ? "yes" : "no");
+  auto vrnf = IsVrnf(design);
+  std::printf("design is in VRNF:            %s\n",
+              *vrnf ? "yes" : "no (instances can store redundant values)");
+
+  // 4. Normalize with Algorithm 3 (input: total FDs + certain keys).
+  auto result = VrnfDecompose(design);
+  if (!result.ok()) {
+    std::printf("decompose error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nAlgorithm 3 decomposition: %s\n",
+              result->decomposition.ToString(schema).c_str());
+  for (const VrnfStep& step : result->steps) {
+    std::printf("  %s\n", step.ToString(schema).c_str());
+  }
+
+  // 5. SQL DDL for the normalized schema.
+  std::printf("\n%s", EmitDecompositionDdl(design, *result).c_str());
+  return 0;
+}

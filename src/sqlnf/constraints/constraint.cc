@@ -1,0 +1,145 @@
+#include "sqlnf/constraints/constraint.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sqlnf {
+
+const char* ModeArrowSuffix(Mode mode) {
+  return mode == Mode::kPossible ? "s" : "w";
+}
+
+const char* ModeKeyPrefix(Mode mode) {
+  return mode == Mode::kPossible ? "p" : "c";
+}
+
+bool FunctionalDependency::IsTrivial(const AttributeSet& nfs) const {
+  if (mode == Mode::kPossible) return rhs.IsSubsetOf(lhs);
+  return rhs.IsSubsetOf(lhs.Intersect(nfs));
+}
+
+bool FunctionalDependency::operator<(
+    const FunctionalDependency& other) const {
+  return std::tie(mode, lhs, rhs) <
+         std::tie(other.mode, other.lhs, other.rhs);
+}
+
+std::string FunctionalDependency::ToString(const TableSchema& schema) const {
+  return schema.FormatSet(lhs) + " ->" + ModeArrowSuffix(mode) + " " +
+         schema.FormatSet(rhs);
+}
+
+bool KeyConstraint::operator<(const KeyConstraint& other) const {
+  return std::tie(mode, attrs) < std::tie(other.mode, other.attrs);
+}
+
+std::string KeyConstraint::ToString(const TableSchema& schema) const {
+  return std::string(ModeKeyPrefix(mode)) + "<" + schema.FormatSet(attrs) +
+         ">";
+}
+
+std::string ConstraintToString(const Constraint& c,
+                               const TableSchema& schema) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    return fd->ToString(schema);
+  }
+  return std::get<KeyConstraint>(c).ToString(schema);
+}
+
+void ConstraintSet::Add(const Constraint& c) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    AddFd(*fd);
+  } else {
+    AddKey(std::get<KeyConstraint>(c));
+  }
+}
+
+bool ConstraintSet::AddUniqueFd(const FunctionalDependency& fd) {
+  if (ContainsFd(fd)) return false;
+  fds_.push_back(fd);
+  return true;
+}
+
+bool ConstraintSet::AddUniqueKey(const KeyConstraint& key) {
+  if (ContainsKey(key)) return false;
+  keys_.push_back(key);
+  return true;
+}
+
+bool ConstraintSet::ContainsFd(const FunctionalDependency& fd) const {
+  return std::find(fds_.begin(), fds_.end(), fd) != fds_.end();
+}
+
+bool ConstraintSet::ContainsKey(const KeyConstraint& key) const {
+  return std::find(keys_.begin(), keys_.end(), key) != keys_.end();
+}
+
+std::vector<Constraint> ConstraintSet::All() const {
+  std::vector<Constraint> out;
+  out.reserve(size());
+  for (const auto& fd : fds_) out.emplace_back(fd);
+  for (const auto& key : keys_) out.emplace_back(key);
+  return out;
+}
+
+ConstraintSet ConstraintSet::FdProjection(
+    const AttributeSet& all_attributes) const {
+  ConstraintSet out;
+  for (const auto& fd : fds_) out.AddFd(fd);
+  for (const auto& key : keys_) {
+    out.AddFd({key.attrs, all_attributes, key.mode});
+  }
+  return out;
+}
+
+ConstraintSet ConstraintSet::KeyProjection() const {
+  ConstraintSet out;
+  for (const auto& key : keys_) out.AddKey(key);
+  return out;
+}
+
+int ConstraintSet::InputSize() const {
+  int n = 0;
+  for (const auto& fd : fds_) n += fd.lhs.size() + fd.rhs.size();
+  for (const auto& key : keys_) n += key.attrs.size();
+  return n;
+}
+
+bool ConstraintSet::AllCertain() const {
+  for (const auto& fd : fds_) {
+    if (!fd.is_certain()) return false;
+  }
+  for (const auto& key : keys_) {
+    if (!key.is_certain()) return false;
+  }
+  return true;
+}
+
+bool ConstraintSet::AllFdsTotal() const {
+  for (const auto& fd : fds_) {
+    if (!fd.IsTotal()) return false;
+  }
+  return true;
+}
+
+std::string ConstraintSet::ToString(const TableSchema& schema) const {
+  std::string out = "{";
+  bool first = true;
+  for (const Constraint& c : All()) {
+    if (!first) out += ", ";
+    first = false;
+    out += ConstraintToString(c, schema);
+  }
+  out += "}";
+  return out;
+}
+
+std::string SchemaDesign::ToString() const {
+  std::string out = table.name() + " = ";
+  out += table.FormatSet(table.all());
+  out += ", NOT NULL = " + table.FormatSet(table.nfs());
+  out += ", Sigma = " + sigma.ToString(table);
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,166 @@
+// Constraint classes of the paper: possible/certain functional
+// dependencies (Definition 1), possible/certain keys [Köhler/Link/Zhou
+// PVLDB'15], bundled into constraint sets Σ over a schema (T, T_S).
+//
+//   p-FD  X →s Y : strong agreement on X implies equality on Y
+//   c-FD  X →w Y : weak agreement on X implies equality on Y
+//   p-key p⟨X⟩   : no two distinct rows strongly similar on X
+//   c-key c⟨X⟩   : no two distinct rows weakly similar on X
+//
+// NOT NULL constraints are carried by TableSchema::nfs(), not by Σ.
+
+#ifndef SQLNF_CONSTRAINTS_CONSTRAINT_H_
+#define SQLNF_CONSTRAINTS_CONSTRAINT_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sqlnf/core/attribute_set.h"
+#include "sqlnf/core/schema.h"
+
+namespace sqlnf {
+
+/// The possible/certain split. Possible constraints trigger on strong
+/// similarity (subscript s), certain ones on weak similarity (w).
+enum class Mode : uint8_t { kPossible, kCertain };
+
+/// "s" / "w" (FD arrow subscripts); "p" / "c" for keys.
+const char* ModeArrowSuffix(Mode mode);
+const char* ModeKeyPrefix(Mode mode);
+
+/// A possible or certain functional dependency X → Y over a schema.
+struct FunctionalDependency {
+  AttributeSet lhs;
+  AttributeSet rhs;
+  Mode mode = Mode::kCertain;
+
+  static FunctionalDependency Possible(AttributeSet x, AttributeSet y) {
+    return {x, y, Mode::kPossible};
+  }
+  static FunctionalDependency Certain(AttributeSet x, AttributeSet y) {
+    return {x, y, Mode::kCertain};
+  }
+
+  bool is_possible() const { return mode == Mode::kPossible; }
+  bool is_certain() const { return mode == Mode::kCertain; }
+
+  /// Internal FD (Definition 11): Y ⊆ X. Non-internal FDs are external.
+  bool IsInternal() const { return rhs.IsSubsetOf(lhs); }
+
+  /// Total FD (Definition 9): a certain FD of the form X →w XY, i.e.
+  /// one whose RHS contains its LHS.
+  bool IsTotal() const { return is_certain() && lhs.IsSubsetOf(rhs); }
+
+  /// Trivial = satisfied by every instance over (T, T_S), equivalently
+  /// implied by the empty constraint set:
+  ///   p-FD X →s Y trivial  ⟺  Y ⊆ X
+  ///   c-FD X →w Y trivial  ⟺  Y ⊆ X ∩ T_S
+  /// (A certain FD with a nullable LHS attribute on its RHS is NOT
+  /// trivial: ⊥ and a value weakly agree yet differ.)
+  bool IsTrivial(const AttributeSet& nfs) const;
+
+  bool operator==(const FunctionalDependency&) const = default;
+  bool operator<(const FunctionalDependency& other) const;
+
+  /// e.g. "{item,catalog} ->w {price}".
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// A possible or certain key p⟨X⟩ / c⟨X⟩ over a schema.
+struct KeyConstraint {
+  AttributeSet attrs;
+  Mode mode = Mode::kCertain;
+
+  static KeyConstraint Possible(AttributeSet x) {
+    return {x, Mode::kPossible};
+  }
+  static KeyConstraint Certain(AttributeSet x) {
+    return {x, Mode::kCertain};
+  }
+
+  bool is_possible() const { return mode == Mode::kPossible; }
+  bool is_certain() const { return mode == Mode::kCertain; }
+
+  bool operator==(const KeyConstraint&) const = default;
+  bool operator<(const KeyConstraint& other) const;
+
+  /// e.g. "c<{item,catalog}>".
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// Either constraint kind, for APIs that accept both.
+using Constraint = std::variant<FunctionalDependency, KeyConstraint>;
+
+std::string ConstraintToString(const Constraint& c,
+                               const TableSchema& schema);
+
+/// A constraint set Σ: FDs and keys over one schema.
+///
+/// Order is preserved (it is meaningful for covers and reports);
+/// AddUnique* deduplicate.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  void AddFd(FunctionalDependency fd) { fds_.push_back(fd); }
+  void AddKey(KeyConstraint key) { keys_.push_back(key); }
+  void Add(const Constraint& c);
+
+  /// Adds only if not syntactically present already. Returns true when
+  /// added.
+  bool AddUniqueFd(const FunctionalDependency& fd);
+  bool AddUniqueKey(const KeyConstraint& key);
+
+  bool ContainsFd(const FunctionalDependency& fd) const;
+  bool ContainsKey(const KeyConstraint& key) const;
+
+  const std::vector<FunctionalDependency>& fds() const { return fds_; }
+  const std::vector<KeyConstraint>& keys() const { return keys_; }
+  std::vector<FunctionalDependency>* mutable_fds() { return &fds_; }
+  std::vector<KeyConstraint>* mutable_keys() { return &keys_; }
+
+  size_t size() const { return fds_.size() + keys_.size(); }
+  bool empty() const { return fds_.empty() && keys_.empty(); }
+
+  /// All constraints as variants, FDs first.
+  std::vector<Constraint> All() const;
+
+  /// The FD-projection Σ|FD (Definition 3): every key X is replaced by
+  /// the FD X → T (p-key → p-FD, c-key → c-FD); FDs are kept.
+  ConstraintSet FdProjection(const AttributeSet& all_attributes) const;
+
+  /// The key-projection Σ|key (Definition 3): only the keys of Σ.
+  ConstraintSet KeyProjection() const;
+
+  /// Total size measure used for the linear-time bounds: the sum of
+  /// attribute-set sizes over all constraints.
+  int InputSize() const;
+
+  /// True when only certain FDs / certain keys are present (the input
+  /// class of Definition 12 and Algorithm 3 requires additionally that
+  /// all FDs be total — see AllFdsTotal()).
+  bool AllCertain() const;
+
+  /// True when every FD is total (X →w XY, Definition 9).
+  bool AllFdsTotal() const;
+
+  std::string ToString(const TableSchema& schema) const;
+
+ private:
+  std::vector<FunctionalDependency> fds_;
+  std::vector<KeyConstraint> keys_;
+};
+
+/// The paper's "schema" triple (T, T_S, Σ): a table schema with its
+/// constraint set. T_S travels inside `table`.
+struct SchemaDesign {
+  TableSchema table;
+  ConstraintSet sigma;
+
+  std::string ToString() const;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CONSTRAINTS_CONSTRAINT_H_

@@ -1,0 +1,113 @@
+#include "sqlnf/constraints/parser.h"
+
+#include <string>
+
+#include "sqlnf/util/string_util.h"
+
+namespace sqlnf {
+
+Result<AttributeSet> ParseAttributeSet(const TableSchema& schema,
+                                       std::string_view text) {
+  std::string_view stripped = StripAsciiWhitespace(text);
+  if (stripped == "{}") return AttributeSet();
+  if (stripped.empty()) {
+    return Status::ParseError("empty attribute-set term (use {} for the "
+                              "empty set)");
+  }
+  // Strip optional braces around a comma list: "{a,b}".
+  if (stripped.front() == '{' && stripped.back() == '}') {
+    stripped = StripAsciiWhitespace(
+        stripped.substr(1, stripped.size() - 2));
+  }
+  if (stripped.find(',') != std::string_view::npos) {
+    AttributeSet set;
+    for (const std::string& piece : SplitAndStrip(stripped, ',')) {
+      SQLNF_ASSIGN_OR_RETURN(AttributeId id, schema.FindAttribute(piece));
+      set.Add(id);
+    }
+    return set;
+  }
+  // No comma: try as a full name first, then compact char-wise.
+  if (auto full = schema.FindAttribute(stripped); full.ok()) {
+    return AttributeSet::Single(full.value());
+  }
+  AttributeSet set;
+  for (char c : stripped) {
+    auto one = schema.FindAttribute(std::string_view(&c, 1));
+    if (!one.ok()) {
+      return Status::ParseError("cannot resolve attribute term '" +
+                                std::string(stripped) + "' in schema " +
+                                schema.name());
+    }
+    set.Add(one.value());
+  }
+  return set;
+}
+
+Result<FunctionalDependency> ParseFd(const TableSchema& schema,
+                                     std::string_view text) {
+  size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("FD must contain '->s' or '->w': " +
+                              std::string(text));
+  }
+  if (arrow + 2 >= text.size()) {
+    return Status::ParseError("FD arrow missing mode suffix: " +
+                              std::string(text));
+  }
+  char suffix = text[arrow + 2];
+  Mode mode;
+  if (suffix == 's') {
+    mode = Mode::kPossible;
+  } else if (suffix == 'w') {
+    mode = Mode::kCertain;
+  } else {
+    return Status::ParseError(
+        std::string("FD arrow must be '->s' or '->w', got '->") + suffix +
+        "'");
+  }
+  SQLNF_ASSIGN_OR_RETURN(AttributeSet lhs,
+                         ParseAttributeSet(schema, text.substr(0, arrow)));
+  SQLNF_ASSIGN_OR_RETURN(AttributeSet rhs,
+                         ParseAttributeSet(schema, text.substr(arrow + 3)));
+  return FunctionalDependency{lhs, rhs, mode};
+}
+
+Result<KeyConstraint> ParseKey(const TableSchema& schema,
+                               std::string_view text) {
+  std::string_view stripped = StripAsciiWhitespace(text);
+  if (stripped.size() < 3 || stripped.back() != '>' ||
+      stripped[1] != '<' || (stripped[0] != 'p' && stripped[0] != 'c')) {
+    return Status::ParseError("key must look like p<...> or c<...>: " +
+                              std::string(text));
+  }
+  Mode mode = stripped[0] == 'p' ? Mode::kPossible : Mode::kCertain;
+  SQLNF_ASSIGN_OR_RETURN(
+      AttributeSet attrs,
+      ParseAttributeSet(schema, stripped.substr(2, stripped.size() - 3)));
+  return KeyConstraint{attrs, mode};
+}
+
+Result<Constraint> ParseConstraint(const TableSchema& schema,
+                                   std::string_view text) {
+  std::string_view stripped = StripAsciiWhitespace(text);
+  if (stripped.find("->") != std::string_view::npos) {
+    SQLNF_ASSIGN_OR_RETURN(FunctionalDependency fd,
+                           ParseFd(schema, stripped));
+    return Constraint(fd);
+  }
+  SQLNF_ASSIGN_OR_RETURN(KeyConstraint key, ParseKey(schema, stripped));
+  return Constraint(key);
+}
+
+Result<ConstraintSet> ParseConstraintSet(const TableSchema& schema,
+                                         std::string_view text) {
+  ConstraintSet out;
+  for (const std::string& piece : SplitAndStrip(text, ';')) {
+    SQLNF_ASSIGN_OR_RETURN(Constraint c, ParseConstraint(schema, piece));
+    out.Add(c);
+  }
+  return out;
+}
+
+}  // namespace sqlnf

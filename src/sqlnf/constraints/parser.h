@@ -1,0 +1,51 @@
+// Text syntax for constraints, used by tests, examples, and tools.
+//
+// Grammar (whitespace-insensitive):
+//   fd      := side "->s" side        (possible FD, strong LHS similarity)
+//            | side "->w" side        (certain FD, weak LHS similarity)
+//   key     := "p<" side ">" | "c<" side ">"
+//   side    := "{}"                   (empty set)
+//            | name ("," name)*       (comma-separated attribute names)
+//            | word                   (each character one attribute, for
+//                                      schemas with single-char names,
+//                                      mirroring the paper's "oi ->s c")
+//
+// A comma-free word is first tried as a full attribute name; if that
+// fails and every character names an attribute, it is expanded
+// character-wise (compact notation).
+
+#ifndef SQLNF_CONSTRAINTS_PARSER_H_
+#define SQLNF_CONSTRAINTS_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Parses an attribute-set term ("{}", "a,b,c", or compact "abc").
+Result<AttributeSet> ParseAttributeSet(const TableSchema& schema,
+                                       std::string_view text);
+
+/// Parses one FD, e.g. "oi ->s c" or "item,catalog ->w price".
+Result<FunctionalDependency> ParseFd(const TableSchema& schema,
+                                     std::string_view text);
+
+/// Parses one key, e.g. "p<oic>" or "c<item,catalog>".
+Result<KeyConstraint> ParseKey(const TableSchema& schema,
+                               std::string_view text);
+
+/// Parses one constraint of either kind.
+Result<Constraint> ParseConstraint(const TableSchema& schema,
+                                   std::string_view text);
+
+/// Parses a ';'-separated list of constraints into a set, e.g.
+/// "oi ->s c; ic ->w p; p<oic>".
+Result<ConstraintSet> ParseConstraintSet(const TableSchema& schema,
+                                         std::string_view text);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CONSTRAINTS_PARSER_H_

@@ -1,0 +1,95 @@
+#include "sqlnf/constraints/satisfies.h"
+
+#include "sqlnf/core/similarity.h"
+
+namespace sqlnf {
+
+std::string Violation::ToString(const TableSchema& schema) const {
+  if (attribute.has_value()) {
+    return "row " + std::to_string(row1) + " is NULL in NOT NULL column '" +
+           schema.attribute_name(*attribute) + "'";
+  }
+  std::string what = constraint.has_value()
+                         ? ConstraintToString(*constraint, schema)
+                         : "<unknown>";
+  return "rows " + std::to_string(row1) + " and " + std::to_string(row2) +
+         " violate " + what;
+}
+
+namespace {
+
+bool LhsSimilar(const Tuple& t, const Tuple& u, const AttributeSet& x,
+                Mode mode) {
+  return mode == Mode::kPossible ? StronglySimilar(t, u, x)
+                                 : WeaklySimilar(t, u, x);
+}
+
+}  // namespace
+
+std::optional<Violation> FindFdViolation(const Table& table,
+                                         const FunctionalDependency& fd) {
+  const int n = table.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const Tuple& t = table.row(i);
+      const Tuple& u = table.row(j);
+      if (LhsSimilar(t, u, fd.lhs, fd.mode) && !t.EqualOn(u, fd.rhs)) {
+        return Violation{i, j, Constraint(fd), std::nullopt};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> FindKeyViolation(const Table& table,
+                                          const KeyConstraint& key) {
+  const int n = table.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (LhsSimilar(table.row(i), table.row(j), key.attrs, key.mode)) {
+        return Violation{i, j, Constraint(key), std::nullopt};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Satisfies(const Table& table, const FunctionalDependency& fd) {
+  return !FindFdViolation(table, fd).has_value();
+}
+
+bool Satisfies(const Table& table, const KeyConstraint& key) {
+  return !FindKeyViolation(table, key).has_value();
+}
+
+bool Satisfies(const Table& table, const Constraint& c) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    return Satisfies(table, *fd);
+  }
+  return Satisfies(table, std::get<KeyConstraint>(c));
+}
+
+bool SatisfiesAll(const Table& table, const ConstraintSet& sigma) {
+  return !FindViolation(table, sigma).has_value();
+}
+
+std::optional<Violation> FindViolation(const Table& table,
+                                       const ConstraintSet& sigma) {
+  // NFS first: a table over (T, T_S, Σ) must be T_S-total.
+  for (int i = 0; i < table.num_rows(); ++i) {
+    for (AttributeId a : table.schema().nfs()) {
+      if (table.row(i)[a].is_null()) {
+        return Violation{i, i, std::nullopt, a};
+      }
+    }
+  }
+  for (const auto& fd : sigma.fds()) {
+    if (auto v = FindFdViolation(table, fd)) return v;
+  }
+  for (const auto& key : sigma.keys()) {
+    if (auto v = FindKeyViolation(table, key)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace sqlnf

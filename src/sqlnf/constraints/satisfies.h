@@ -1,0 +1,55 @@
+// Reference satisfaction checkers (Definition 1 and the key definitions),
+// implemented exactly as the paper states them: a quantifier over all
+// tuple pairs. These are the O(n²) ground truth; engine/validate.h holds
+// the grouped fast path used for large instances, and property tests
+// cross-check the two.
+
+#ifndef SQLNF_CONSTRAINTS_SATISFIES_H_
+#define SQLNF_CONSTRAINTS_SATISFIES_H_
+
+#include <optional>
+#include <string>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+
+namespace sqlnf {
+
+/// A witness of a constraint violation: the two offending row indices
+/// (equal only for NFS violations, where `attribute` names the column).
+struct Violation {
+  int row1 = -1;
+  int row2 = -1;
+  std::optional<Constraint> constraint;
+  std::optional<AttributeId> attribute;  // set for NFS violations
+
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// I ⊢ X →s Y / X →w Y (Definition 1).
+bool Satisfies(const Table& table, const FunctionalDependency& fd);
+
+/// I ⊢ p⟨X⟩ / c⟨X⟩: no two rows with distinct identities strongly /
+/// weakly similar on X. Duplicate rows violate every key (paper, Fig. 3).
+bool Satisfies(const Table& table, const KeyConstraint& key);
+
+bool Satisfies(const Table& table, const Constraint& c);
+
+/// I satisfies every constraint in Σ AND the NFS of its schema.
+bool SatisfiesAll(const Table& table, const ConstraintSet& sigma);
+
+/// First violation found (NFS first, then Σ in order), or nullopt.
+std::optional<Violation> FindViolation(const Table& table,
+                                       const ConstraintSet& sigma);
+
+/// Violation witness for one FD, or nullopt.
+std::optional<Violation> FindFdViolation(const Table& table,
+                                         const FunctionalDependency& fd);
+
+/// Violation witness for one key, or nullopt.
+std::optional<Violation> FindKeyViolation(const Table& table,
+                                          const KeyConstraint& key);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CONSTRAINTS_SATISFIES_H_

@@ -1,0 +1,99 @@
+#include "sqlnf/constraints/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "sqlnf/constraints/parser.h"
+#include "sqlnf/util/string_util.h"
+
+namespace sqlnf {
+
+std::string FormatDesign(const SchemaDesign& design) {
+  const TableSchema& schema = design.table;
+  std::string out = "table " + schema.name() + "\n";
+  out += "attrs";
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    out += " " + schema.attribute_name(a);
+  }
+  out += "\n";
+  if (!schema.nfs().empty()) {
+    out += "notnull";
+    for (AttributeId a : schema.nfs()) {
+      out += " " + schema.attribute_name(a);
+    }
+    out += "\n";
+  }
+  for (const auto& fd : design.sigma.fds()) {
+    out += "constraint " + schema.FormatSet(fd.lhs) + " ->" +
+           ModeArrowSuffix(fd.mode) + " " + schema.FormatSet(fd.rhs) +
+           "\n";
+  }
+  for (const auto& key : design.sigma.keys()) {
+    out += std::string("constraint ") + ModeKeyPrefix(key.mode) + "<" +
+           schema.FormatSet(key.attrs) + ">\n";
+  }
+  return out;
+}
+
+Result<SchemaDesign> ParseDesign(std::string_view text) {
+  std::string name;
+  std::vector<std::string> attrs;
+  std::vector<std::string> not_null;
+  std::vector<std::string> constraint_lines;
+
+  for (const std::string& raw : SplitString(text, '\n')) {
+    std::string_view line = StripAsciiWhitespace(raw);
+    if (line.empty() || line.front() == '#') continue;
+    size_t space = line.find(' ');
+    std::string_view keyword =
+        space == std::string_view::npos ? line : line.substr(0, space);
+    std::string_view rest =
+        space == std::string_view::npos ? "" : line.substr(space + 1);
+    if (keyword == "table") {
+      name = std::string(StripAsciiWhitespace(rest));
+      if (name.empty()) return Status::ParseError("empty table name");
+    } else if (keyword == "attrs") {
+      for (const std::string& piece : SplitAndStrip(rest, ' ')) {
+        attrs.push_back(piece);
+      }
+    } else if (keyword == "notnull") {
+      for (const std::string& piece : SplitAndStrip(rest, ' ')) {
+        not_null.push_back(piece);
+      }
+    } else if (keyword == "constraint") {
+      constraint_lines.emplace_back(rest);
+    } else {
+      return Status::ParseError("unknown design keyword: " +
+                                std::string(keyword));
+    }
+  }
+  if (name.empty()) return Status::ParseError("missing 'table' line");
+  if (attrs.empty()) return Status::ParseError("missing 'attrs' line");
+
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         TableSchema::Make(name, attrs, not_null));
+  ConstraintSet sigma;
+  for (const std::string& line : constraint_lines) {
+    SQLNF_ASSIGN_OR_RETURN(Constraint c, ParseConstraint(schema, line));
+    sigma.Add(c);
+  }
+  return SchemaDesign{std::move(schema), std::move(sigma)};
+}
+
+Result<SchemaDesign> ReadDesignFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDesign(buffer.str());
+}
+
+Status WriteDesignFile(const SchemaDesign& design,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for write");
+  out << FormatDesign(design);
+  return out ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace sqlnf

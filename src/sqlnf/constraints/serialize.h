@@ -1,0 +1,41 @@
+// Text serialization for schema designs (T, T_S, Σ).
+//
+// Line-based format, used by the CLI and tests:
+//
+//   # comments and blank lines are ignored
+//   table purchase
+//   attrs order_id item catalog price
+//   notnull order_id item price
+//   constraint item,catalog ->w price
+//   constraint p<order_id>
+//
+// `table` and `attrs` are required (in that order); `notnull` and
+// `constraint` lines are optional and repeatable (constraint syntax is
+// constraints/parser.h's).
+
+#ifndef SQLNF_CONSTRAINTS_SERIALIZE_H_
+#define SQLNF_CONSTRAINTS_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Renders a design in the format above (parseable by ParseDesign).
+std::string FormatDesign(const SchemaDesign& design);
+
+/// Parses the format above.
+Result<SchemaDesign> ParseDesign(std::string_view text);
+
+/// Reads and parses a design file.
+Result<SchemaDesign> ReadDesignFile(const std::string& path);
+
+/// Writes a design file.
+Status WriteDesignFile(const SchemaDesign& design, const std::string& path);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CONSTRAINTS_SERIALIZE_H_

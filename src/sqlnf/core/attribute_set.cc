@@ -1,0 +1,12 @@
+#include "sqlnf/core/attribute_set.h"
+
+namespace sqlnf {
+
+std::vector<AttributeId> AttributeSet::ToVector() const {
+  std::vector<AttributeId> out;
+  out.reserve(size());
+  for (AttributeId id : *this) out.push_back(id);
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,135 @@
+// AttributeSet: a set of attribute positions within one table schema.
+//
+// The paper works with finite table schemata T ⊆ 𝔄 (max 22 attributes in
+// its evaluation). We represent a set of attributes of a fixed schema as
+// a 64-bit bitset over the attribute positions 0..|T|-1, which makes the
+// set algebra used throughout (closures, similarity, hitting sets) a few
+// machine instructions. Schemas with more than 64 attributes are rejected
+// at construction (see TableSchema).
+
+#ifndef SQLNF_CORE_ATTRIBUTE_SET_H_
+#define SQLNF_CORE_ATTRIBUTE_SET_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+namespace sqlnf {
+
+/// Index of an attribute within its TableSchema (0-based).
+using AttributeId = int;
+
+/// Immutable-value set of attribute ids; supports the usual set algebra.
+class AttributeSet {
+ public:
+  static constexpr int kMaxAttributes = 64;
+
+  /// The empty set.
+  constexpr AttributeSet() : bits_(0) {}
+
+  /// The set {ids...}. Ids must be in [0, 64).
+  AttributeSet(std::initializer_list<AttributeId> ids) : bits_(0) {
+    for (AttributeId id : ids) Add(id);
+  }
+
+  /// The set {0, 1, ..., n-1}; `n` must be in [0, 64].
+  static AttributeSet FullSet(int n) {
+    AttributeSet s;
+    s.bits_ = n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+    return s;
+  }
+
+  /// Singleton {id}.
+  static AttributeSet Single(AttributeId id) {
+    AttributeSet s;
+    s.Add(id);
+    return s;
+  }
+
+  static AttributeSet FromBits(uint64_t bits) {
+    AttributeSet s;
+    s.bits_ = bits;
+    return s;
+  }
+
+  void Add(AttributeId id) { bits_ |= uint64_t{1} << id; }
+  void Remove(AttributeId id) { bits_ &= ~(uint64_t{1} << id); }
+  bool Contains(AttributeId id) const {
+    return (bits_ >> id) & uint64_t{1};
+  }
+
+  bool empty() const { return bits_ == 0; }
+  int size() const { return std::popcount(bits_); }
+  uint64_t bits() const { return bits_; }
+
+  /// X ⊆ Y.
+  bool IsSubsetOf(const AttributeSet& other) const {
+    return (bits_ & ~other.bits_) == 0;
+  }
+  /// X ⊊ Y.
+  bool IsProperSubsetOf(const AttributeSet& other) const {
+    return IsSubsetOf(other) && bits_ != other.bits_;
+  }
+  bool Intersects(const AttributeSet& other) const {
+    return (bits_ & other.bits_) != 0;
+  }
+
+  AttributeSet Union(const AttributeSet& other) const {
+    return FromBits(bits_ | other.bits_);
+  }
+  AttributeSet Intersect(const AttributeSet& other) const {
+    return FromBits(bits_ & other.bits_);
+  }
+  /// X − Y.
+  AttributeSet Difference(const AttributeSet& other) const {
+    return FromBits(bits_ & ~other.bits_);
+  }
+
+  friend AttributeSet operator|(AttributeSet a, AttributeSet b) {
+    return a.Union(b);
+  }
+  friend AttributeSet operator&(AttributeSet a, AttributeSet b) {
+    return a.Intersect(b);
+  }
+  friend AttributeSet operator-(AttributeSet a, AttributeSet b) {
+    return a.Difference(b);
+  }
+
+  bool operator==(const AttributeSet& other) const = default;
+
+  /// Total order (by bit pattern) for use in std::map / sorting.
+  bool operator<(const AttributeSet& other) const {
+    return bits_ < other.bits_;
+  }
+
+  /// Ascending list of member ids.
+  std::vector<AttributeId> ToVector() const;
+
+  /// Iterates members in ascending order without materializing a vector:
+  /// `for (AttributeId a : set) ...`.
+  class Iterator {
+   public:
+    explicit Iterator(uint64_t bits) : bits_(bits) {}
+    AttributeId operator*() const { return std::countr_zero(bits_); }
+    Iterator& operator++() {
+      bits_ &= bits_ - 1;  // clear lowest set bit
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const {
+      return bits_ != other.bits_;
+    }
+
+   private:
+    uint64_t bits_;
+  };
+  Iterator begin() const { return Iterator(bits_); }
+  Iterator end() const { return Iterator(0); }
+
+ private:
+  uint64_t bits_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CORE_ATTRIBUTE_SET_H_

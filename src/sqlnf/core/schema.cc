@@ -1,0 +1,114 @@
+#include "sqlnf/core/schema.h"
+
+#include <utility>
+
+namespace sqlnf {
+
+Result<TableSchema> TableSchema::Make(std::string name,
+                                      std::vector<std::string> attributes) {
+  if (attributes.empty()) {
+    return Status::Invalid("table schema must have at least one attribute");
+  }
+  if (attributes.size() > AttributeSet::kMaxAttributes) {
+    return Status::OutOfRange("schemas are limited to 64 attributes, got " +
+                              std::to_string(attributes.size()));
+  }
+  TableSchema schema;
+  schema.name_ = std::move(name);
+  for (size_t i = 0; i < attributes.size(); ++i) {
+    if (attributes[i].empty()) {
+      return Status::Invalid("attribute names must be non-empty");
+    }
+    auto [it, inserted] =
+        schema.index_.emplace(attributes[i], static_cast<AttributeId>(i));
+    if (!inserted) {
+      return Status::Invalid("duplicate attribute name: " + attributes[i]);
+    }
+  }
+  schema.names_ = std::move(attributes);
+  return schema;
+}
+
+Result<TableSchema> TableSchema::Make(
+    std::string name, std::vector<std::string> attributes,
+    const std::vector<std::string>& not_null) {
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         Make(std::move(name), std::move(attributes)));
+  SQLNF_ASSIGN_OR_RETURN(AttributeSet nfs, schema.ResolveAll(not_null));
+  schema.nfs_ = nfs;
+  return schema;
+}
+
+Result<TableSchema> TableSchema::MakeCompact(std::string name,
+                                             std::string_view attrs,
+                                             std::string_view not_null) {
+  std::vector<std::string> names;
+  names.reserve(attrs.size());
+  for (char c : attrs) names.emplace_back(1, c);
+  std::vector<std::string> nn;
+  nn.reserve(not_null.size());
+  for (char c : not_null) nn.emplace_back(1, c);
+  return Make(std::move(name), std::move(names), nn);
+}
+
+Status TableSchema::SetNfs(const AttributeSet& s) {
+  if (!s.IsSubsetOf(all())) {
+    return Status::Invalid("NFS must be a subset of the schema attributes");
+  }
+  nfs_ = s;
+  return Status::OK();
+}
+
+Result<AttributeId> TableSchema::FindAttribute(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    return Status::NotFound("no attribute named '" + std::string(name) +
+                            "' in schema " + name_);
+  }
+  return it->second;
+}
+
+Result<AttributeSet> TableSchema::ResolveAll(
+    const std::vector<std::string>& names) const {
+  AttributeSet set;
+  for (const std::string& n : names) {
+    SQLNF_ASSIGN_OR_RETURN(AttributeId id, FindAttribute(n));
+    set.Add(id);
+  }
+  return set;
+}
+
+std::string TableSchema::FormatSet(const AttributeSet& set) const {
+  std::string out = "{";
+  bool first = true;
+  for (AttributeId id : set) {
+    if (!first) out += ",";
+    first = false;
+    out += names_[id];
+  }
+  out += "}";
+  return out;
+}
+
+Result<TableSchema> TableSchema::Project(const AttributeSet& x,
+                                         std::string new_name) const {
+  if (!x.IsSubsetOf(all())) {
+    return Status::Invalid("projection attributes outside schema");
+  }
+  if (x.empty()) {
+    return Status::Invalid("cannot project onto the empty attribute set");
+  }
+  std::vector<std::string> names;
+  std::vector<std::string> not_null;
+  for (AttributeId id : x) {
+    names.push_back(names_[id]);
+    if (nfs_.Contains(id)) not_null.push_back(names_[id]);
+  }
+  return Make(std::move(new_name), std::move(names), not_null);
+}
+
+bool TableSchema::SameStructure(const TableSchema& other) const {
+  return names_ == other.names_ && nfs_ == other.nfs_;
+}
+
+}  // namespace sqlnf

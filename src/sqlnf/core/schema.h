@@ -1,0 +1,94 @@
+// TableSchema: a table schema (T, T_S) — named attributes plus a
+// null-free subschema (the SQL NOT NULL columns).
+//
+// Paper, Section 2: a table schema is a finite non-empty set T of
+// attributes; an NFS (null-free subschema) T_S ⊆ T is the set of
+// attributes declared NOT NULL. We pair the two, since the NFS largely
+// determines the interaction of the constraints studied.
+
+#ifndef SQLNF_CORE_SCHEMA_H_
+#define SQLNF_CORE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlnf/core/attribute_set.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// A table schema (T, T_S): ordered attribute names and the NOT NULL set.
+///
+/// Attribute ids are positions in the declaration order. Names must be
+/// unique and non-empty; at most AttributeSet::kMaxAttributes (64)
+/// attributes per schema.
+class TableSchema {
+ public:
+  /// Builds a schema whose NFS is empty. Fails on duplicate/empty names
+  /// or more than 64 attributes.
+  static Result<TableSchema> Make(std::string name,
+                                  std::vector<std::string> attributes);
+
+  /// Builds a schema with the given NOT NULL attribute names. Every name
+  /// in `not_null` must be one of `attributes`.
+  static Result<TableSchema> Make(std::string name,
+                                  std::vector<std::string> attributes,
+                                  const std::vector<std::string>& not_null);
+
+  /// Convenience for tests/examples: single-character attribute names
+  /// taken from `attrs` (e.g. "oicp"), NFS from `not_null` (e.g. "ocp").
+  /// Mirrors the paper's compact notation PURCHASE = oicp, T_S = ocp.
+  static Result<TableSchema> MakeCompact(std::string name,
+                                         std::string_view attrs,
+                                         std::string_view not_null = "");
+
+  const std::string& name() const { return name_; }
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+
+  /// All attributes: the set T (always {0..n-1}).
+  AttributeSet all() const { return AttributeSet::FullSet(num_attributes()); }
+
+  /// The NFS T_S.
+  const AttributeSet& nfs() const { return nfs_; }
+
+  /// Replaces the NFS; `s` must be a subset of all().
+  Status SetNfs(const AttributeSet& s);
+
+  /// Name of attribute `id`. Requires 0 <= id < num_attributes().
+  const std::string& attribute_name(AttributeId id) const {
+    return names_[id];
+  }
+
+  /// Id of attribute `name`, or NotFound.
+  Result<AttributeId> FindAttribute(std::string_view name) const;
+
+  /// Resolves a list of names into a set; fails on the first unknown name.
+  Result<AttributeSet> ResolveAll(
+      const std::vector<std::string>& names) const;
+
+  /// Compact rendering of a set, e.g. "{item,catalog}".
+  std::string FormatSet(const AttributeSet& set) const;
+
+  /// Builds the projected schema (X, X ∩ T_S) with attributes renumbered
+  /// in ascending id order; `x` must be non-empty and ⊆ all().
+  Result<TableSchema> Project(const AttributeSet& x,
+                              std::string new_name) const;
+
+  /// True when both schemata have the same attribute names (in order) and
+  /// the same NFS. The schema name is ignored.
+  bool SameStructure(const TableSchema& other) const;
+
+ private:
+  TableSchema() = default;
+
+  std::string name_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttributeId> index_;
+  AttributeSet nfs_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CORE_SCHEMA_H_

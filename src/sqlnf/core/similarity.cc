@@ -1,0 +1,25 @@
+#include "sqlnf/core/similarity.h"
+
+namespace sqlnf {
+
+bool WeaklySimilar(const Tuple& t, const Tuple& u, const AttributeSet& x) {
+  for (AttributeId a : x) {
+    const Value& tv = t[a];
+    const Value& uv = u[a];
+    if (tv.is_null() || uv.is_null()) continue;
+    if (!(tv == uv)) return false;
+  }
+  return true;
+}
+
+bool StronglySimilar(const Tuple& t, const Tuple& u, const AttributeSet& x) {
+  for (AttributeId a : x) {
+    const Value& tv = t[a];
+    const Value& uv = u[a];
+    if (tv.is_null() || uv.is_null()) return false;
+    if (!(tv == uv)) return false;
+  }
+  return true;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,27 @@
+// Weak and strong similarity of tuples (paper, Section 2).
+//
+//   t[X] ~w t'[X]  :⟺  ∀A∈X. t[A] = t'[A] ∨ t[A] = ⊥ ∨ t'[A] = ⊥
+//   t[X] ~s t'[X]  :⟺  ∀A∈X. t[A] = t'[A] ≠ ⊥
+//
+// Weak and strong similarity coincide on X-total tuples. These two
+// notions induce the possible/certain split for both keys and FDs:
+// strong similarity on the LHS triggers a possible constraint, weak
+// similarity a certain one.
+
+#ifndef SQLNF_CORE_SIMILARITY_H_
+#define SQLNF_CORE_SIMILARITY_H_
+
+#include "sqlnf/core/attribute_set.h"
+#include "sqlnf/core/table.h"
+
+namespace sqlnf {
+
+/// t[X] ~w t'[X]: per attribute, equal or at least one side is ⊥.
+bool WeaklySimilar(const Tuple& t, const Tuple& u, const AttributeSet& x);
+
+/// t[X] ~s t'[X]: per attribute, both non-null and equal.
+bool StronglySimilar(const Tuple& t, const Tuple& u, const AttributeSet& x);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CORE_SIMILARITY_H_

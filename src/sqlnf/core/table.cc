@@ -1,0 +1,128 @@
+#include "sqlnf/core/table.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sqlnf/util/text_table.h"
+
+namespace sqlnf {
+
+Tuple Tuple::Restrict(const AttributeSet& x) const {
+  std::vector<Value> out;
+  out.reserve(x.size());
+  for (AttributeId id : x) out.push_back(values_[id]);
+  return Tuple(std::move(out));
+}
+
+bool Tuple::IsTotal(const AttributeSet& x) const {
+  for (AttributeId id : x) {
+    if (values_[id].is_null()) return false;
+  }
+  return true;
+}
+
+bool Tuple::EqualOn(const Tuple& other, const AttributeSet& x) const {
+  for (AttributeId id : x) {
+    if (!(values_[id] == other.values_[id])) return false;
+  }
+  return true;
+}
+
+bool Tuple::operator<(const Tuple& other) const {
+  return std::lexicographical_compare(values_.begin(), values_.end(),
+                                      other.values_.begin(),
+                                      other.values_.end());
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0;
+  for (const Value& v : values_) {
+    h = h * 1315423911u + v.Hash();
+  }
+  return h;
+}
+
+Status Table::AddRow(Tuple row) {
+  if (row.size() != num_columns()) {
+    return Status::Invalid("row arity " + std::to_string(row.size()) +
+                           " does not match schema arity " +
+                           std::to_string(num_columns()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AddRowText(const std::vector<std::string>& cells) {
+  std::vector<Value> values;
+  values.reserve(cells.size());
+  for (const std::string& c : cells) {
+    values.push_back(c == "NULL" ? Value::Null() : Value::Str(c));
+  }
+  return AddRow(Tuple(std::move(values)));
+}
+
+Status Table::CheckNfs() const {
+  for (int i = 0; i < num_rows(); ++i) {
+    for (AttributeId a : schema_.nfs()) {
+      if (rows_[i][a].is_null()) {
+        return Status::FailedPrecondition(
+            "NULL in NOT NULL column '" + schema_.attribute_name(a) +
+            "' at row " + std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<Value> Table::ColumnValues(AttributeId a) const {
+  std::vector<Value> out;
+  for (const Tuple& t : rows_) {
+    if (t[a].is_null()) continue;
+    if (std::find(out.begin(), out.end(), t[a]) == out.end()) {
+      out.push_back(t[a]);
+    }
+  }
+  return out;
+}
+
+int Table::CountNulls(AttributeId a) const {
+  int n = 0;
+  for (const Tuple& t : rows_) {
+    if (t[a].is_null()) ++n;
+  }
+  return n;
+}
+
+bool Table::SameMultiset(const Table& other) const {
+  if (!schema_.SameStructure(other.schema_)) return false;
+  if (num_rows() != other.num_rows()) return false;
+  std::map<Tuple, int> counts;
+  for (const Tuple& t : rows_) ++counts[t];
+  for (const Tuple& t : other.rows_) {
+    auto it = counts.find(t);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+std::string Table::ToString() const {
+  TextTable tt;
+  std::vector<std::string> header;
+  for (int i = 0; i < num_columns(); ++i) {
+    std::string h = schema_.attribute_name(i);
+    if (schema_.nfs().Contains(i)) h += "*";  // NOT NULL marker
+    header.push_back(std::move(h));
+  }
+  tt.SetHeader(std::move(header));
+  for (const Tuple& t : rows_) {
+    std::vector<std::string> row;
+    row.reserve(t.size());
+    for (const Value& v : t.values()) row.push_back(v.ToString());
+    tt.AddRow(std::move(row));
+  }
+  return schema_.name() + " (" + std::to_string(num_rows()) + " rows)\n" +
+         tt.ToString();
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,105 @@
+// Tuple and Table: SQL table instances.
+//
+// Paper, Section 2: a table I over T is a finite MULTISET of tuples —
+// duplicate tuples are permitted (a deliberate departure from the
+// relational model). We therefore store rows in a vector and never
+// deduplicate implicitly; set-projection is an explicit operation
+// (see decomposition/decomposition.h).
+
+#ifndef SQLNF_CORE_TABLE_H_
+#define SQLNF_CORE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlnf/core/attribute_set.h"
+#include "sqlnf/core/schema.h"
+#include "sqlnf/core/value.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// One row: a function from attribute ids to values, stored positionally.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  int size() const { return static_cast<int>(values_.size()); }
+  const Value& operator[](AttributeId id) const { return values_[id]; }
+  Value& operator[](AttributeId id) { return values_[id]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  /// t[X]: the restriction of this tuple to X, values in ascending
+  /// attribute order.
+  Tuple Restrict(const AttributeSet& x) const;
+
+  /// True when t[A] ≠ ⊥ for all A ∈ X ("X-total", paper §2).
+  bool IsTotal(const AttributeSet& x) const;
+
+  /// Exact equality on X: t[A] = t'[A] for all A ∈ X (⊥ matches ⊥ only).
+  bool EqualOn(const Tuple& other, const AttributeSet& x) const;
+
+  bool operator==(const Tuple& other) const = default;
+  bool operator<(const Tuple& other) const;
+
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+/// A table instance: a multiset of tuples over a TableSchema.
+class Table {
+ public:
+  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+
+  const TableSchema& schema() const { return schema_; }
+  TableSchema* mutable_schema() { return &schema_; }
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_columns() const { return schema_.num_attributes(); }
+  /// rows × columns, the "cells" measure used in Section 7.
+  int64_t num_cells() const {
+    return static_cast<int64_t>(num_rows()) * num_columns();
+  }
+
+  const Tuple& row(int i) const { return rows_[i]; }
+  Tuple* mutable_row(int i) { return &rows_[i]; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Appends a row; its arity must equal the schema's. This checks arity
+  /// only — use CheckNfs() (or constraints/satisfies.h) to validate
+  /// NOT NULL compliance.
+  Status AddRow(Tuple row);
+
+  /// Convenience: appends a row given cell texts; "NULL" (exactly)
+  /// becomes ⊥, anything else a string value.
+  Status AddRowText(const std::vector<std::string>& cells);
+
+  /// Verifies the instance is T_S-total (satisfies the NFS).
+  Status CheckNfs() const;
+
+  /// Distinct non-null values occurring in column `a`, in row order of
+  /// first occurrence.
+  std::vector<Value> ColumnValues(AttributeId a) const;
+
+  /// Number of ⊥ cells in column `a`.
+  int CountNulls(AttributeId a) const;
+
+  /// True when the two tables have the same schema structure and equal
+  /// row multisets (row order ignored, multiplicities respected).
+  bool SameMultiset(const Table& other) const;
+
+  /// ASCII rendering (header + rows) for examples/benches.
+  std::string ToString() const;
+
+ private:
+  TableSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CORE_TABLE_H_

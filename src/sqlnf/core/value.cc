@@ -1,0 +1,17 @@
+#include "sqlnf/core/value.h"
+
+namespace sqlnf {
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "NULL";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kString:
+      return str_;
+  }
+  return "";
+}
+
+}  // namespace sqlnf

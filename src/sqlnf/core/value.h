@@ -1,0 +1,103 @@
+// Value: one cell of an SQL table — the null marker ⊥, an integer, or a
+// string.
+//
+// Paper, Section 2: every attribute domain contains the distinguished
+// null marker ⊥ interpreted as "no information" [Zaniolo/Lien]. ⊥ is NOT
+// a domain value; similarity and equality treat it specially (see
+// similarity.h). Values compare by (kind, payload): an Int never equals
+// a Str, and ⊥ equals only ⊥ (tuple equality t[Y] = t'[Y] in the paper
+// compares markers syntactically).
+
+#ifndef SQLNF_CORE_VALUE_H_
+#define SQLNF_CORE_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sqlnf {
+
+/// One table cell: ⊥, an int64, or a string. Regular value type.
+class Value {
+ public:
+  enum class Kind : uint8_t { kNull = 0, kInt = 1, kString = 2 };
+
+  /// Constructs ⊥.
+  Value() : kind_(Kind::kNull), int_(0) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t v) {
+    Value out;
+    out.kind_ = Kind::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Str(std::string v) {
+    Value out;
+    out.kind_ = Kind::kString;
+    out.str_ = std::move(v);
+    return out;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Requires kind() == kInt.
+  int64_t int_value() const { return int_; }
+  /// Requires kind() == kString.
+  const std::string& str_value() const { return str_; }
+
+  /// Syntactic equality: ⊥ == ⊥, Int(i) == Int(i), Str(s) == Str(s).
+  bool operator==(const Value& other) const {
+    if (kind_ != other.kind_) return false;
+    switch (kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kInt:
+        return int_ == other.int_;
+      case Kind::kString:
+        return str_ == other.str_;
+    }
+    return false;
+  }
+
+  /// Total order (⊥ < ints < strings) for sorting / std::map keys.
+  bool operator<(const Value& other) const {
+    if (kind_ != other.kind_) return kind_ < other.kind_;
+    switch (kind_) {
+      case Kind::kNull:
+        return false;
+      case Kind::kInt:
+        return int_ < other.int_;
+      case Kind::kString:
+        return str_ < other.str_;
+    }
+    return false;
+  }
+
+  size_t Hash() const {
+    switch (kind_) {
+      case Kind::kNull:
+        return 0x9e3779b97f4a7c15ull;
+      case Kind::kInt:
+        return std::hash<int64_t>{}(int_) * 3 + 1;
+      case Kind::kString:
+        return std::hash<std::string>{}(str_) * 3 + 2;
+    }
+    return 0;
+  }
+
+  /// "NULL" for ⊥, decimal digits for ints, the raw text for strings.
+  std::string ToString() const;
+
+ private:
+  Kind kind_;
+  int64_t int_;
+  std::string str_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CORE_VALUE_H_

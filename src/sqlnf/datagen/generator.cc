@@ -1,0 +1,202 @@
+#include "sqlnf/datagen/generator.h"
+
+#include <algorithm>
+
+namespace sqlnf {
+
+namespace {
+
+// Deterministic mixing for planted-FD RHS values.
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+Result<Table> GenerateTable(const TableSpec& spec) {
+  if (spec.num_columns <= 0 || spec.num_rows < 0) {
+    return Status::Invalid("table spec needs positive dimensions");
+  }
+  if (spec.num_columns > AttributeSet::kMaxAttributes) {
+    return Status::OutOfRange("at most 64 columns");
+  }
+  for (const PlantedFd& fd : spec.fds) {
+    for (int c : fd.lhs) {
+      if (c < 0 || c >= spec.num_columns) {
+        return Status::Invalid("planted FD LHS column out of range");
+      }
+    }
+    for (int c : fd.rhs) {
+      if (c < 0 || c >= spec.num_columns) {
+        return Status::Invalid("planted FD RHS column out of range");
+      }
+    }
+  }
+
+  std::vector<std::string> names;
+  names.reserve(spec.num_columns);
+  for (int c = 0; c < spec.num_columns; ++c) {
+    names.push_back("c" + std::to_string(c));
+  }
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         TableSchema::Make(spec.name, std::move(names)));
+  Table table(std::move(schema));
+
+  auto domain_of = [&](int col) {
+    if (col < static_cast<int>(spec.domain_sizes.size()) &&
+        spec.domain_sizes[col] > 0) {
+      return spec.domain_sizes[col];
+    }
+    return std::max(2, spec.num_rows / 4);
+  };
+  auto null_rate_of = [&](int col) {
+    if (col < static_cast<int>(spec.null_rates.size())) {
+      return spec.null_rates[col];
+    }
+    return 0.0;
+  };
+
+  // Columns touched by planted FDs stay null-free so the plants hold as
+  // certain FDs by construction (⊥ on either side would break them).
+  AttributeSet fd_columns;
+  for (const PlantedFd& fd : spec.fds) {
+    for (int c : fd.lhs) fd_columns.Add(c);
+    for (int c : fd.rhs) fd_columns.Add(c);
+  }
+
+  Rng rng(spec.seed);
+  for (int r = 0; r < spec.num_rows; ++r) {
+    if (r > 0 && rng.Chance(spec.duplicate_rate)) {
+      Status st = table.AddRow(
+          table.row(static_cast<int>(rng.Index(table.num_rows()))));
+      (void)st;
+      continue;
+    }
+    // Base codes.
+    std::vector<int64_t> codes(spec.num_columns);
+    for (int c = 0; c < spec.num_columns; ++c) {
+      codes[c] = rng.Uniform(0, domain_of(c) - 1);
+    }
+    // Planted FDs, in order (later plants see earlier plants' outputs).
+    for (size_t f = 0; f < spec.fds.size(); ++f) {
+      const PlantedFd& fd = spec.fds[f];
+      uint64_t h = Mix(0xabcdef, f);
+      for (int c : fd.lhs) h = Mix(h, static_cast<uint64_t>(codes[c]));
+      for (int c : fd.rhs) {
+        codes[c] = static_cast<int64_t>(Mix(h, c) %
+                                        static_cast<uint64_t>(domain_of(c)));
+      }
+    }
+    // Dirty rows: perturb one planted RHS so the FD no longer holds
+    // exactly (kept rare by spec.dirty_rate).
+    if (!spec.fds.empty() && rng.Chance(spec.dirty_rate)) {
+      const PlantedFd& fd = spec.fds[rng.Index(spec.fds.size())];
+      if (!fd.rhs.empty()) {
+        int c = fd.rhs[rng.Index(fd.rhs.size())];
+        codes[c] = rng.Uniform(0, domain_of(c) - 1);
+      }
+    }
+    // Materialize with nulls.
+    std::vector<Value> row(spec.num_columns);
+    for (int c = 0; c < spec.num_columns; ++c) {
+      if (!fd_columns.Contains(c) && rng.Chance(null_rate_of(c))) {
+        row[c] = Value::Null();
+      } else {
+        row[c] = Value::Str("c" + std::to_string(c) + "_v" +
+                            std::to_string(codes[c]));
+      }
+    }
+    SQLNF_RETURN_NOT_OK(table.AddRow(Tuple(std::move(row))));
+  }
+  return table;
+}
+
+std::vector<CorpusProfile> DefaultCorpusProfiles() {
+  // Seven profiles standing in for the paper's seven sources. Tables
+  // sum to 130. Character varies: biology-style wide keyed tables,
+  // medical tables with many nulls and dirty near-keys, benchmark
+  // tables with dense FDs, ML tables with duplicates.
+  // Column domains are kept small relative to the row counts (see
+  // BuildCorpus) so that accidental minimal LHSs would need more
+  // attributes than the miner's LHS cap — matching the real corpora,
+  // where a 130-table sweep yields only a few minimal FDs per table.
+  return {
+      {"go_termdb", 20, 4, 7, 150, 400, 0.02, 2, 0.02, 0.00, 0.2},
+      {"ipi", 18, 4, 8, 150, 450, 0.04, 2, 0.05, 0.01, 0.2},
+      {"lmrp", 22, 5, 9, 120, 240, 0.12, 3, 0.08, 0.03, 0.5},
+      {"pfam", 18, 4, 7, 150, 500, 0.03, 2, 0.03, 0.00, 0.3},
+      {"rfam", 16, 4, 7, 120, 350, 0.03, 2, 0.03, 0.00, 0.3},
+      {"naumann", 18, 5, 9, 150, 600, 0.06, 3, 0.04, 0.02, 0.4},
+      {"uci", 18, 4, 8, 150, 500, 0.08, 2, 0.10, 0.02, 0.4},
+  };
+}
+
+Result<std::vector<Table>> BuildCorpus(
+    const std::vector<CorpusProfile>& profiles, uint64_t seed) {
+  std::vector<Table> corpus;
+  Rng rng(seed);
+  for (const CorpusProfile& profile : profiles) {
+    for (int t = 0; t < profile.num_tables; ++t) {
+      TableSpec spec;
+      spec.name = profile.name + "_" + std::to_string(t);
+      spec.num_columns = static_cast<int>(
+          rng.Uniform(profile.min_columns, profile.max_columns));
+      spec.num_rows =
+          static_cast<int>(rng.Uniform(profile.min_rows, profile.max_rows));
+      // Low-entropy columns: small domains keep accidental minimal
+      // LHSs beyond the miner's LHS-size cap (see DefaultCorpusProfiles).
+      spec.domain_sizes.resize(spec.num_columns);
+      for (int c = 0; c < spec.num_columns; ++c) {
+        spec.domain_sizes[c] = static_cast<int>(rng.Uniform(2, 9));
+      }
+      // Roughly half the tables carry an id-like first column (unique
+      // in practice): its FDs are mined but, being a certain key, do
+      // not qualify as λ-FDs — as in the real corpora, where most
+      // total FDs sit on (near-)key LHSs.
+      const bool has_id_column = rng.Chance(0.55);
+      if (has_id_column) {
+        spec.domain_sizes[0] = spec.num_rows * 16;
+        spec.duplicate_rate = 0.0;  // keep the key intact
+      } else {
+        spec.duplicate_rate = profile.duplicate_rate;
+      }
+      spec.null_rates.assign(spec.num_columns, profile.null_rate);
+      if (has_id_column) spec.null_rates[0] = 0.0;
+      spec.dirty_rate = profile.dirty_rate;
+      spec.seed = seed * 7919 + corpus.size();
+
+      // Planted FDs come in the two modes behind Figure 6's bimodal
+      // projection-size distribution:
+      //  * near-key plants: a single high-cardinality LHS column that
+      //    SHOULD be a key but collides occasionally (dirty near-keys,
+      //    projection sizes ≳ 78%),
+      //  * genuine plants: a single low-entropy LHS column whose
+      //    projection removes most rows (sizes ≲ 15%).
+      std::vector<int> cols(spec.num_columns);
+      for (int c = 0; c < spec.num_columns; ++c) cols[c] = c;
+      rng.Shuffle(&cols);
+      int next_col = has_id_column && cols[0] == 0 ? 1 : 0;
+      for (int f = 0; f < profile.planted_fds; ++f) {
+        if (next_col + 1 >= spec.num_columns) break;
+        int lhs_col = cols[next_col];
+        int rhs_col = cols[next_col + 1];
+        if (lhs_col == 0 && has_id_column) {
+          ++next_col;
+          continue;  // the id column determines everything already
+        }
+        next_col += 2;
+        if (rng.Chance(profile.near_key_fraction)) {
+          spec.domain_sizes[lhs_col] = spec.num_rows * 3;  // near-unique
+        }
+        spec.fds.push_back({{lhs_col}, {rhs_col}});
+      }
+
+      SQLNF_ASSIGN_OR_RETURN(Table table, GenerateTable(spec));
+      corpus.push_back(std::move(table));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace sqlnf

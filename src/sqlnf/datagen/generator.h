@@ -1,0 +1,85 @@
+// Synthetic table generation (the stand-in for the paper's 130 mined
+// public tables — see DESIGN.md, substitution table).
+//
+// Tables are generated column-first with bounded domains, then planted
+// FDs overwrite their RHS columns as deterministic functions of the LHS
+// group, so the FDs hold by construction. Knobs inject the phenomena
+// the paper's corpus exhibits:
+//   * nulls        — per-column ⊥ rates (columns outside planted FDs),
+//   * duplicates   — rows copied verbatim (violate every key, satisfy
+//                    every FD — Figure 3's phenomenon),
+//   * dirty rows   — FD-violating perturbations ("constraints that
+//                    should hold but are violated by dirty data"),
+//   * near-keys    — wide-LHS FDs whose projection removes few rows
+//                    (the ≥78% mode of Figure 6's bimodal distribution).
+//
+// Everything is seeded and deterministic.
+
+#ifndef SQLNF_DATAGEN_GENERATOR_H_
+#define SQLNF_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/rng.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// An FD planted into generated data: every RHS column becomes a
+/// deterministic function of the LHS columns' values.
+struct PlantedFd {
+  std::vector<int> lhs;
+  std::vector<int> rhs;
+};
+
+struct TableSpec {
+  std::string name = "synthetic";
+  int num_columns = 6;
+  int num_rows = 100;
+  /// Domain size per column; missing entries default to
+  /// max(2, num_rows / 4).
+  std::vector<int> domain_sizes;
+  /// ⊥ probability per column; missing entries default to 0.
+  std::vector<double> null_rates;
+  std::vector<PlantedFd> fds;
+  /// Probability that a row is a verbatim copy of an earlier row.
+  double duplicate_rate = 0.0;
+  /// Probability that a row perturbs one planted-FD RHS (dirty data).
+  double dirty_rate = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Generates a table per `spec`. Column names are c0..c{n-1}; values are
+/// strings "c<col>_v<code>". The schema NFS is left empty (mining infers
+/// null-free columns from the data).
+Result<Table> GenerateTable(const TableSpec& spec);
+
+/// A corpus profile: one "data source" contributing several tables with
+/// a shared character (sizes, null-ness, FD density, dirtiness).
+struct CorpusProfile {
+  std::string name;
+  int num_tables = 10;
+  int min_columns = 5, max_columns = 12;
+  int min_rows = 40, max_rows = 400;
+  double null_rate = 0.05;
+  int planted_fds = 2;
+  double duplicate_rate = 0.05;
+  double dirty_rate = 0.0;
+  /// Fraction of planted FDs given wide (near-key) LHSs.
+  double near_key_fraction = 0.3;
+};
+
+/// The default 7-profile, 130-table corpus standing in for GO-termdb,
+/// IPI, LMRP, PFAM, RFAM, Naumann and UCI (Section 7).
+std::vector<CorpusProfile> DefaultCorpusProfiles();
+
+/// Generates all tables of all profiles (deterministic from `seed`).
+Result<std::vector<Table>> BuildCorpus(
+    const std::vector<CorpusProfile>& profiles, uint64_t seed = 2016);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DATAGEN_GENERATOR_H_

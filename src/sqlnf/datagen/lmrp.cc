@@ -1,0 +1,291 @@
+#include "sqlnf/datagen/lmrp.h"
+
+#include <array>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sqlnf/constraints/parser.h"
+#include "sqlnf/util/rng.h"
+
+namespace sqlnf {
+
+namespace {
+
+constexpr const char* kContactColumns[] = {
+    "contact_id", "first_name", "last_name", "title", "address1",
+    "address2",   "city",       "state_id",  "zip",   "phone",
+    "fax",        "email",      "status",    "notes"};
+
+struct SnippetRow {
+  int contact_id;
+  const char* first_name;
+  const char* last_name;
+  const char* city;  // nullptr = ⊥
+  int state_id;
+};
+
+// Figure 7, verbatim.
+constexpr SnippetRow kSnippet[] = {
+    {113, "Michelle", "Moscato", "Carmel", 20},
+    {110, "Kathy", "Sheehan", "Columbia", 48},
+    {51, "Kathy", "Sheehan", "Columbia", 48},
+    {64, "Margaret", "Cox", "Columbia", 48},
+    {120, "Margaret", "Cox", "Columbia", 48},
+    {60, "Stacey", "Brennan, M.D.", "Columbia", 48},
+    {6, "Robert", "Kamps, M.D.", "Grove City", 42},
+    {83, "Michelle", "Moscato", "Indianapolis", 20},
+    {19, "Michelle", "Moscato", "Indianapolis", 20},
+    {20, "Nancy", "Knudson", "Indianapolis", 20},
+    {18, "Nancy", "Knudson", "Indianapolis", 20},
+    {99, "Stacey", "Brennan, M.D.", "Indianapolis", 20},
+    {8, "Carol", "Richards", nullptr, 36},
+    {7, "Pam", "Baumker", nullptr, 36},
+};
+
+const std::array<const char*, 24> kFirstNames = {
+    "Alice",  "Brian",  "Cindy",   "Derek",  "Elena",  "Frank",
+    "Gloria", "Henry",  "Irene",   "Jack",   "Karen",  "Louis",
+    "Maria",  "Nathan", "Olivia",  "Peter",  "Quinn",  "Rachel",
+    "Samuel", "Teresa", "Ulysses", "Violet", "Walter", "Xenia"};
+const std::array<const char*, 20> kLastNames = {
+    "Anderson", "Baker",   "Carter", "Dawson",  "Ellis",
+    "Foster",   "Gibson",  "Hayes",  "Ingram",  "Jennings",
+    "Keller",   "Lawson",  "Mercer", "Norris",  "Osborne",
+    "Parker",   "Quimby",  "Reyes",  "Sutton",  "Tanner"};
+struct CityState {
+  const char* city;
+  int state;
+};
+const std::array<CityState, 10> kCities = {{{"Columbus", 36},
+                                            {"Baltimore", 21},
+                                            {"Nashville", 47},
+                                            {"Denver", 8},
+                                            {"Portland", 41},
+                                            {"Madison", 55},
+                                            {"Augusta", 23},
+                                            {"Trenton", 34},
+                                            {"Phoenix", 4},
+                                            {"Boise", 16}}};
+
+Result<TableSchema> ContactSchema(int num_columns) {
+  std::vector<std::string> names;
+  for (int i = 0; i < num_columns; ++i) names.push_back(kContactColumns[i]);
+  // Paper: first_name, last_name, state_id contain no nulls.
+  return TableSchema::Make("contact_draft_lookup", names,
+                           {"contact_id", "first_name", "last_name",
+                            "state_id"});
+}
+
+void AppendContactRow(Table* table, int contact_id, const std::string& fn,
+                      const std::string& ln, const Value& city, int state,
+                      Rng* rng) {
+  std::vector<Value> row(table->num_columns());
+  row[0] = Value::Int(contact_id);
+  row[1] = Value::Str(fn);
+  row[2] = Value::Str(ln);
+  if (table->num_columns() > 5) {
+    row[3] = rng->Chance(0.3) ? Value::Str("M.D.") : Value::Null();
+    row[4] = Value::Str(std::to_string(100 + contact_id) + " Main St");
+    row[5] = rng->Chance(0.15) ? Value::Str("Suite " + std::to_string(
+                                     1 + contact_id % 40))
+                               : Value::Null();
+    row[6] = city;
+    row[7] = Value::Int(state);
+    row[8] = city.is_null()
+                 ? Value::Null()
+                 : Value::Str(std::to_string(10000 + 37 * state));
+    row[9] = Value::Str("555-" + std::to_string(1000 + contact_id));
+    row[10] = rng->Chance(0.5)
+                  ? Value::Str("555-" + std::to_string(9000 + contact_id))
+                  : Value::Null();
+    row[11] = Value::Str(fn + "." + ln + "@example.gov");
+    row[12] = rng->Chance(0.8) ? Value::Str("A") : Value::Str("I");
+    row[13] = rng->Chance(0.25) ? Value::Str("migrated record")
+                                : Value::Null();
+  } else {
+    row[3] = city;
+    row[4] = Value::Int(state);
+  }
+  Status st = table->AddRow(Tuple(std::move(row)));
+  (void)st;
+}
+
+}  // namespace
+
+Result<Table> ContactDraftLookupSnippet() {
+  SQLNF_ASSIGN_OR_RETURN(
+      TableSchema schema,
+      TableSchema::Make("contact_snippet",
+                        {"contact_id", "first_name", "last_name", "city",
+                         "state_id"},
+                        {"contact_id", "first_name", "last_name",
+                         "state_id"}));
+  Table table(std::move(schema));
+  Rng rng(7);
+  for (const SnippetRow& r : kSnippet) {
+    AppendContactRow(&table, r.contact_id, r.first_name, r.last_name,
+                     r.city ? Value::Str(r.city) : Value::Null(), r.state_id,
+                     &rng);
+  }
+  return table;
+}
+
+Result<Table> ContactDraftLookup() {
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema, ContactSchema(14));
+  Table table(std::move(schema));
+  Rng rng(2016);
+
+  // Contact ids: the snippet's 14 plus the remaining numbers in 1..124.
+  std::set<int> used;
+  for (const SnippetRow& r : kSnippet) used.insert(r.contact_id);
+  std::vector<int> free_ids;
+  for (int id = 1; id <= 124; ++id) {
+    if (!used.count(id)) free_ids.push_back(id);
+  }
+
+  for (const SnippetRow& r : kSnippet) {
+    AppendContactRow(&table, r.contact_id, r.first_name, r.last_name,
+                     r.city ? Value::Str(r.city) : Value::Null(), r.state_id,
+                     &rng);
+  }
+
+  // 110 generated rows: 95 fresh (first,last,city,state) combos plus 15
+  // duplicates of generated combos, giving 105 distinct combos overall
+  // (snippet contributes 10) and 19 redundancy sources (4 + 15).
+  // Generated names are unique (first,last) pairs distinct from the
+  // snippet's, each bound to exactly one city, so σ keeps holding and no
+  // weak collision with the ⊥-city snippet rows arises.
+  struct Combo {
+    std::string fn, ln;
+    const CityState* cs;
+  };
+  std::vector<Combo> combos;
+  int name_idx = 0;
+  for (int i = 0; i < 95; ++i) {
+    Combo c;
+    c.fn = kFirstNames[name_idx % kFirstNames.size()];
+    c.ln = kLastNames[(name_idx / kFirstNames.size()) % kLastNames.size()];
+    ++name_idx;
+    c.cs = &kCities[i % kCities.size()];
+    combos.push_back(std::move(c));
+  }
+  size_t id_cursor = 0;
+  for (const Combo& c : combos) {
+    AppendContactRow(&table, free_ids[id_cursor++], c.fn, c.ln,
+                     Value::Str(c.cs->city), c.cs->state, &rng);
+  }
+  for (int d = 0; d < 15; ++d) {
+    const Combo& c = combos[(d * 7) % combos.size()];
+    AppendContactRow(&table, free_ids[id_cursor++], c.fn, c.ln,
+                     Value::Str(c.cs->city), c.cs->state, &rng);
+  }
+  return table;
+}
+
+Result<FunctionalDependency> ContactSigmaFd(const TableSchema& schema) {
+  return ParseFd(schema,
+                 "first_name,last_name,city ->w "
+                 "first_name,last_name,city,state_id");
+}
+
+namespace {
+
+constexpr const char* kContractorColumns[] = {
+    "contractor_id",   "contractor_name", "contractor_bus_name",
+    "address1",        "address2",        "city",
+    "state",           "zip",             "phone",
+    "fax",             "url",             "email",
+    "cmd_name",        "contractor_type_id", "contractor_version",
+    "status_flag",     "dmerc_rgn",       "status",
+    "eff_date",        "end_date",        "region_code",
+    "notes"};
+
+}  // namespace
+
+Result<Table> Contractor() {
+  std::vector<std::string> names;
+  for (const char* n : kContractorColumns) names.push_back(n);
+  SQLNF_ASSIGN_OR_RETURN(
+      TableSchema schema,
+      TableSchema::Make("contractor", names,
+                        {"contractor_id", "city", "url", "phone",
+                         "cmd_name", "address1", "contractor_bus_name",
+                         "contractor_type_id", "status",
+                         "contractor_version", "status_flag"}));
+  Table table(std::move(schema));
+
+  // Group scaffolding (see lmrp.h):
+  //   g1 ∈ [0,38)  — (city,url) classes; dmerc_rgn/status uniform
+  //                  g1 = 0 carries ⊥ dmerc_rgn and 135 rows;
+  //                  g1 = 1 has 2 rows; g1 = 2..37 one row each.
+  //   g2 ∈ [0,67)  — (cmd_name,phone,url) classes refining g1:
+  //                  g1=0 → g2 0..29, g1=k≥1 → g2 29+k.
+  //   g3 ∈ [0,73)  — (address1,bus_name,type_id) classes refining g1:
+  //                  g1=0 → g3 0..35, g1=k≥1 → g3 35+k.
+  struct RowPlan {
+    int g1, g2, g3;
+  };
+  std::vector<RowPlan> plans;
+  for (int i = 0; i < 135; ++i) {
+    plans.push_back({0, i % 30, i % 36});
+  }
+  plans.push_back({1, 30, 36});
+  plans.push_back({1, 30, 36});
+  for (int g1 = 2; g1 < 38; ++g1) {
+    plans.push_back({g1, 29 + g1, 35 + g1});
+  }
+  // 135 + 2 + 36 = 173 rows; g2 classes: 30 + 37 = 67; g3: 36 + 37 = 73.
+
+  Rng rng(173);
+  rng.Shuffle(&plans);
+
+  for (size_t i = 0; i < plans.size(); ++i) {
+    const RowPlan& p = plans[i];
+    std::vector<Value> row(table.num_columns());
+    const std::string g1s = std::to_string(p.g1);
+    const std::string g2s = std::to_string(p.g2);
+    const std::string g3s = std::to_string(p.g3);
+    row[0] = Value::Int(static_cast<int64_t>(i) + 1);   // contractor_id
+    row[1] = Value::Str("Contractor " + std::to_string(i + 1));
+    row[2] = Value::Str("BusName g3-" + g3s);           // bus_name: B(g3)
+    row[3] = Value::Str(g3s + " Medicare Way");         // address1: A(g3)
+    row[4] = rng.Chance(0.2) ? Value::Str("Floor " + g3s) : Value::Null();
+    row[5] = Value::Str("City g1-" + g1s);              // city: C(g1)
+    row[6] = Value::Str("ST" + std::to_string(p.g1 % 12));
+    row[7] = Value::Str(std::to_string(20000 + p.g1));
+    row[8] = Value::Str("800-" + std::to_string(2000 + p.g2));  // P(g2)
+    row[9] = rng.Chance(0.4) ? Value::Str("800-" + std::to_string(
+                                   7000 + p.g2))
+                             : Value::Null();
+    row[10] = Value::Str("http://mac" + g1s + ".cms.gov");      // U(g1)
+    row[11] = rng.Chance(0.7) ? Value::Str("mac" + g1s + "@cms.gov")
+                              : Value::Null();
+    row[12] = Value::Str("CMD Region " + std::to_string(p.g2 % 9));
+    row[13] = Value::Str(std::to_string(1 + p.g3 % 5));  // type_id: T(g3)
+    row[14] = Value::Str("v" + std::to_string(3 + p.g2 % 4));  // V(g2)
+    row[15] = Value::Str(p.g2 % 2 == 0 ? "Y" : "N");           // F(g2)
+    row[16] = p.g1 == 0 ? Value::Null()
+                        : Value::Str("R" + std::to_string(p.g1 % 4));
+    row[17] = Value::Str(p.g1 % 3 == 0 ? "active" : "retired");  // S(g1)
+    row[18] = Value::Str("2015-0" + std::to_string(1 + p.g1 % 9) + "-01");
+    row[19] = rng.Chance(0.15) ? Value::Str("2016-06-30") : Value::Null();
+    row[20] = Value::Str("RC" + std::to_string(p.g1 % 7));
+    row[21] = rng.Chance(0.25) ? Value::Str("carry-over entry")
+                               : Value::Null();
+    SQLNF_RETURN_NOT_OK(table.AddRow(Tuple(std::move(row))));
+  }
+  return table;
+}
+
+Result<ConstraintSet> ContractorLambdaFds(const TableSchema& schema) {
+  return ParseConstraintSet(
+      schema,
+      "city,url ->w city,url,dmerc_rgn,status; "
+      "cmd_name,phone,url ->w cmd_name,phone,url,contractor_version,"
+      "status_flag; "
+      "address1,contractor_bus_name,contractor_type_id ->w "
+      "address1,contractor_bus_name,contractor_type_id,url");
+}
+
+}  // namespace sqlnf

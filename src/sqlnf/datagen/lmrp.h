@@ -1,0 +1,55 @@
+// Replicas of the two LMRP (Local Medical Review Policy) tables used in
+// the paper's qualitative experiments (Section 7). We do not have the
+// CMS originals; these replicas are built to reproduce every structural
+// property the paper reports (see DESIGN.md substitution table):
+//
+// contact_draft_lookup (14 columns × 124 rows):
+//  * contains the exact 14-row × 5-column snippet of Figure 7,
+//  * satisfies σ: first_name,last_name,city →w
+//        first_name,last_name,city,state_id  (a λ-FD),
+//  * first_name, last_name, state_id are null-free; city has ⊥s,
+//  * the set projection on [first_name,last_name,city,state_id] has
+//    105 rows (19 redundancy sources eliminated),
+//  * c⟨first_name,last_name,city⟩ holds on that projection,
+//  * city →w state_id fails (already on the snippet),
+//  * first_name,last_name → state_id fails ("people move").
+//
+// contractor (22 columns × 173 rows):
+//  * satisfies the three λ-FDs of Section 7:
+//      1. city,url →w dmerc_rgn,status
+//      2. cmd_name,phone,url →w contractor_version,status_flag
+//      3. address1,contractor_bus_name,contractor_type_id →w url
+//  * Algorithm 3 with those FDs yields four tables of 38×4, 67×5,
+//    73×4 and 173×17 (multiset) cells = 3720 total vs 3806 before,
+//  * eliminating 448 redundant data values (1 dmerc_rgn, 135 status,
+//    106 contractor_version, 106 status_flag, 100 url) plus 134
+//    redundant null markers in dmerc_rgn.
+
+#ifndef SQLNF_DATAGEN_LMRP_H_
+#define SQLNF_DATAGEN_LMRP_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// The 14×5 snippet of Figure 7 (exact rows).
+Result<Table> ContactDraftLookupSnippet();
+
+/// The full 14-column × 124-row replica.
+Result<Table> ContactDraftLookup();
+
+/// σ, the λ-FD used to decompose contact_draft_lookup, over the given
+/// table's schema (works for both the snippet and the full replica).
+Result<FunctionalDependency> ContactSigmaFd(const TableSchema& schema);
+
+/// The 22-column × 173-row contractor replica.
+Result<Table> Contractor();
+
+/// The three λ-FDs of the contractor experiment, as total c-FDs.
+Result<ConstraintSet> ContractorLambdaFds(const TableSchema& schema);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DATAGEN_LMRP_H_

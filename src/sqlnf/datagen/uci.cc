@@ -1,0 +1,101 @@
+#include "sqlnf/datagen/uci.h"
+
+#include <vector>
+
+#include "sqlnf/util/rng.h"
+
+namespace sqlnf {
+
+namespace {
+
+struct ColumnSpec {
+  std::string name;
+  int domain;
+  double null_rate = 0.0;
+};
+
+Result<Table> Generate(const std::string& table_name,
+                       const std::vector<ColumnSpec>& columns, int rows,
+                       uint64_t seed) {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (const ColumnSpec& c : columns) names.push_back(c.name);
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         TableSchema::Make(table_name, std::move(names)));
+  Table table(std::move(schema));
+  Rng rng(seed);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> row;
+    row.reserve(columns.size());
+    for (const ColumnSpec& c : columns) {
+      if (c.null_rate > 0 && rng.Chance(c.null_rate)) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(Value::Int(rng.Uniform(0, c.domain - 1)));
+      }
+    }
+    SQLNF_RETURN_NOT_OK(table.AddRow(Tuple(std::move(row))));
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<Table> UciBreastCancerShaped(uint64_t seed) {
+  return Generate("breast_cancer",
+                  {{"id", 645, 0.0},  // real ids repeat occasionally
+                   {"clump_thickness", 10},
+                   {"cell_size", 10},
+                   {"cell_shape", 10},
+                   {"adhesion", 10},
+                   {"epithelial_size", 10},
+                   {"bare_nuclei", 10, 0.023},  // 16/699 missing
+                   {"bland_chromatin", 10},
+                   {"normal_nucleoli", 10},
+                   {"mitoses", 9},
+                   {"class", 2}},
+                  699, seed);
+}
+
+Result<Table> UciAdultShaped(int rows, uint64_t seed) {
+  return Generate("adult",
+                  {{"age", 74},
+                   {"workclass", 9, 0.056},
+                   {"fnlwgt", 28000},
+                   {"education", 16},
+                   {"education_num", 16},
+                   {"marital_status", 7},
+                   {"occupation", 15, 0.057},
+                   {"relationship", 6},
+                   {"race", 5},
+                   {"sex", 2},
+                   {"capital_gain", 120},
+                   {"capital_loss", 99},
+                   {"hours_per_week", 96},
+                   {"native_country", 42, 0.018}},
+                  rows, seed);
+}
+
+Result<Table> UciHepatitisShaped(uint64_t seed) {
+  std::vector<ColumnSpec> columns = {{"class", 2}, {"age", 50},
+                                     {"sex", 2}};
+  // 13 binary symptom columns with varying missingness.
+  const char* symptoms[] = {"steroid",     "antivirals", "fatigue",
+                            "malaise",     "anorexia",   "liver_big",
+                            "liver_firm",  "spleen",     "spiders",
+                            "ascites",     "varices",    "histology",
+                            "sgot_high"};
+  int i = 0;
+  for (const char* s : symptoms) {
+    // Missingness is what separates c-FD counts from classical counts
+    // on the real hepatitis data (⊥ widens weak similarity).
+    columns.push_back({s, 2, 0.10 + 0.06 * (i++ % 4)});
+  }
+  columns.push_back({"bilirubin", 35, 0.04});
+  columns.push_back({"alk_phosphate", 80, 0.19});
+  columns.push_back({"albumin", 30, 0.10});
+  columns.push_back({"protime", 45, 0.43});
+  return Generate("hepatitis", columns, 155, seed);
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,31 @@
+// UCI-shaped synthetic datasets for the Section 7 discovery-cost
+// comparison (breast-cancer 11×699, adult 14×48842, hepatitis 20×155).
+// We do not redistribute the UCI originals; these generators reproduce
+// the column/row shapes, domain cardinalities and null-ness that drive
+// discovery cost (see DESIGN.md substitution table).
+
+#ifndef SQLNF_DATAGEN_UCI_H_
+#define SQLNF_DATAGEN_UCI_H_
+
+#include <string>
+
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// 11 columns × 699 rows: near-unique id column, nine discretized
+/// 1..10 features (one with sparse ⊥), binary class.
+Result<Table> UciBreastCancerShaped(uint64_t seed = 1);
+
+/// 14 columns × `rows` rows (default 48842): mixed-cardinality census
+/// columns, ⊥ in workclass/occupation/native_country.
+Result<Table> UciAdultShaped(int rows = 48842, uint64_t seed = 2);
+
+/// 20 columns × 155 rows: mostly binary medical features with frequent
+/// ⊥ (the original has 8k+ accidental FDs thanks to tiny row count).
+Result<Table> UciHepatitisShaped(uint64_t seed = 3);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DATAGEN_UCI_H_

@@ -1,0 +1,91 @@
+#include "sqlnf/decomposition/bcnf_decompose.h"
+
+#include <deque>
+#include <optional>
+
+#include "sqlnf/reasoning/closure.h"
+
+namespace sqlnf {
+
+namespace {
+
+// Classical attribute closure: treat every FD as firing on plain subset
+// containment (which is what both Algorithms 1 and 2 degenerate to when
+// T_S = T).
+AttributeSet ClassicalClosure(const ConstraintSet& sigma,
+                              const AttributeSet& x) {
+  AttributeSet c = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fd : sigma.fds()) {
+      if (fd.lhs.IsSubsetOf(c) && !fd.rhs.IsSubsetOf(c)) {
+        c = c.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Result<Decomposition> ClassicalBcnfDecompose(const SchemaDesign& design) {
+  const TableSchema& schema = design.table;
+  if (!(schema.nfs() == schema.all())) {
+    return Status::Invalid(
+        "classical BCNF decomposition applies to total relations only "
+        "(T_S = T); use VrnfDecompose for SQL schemata");
+  }
+  ConstraintSet sigma = design.sigma.FdProjection(schema.all());
+
+  Decomposition out;
+  std::deque<AttributeSet> queue;
+  queue.push_back(schema.all());
+  int counter = 0;
+  while (!queue.empty()) {
+    AttributeSet comp = queue.front();
+    queue.pop_front();
+
+    // Find a BCNF violator on comp: X ⊊ comp whose closure reaches
+    // beyond X inside comp but not all of comp. Ascending-size scan for
+    // determinism.
+    std::optional<AttributeSet> violator;
+    std::vector<AttributeId> ids = comp.ToVector();
+    const int n = static_cast<int>(ids.size());
+    for (int k = 1; k < n && !violator; ++k) {
+      std::vector<int> pick(k);
+      for (int i = 0; i < k; ++i) pick[i] = i;
+      while (true) {
+        AttributeSet x;
+        for (int i : pick) x.Add(ids[i]);
+        AttributeSet closure = ClassicalClosure(sigma, x).Intersect(comp);
+        if (!closure.Difference(x).empty() && !comp.IsSubsetOf(closure)) {
+          violator = x;
+          break;
+        }
+        int i = k - 1;
+        while (i >= 0 && pick[i] == n - k + i) --i;
+        if (i < 0) break;
+        ++pick[i];
+        for (int j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+      }
+    }
+
+    if (!violator) {
+      out.components.push_back({comp, /*multiset=*/false,
+                                schema.name() + "_b" +
+                                    std::to_string(counter++)});
+      continue;
+    }
+    AttributeSet closure =
+        ClassicalClosure(sigma, *violator).Intersect(comp);
+    AttributeSet xy = closure;                       // X ∪ (X+ ∩ comp)
+    AttributeSet rest = comp.Difference(closure.Difference(*violator));
+    queue.push_back(xy);
+    queue.push_back(rest);
+  }
+  return out;
+}
+
+}  // namespace sqlnf

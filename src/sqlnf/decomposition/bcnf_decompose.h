@@ -1,0 +1,27 @@
+// Classical BCNF decomposition — the relational baseline.
+//
+// Algorithm 3 reduces to the textbook BCNF decomposition in the
+// idealized special case where all attributes are NOT NULL and some key
+// holds (paper §6.3). This module implements that textbook algorithm
+// directly over classical FDs (p/c coincide on total relations) so the
+// benchmarks can compare the general SQL path against the relational
+// baseline, and tests can confirm the reduction.
+
+#ifndef SQLNF_DECOMPOSITION_BCNF_DECOMPOSE_H_
+#define SQLNF_DECOMPOSITION_BCNF_DECOMPOSE_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Textbook lossless BCNF decomposition. Requires T_S = T (all NOT
+/// NULL); FD modes are ignored (they coincide on total relations) and
+/// keys are treated as FDs X → T. All resulting components are set
+/// projections.
+Result<Decomposition> ClassicalBcnfDecompose(const SchemaDesign& design);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_BCNF_DECOMPOSE_H_

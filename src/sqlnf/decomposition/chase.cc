@@ -1,0 +1,96 @@
+#include "sqlnf/decomposition/chase.h"
+
+#include <vector>
+
+namespace sqlnf {
+
+Result<ChaseResult> ChaseLossless(const SchemaDesign& design,
+                                  const Decomposition& d) {
+  const TableSchema& schema = design.table;
+  if (!(schema.nfs() == schema.all())) {
+    return Status::Invalid(
+        "the chase certifies losslessness for total relations (T_S = T) "
+        "only; use IsLosslessForInstance / Theorem 11 for SQL schemata");
+  }
+  SQLNF_RETURN_NOT_OK(d.Validate(schema));
+
+  const int n = schema.num_attributes();
+  const int m = static_cast<int>(d.components.size());
+
+  // Symbols: value a ∈ [0, n) is the distinguished symbol of column a;
+  // values ≥ n are unique non-distinguished symbols.
+  std::vector<std::vector<int>> tableau(m, std::vector<int>(n));
+  int next_symbol = n;
+  for (int i = 0; i < m; ++i) {
+    for (AttributeId a = 0; a < n; ++a) {
+      tableau[i][a] =
+          d.components[i].attrs.Contains(a) ? a : next_symbol++;
+    }
+  }
+
+  ConstraintSet fds = design.sigma.FdProjection(schema.all());
+
+  // Chase to fixpoint: when two rows agree on an FD's LHS, unify their
+  // RHS symbols (distinguished wins; otherwise the smaller id).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fd : fds.fds()) {
+      for (int i = 0; i < m; ++i) {
+        for (int j = i + 1; j < m; ++j) {
+          bool agree = true;
+          for (AttributeId a : fd.lhs) {
+            if (tableau[i][a] != tableau[j][a]) {
+              agree = false;
+              break;
+            }
+          }
+          if (!agree) continue;
+          for (AttributeId a : fd.rhs) {
+            int& x = tableau[i][a];
+            int& y = tableau[j][a];
+            if (x == y) continue;
+            // Unify: rename the larger symbol to the smaller across the
+            // whole column (symbols are column-local by construction).
+            int keep = std::min(x, y);
+            int drop = std::max(x, y);
+            for (int r = 0; r < m; ++r) {
+              if (tableau[r][a] == drop) tableau[r][a] = keep;
+            }
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  ChaseResult result;
+  for (int i = 0; i < m; ++i) {
+    bool all_distinguished = true;
+    for (AttributeId a = 0; a < n; ++a) {
+      if (tableau[i][a] != a) {
+        all_distinguished = false;
+        break;
+      }
+    }
+    if (all_distinguished) {
+      result.lossless = true;
+      return result;
+    }
+  }
+
+  // Lossy: materialize the tableau as the counterexample instance.
+  Table witness(schema);
+  for (int i = 0; i < m; ++i) {
+    std::vector<Value> row;
+    row.reserve(n);
+    for (AttributeId a = 0; a < n; ++a) {
+      row.push_back(Value::Int(tableau[i][a]));
+    }
+    SQLNF_RETURN_NOT_OK(witness.AddRow(Tuple(std::move(row))));
+  }
+  result.counterexample = std::move(witness);
+  return result;
+}
+
+}  // namespace sqlnf

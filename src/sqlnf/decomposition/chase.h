@@ -1,0 +1,43 @@
+// The chase: SCHEMA-level losslessness for the idealized relational
+// case.
+//
+// Definition 8 calls a schema decomposition lossless when it induces a
+// lossless decomposition for ALL instances — something instance
+// sampling (lossless.h) can only refute, never certify. For total
+// relations (T_S = T) the classical chase decides it: build the tableau
+// with one row per component (distinguished symbols on the component's
+// attributes, unique symbols elsewhere), chase with the FDs of Σ|FD,
+// and test whether some row becomes fully distinguished.
+//
+// When the answer is "lossy", the final tableau doubles as a concrete
+// counterexample instance: it satisfies Σ, yet the join of its
+// projections contains the all-distinguished row the instance lacks.
+
+#ifndef SQLNF_DECOMPOSITION_CHASE_H_
+#define SQLNF_DECOMPOSITION_CHASE_H_
+
+#include <optional>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct ChaseResult {
+  bool lossless = false;
+  /// When lossy: the chased tableau as an instance over (T, T_S, Σ)
+  /// whose decomposition does not reconstruct it.
+  std::optional<Table> counterexample;
+};
+
+/// Runs the chase. Requires T_S = T (the SQL generalization with ⊥ and
+/// multisets is handled semantically by Theorem 11 / Algorithm 3, not
+/// by this classical tool). FD modes are ignored; keys fold in as
+/// FDs X → T.
+Result<ChaseResult> ChaseLossless(const SchemaDesign& design,
+                                  const Decomposition& d);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_CHASE_H_

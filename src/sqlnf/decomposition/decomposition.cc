@@ -1,0 +1,172 @@
+#include "sqlnf/decomposition/decomposition.h"
+
+#include <unordered_map>
+
+namespace sqlnf {
+
+std::string Component::ToString(const TableSchema& schema) const {
+  std::string body = schema.FormatSet(attrs);
+  return multiset ? "[[" + body + "]]" : "[" + body + "]";
+}
+
+AttributeSet Decomposition::UnionOfComponents() const {
+  AttributeSet u;
+  for (const Component& c : components) u = u.Union(c.attrs);
+  return u;
+}
+
+Status Decomposition::Validate(const TableSchema& schema) const {
+  if (components.empty()) {
+    return Status::Invalid("decomposition has no components");
+  }
+  for (const Component& c : components) {
+    if (c.attrs.empty()) {
+      return Status::Invalid("decomposition component is empty");
+    }
+    if (!c.attrs.IsSubsetOf(schema.all())) {
+      return Status::Invalid("component attributes outside schema");
+    }
+  }
+  if (!(UnionOfComponents() == schema.all())) {
+    return Status::Invalid("components do not cover the schema");
+  }
+  return Status::OK();
+}
+
+std::string Decomposition::ToString(const TableSchema& schema) const {
+  std::string out = "{";
+  for (size_t i = 0; i < components.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += components[i].ToString(schema);
+  }
+  out += "}";
+  return out;
+}
+
+Result<Table> ProjectMultiset(const Table& table, const AttributeSet& x,
+                              const std::string& name) {
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         table.schema().Project(x, name));
+  Table out(std::move(schema));
+  for (const Tuple& t : table.rows()) {
+    SQLNF_RETURN_NOT_OK(out.AddRow(t.Restrict(x)));
+  }
+  return out;
+}
+
+Result<Table> ProjectSet(const Table& table, const AttributeSet& x,
+                         const std::string& name) {
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         table.schema().Project(x, name));
+  Table out(std::move(schema));
+  std::unordered_map<size_t, std::vector<int>> seen;  // hash -> row ids
+  for (const Tuple& t : table.rows()) {
+    Tuple restricted = t.Restrict(x);
+    size_t h = restricted.Hash();
+    bool duplicate = false;
+    for (int row : seen[h]) {
+      if (out.row(row) == restricted) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) {
+      seen[h].push_back(out.num_rows());
+      SQLNF_RETURN_NOT_OK(out.AddRow(std::move(restricted)));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Table>> ProjectAll(const Table& table,
+                                      const Decomposition& d) {
+  SQLNF_RETURN_NOT_OK(d.Validate(table.schema()));
+  std::vector<Table> out;
+  out.reserve(d.components.size());
+  for (size_t i = 0; i < d.components.size(); ++i) {
+    const Component& c = d.components[i];
+    std::string name =
+        c.name.empty() ? table.schema().name() + "_" + std::to_string(i)
+                       : c.name;
+    if (c.multiset) {
+      SQLNF_ASSIGN_OR_RETURN(Table t, ProjectMultiset(table, c.attrs, name));
+      out.push_back(std::move(t));
+    } else {
+      SQLNF_ASSIGN_OR_RETURN(Table t, ProjectSet(table, c.attrs, name));
+      out.push_back(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<Table> EqualityJoin(const Table& left, const Table& right,
+                           const std::string& name) {
+  const TableSchema& ls = left.schema();
+  const TableSchema& rs = right.schema();
+
+  // Column plan: all left columns, then right-only columns. Common
+  // columns pair up by name.
+  std::vector<std::pair<AttributeId, AttributeId>> common;  // (l, r)
+  std::vector<AttributeId> right_only;
+  std::vector<std::string> out_names;
+  std::vector<std::string> out_not_null;
+  for (AttributeId l = 0; l < ls.num_attributes(); ++l) {
+    out_names.push_back(ls.attribute_name(l));
+    if (ls.nfs().Contains(l)) out_not_null.push_back(ls.attribute_name(l));
+  }
+  for (AttributeId r = 0; r < rs.num_attributes(); ++r) {
+    auto l = ls.FindAttribute(rs.attribute_name(r));
+    if (l.ok()) {
+      common.emplace_back(l.value(), r);
+    } else {
+      right_only.push_back(r);
+      out_names.push_back(rs.attribute_name(r));
+      if (rs.nfs().Contains(r)) {
+        out_not_null.push_back(rs.attribute_name(r));
+      }
+    }
+  }
+
+  SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema,
+                         TableSchema::Make(name, out_names, out_not_null));
+  Table out(std::move(out_schema));
+
+  // Hash the right side on the common columns (equality join: identical
+  // values, ⊥ matching only ⊥).
+  auto key_hash = [&](const Tuple& t, bool is_left) {
+    size_t h = 0;
+    for (const auto& [l, r] : common) {
+      h = h * 1315423911u + t[is_left ? l : r].Hash();
+    }
+    return h;
+  };
+  std::unordered_map<size_t, std::vector<int>> index;
+  for (int i = 0; i < right.num_rows(); ++i) {
+    index[key_hash(right.row(i), false)].push_back(i);
+  }
+
+  for (int i = 0; i < left.num_rows(); ++i) {
+    const Tuple& lt = left.row(i);
+    auto it = index.find(key_hash(lt, true));
+    if (it == index.end()) continue;
+    for (int j : it->second) {
+      const Tuple& rt = right.row(j);
+      bool match = true;
+      for (const auto& [l, r] : common) {
+        if (!(lt[l] == rt[r])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      std::vector<Value> row;
+      row.reserve(out.num_columns());
+      for (const Value& v : lt.values()) row.push_back(v);
+      for (AttributeId r : right_only) row.push_back(rt[r]);
+      SQLNF_RETURN_NOT_OK(out.AddRow(Tuple(std::move(row))));
+    }
+  }
+  return out;
+}
+
+}  // namespace sqlnf

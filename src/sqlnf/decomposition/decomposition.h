@@ -1,0 +1,67 @@
+// Decompositions with set and multiset components (Definitions 6–8).
+//
+// SQL instances are multisets, so a decomposition D of T mixes
+// set-projections [X] (duplicates removed) and multiset-projections
+// [[X]] (duplicates kept); their union must cover T. Joins are EQUALITY
+// joins: common attributes must hold identical values (⊥ matches only
+// ⊥), not merely weakly similar ones — this is what makes Theorem 11's
+// losslessness work in the presence of nulls.
+
+#ifndef SQLNF_DECOMPOSITION_DECOMPOSITION_H_
+#define SQLNF_DECOMPOSITION_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// One component of a schema decomposition.
+struct Component {
+  AttributeSet attrs;
+  bool multiset = false;  // [[X]] when true, [X] when false
+  std::string name;       // optional label for projected tables
+
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// A decomposition D = {[T_1], ..., [[T_j]], ...} of a schema.
+struct Decomposition {
+  std::vector<Component> components;
+
+  /// ∪D — must equal schema.all() for a valid decomposition.
+  AttributeSet UnionOfComponents() const;
+
+  /// Checks ∪D = T and every component non-empty.
+  Status Validate(const TableSchema& schema) const;
+
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// Set projection I[X]: distinct restricted tuples, in order of first
+/// occurrence. The projected table's schema is schema.Project(x).
+Result<Table> ProjectSet(const Table& table, const AttributeSet& x,
+                         const std::string& name);
+
+/// Multiset projection I[[X]]: one restricted tuple per input row.
+Result<Table> ProjectMultiset(const Table& table, const AttributeSet& x,
+                              const std::string& name);
+
+/// Projects `table` onto every component of `d`.
+Result<std::vector<Table>> ProjectAll(const Table& table,
+                                      const Decomposition& d);
+
+/// Natural equality join of two projected tables (common columns by
+/// name; values must be identical, ⊥ = ⊥ included). The result contains
+/// the union of both column sets, ordered as in `schema_order` (the
+/// original schema), and is a multiset (duplicates preserved as produced
+/// by the join).
+Result<Table> EqualityJoin(const Table& left, const Table& right,
+                           const std::string& name);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_DECOMPOSITION_H_

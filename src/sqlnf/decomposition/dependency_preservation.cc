@@ -1,0 +1,43 @@
+#include "sqlnf/decomposition/dependency_preservation.h"
+
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+
+Result<ConstraintSet> UnionOfProjections(const SchemaDesign& design,
+                                         const Decomposition& d,
+                                         const ProjectionOptions& options) {
+  SQLNF_RETURN_NOT_OK(d.Validate(design.table));
+  ConstraintSet merged;
+  for (const Component& component : d.components) {
+    SQLNF_ASSIGN_OR_RETURN(
+        ConstraintSet cover,
+        ProjectSigma(design.table, design.sigma, component.attrs,
+                     options));
+    for (const auto& fd : cover.fds()) merged.AddUniqueFd(fd);
+    for (const auto& key : cover.keys()) merged.AddUniqueKey(key);
+  }
+  return merged;
+}
+
+Result<std::vector<Constraint>> LostConstraints(
+    const SchemaDesign& design, const Decomposition& d,
+    const ProjectionOptions& options) {
+  SQLNF_ASSIGN_OR_RETURN(ConstraintSet merged,
+                         UnionOfProjections(design, d, options));
+  Implication imp(design.table, merged);
+  std::vector<Constraint> lost;
+  for (const Constraint& c : design.sigma.All()) {
+    if (!imp.Implies(c)) lost.push_back(c);
+  }
+  return lost;
+}
+
+Result<bool> IsDependencyPreserving(const SchemaDesign& design,
+                                    const Decomposition& d,
+                                    const ProjectionOptions& options) {
+  SQLNF_ASSIGN_OR_RETURN(auto lost, LostConstraints(design, d, options));
+  return lost.empty();
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,44 @@
+// Dependency preservation for decompositions.
+//
+// The paper defers dependency-preserving normal forms to future work
+// (Section 8) but notes that dependency-preserving BCNF decompositions
+// can always be obtained by attribute splitting [Makowsky/Ravve]. This
+// module provides the DIAGNOSTIC: a decomposition D of (T, T_S, Σ)
+// preserves dependencies when Σ is implied by ⋃_i Σ[T_i] — i.e. the
+// global constraints can be enforced by checking the components alone,
+// without re-joining. Constraints that fail the test need cross-table
+// enforcement after decomposition (triggers / assertions).
+//
+// Computing the Σ[T_i] covers is exponential in the component size
+// (Theorems 8/17); the same guard as normalform/projection.h applies.
+
+#ifndef SQLNF_DECOMPOSITION_DEPENDENCY_PRESERVATION_H_
+#define SQLNF_DECOMPOSITION_DEPENDENCY_PRESERVATION_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/normalform/projection.h"
+
+namespace sqlnf {
+
+/// The union of projection covers ⋃_i Σ[T_i], over the ORIGINAL
+/// attribute ids.
+Result<ConstraintSet> UnionOfProjections(
+    const SchemaDesign& design, const Decomposition& d,
+    const ProjectionOptions& options = {});
+
+/// Constraints of Σ not implied by ⋃_i Σ[T_i] (empty = preserving).
+Result<std::vector<Constraint>> LostConstraints(
+    const SchemaDesign& design, const Decomposition& d,
+    const ProjectionOptions& options = {});
+
+/// True when the decomposition preserves all of Σ.
+Result<bool> IsDependencyPreserving(
+    const SchemaDesign& design, const Decomposition& d,
+    const ProjectionOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_DEPENDENCY_PRESERVATION_H_

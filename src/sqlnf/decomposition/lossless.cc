@@ -1,0 +1,61 @@
+#include "sqlnf/decomposition/lossless.h"
+
+namespace sqlnf {
+
+Decomposition DecomposeByFd(const TableSchema& schema,
+                            const FunctionalDependency& fd) {
+  const AttributeSet xy = fd.lhs.Union(fd.rhs);
+  Decomposition d;
+  d.components.push_back(
+      {fd.lhs.Union(schema.all().Difference(xy)), /*multiset=*/true,
+       schema.name() + "_rest"});
+  d.components.push_back({xy, /*multiset=*/false, schema.name() + "_xy"});
+  return d;
+}
+
+Table XTotalPart(const Table& table, const AttributeSet& x) {
+  Table out(table.schema());
+  for (const Tuple& t : table.rows()) {
+    if (t.IsTotal(x)) {
+      Status st = out.AddRow(t);
+      (void)st;
+    }
+  }
+  return out;
+}
+
+Result<Table> JoinComponents(const Table& table, const Decomposition& d) {
+  SQLNF_ASSIGN_OR_RETURN(std::vector<Table> parts, ProjectAll(table, d));
+  Table joined = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    SQLNF_ASSIGN_OR_RETURN(
+        joined, EqualityJoin(joined, parts[i],
+                             table.schema().name() + "_joined"));
+  }
+  return joined;
+}
+
+Result<bool> IsLosslessForInstance(const Table& table,
+                                   const Decomposition& d) {
+  SQLNF_ASSIGN_OR_RETURN(Table joined, JoinComponents(table, d));
+  if (joined.num_rows() != table.num_rows()) return false;
+  // Compare as multisets after aligning column order with the original.
+  // The join emits columns in component order; rebuild in schema order.
+  std::vector<AttributeId> mapping;  // original id -> joined id
+  for (AttributeId a = 0; a < table.num_columns(); ++a) {
+    SQLNF_ASSIGN_OR_RETURN(
+        AttributeId j,
+        joined.schema().FindAttribute(table.schema().attribute_name(a)));
+    mapping.push_back(j);
+  }
+  Table aligned(table.schema());
+  for (const Tuple& t : joined.rows()) {
+    std::vector<Value> row;
+    row.reserve(mapping.size());
+    for (AttributeId j : mapping) row.push_back(t[j]);
+    SQLNF_RETURN_NOT_OK(aligned.AddRow(Tuple(std::move(row))));
+  }
+  return table.SameMultiset(aligned);
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,40 @@
+// Lossless decomposition (Definition 8, Theorem 11).
+//
+// Theorem 11: if Σ ⊨ X →w Y, then every instance I over (T, T_S, Σ)
+// satisfies I = I[[X(T − XY)]] ⋈ I[XY] under the equality join. This is
+// the c-FD generalization of the classical decomposition theorem; p-FDs
+// only admit it on the X-total part (Lien), which is why certain FDs are
+// the right notion for SQL schema design.
+
+#ifndef SQLNF_DECOMPOSITION_LOSSLESS_H_
+#define SQLNF_DECOMPOSITION_LOSSLESS_H_
+
+#include "sqlnf/decomposition/decomposition.h"
+
+namespace sqlnf {
+
+/// The binary decomposition of Theorem 11 for the FD X → Y over
+/// `schema`: {[[X(T−XY)]], [XY]}.
+Decomposition DecomposeByFd(const TableSchema& schema,
+                            const FunctionalDependency& fd);
+
+/// Reconstructs the instance from the projections of `d` by folding the
+/// equality join left-to-right.
+Result<Table> JoinComponents(const Table& table, const Decomposition& d);
+
+/// The decomposition is lossless FOR THIS INSTANCE: joining its
+/// projections reproduces the instance as a multiset (row order and
+/// column order ignored).
+Result<bool> IsLosslessForInstance(const Table& table,
+                                   const Decomposition& d);
+
+/// The X-total part I_X of an instance: the rows with no ⊥ in X.
+/// Lien's partial decomposition theorem (paper §3) states that a table
+/// satisfying the p-FD X →s Y has I_X = I_X[[X(T−XY)]] ⋈ I_X[XY] —
+/// losslessness only on the X-total part, which is why p-FDs are not
+/// enough for SQL schema design.
+Table XTotalPart(const Table& table, const AttributeSet& x);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_LOSSLESS_H_

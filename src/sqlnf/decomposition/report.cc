@@ -1,0 +1,124 @@
+#include "sqlnf/decomposition/report.h"
+
+namespace sqlnf {
+
+int DecompositionReport::TotalValuesEliminated() const {
+  int total = 0;
+  for (const ColumnStats& c : columns) total += c.values_eliminated();
+  return total;
+}
+
+int DecompositionReport::TotalNullsEliminated() const {
+  int total = 0;
+  for (const ColumnStats& c : columns) total += c.nulls_eliminated();
+  return total;
+}
+
+std::string DecompositionReport::ToString(const TableSchema& schema) const {
+  std::string out;
+  out += "cells: " + std::to_string(cells_before) + " -> " +
+         std::to_string(cells_after) + "\n";
+  out += "redundant value occurrences eliminated: " +
+         std::to_string(TotalValuesEliminated()) + "\n";
+  out += "null marker occurrences eliminated: " +
+         std::to_string(TotalNullsEliminated()) + "\n";
+  for (const ColumnStats& c : columns) {
+    if (c.values_eliminated() == 0 && c.nulls_eliminated() == 0) continue;
+    out += "  " + schema.attribute_name(c.column) + ": " +
+           std::to_string(c.values_eliminated()) + " values";
+    if (c.nulls_eliminated() > 0) {
+      out += " + " + std::to_string(c.nulls_eliminated()) + " nulls";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<DecompositionReport> ReportDecomposition(const Table& original,
+                                                const Decomposition& d) {
+  DecompositionReport report;
+  SQLNF_ASSIGN_OR_RETURN(report.tables, ProjectAll(original, d));
+
+  report.cells_before = original.num_cells();
+  for (const Table& t : report.tables) {
+    report.cells_after += t.num_cells();
+  }
+
+  for (AttributeId a = 0; a < original.num_columns(); ++a) {
+    ColumnStats stats;
+    stats.column = a;
+    stats.occurrences_before = original.num_rows();
+    stats.nulls_before = original.CountNulls(a);
+    for (size_t i = 0; i < d.components.size(); ++i) {
+      if (!d.components[i].attrs.Contains(a)) continue;
+      ++stats.components;
+      const Table& t = report.tables[i];
+      SQLNF_ASSIGN_OR_RETURN(
+          AttributeId local,
+          t.schema().FindAttribute(original.schema().attribute_name(a)));
+      stats.occurrences_after += t.num_rows();
+      stats.nulls_after += t.CountNulls(local);
+    }
+    report.columns.push_back(stats);
+  }
+  return report;
+}
+
+Result<std::vector<StepElimination>> ReportVrnfSteps(
+    const Table& original, const VrnfResult& result) {
+  std::vector<StepElimination> out;
+  for (const VrnfStep& step : result.steps) {
+    StepElimination elim;
+    elim.step = step;
+
+    // Reconstruct the source instance of this step: the original rows
+    // projected onto the component (multiset keeps all rows; a set
+    // component of the original is its set projection — projections
+    // compose, so projecting the original directly is exact).
+    Table source(original.schema());
+    if (step.component_multiset) {
+      SQLNF_ASSIGN_OR_RETURN(
+          source, ProjectMultiset(original, step.component, "src"));
+    } else {
+      SQLNF_ASSIGN_OR_RETURN(source,
+                             ProjectSet(original, step.component, "src"));
+    }
+    SQLNF_ASSIGN_OR_RETURN(
+        Table set_part,
+        ProjectSet(source,
+                   [&] {
+                     // set_component ids are global; translate to the
+                     // source's local ids by name.
+                     AttributeSet local;
+                     for (AttributeId a : step.set_component) {
+                       auto id = source.schema().FindAttribute(
+                           original.schema().attribute_name(a));
+                       if (id.ok()) local.Add(id.value());
+                     }
+                     return local;
+                   }(),
+                   "set"));
+
+    elim.source_rows = source.num_rows();
+    elim.set_rows = set_part.num_rows();
+    for (AttributeId a : step.set_component.Difference(step.fd.lhs)) {
+      const std::string& name = original.schema().attribute_name(a);
+      SQLNF_ASSIGN_OR_RETURN(AttributeId src_id,
+                             source.schema().FindAttribute(name));
+      SQLNF_ASSIGN_OR_RETURN(AttributeId set_id,
+                             set_part.schema().FindAttribute(name));
+      StepElimination::PerColumn col;
+      col.column = a;
+      const int nulls_before = source.CountNulls(src_id);
+      const int nulls_after = set_part.CountNulls(set_id);
+      col.nulls_eliminated = nulls_before - nulls_after;
+      col.values_eliminated = (source.num_rows() - set_part.num_rows()) -
+                              col.nulls_eliminated;
+      elim.columns.push_back(col);
+    }
+    out.push_back(std::move(elim));
+  }
+  return out;
+}
+
+}  // namespace sqlnf

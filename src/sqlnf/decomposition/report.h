@@ -1,0 +1,80 @@
+// Decomposition accounting, mirroring the paper's Section 7 reporting:
+// per-column redundant value occurrences eliminated, null-marker
+// occurrences eliminated, and total cell counts before/after (the
+// 3806 → 3720 comparison for the LMRP contractor table).
+
+#ifndef SQLNF_DECOMPOSITION_REPORT_H_
+#define SQLNF_DECOMPOSITION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+
+namespace sqlnf {
+
+/// Occurrence counts for one original column across the decomposition.
+struct ColumnStats {
+  AttributeId column = 0;
+  int components = 0;          // how many components contain the column
+  int occurrences_before = 0;  // = original row count
+  int occurrences_after = 0;   // summed over containing components
+  int nulls_before = 0;
+  int nulls_after = 0;
+
+  int values_before() const { return occurrences_before - nulls_before; }
+  int values_after() const { return occurrences_after - nulls_after; }
+  /// Redundant non-null value occurrences eliminated (0 when the column
+  /// is replicated into several components and grew).
+  int values_eliminated() const {
+    int d = values_before() - values_after();
+    return d > 0 ? d : 0;
+  }
+  /// ⊥ occurrences eliminated (possible but not guaranteed, paper §7).
+  int nulls_eliminated() const {
+    int d = nulls_before - nulls_after;
+    return d > 0 ? d : 0;
+  }
+};
+
+struct DecompositionReport {
+  std::vector<Table> tables;  // projected tables, component order
+  std::vector<ColumnStats> columns;
+  int64_t cells_before = 0;
+  int64_t cells_after = 0;
+
+  int TotalValuesEliminated() const;
+  int TotalNullsEliminated() const;
+
+  /// Paper-style summary text.
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// Projects `original` by `d` and tallies the elimination statistics.
+Result<DecompositionReport> ReportDecomposition(const Table& original,
+                                                const Decomposition& d);
+
+/// Per-step accounting for an Algorithm-3 run, matching the paper's
+/// Section 7 numbers: for each split by X →w XY, every pure-RHS
+/// attribute A ∈ XY − X loses (source rows − set-projection rows)
+/// occurrences; LHS attributes replicated into other components are join
+/// keys, not redundancy, and are not counted.
+struct StepElimination {
+  VrnfStep step;
+  int source_rows = 0;
+  int set_rows = 0;
+  struct PerColumn {
+    AttributeId column = 0;
+    int values_eliminated = 0;
+    int nulls_eliminated = 0;
+  };
+  std::vector<PerColumn> columns;  // one entry per A ∈ XY − X
+};
+
+Result<std::vector<StepElimination>> ReportVrnfSteps(
+    const Table& original, const VrnfResult& result);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_REPORT_H_

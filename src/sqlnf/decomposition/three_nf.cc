@@ -1,0 +1,113 @@
+#include "sqlnf/decomposition/three_nf.h"
+
+#include <map>
+
+#include "sqlnf/reasoning/cover.h"
+
+namespace sqlnf {
+
+namespace {
+
+AttributeSet ClassicalClosure(const ConstraintSet& sigma,
+                              const AttributeSet& x) {
+  AttributeSet c = x;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& fd : sigma.fds()) {
+      if (fd.lhs.IsSubsetOf(c) && !fd.rhs.IsSubsetOf(c)) {
+        c = c.Union(fd.rhs);
+        changed = true;
+      }
+    }
+  }
+  return c;
+}
+
+Status RequireTotal(const SchemaDesign& design) {
+  if (!(design.table.nfs() == design.table.all())) {
+    return Status::Invalid(
+        "3NF synthesis applies to total relations only (T_S = T); the "
+        "paper defers an SQL Third normal form to future work");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<AttributeSet> MinimalClassicalKey(const SchemaDesign& design) {
+  SQLNF_RETURN_NOT_OK(RequireTotal(design));
+  ConstraintSet fds = design.sigma.FdProjection(design.table.all());
+  const AttributeSet all = design.table.all();
+  AttributeSet key = all;
+  for (AttributeId a : all) {
+    AttributeSet candidate = key;
+    candidate.Remove(a);
+    if (all.IsSubsetOf(ClassicalClosure(fds, candidate))) {
+      key = candidate;
+    }
+  }
+  return key;
+}
+
+Result<Decomposition> ThreeNfSynthesis(const SchemaDesign& design) {
+  SQLNF_RETURN_NOT_OK(RequireTotal(design));
+  const TableSchema& schema = design.table;
+
+  // Reduced cover over the FD view (keys become FDs X → T).
+  SchemaDesign fd_view{schema,
+                       design.sigma.FdProjection(schema.all())};
+  ConstraintSet cover = ReducedCover(schema, fd_view.sigma);
+
+  // Group by LHS.
+  std::map<AttributeSet, AttributeSet> groups;
+  for (const auto& fd : cover.fds()) {
+    groups[fd.lhs] = groups[fd.lhs].Union(fd.lhs).Union(fd.rhs);
+  }
+
+  Decomposition out;
+  int counter = 0;
+  for (const auto& [lhs, attrs] : groups) {
+    out.components.push_back({attrs, /*multiset=*/false,
+                              schema.name() + "_3nf" +
+                                  std::to_string(counter++)});
+  }
+  // Drop components contained in others.
+  for (size_t i = 0; i < out.components.size();) {
+    bool subsumed = false;
+    for (size_t j = 0; j < out.components.size(); ++j) {
+      if (i != j &&
+          out.components[i].attrs.IsSubsetOf(out.components[j].attrs) &&
+          !(j > i && out.components[j].attrs == out.components[i].attrs)) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (subsumed) {
+      out.components.erase(out.components.begin() + i);
+    } else {
+      ++i;
+    }
+  }
+
+  // Ensure some component contains a key (losslessness).
+  SQLNF_ASSIGN_OR_RETURN(AttributeSet key, MinimalClassicalKey(design));
+  bool key_covered = false;
+  for (const Component& c : out.components) {
+    if (key.IsSubsetOf(c.attrs)) {
+      key_covered = true;
+      break;
+    }
+  }
+  if (!key_covered) {
+    out.components.push_back({key, /*multiset=*/false,
+                              schema.name() + "_3nfkey"});
+  }
+  if (out.components.empty()) {
+    out.components.push_back({schema.all(), /*multiset=*/false,
+                              schema.name() + "_3nf0"});
+  }
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,34 @@
+// Classical Third-normal-form synthesis (Biskup/Dayal/Bernstein,
+// SIGMOD'79 — the paper's reference [7]).
+//
+// The paper defers an SQL Third normal form to future work (Section 8)
+// but leans on the classical synthesis as the known
+// dependency-preserving alternative to BCNF decomposition. We provide
+// it for the idealized relational case (T_S = T) as a baseline: unlike
+// ClassicalBcnfDecompose, the result is always dependency preserving,
+// at the price of possibly retaining (bounded) redundancy.
+//
+// Synthesis: take a reduced cover of Σ, group FDs by LHS into
+// components LHS ∪ RHS*, drop components subsumed by others, and add a
+// minimal-key component if none contains a key.
+
+#ifndef SQLNF_DECOMPOSITION_THREE_NF_H_
+#define SQLNF_DECOMPOSITION_THREE_NF_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// 3NF synthesis for total relations (requires T_S = T; FD modes are
+/// ignored, keys become FDs X → T). All components are set projections.
+Result<Decomposition> ThreeNfSynthesis(const SchemaDesign& design);
+
+/// A minimal key of the relational schema under classical closure
+/// (shrinks T greedily). Requires T_S = T.
+Result<AttributeSet> MinimalClassicalKey(const SchemaDesign& design);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_THREE_NF_H_

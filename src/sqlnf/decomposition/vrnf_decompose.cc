@@ -1,0 +1,246 @@
+#include "sqlnf/decomposition/vrnf_decompose.h"
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+
+std::string VrnfStep::ToString(const TableSchema& schema) const {
+  std::string comp = schema.FormatSet(component);
+  return std::string("split ") +
+         (component_multiset ? "[[" + comp + "]]" : "[" + comp + "]") +
+         " by " + fd.ToString(schema) + " into [[" +
+         schema.FormatSet(rest_component) + "]]-kind and [" +
+         schema.FormatSet(set_component) + "]";
+}
+
+namespace {
+
+// Enumerates subsets of `universe` by ascending size, invoking `fn` on
+// each; stops early when fn returns true. Skips supersets of any set
+// recorded in `skip` (implied c-keys: their supersets are keys too and
+// can never be violators).
+bool ForEachSubsetAscending(
+    const AttributeSet& universe,
+    std::vector<AttributeSet>* skip,
+    const std::function<bool(const AttributeSet&)>& fn) {
+  std::vector<AttributeId> ids = universe.ToVector();
+  const int n = static_cast<int>(ids.size());
+  std::vector<int> pick;
+  // Iterative k-combination enumeration for k = 0..n.
+  for (int k = 0; k <= n; ++k) {
+    pick.assign(k, 0);
+    for (int i = 0; i < k; ++i) pick[i] = i;
+    while (true) {
+      AttributeSet subset;
+      for (int i : pick) subset.Add(ids[i]);
+      bool skipped = false;
+      for (const AttributeSet& s : *skip) {
+        if (s.IsSubsetOf(subset)) {
+          skipped = true;
+          break;
+        }
+      }
+      if (!skipped && fn(subset)) return true;
+      // next combination
+      int i = k - 1;
+      while (i >= 0 && pick[i] == n - k + i) --i;
+      if (i < 0) break;
+      ++pick[i];
+      for (int j = i + 1; j < k; ++j) pick[j] = pick[j - 1] + 1;
+    }
+    if (k == 0 && n == 0) break;
+  }
+  return false;
+}
+
+// An LHS X ⊆ comp with an external implied c-FD inside comp and no
+// implied c-key — or nullopt when the component is in VRNF.
+//
+// Pick order: the input FDs' own LHSs first, in Σ order (these are
+// total by Algorithm 3's precondition, and following the user's
+// declaration order reproduces the decompositions the paper reports);
+// then an exhaustive ascending-size sweep, whose minimal-size picks are
+// LHS-minimal and therefore total by the paper's preservation note.
+std::optional<AttributeSet> FindVrnfViolator(const Implication& imp,
+                                             const ConstraintSet& sigma,
+                                             const AttributeSet& comp) {
+  auto is_violator = [&](const AttributeSet& x) {
+    if (imp.Implies(KeyConstraint::Certain(x))) return false;
+    return !imp.CClosure(x).Intersect(comp).Difference(x).empty();
+  };
+  for (const FunctionalDependency& fd : sigma.fds()) {
+    if (fd.lhs.IsSubsetOf(comp) && is_violator(fd.lhs)) return fd.lhs;
+  }
+
+  std::optional<AttributeSet> found;
+  std::vector<AttributeSet> implied_keys;
+  ForEachSubsetAscending(
+      comp, &implied_keys, [&](const AttributeSet& x) {
+        if (imp.Implies(KeyConstraint::Certain(x))) {
+          implied_keys.push_back(x);
+          return false;
+        }
+        AttributeSet ext = imp.CClosure(x).Intersect(comp).Difference(x);
+        if (!ext.empty()) {
+          found = x;
+          return true;
+        }
+        return false;
+      });
+  return found;
+}
+
+}  // namespace
+
+Result<VrnfResult> VrnfDecompose(const SchemaDesign& design,
+                                 const VrnfOptions& options) {
+  if (!design.sigma.AllCertain()) {
+    return Status::Invalid(
+        "Algorithm 3 requires certain keys and certain (total) FDs; use "
+        "NormalizeToTotal to rewrite equivalent possible constraints");
+  }
+  if (!design.sigma.AllFdsTotal()) {
+    return Status::Invalid(
+        "Algorithm 3 requires total FDs (X ->w XY); use NormalizeToTotal");
+  }
+  if (design.table.num_attributes() > options.max_component_attributes) {
+    return Status::OutOfRange(
+        "schema exceeds max_component_attributes for the exhaustive VRNF "
+        "check");
+  }
+
+  VrnfResult result;
+
+  // Components carry the c-keys they have gained along the way: a split
+  // [XY] satisfies c⟨X⟩ on all its instances (Theorem 12), and the
+  // paper's Example 3 output (T2 = oicp, Σ2 = {c⟨oic⟩}) shows the
+  // component schema is declared with that key — without it the
+  // violating FD would still be "implied" on the component and the
+  // algorithm could never terminate.
+  struct Pending {
+    AttributeSet attrs;
+    bool multiset;
+    std::vector<KeyConstraint> keys;  // accumulated, global ids
+  };
+  std::deque<Pending> queue;
+  queue.push_back({design.table.all(), /*multiset=*/true, {}});
+
+  int name_counter = 0;
+  while (!queue.empty()) {
+    Pending item = queue.front();
+    queue.pop_front();
+
+    ConstraintSet sigma_i = design.sigma;
+    for (const KeyConstraint& k : item.keys) sigma_i.AddUniqueKey(k);
+    Implication imp(design.table, sigma_i);
+
+    std::optional<AttributeSet> x =
+        FindVrnfViolator(imp, design.sigma, item.attrs);
+    if (!x.has_value()) {
+      Component component{item.attrs, item.multiset,
+                          design.table.name() + "_" +
+                              std::to_string(name_counter++)};
+      result.decomposition.components.push_back(component);
+      result.component_keys.push_back(item.keys);
+      continue;
+    }
+
+    const AttributeSet xc = imp.CClosure(*x);
+    if (!x->IsSubsetOf(xc)) {
+      // The preservation property (LHS-minimal FDs implied by total FDs
+      // and certain keys are total) guarantees this never fires.
+      return Status::Internal(
+          "LHS-minimal violator is not total; input outside Algorithm 3's "
+          "class?");
+    }
+    const AttributeSet ext = xc.Intersect(item.attrs).Difference(*x);
+    const AttributeSet xy = x->Union(ext);
+    const AttributeSet rest = item.attrs.Difference(ext);
+
+    VrnfStep step;
+    step.component = item.attrs;
+    step.component_multiset = item.multiset;
+    step.fd = FunctionalDependency::Certain(*x, xy);
+    step.set_component = xy;
+    step.rest_component = rest;
+    result.steps.push_back(step);
+
+    // Accumulated keys survive projection when their attributes do.
+    std::vector<KeyConstraint> rest_keys;
+    for (const KeyConstraint& k : item.keys) {
+      if (k.attrs.IsSubsetOf(rest)) rest_keys.push_back(k);
+    }
+    std::vector<KeyConstraint> xy_keys;
+    for (const KeyConstraint& k : item.keys) {
+      if (k.attrs.IsSubsetOf(xy)) xy_keys.push_back(k);
+    }
+    xy_keys.push_back(KeyConstraint::Certain(*x));  // Theorem 12
+
+    queue.push_back({rest, item.multiset, std::move(rest_keys)});
+    queue.push_back({xy, /*multiset=*/false, std::move(xy_keys)});
+  }
+
+  return result;
+}
+
+Result<ConstraintSet> NormalizeToTotal(const TableSchema& schema,
+                                       const ConstraintSet& sigma) {
+  Implication imp(schema, sigma);
+  ConstraintSet out;
+  for (const auto& fd : sigma.fds()) {
+    FunctionalDependency total =
+        FunctionalDependency::Certain(fd.lhs, fd.lhs.Union(fd.rhs));
+    if (fd.IsTotal()) {
+      out.AddUniqueFd(fd);
+    } else if (imp.Implies(total)) {
+      // Equivalent rewrite: Σ implies the total form, and the total form
+      // implies the original (decomposition + weakening).
+      out.AddUniqueFd(total);
+    } else {
+      return Status::Invalid(
+          "FD " + fd.ToString(schema) +
+          " has no equivalent total form under Sigma (its certain/total "
+          "strengthening is not implied)");
+    }
+  }
+  for (const auto& key : sigma.keys()) {
+    if (key.is_certain()) {
+      out.AddUniqueKey(key);
+    } else if (imp.Implies(KeyConstraint::Certain(key.attrs))) {
+      out.AddUniqueKey(KeyConstraint::Certain(key.attrs));
+    } else {
+      return Status::Invalid(
+          "key " + key.ToString(schema) +
+          " has no equivalent certain form under Sigma");
+    }
+  }
+  return out;
+}
+
+Result<bool> AllComponentsVrnf(const SchemaDesign& design,
+                               const VrnfResult& result,
+                               const VrnfOptions& options) {
+  for (size_t i = 0; i < result.decomposition.components.size(); ++i) {
+    const Component& c = result.decomposition.components[i];
+    if (c.attrs.size() > options.max_component_attributes) {
+      return Status::OutOfRange("component too large for VRNF check");
+    }
+    ConstraintSet sigma_i = design.sigma;
+    if (i < result.component_keys.size()) {
+      for (const KeyConstraint& k : result.component_keys[i]) {
+        sigma_i.AddUniqueKey(k);
+      }
+    }
+    Implication imp(design.table, sigma_i);
+    if (FindVrnfViolator(imp, design.sigma, c.attrs).has_value()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqlnf

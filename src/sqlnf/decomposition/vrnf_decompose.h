@@ -1,0 +1,86 @@
+// Algorithm 3: lossless VRNF decomposition (Theorem 16).
+//
+// Input: a schema (T, T_S, Σ) where Σ consists of certain keys and
+// TOTAL FDs (X →w XY, Definition 9). Starting from {[[T]]}, while some
+// component permits value redundancy, pick an external total FD
+// X →w XY implied by Σ on that component whose LHS is not an implied
+// c-key, and split the component into X(T_i − XY) (same projection kind)
+// and [XY] (set projection). By Theorem 12, c⟨X⟩ holds on the [XY]
+// component; by Theorem 11, every split is lossless.
+//
+// Deciding whether a component is in VRNF is co-NP-complete in general
+// (Theorem 17); we enumerate candidate LHSs by ascending size, which
+// also guarantees LHS-minimality of the violator picked — the paper's
+// preservation note ("LHS-minimal FDs implied by total FDs and certain
+// keys are total") then ensures the chosen FD is total, which the
+// implementation asserts.
+//
+// The classical BCNF decomposition algorithm is the special case
+// T_S = T with an implied key (see bcnf_decompose.h for the baseline).
+
+#ifndef SQLNF_DECOMPOSITION_VRNF_DECOMPOSE_H_
+#define SQLNF_DECOMPOSITION_VRNF_DECOMPOSE_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// One split performed by Algorithm 3.
+struct VrnfStep {
+  AttributeSet component;        // the T_i that was split
+  bool component_multiset = false;
+  FunctionalDependency fd;       // the total FD X →w XY used
+  AttributeSet set_component;    // XY
+  AttributeSet rest_component;   // X(T_i − XY)
+
+  std::string ToString(const TableSchema& schema) const;
+};
+
+struct VrnfOptions {
+  /// Cap on component size for the exhaustive VRNF check (2^|T_i|
+  /// closures). Components beyond the cap yield OutOfRange.
+  int max_component_attributes = 26;
+};
+
+/// The result of Algorithm 3.
+struct VrnfResult {
+  Decomposition decomposition;
+  std::vector<VrnfStep> steps;
+
+  /// Per final component (parallel to decomposition.components): the
+  /// certain keys guaranteed to hold on it — c⟨X⟩ for a split-off [XY]
+  /// (Theorem 12) plus inherited keys whose attributes survived.
+  /// Attribute ids are GLOBAL (original schema). Empty for remainder
+  /// components without a gained key.
+  std::vector<std::vector<KeyConstraint>> component_keys;
+};
+
+/// Runs Algorithm 3. Requires Σ to contain only certain keys and total
+/// FDs (InvalidArgument otherwise; use NormalizeToTotal for the benign
+/// rewrites the paper allows).
+Result<VrnfResult> VrnfDecompose(const SchemaDesign& design,
+                                 const VrnfOptions& options = {});
+
+/// Rewrites Σ into the input class of Algorithm 3 where this is an
+/// equivalence:
+///  * c-FD X →w Y          ↦ X →w XY when X ⊆ X*c (already total: kept)
+///  * p-FD X →s Y, X ⊆ T_S ↦ total c-FD X →w XY
+///  * p-key p⟨X⟩, X ⊆ T_S  ↦ c-key c⟨X⟩
+/// Fails (InvalidArgument) when a constraint has no equivalent total /
+/// certain form.
+Result<ConstraintSet> NormalizeToTotal(const TableSchema& schema,
+                                       const ConstraintSet& sigma);
+
+/// True when every component of `result` is in VRNF with respect to the
+/// global Σ (used by tests; exponential).
+Result<bool> AllComponentsVrnf(const SchemaDesign& design,
+                               const VrnfResult& result,
+                               const VrnfOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_VRNF_DECOMPOSE_H_

@@ -1,0 +1,103 @@
+#include "sqlnf/discovery/agree_sets.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+
+namespace sqlnf {
+
+EncodedTable::EncodedTable(const Table& table)
+    : num_rows_(table.num_rows()) {
+  codes_.resize(table.num_columns());
+  for (AttributeId col = 0; col < table.num_columns(); ++col) {
+    std::map<Value, int32_t> dict;
+    codes_[col].resize(num_rows_);
+    for (int row = 0; row < num_rows_; ++row) {
+      const Value& v = table.row(row)[col];
+      if (v.is_null()) {
+        codes_[col][row] = -1;
+        continue;
+      }
+      auto [it, inserted] =
+          dict.emplace(v, static_cast<int32_t>(dict.size()));
+      codes_[col][row] = it->second;
+    }
+  }
+}
+
+AttributeSet EncodedTable::NullFreeColumns() const {
+  AttributeSet out;
+  for (AttributeId col = 0; col < num_columns(); ++col) {
+    bool has_null = false;
+    for (int32_t c : codes_[col]) {
+      if (c == -1) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) out.Add(col);
+  }
+  return out;
+}
+
+PairAgreement ComputeAgreement(const EncodedTable& enc, int row1,
+                               int row2) {
+  PairAgreement out;
+  for (AttributeId col = 0; col < enc.num_columns(); ++col) {
+    const int32_t a = enc.code(col, row1);
+    const int32_t b = enc.code(col, row2);
+    if (a == b) {
+      out.eq.Add(col);
+      out.weak.Add(col);
+      if (a != -1) out.strong.Add(col);
+    } else if (a == -1 || b == -1) {
+      out.weak.Add(col);
+    }
+  }
+  return out;
+}
+
+std::vector<PairAgreement> CollectAgreements(const EncodedTable& enc,
+                                             int max_rows) {
+  int n = enc.num_rows();
+  if (max_rows > 0 && max_rows < n) n = max_rows;
+
+  struct TripleHash {
+    size_t operator()(const std::array<uint64_t, 3>& t) const {
+      return t[0] * 1000003 + t[1] * 31 + t[2];
+    }
+  };
+  std::unordered_set<std::array<uint64_t, 3>, TripleHash> seen;
+  std::vector<PairAgreement> out;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      PairAgreement agreement = ComputeAgreement(enc, i, j);
+      std::array<uint64_t, 3> key = {agreement.eq.bits(),
+                                     agreement.strong.bits(),
+                                     agreement.weak.bits()};
+      if (seen.insert(key).second) out.push_back(agreement);
+    }
+  }
+  return out;
+}
+
+std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const AttributeSet& a, const AttributeSet& b) {
+              return a.size() > b.size();
+            });
+  std::vector<AttributeSet> maximal;
+  for (const AttributeSet& s : sets) {
+    bool dominated = false;
+    for (const AttributeSet& m : maximal) {
+      if (s.IsSubsetOf(m)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) maximal.push_back(s);
+  }
+  return maximal;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,66 @@
+// Agree sets for dependency discovery (Section 7 substrate).
+//
+// For every pair of rows we record three attribute sets:
+//   eq     — attributes with identical values (⊥ = ⊥ included),
+//   strong — attributes where both values are non-null and equal,
+//   weak   — attributes that are equal or have ⊥ on either side.
+// (strong ⊆ eq ⊆ weak.)
+//
+// An FD X → A with semantics m is violated by a pair iff A ∉ eq and
+// X ⊆ sim_m(pair); hence the valid LHSs for RHS A are exactly the sets
+// hitting every complement U − sim_m(pair) over the violating pairs.
+// Keys use the same machinery without the RHS condition. Only MAXIMAL
+// agree sets need to be kept (a subset imposes a weaker constraint).
+
+#ifndef SQLNF_DISCOVERY_AGREE_SETS_H_
+#define SQLNF_DISCOVERY_AGREE_SETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Column-coded view of a table: per column, one int32 code per row
+/// (equal values share a code; -1 encodes ⊥). Makes the O(n²·cols)
+/// pair sweep cache-friendly.
+class EncodedTable {
+ public:
+  explicit EncodedTable(const Table& table);
+
+  int num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(codes_.size()); }
+  int32_t code(AttributeId col, int row) const { return codes_[col][row]; }
+
+  /// Columns without any ⊥ (the instance-inferred NFS).
+  AttributeSet NullFreeColumns() const;
+
+ private:
+  int num_rows_;
+  std::vector<std::vector<int32_t>> codes_;  // [col][row]
+};
+
+/// The three agree sets of one row pair.
+struct PairAgreement {
+  AttributeSet eq;
+  AttributeSet strong;
+  AttributeSet weak;
+};
+
+PairAgreement ComputeAgreement(const EncodedTable& enc, int row1, int row2);
+
+/// All pairwise agreements, deduplicated (identical triples collapse —
+/// hitting-set constraints do not depend on multiplicity). Row pairs are
+/// capped at `max_rows` rows (ascending prefix) to bound the quadratic
+/// sweep; pass <= 0 for no cap.
+std::vector<PairAgreement> CollectAgreements(const EncodedTable& enc,
+                                             int max_rows = 0);
+
+/// Keeps only sets that are maximal under inclusion.
+std::vector<AttributeSet> MaximalSets(std::vector<AttributeSet> sets);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DISCOVERY_AGREE_SETS_H_

@@ -1,0 +1,97 @@
+#include "sqlnf/discovery/approximate.h"
+
+#include <functional>
+#include <map>
+
+#include "sqlnf/discovery/partition.h"
+
+namespace sqlnf {
+
+Result<ApproximateResult> DiscoverApproximate(
+    const Table& table, const ApproximateOptions& options) {
+  if (table.num_rows() == 0) {
+    return Status::Invalid("cannot mine constraints from an empty table");
+  }
+  if (options.epsilon < 0 || options.epsilon >= 1) {
+    return Status::Invalid("epsilon must be in [0, 1)");
+  }
+  const int n = table.num_columns();
+  const int rows = table.num_rows();
+  EncodedTable encoded(table);
+
+  // Partition memo over all visited sets.
+  std::map<AttributeSet, StrippedPartition> partitions;
+  partitions.emplace(AttributeSet(), StrippedPartition::Universe(rows));
+  for (AttributeId a = 0; a < n; ++a) {
+    partitions.emplace(AttributeSet::Single(a),
+                       StrippedPartition::ForColumn(encoded, a));
+  }
+  std::function<const StrippedPartition&(const AttributeSet&)> get =
+      [&](const AttributeSet& x) -> const StrippedPartition& {
+    auto it = partitions.find(x);
+    if (it != partitions.end()) return it->second;
+    AttributeId first = *x.begin();
+    AttributeSet rest = x;
+    rest.Remove(first);
+    StrippedPartition product =
+        get(AttributeSet::Single(first)).Intersect(get(rest), rows);
+    return partitions.emplace(x, std::move(product)).first->second;
+  };
+
+  ApproximateResult result;
+  // Minimality bookkeeping: qualifying (lhs, rhs) pairs / key sets.
+  std::map<AttributeId, std::vector<AttributeSet>> fd_minimal;
+  std::vector<AttributeSet> key_minimal;
+  auto has_subset = [](const std::vector<AttributeSet>& sets,
+                       const AttributeSet& x) {
+    for (const AttributeSet& s : sets) {
+      if (s.IsSubsetOf(x)) return true;
+    }
+    return false;
+  };
+
+  // Levelwise over all subsets by ascending size.
+  std::vector<AttributeSet> level = {AttributeSet()};
+  for (int size = 0; size <= options.max_lhs_size; ++size) {
+    for (const AttributeSet& x : level) {
+      // ε-key?
+      const StrippedPartition& px = get(x);
+      double key_error = static_cast<double>(px.error()) / rows;
+      if (!has_subset(key_minimal, x) && key_error <= options.epsilon) {
+        key_minimal.push_back(x);
+        result.keys.push_back({x, key_error});
+      }
+      // ε-FDs x → a.
+      for (AttributeId a = 0; a < n; ++a) {
+        if (x.Contains(a)) continue;
+        if (has_subset(fd_minimal[a], x)) continue;
+        AttributeSet xa = x;
+        xa.Add(a);
+        double g3 =
+            static_cast<double>(px.error() - get(xa).error()) / rows;
+        if (g3 <= options.epsilon) {
+          fd_minimal[a].push_back(x);
+          result.fds.push_back({x, a, g3});
+        }
+      }
+    }
+    // Next level: all (size+1)-subsets — generated from the previous
+    // level without pruning (qualifying sets only stop their own
+    // supersets via the minimality filter above).
+    if (size == options.max_lhs_size) break;
+    std::map<AttributeSet, bool> next;
+    for (const AttributeSet& x : level) {
+      for (AttributeId a = 0; a < n; ++a) {
+        if (x.Contains(a)) continue;
+        AttributeSet bigger = x;
+        bigger.Add(a);
+        next.emplace(bigger, true);
+      }
+    }
+    level.clear();
+    for (const auto& [x, unused] : next) level.push_back(x);
+  }
+  return result;
+}
+
+}  // namespace sqlnf

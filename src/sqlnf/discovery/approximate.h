@@ -1,0 +1,54 @@
+// Approximate (classical) FDs and keys — the dirty-data lens of
+// Section 7.
+//
+// The paper's manual inspection of Figure 6 found that most wide λ-FDs
+// "should really be certain keys, but are not due to dirty data", and
+// that an unknown number of useful FDs are hidden by a few violating
+// rows. Approximate discovery quantifies that: X → A holds with error
+// g3 = (minimum rows to delete so that X → A holds exactly) / rows,
+// computable from stripped partitions as (e(X) − e(X ∪ A)) / rows.
+// Likewise X is an ε-key when e(X)/rows ≤ ε.
+//
+// Classical (⊥-as-value) semantics; exact when epsilon = 0. The search
+// is plain levelwise over all LHSs up to the size cap, reporting only
+// minimal qualifying LHSs.
+
+#ifndef SQLNF_DISCOVERY_APPROXIMATE_H_
+#define SQLNF_DISCOVERY_APPROXIMATE_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct ApproximateOptions {
+  double epsilon = 0.02;  // tolerated g3 error fraction
+  int max_lhs_size = 3;
+};
+
+struct ApproximateFd {
+  AttributeSet lhs;
+  AttributeId rhs = 0;
+  double error = 0.0;  // g3 ∈ [0, 1]
+};
+
+struct ApproximateKey {
+  AttributeSet attrs;
+  double error = 0.0;  // e(X)/rows: duplicated-row fraction
+};
+
+struct ApproximateResult {
+  std::vector<ApproximateFd> fds;    // minimal LHS per RHS
+  std::vector<ApproximateKey> keys;  // minimal ε-keys
+};
+
+/// Mines ε-approximate FDs and keys.
+Result<ApproximateResult> DiscoverApproximate(
+    const Table& table, const ApproximateOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DISCOVERY_APPROXIMATE_H_

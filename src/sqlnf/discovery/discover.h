@@ -1,0 +1,95 @@
+// Discovery of keys and functional dependencies from data, and the
+// FD classification used in the paper's Section 7:
+//
+//   classical FD — nulls treated as ordinary domain values
+//   nn-FD        — classical FD whose LHS columns contain no nulls
+//   p-FD         — possible FD (strong-similarity LHS)
+//   c-FD         — certain FD (weak-similarity LHS; LHS may contain the
+//                  RHS attribute — internal c-FDs are meaningful)
+//   t-FD         — discovered c-FD whose total strengthening X →w X(Y)
+//                  also holds on the instance (Definition 9)
+//   λ-FD         — t-FD usable for VRNF decomposition: some RHS
+//                  attribute outside the LHS, and the LHS is not a
+//                  certain key of the instance
+//
+// All discovered FDs are non-trivial with minimal LHSs, reported once
+// per (mode, LHS) with the union of their RHS attributes — matching the
+// paper's counting convention ("only once per LHS").
+
+#ifndef SQLNF_DISCOVERY_DISCOVER_H_
+#define SQLNF_DISCOVERY_DISCOVER_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/discovery/hitting_set.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct DiscoveryOptions {
+  /// Cap on rows entering the O(n²) pair sweep (ascending prefix);
+  /// <= 0 disables the cap.
+  int max_rows = 5000;
+  HittingSetOptions hitting;  // LHS size / count caps
+};
+
+/// Everything mined from one table.
+struct DiscoveryResult {
+  AttributeSet null_free_columns;  // instance-inferred NFS
+
+  // Minimal-LHS FDs, grouped per LHS (RHS = union of valid RHS attrs).
+  std::vector<FunctionalDependency> classical_fds;  // stored as mode s
+  std::vector<FunctionalDependency> nn_fds;         // stored as mode s
+  std::vector<FunctionalDependency> p_fds;
+  std::vector<FunctionalDependency> c_fds;
+
+  // Minimal keys of the instance.
+  std::vector<KeyConstraint> p_keys;
+  std::vector<KeyConstraint> c_keys;
+};
+
+/// Mines `table`. The instance NFS is inferred (columns without ⊥).
+Result<DiscoveryResult> DiscoverConstraints(
+    const Table& table, const DiscoveryOptions& options = {});
+
+/// One FD semantics for single-semantics mining (benchmark / tooling
+/// entry point; DiscoverConstraints mines all four in one pass).
+enum class FdSemantics {
+  kClassical,   // nulls as ordinary values
+  kNotNullLhs,  // classical, LHS restricted to null-free columns
+  kPossible,    // strong-similarity LHS
+  kCertain,     // weak-similarity LHS (internal FDs allowed)
+};
+
+/// Mines minimal-LHS FDs of one semantics only (its own pair sweep).
+Result<std::vector<FunctionalDependency>> DiscoverFds(
+    const Table& table, FdSemantics semantics,
+    const DiscoveryOptions& options = {});
+
+/// One row of the paper's FD-count table plus the λ-FD details.
+struct FdClassification {
+  int nn_count = 0;
+  int p_count = 0;
+  int c_count = 0;
+  int t_count = 0;
+  int lambda_count = 0;
+
+  std::vector<FunctionalDependency> t_fds;
+  std::vector<FunctionalDependency> lambda_fds;
+};
+
+/// Classifies the discovered c-FDs into total and λ-FDs by checking the
+/// total strengthening / certain-key status on the instance.
+FdClassification ClassifyDiscovered(const Table& table,
+                                    const DiscoveryResult& result);
+
+/// Relative size (in [0,1]) of the set-projection of `table` onto the
+/// attributes of `fd` (LHS ∪ RHS) — the Figure 6 measure.
+Result<double> RelativeProjectionSize(const Table& table,
+                                      const FunctionalDependency& fd);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DISCOVERY_DISCOVER_H_

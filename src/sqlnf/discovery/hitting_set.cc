@@ -1,0 +1,117 @@
+#include "sqlnf/discovery/hitting_set.h"
+
+#include <algorithm>
+#include <bit>
+#include <unordered_set>
+
+namespace sqlnf {
+
+namespace {
+
+class Enumerator {
+ public:
+  Enumerator(std::vector<uint64_t> family, const HittingSetOptions& options)
+      : family_(std::move(family)), options_(options) {}
+
+  std::vector<AttributeSet> Run() {
+    Search(0);
+    std::vector<AttributeSet> out;
+    out.reserve(results_.size());
+    for (uint64_t bits : results_) {
+      out.push_back(AttributeSet::FromBits(bits));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const AttributeSet& a, const AttributeSet& b) {
+                return a.size() != b.size() ? a.size() < b.size()
+                                            : a.bits() < b.bits();
+              });
+    return out;
+  }
+
+ private:
+  // Every element of `chosen` must be critical: it alone hits some set.
+  bool AllCritical(uint64_t chosen) const {
+    for (uint64_t v = chosen; v != 0; v &= v - 1) {
+      uint64_t elem = v & ~(v - 1);  // lowest set bit as a mask
+      bool critical = false;
+      for (uint64_t s : family_) {
+        if ((s & elem) != 0 && (s & (chosen & ~elem)) == 0) {
+          critical = true;
+          break;
+        }
+      }
+      if (!critical) return false;
+    }
+    return true;
+  }
+
+  void Search(uint64_t chosen) {
+    if (static_cast<int>(results_.size()) >= options_.max_results) return;
+    // First set not hit by `chosen`, preferring the smallest for a
+    // narrower branching factor.
+    const uint64_t* branch_set = nullptr;
+    int best_size = 65;
+    for (const uint64_t& s : family_) {
+      if ((s & chosen) != 0) continue;
+      int size = std::popcount(s);
+      if (size < best_size) {
+        best_size = size;
+        branch_set = &s;
+        if (size <= 1) break;
+      }
+    }
+    if (branch_set == nullptr) {
+      // All sets hit; `chosen` is minimal because every element stayed
+      // critical along the branch.
+      results_.insert(chosen);
+      return;
+    }
+    if (std::popcount(chosen) >= options_.max_size) return;  // too deep
+    for (uint64_t v = *branch_set; v != 0; v &= v - 1) {
+      uint64_t elem = v & ~(v - 1);
+      uint64_t next = chosen | elem;
+      if (!AllCritical(next)) continue;
+      Search(next);
+      if (static_cast<int>(results_.size()) >= options_.max_results) {
+        return;
+      }
+    }
+  }
+
+  std::vector<uint64_t> family_;
+  HittingSetOptions options_;
+  std::unordered_set<uint64_t> results_;
+};
+
+}  // namespace
+
+std::vector<AttributeSet> MinimalHittingSets(
+    const AttributeSet& universe, const std::vector<AttributeSet>& family,
+    const HittingSetOptions& options) {
+  std::vector<uint64_t> sets;
+  sets.reserve(family.size());
+  for (const AttributeSet& s : family) {
+    uint64_t restricted = s.bits() & universe.bits();
+    if (restricted == 0) return {};  // unhittable
+    sets.push_back(restricted);
+  }
+  // Keep only minimal sets of the family: a superset's hit requirement
+  // is implied by the subset's.
+  std::sort(sets.begin(), sets.end(), [](uint64_t a, uint64_t b) {
+    return std::popcount(a) < std::popcount(b);
+  });
+  std::vector<uint64_t> minimal_family;
+  for (uint64_t s : sets) {
+    bool dominated = false;
+    for (uint64_t m : minimal_family) {
+      if ((m & ~s) == 0) {  // m ⊆ s
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) minimal_family.push_back(s);
+  }
+  return Enumerator(std::move(minimal_family), options).Run();
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,36 @@
+// Minimal hitting set enumeration.
+//
+// Discovery reduces "minimal LHSs of valid FDs" to: minimal subsets of a
+// universe U that intersect every set of a family F (the complements of
+// the maximal agree sets). We enumerate with a branch-and-prune search:
+// pick the first unhit set, branch on its elements, and reject branches
+// that can no longer be minimal (an already-chosen element whose hit
+// sets are all hit by others).
+
+#ifndef SQLNF_DISCOVERY_HITTING_SET_H_
+#define SQLNF_DISCOVERY_HITTING_SET_H_
+
+#include <vector>
+
+#include "sqlnf/core/attribute_set.h"
+
+namespace sqlnf {
+
+struct HittingSetOptions {
+  int max_size = 8;         // ignore hitting sets larger than this
+  int max_results = 10000;  // stop after this many minimal sets
+};
+
+/// All minimal subsets of `universe` hitting every set in `family`
+/// (up to the option caps), sorted by size then bit pattern.
+///
+/// Sets in `family` are intersected with `universe` first; an empty
+/// intersection makes the instance unsatisfiable and yields {}.
+/// An empty family yields {∅}.
+std::vector<AttributeSet> MinimalHittingSets(
+    const AttributeSet& universe, const std::vector<AttributeSet>& family,
+    const HittingSetOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DISCOVERY_HITTING_SET_H_

@@ -1,0 +1,62 @@
+#include "sqlnf/discovery/partition.h"
+
+#include <unordered_map>
+
+namespace sqlnf {
+
+void StrippedPartition::Finalize() {
+  error_ = 0;
+  for (const auto& c : classes_) {
+    error_ += static_cast<int>(c.size()) - 1;
+  }
+}
+
+StrippedPartition StrippedPartition::ForColumn(const EncodedTable& table,
+                                               AttributeId column) {
+  std::unordered_map<int32_t, std::vector<int>> groups;
+  for (int row = 0; row < table.num_rows(); ++row) {
+    groups[table.code(column, row)].push_back(row);
+  }
+  StrippedPartition out;
+  for (auto& [code, rows] : groups) {
+    if (rows.size() >= 2) out.classes_.push_back(std::move(rows));
+  }
+  out.Finalize();
+  return out;
+}
+
+StrippedPartition StrippedPartition::Universe(int num_rows) {
+  StrippedPartition out;
+  if (num_rows >= 2) {
+    std::vector<int> all(num_rows);
+    for (int i = 0; i < num_rows; ++i) all[i] = i;
+    out.classes_.push_back(std::move(all));
+  }
+  out.Finalize();
+  return out;
+}
+
+StrippedPartition StrippedPartition::Intersect(
+    const StrippedPartition& other, int num_rows) const {
+  // Standard probe-table product (TANE): label rows by their class in
+  // *this, then split other's membership within those labels.
+  std::vector<int> label(num_rows, -1);
+  for (int c = 0; c < num_classes(); ++c) {
+    for (int row : classes_[c]) label[row] = c;
+  }
+  StrippedPartition out;
+  std::unordered_map<int, std::vector<int>> bucket;
+  for (const auto& other_class : other.classes_) {
+    bucket.clear();
+    for (int row : other_class) {
+      if (label[row] >= 0) bucket[label[row]].push_back(row);
+    }
+    for (auto& [lbl, rows] : bucket) {
+      if (rows.size() >= 2) out.classes_.push_back(std::move(rows));
+    }
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace sqlnf

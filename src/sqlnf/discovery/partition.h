@@ -1,0 +1,52 @@
+// Stripped partitions — the data structure behind partition-based FD
+// discovery (TANE; Papenbrock et al.'s survey is the paper's [33]).
+//
+// The partition π_X groups row ids by their (exact, ⊥-as-value) values
+// on X; the STRIPPED partition drops singleton classes. The error
+// measure e(X) = Σ_c (|c| − 1) over stripped classes counts the rows
+// that would have to be removed to make X a key, and supports the key
+// facts:   X → A  ⟺  e(X) = e(X ∪ {A}),   X superkey ⟺ e(X) = 0.
+
+#ifndef SQLNF_DISCOVERY_PARTITION_H_
+#define SQLNF_DISCOVERY_PARTITION_H_
+
+#include <vector>
+
+#include "sqlnf/discovery/agree_sets.h"
+
+namespace sqlnf {
+
+/// A stripped partition of row ids.
+class StrippedPartition {
+ public:
+  /// π_{A} for one column (⊥ treated as an ordinary value).
+  static StrippedPartition ForColumn(const EncodedTable& table,
+                                     AttributeId column);
+
+  /// π_∅: one class of all rows (if ≥ 2 rows).
+  static StrippedPartition Universe(int num_rows);
+
+  /// Product π_X · π_Y (row ids must come from the same table).
+  /// `num_rows` scratch space is reused across calls via the internal
+  /// probe table.
+  StrippedPartition Intersect(const StrippedPartition& other,
+                              int num_rows) const;
+
+  /// e(X): rows in stripped classes minus the class count.
+  int error() const { return error_; }
+
+  /// Number of stripped (non-singleton) classes.
+  int num_classes() const { return static_cast<int>(classes_.size()); }
+
+  const std::vector<std::vector<int>>& classes() const { return classes_; }
+
+ private:
+  void Finalize();
+
+  std::vector<std::vector<int>> classes_;
+  int error_ = 0;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DISCOVERY_PARTITION_H_

@@ -1,0 +1,206 @@
+#include "sqlnf/discovery/tane.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sqlnf/discovery/partition.h"
+
+namespace sqlnf {
+
+namespace {
+
+struct Node {
+  StrippedPartition partition;
+  AttributeSet cplus;  // the C+(X) candidate set
+};
+
+using Level = std::map<AttributeSet, Node>;
+
+// On-demand partitions for sets that are no longer (or never were) in
+// the lattice — needed by the key-pruning minimality test, whose probe
+// sets may have been pruned away. Memoized.
+class PartitionCache {
+ public:
+  PartitionCache(const EncodedTable& table) : rows_(table.num_rows()) {
+    for (AttributeId a = 0; a < table.num_columns(); ++a) {
+      cache_.emplace(AttributeSet::Single(a),
+                     StrippedPartition::ForColumn(table, a));
+    }
+    cache_.emplace(AttributeSet(), StrippedPartition::Universe(rows_));
+  }
+
+  const StrippedPartition& Get(const AttributeSet& x) {
+    auto it = cache_.find(x);
+    if (it != cache_.end()) return it->second;
+    AttributeId first = *x.begin();
+    AttributeSet rest = x;
+    rest.Remove(first);
+    StrippedPartition product =
+        Get(AttributeSet::Single(first)).Intersect(Get(rest), rows_);
+    return cache_.emplace(x, std::move(product)).first->second;
+  }
+
+  // Y → A under ⊥-as-value semantics: e(Y) == e(Y ∪ {A}).
+  bool Holds(const AttributeSet& y, AttributeId a) {
+    AttributeSet ya = y;
+    ya.Add(a);
+    return Get(y).error() == Get(ya).error();
+  }
+
+ private:
+  int rows_;
+  std::map<AttributeSet, StrippedPartition> cache_;
+};
+
+}  // namespace
+
+Result<TaneResult> DiscoverFdsTane(const Table& table,
+                                   const TaneOptions& options) {
+  if (table.num_rows() == 0) {
+    return Status::Invalid("cannot mine constraints from an empty table");
+  }
+  if (options.max_lhs_size < 1) {
+    return Status::Invalid("max_lhs_size must be at least 1");
+  }
+  const int n = table.num_columns();
+  const int rows = table.num_rows();
+  const AttributeSet all = table.schema().all();
+  EncodedTable encoded(table);
+  PartitionCache partitions(encoded);
+
+  TaneResult result;
+  std::map<AttributeSet, AttributeSet> fds_by_lhs;  // lhs -> rhs union
+  auto emit = [&](const AttributeSet& lhs, AttributeId a) {
+    fds_by_lhs[lhs].Add(a);
+  };
+
+  // Level 0 state: e(∅) and C+(∅) = R.
+  const int empty_error = rows >= 2 ? rows - 1 : 0;
+
+  // Level 1.
+  Level current;
+  for (AttributeId a = 0; a < n; ++a) {
+    Node node;
+    node.partition = StrippedPartition::ForColumn(encoded, a);
+    node.cplus = all;
+    ++result.partitions_computed;
+    current.emplace(AttributeSet::Single(a), std::move(node));
+  }
+
+  // Error lookup across the previous level ({∅} handled specially).
+  std::map<AttributeSet, int> prev_errors;  // errors at level k-1
+  std::map<AttributeSet, AttributeSet> prev_cplus;
+  prev_errors[AttributeSet()] = empty_error;
+  prev_cplus[AttributeSet()] = all;
+
+  for (int level = 1;
+       level <= options.max_lhs_size && !current.empty(); ++level) {
+    result.levels_processed = level;
+
+    // compute_dependencies.
+    for (auto& [x, node] : current) {
+      // C+(X) = ∩_{A∈X} C+(X \ A).
+      AttributeSet cplus = all;
+      for (AttributeId a : x) {
+        AttributeSet smaller = x;
+        smaller.Remove(a);
+        auto it = prev_cplus.find(smaller);
+        cplus = cplus.Intersect(it != prev_cplus.end() ? it->second
+                                                       : AttributeSet());
+      }
+      node.cplus = cplus;
+    }
+    for (auto& [x, node] : current) {
+      for (AttributeId a : x.Intersect(node.cplus)) {
+        AttributeSet lhs = x;
+        lhs.Remove(a);
+        auto it = prev_errors.find(lhs);
+        if (it == prev_errors.end()) continue;  // pruned subset
+        if (it->second == node.partition.error()) {
+          emit(lhs, a);  // lhs → a is valid and minimal
+          node.cplus.Remove(a);
+          node.cplus = node.cplus.Difference(all.Difference(x));
+        }
+      }
+    }
+
+    // prune.
+    std::vector<AttributeSet> to_delete;
+    for (const auto& [x, node] : current) {
+      if (node.cplus.empty()) {
+        to_delete.push_back(x);
+        continue;
+      }
+      if (node.partition.error() == 0) {  // X is a (minimal) superkey
+        for (AttributeId a : node.cplus.Difference(x)) {
+          // X → a holds vacuously; it is minimal iff no maximal proper
+          // subset already determines a. The probe sets may have been
+          // pruned from the lattice, so test by definition with
+          // on-demand partitions.
+          bool minimal = true;
+          for (AttributeId b : x) {
+            AttributeSet smaller = x;
+            smaller.Remove(b);
+            if (partitions.Holds(smaller, a)) {
+              minimal = false;
+              break;
+            }
+          }
+          if (minimal) emit(x, a);
+        }
+        result.minimal_keys.push_back(x);
+        to_delete.push_back(x);
+      }
+    }
+    for (const AttributeSet& x : to_delete) current.erase(x);
+
+    // generate_next_level by prefix join.
+    prev_errors.clear();
+    prev_cplus.clear();
+    for (const auto& [x, node] : current) {
+      prev_errors[x] = node.partition.error();
+      prev_cplus[x] = node.cplus;
+    }
+
+    if (level == options.max_lhs_size) break;
+    Level next;
+    std::vector<const AttributeSet*> keys;
+    keys.reserve(current.size());
+    for (const auto& [x, node] : current) keys.push_back(&x);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      for (size_t j = i + 1; j < keys.size(); ++j) {
+        const AttributeSet& x = *keys[i];
+        const AttributeSet& y = *keys[j];
+        AttributeSet merged = x.Union(y);
+        if (merged.size() != level + 1) continue;
+        if (next.count(merged)) continue;
+        // All level-sized subsets must have survived pruning.
+        bool all_present = true;
+        for (AttributeId a : merged) {
+          AttributeSet sub = merged;
+          sub.Remove(a);
+          if (!current.count(sub)) {
+            all_present = false;
+            break;
+          }
+        }
+        if (!all_present) continue;
+        Node node;
+        node.partition = current.at(x).partition.Intersect(
+            current.at(y).partition, rows);
+        ++result.partitions_computed;
+        node.cplus = all;
+        next.emplace(merged, std::move(node));
+      }
+    }
+    current = std::move(next);
+  }
+
+  for (const auto& [lhs, rhs] : fds_by_lhs) {
+    result.fds.push_back(FunctionalDependency::Possible(lhs, rhs));
+  }
+  std::sort(result.minimal_keys.begin(), result.minimal_keys.end());
+  return result;
+}
+
+}  // namespace sqlnf

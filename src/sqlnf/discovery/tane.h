@@ -1,0 +1,44 @@
+// TANE: levelwise partition-based discovery of minimal classical FDs
+// (Huhtala et al.; the best-of-breed family surveyed in the paper's
+// [33]). Serves as the second, independent implementation of classical
+// FD discovery — the pairwise difference-set miner of discover.h is the
+// first — and scales to larger row counts because its cost is driven by
+// partition products, not row pairs.
+//
+// Nulls are treated as ordinary values (⊥ = ⊥), matching
+// FdSemantics::kClassical and the classical-FD columns of Section 7.
+
+#ifndef SQLNF_DISCOVERY_TANE_H_
+#define SQLNF_DISCOVERY_TANE_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct TaneOptions {
+  /// Stop after this lattice level (max LHS size).
+  int max_lhs_size = 5;
+};
+
+struct TaneResult {
+  /// Minimal non-trivial classical FDs, one per (LHS, RHS-attr) merged
+  /// by LHS (RHS = union), sorted by LHS then mode for determinism.
+  std::vector<FunctionalDependency> fds;
+  /// Minimal keys (error-0 LHSs with no error-0 proper subset) found up
+  /// to the level cap.
+  std::vector<AttributeSet> minimal_keys;
+  int levels_processed = 0;
+  long long partitions_computed = 0;
+};
+
+/// Runs TANE over `table`.
+Result<TaneResult> DiscoverFdsTane(const Table& table,
+                                   const TaneOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DISCOVERY_TANE_H_

@@ -1,0 +1,158 @@
+#include "sqlnf/engine/catalog.h"
+
+#include "sqlnf/core/similarity.h"
+#include "sqlnf/engine/validate.h"
+
+namespace sqlnf {
+
+std::optional<Violation> ValidateRowAgainst(const Table& table,
+                                            const Tuple& row,
+                                            const ConstraintSet& sigma) {
+  // NFS first.
+  for (AttributeId a : table.schema().nfs()) {
+    if (row[a].is_null()) {
+      Violation v;
+      v.row1 = v.row2 = table.num_rows();
+      v.attribute = a;
+      return v;
+    }
+  }
+  // Pair the candidate with every stored row.
+  for (int i = 0; i < table.num_rows(); ++i) {
+    const Tuple& existing = table.row(i);
+    for (const auto& fd : sigma.fds()) {
+      const bool similar = fd.is_possible()
+                               ? StronglySimilar(row, existing, fd.lhs)
+                               : WeaklySimilar(row, existing, fd.lhs);
+      if (similar && !row.EqualOn(existing, fd.rhs)) {
+        return Violation{i, table.num_rows(), Constraint(fd),
+                         std::nullopt};
+      }
+    }
+    for (const auto& key : sigma.keys()) {
+      const bool similar = key.is_possible()
+                               ? StronglySimilar(row, existing, key.attrs)
+                               : WeaklySimilar(row, existing, key.attrs);
+      if (similar) {
+        return Violation{i, table.num_rows(), Constraint(key),
+                         std::nullopt};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Status Database::CreateTable(const TableSchema& schema,
+                             ConstraintSet sigma) {
+  if (tables_.count(schema.name())) {
+    return Status::Invalid("table '" + schema.name() + "' already exists");
+  }
+  tables_.emplace(schema.name(),
+                  StoredTable(Table(schema), std::move(sigma)));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<const StoredTable*> Database::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Result<StoredTable*> Database::FindMutable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return &it->second;
+}
+
+Status Database::Insert(const std::string& name, Tuple row) {
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  if (row.size() != stored->data.num_columns()) {
+    return Status::Invalid("INSERT arity mismatch: got " +
+                           std::to_string(row.size()) + ", expected " +
+                           std::to_string(stored->data.num_columns()));
+  }
+  if (auto violation = stored->enforcer.Check(stored->data, row)) {
+    return Status::FailedPrecondition(
+        "INSERT rejected: " +
+        violation->ToString(stored->data.schema()));
+  }
+  stored->enforcer.Add(row, stored->data.num_rows());
+  return stored->data.AddRow(std::move(row));
+}
+
+Result<int> Database::Update(
+    const std::string& name,
+    const std::function<bool(const Tuple&)>& predicate, AttributeId column,
+    const Value& value) {
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  if (column < 0 || column >= stored->data.num_columns()) {
+    return Status::Invalid("UPDATE column out of range");
+  }
+  // Post-image validation on a copy; swap in on success.
+  Table candidate = stored->data;
+  int changed = 0;
+  for (int i = 0; i < candidate.num_rows(); ++i) {
+    if (!predicate(candidate.row(i))) continue;
+    if (!((*candidate.mutable_row(i))[column] == value)) {
+      (*candidate.mutable_row(i))[column] = value;
+      ++changed;
+    }
+  }
+  if (changed == 0) return 0;
+  if (!candidate.CheckNfs().ok()) {
+    return Status::FailedPrecondition(
+        "UPDATE rejected: NOT NULL column cannot hold NULL");
+  }
+  if (!ValidateAll(candidate, stored->sigma)) {
+    auto violation = FindViolation(candidate, stored->sigma);
+    return Status::FailedPrecondition(
+        "UPDATE rejected: " +
+        (violation ? violation->ToString(candidate.schema())
+                   : std::string("constraint violation")));
+  }
+  stored->data = std::move(candidate);
+  stored->enforcer.Rebuild(stored->data);
+  return changed;
+}
+
+Result<int> Database::Delete(
+    const std::string& name,
+    const std::function<bool(const Tuple&)>& predicate) {
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  Table kept(stored->data.schema());
+  int removed = 0;
+  for (const Tuple& t : stored->data.rows()) {
+    if (predicate(t)) {
+      ++removed;
+    } else {
+      SQLNF_RETURN_NOT_OK(kept.AddRow(t));
+    }
+  }
+  stored->data = std::move(kept);
+  if (removed > 0) stored->enforcer.Rebuild(stored->data);
+  return removed;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,92 @@
+// Database: a catalog of tables with NATIVELY ENFORCED paper
+// constraints.
+//
+// SQL can declare NOT NULL and UNIQUE, but certain keys over nullable
+// columns and (possible/certain) FDs are beyond its declarative reach —
+// the DDL emitter (engine/ddl.h) can only leave comments. This catalog
+// closes the loop: every write (insert / update / delete) is validated
+// against the table's full constraint set (p-/c-FDs, p-/c-keys, NFS)
+// and rejected with a Violation message when it would break one, the
+// way a trigger-based enforcement layer would.
+//
+// Writes are atomic per statement: a rejected write leaves the table
+// untouched.
+
+#ifndef SQLNF_ENGINE_CATALOG_H_
+#define SQLNF_ENGINE_CATALOG_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/engine/enforcer.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Checks one candidate row against an existing (assumed-consistent)
+/// instance: NFS, then each constraint against every stored row.
+/// Returns the violation or nullopt. O(rows · |Σ|) — incremental, not
+/// quadratic.
+std::optional<Violation> ValidateRowAgainst(const Table& table,
+                                            const Tuple& row,
+                                            const ConstraintSet& sigma);
+
+/// One stored table: instance + enforced constraints + insert index.
+struct StoredTable {
+  Table data;
+  ConstraintSet sigma;
+  IncrementalEnforcer enforcer;
+
+  StoredTable(Table t, ConstraintSet s)
+      : data(std::move(t)),
+        sigma(std::move(s)),
+        enforcer(data.schema(), sigma) {}
+};
+
+/// An in-memory multi-table database with constraint enforcement.
+class Database {
+ public:
+  /// Registers an empty table. Fails when the name exists.
+  Status CreateTable(const TableSchema& schema, ConstraintSet sigma);
+
+  /// Removes a table. NotFound when absent.
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// The stored table; NotFound when absent.
+  Result<const StoredTable*> Find(const std::string& name) const;
+
+  /// Inserts one row after validating it against the instance and Σ.
+  /// FailedPrecondition with the violation text on rejection.
+  Status Insert(const std::string& name, Tuple row);
+
+  /// UPDATE ... SET column = value WHERE predicate. The whole statement
+  /// is validated post-image; on violation nothing changes. Returns
+  /// rows changed.
+  Result<int> Update(const std::string& name,
+                     const std::function<bool(const Tuple&)>& predicate,
+                     AttributeId column, const Value& value);
+
+  /// DELETE FROM ... WHERE predicate. Deletes cannot violate FDs/keys
+  /// (they are anti-monotone), so no validation is needed. Returns rows
+  /// removed.
+  Result<int> Delete(const std::string& name,
+                     const std::function<bool(const Tuple&)>& predicate);
+
+ private:
+  Result<StoredTable*> FindMutable(const std::string& name);
+
+  std::map<std::string, StoredTable> tables_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_CATALOG_H_

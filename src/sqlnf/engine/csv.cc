@@ -1,0 +1,183 @@
+#include "sqlnf/engine/csv.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace sqlnf {
+
+namespace {
+
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Splits CSV text into records of fields, honoring quotes.
+Result<std::vector<std::vector<RawField>>> Tokenize(std::string_view text) {
+  std::vector<std::vector<RawField>> records;
+  std::vector<RawField> record;
+  RawField field;
+  bool in_quotes = false;
+  bool field_started = false;
+
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field = RawField{};
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.text += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.text += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field_started && !field.text.empty()) {
+          return Status::ParseError("stray quote inside unquoted field");
+        }
+        in_quotes = true;
+        field.quoted = true;
+        field_started = true;
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        break;  // tolerate CRLF
+      case '\n':
+        end_record();
+        break;
+      default:
+        field.text += c;
+        field_started = true;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quote");
+  // Flush a trailing record without final newline.
+  if (field_started || !record.empty() || !field.text.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<Table> ReadCsvString(std::string_view text,
+                            const CsvOptions& options) {
+  SQLNF_ASSIGN_OR_RETURN(auto records, Tokenize(text));
+  if (records.empty()) {
+    return Status::ParseError("CSV input has no records");
+  }
+
+  size_t first_data = 0;
+  std::vector<std::string> names;
+  if (options.has_header) {
+    for (const RawField& f : records[0]) names.push_back(f.text);
+    first_data = 1;
+  } else {
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back("c" + std::to_string(i));
+    }
+  }
+  SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                         TableSchema::Make(options.table_name, names));
+  Table table(std::move(schema));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    if (records[r].size() != names.size()) {
+      return Status::ParseError(
+          "record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, expected " +
+          std::to_string(names.size()));
+    }
+    std::vector<Value> row;
+    row.reserve(names.size());
+    for (const RawField& f : records[r]) {
+      if (!f.quoted && f.text == options.null_token) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(Value::Str(f.text));
+      }
+    }
+    SQLNF_RETURN_NOT_OK(table.AddRow(Tuple(std::move(row))));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  CsvOptions opts = options;
+  if (opts.table_name == "csv") opts.table_name = path;
+  return ReadCsvString(buffer.str(), opts);
+}
+
+namespace {
+
+std::string EscapeField(const std::string& text,
+                        const std::string& null_token) {
+  bool needs_quotes = text == null_token ||
+                      text.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return text;
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.has_header) {
+    for (int i = 0; i < table.num_columns(); ++i) {
+      if (i > 0) out += ',';
+      out += EscapeField(table.schema().attribute_name(i),
+                         options.null_token);
+    }
+    out += '\n';
+  }
+  for (const Tuple& t : table.rows()) {
+    for (int i = 0; i < t.size(); ++i) {
+      if (i > 0) out += ',';
+      const Value& v = t[i];
+      out += v.is_null() ? options.null_token
+                         : EscapeField(v.ToString(), options.null_token);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for write");
+  out << WriteCsvString(table, options);
+  return out ? Status::OK() : Status::IoError("write failed: " + path);
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,46 @@
+// CSV import/export for Table.
+//
+// Minimal RFC-4180-style dialect: comma separator, double-quote quoting
+// with "" escapes, one record per line (embedded newlines inside quotes
+// are supported on read). The token NULL (unquoted) denotes ⊥; a quoted
+// "NULL" stays the string NULL.
+
+#ifndef SQLNF_ENGINE_CSV_H_
+#define SQLNF_ENGINE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct CsvOptions {
+  bool has_header = true;       // first record carries column names
+  std::string null_token = "NULL";
+  std::string table_name = "csv";
+};
+
+/// Parses CSV text into a table. Without a header, columns are named
+/// c0, c1, .... All rows must have the same arity.
+Result<Table> ReadCsvString(std::string_view text,
+                            const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path,
+                          const CsvOptions& options = {});
+
+/// Serializes a table (header + rows). ⊥ becomes the null token;
+/// values equal to the null token, or containing separators/quotes,
+/// are quoted.
+std::string WriteCsvString(const Table& table,
+                           const CsvOptions& options = {});
+
+/// Writes a CSV file to disk.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_CSV_H_

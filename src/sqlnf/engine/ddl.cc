@@ -1,0 +1,94 @@
+#include "sqlnf/engine/ddl.h"
+
+namespace sqlnf {
+
+namespace {
+
+std::string ColumnList(const TableSchema& schema, const AttributeSet& set) {
+  std::string out;
+  bool first = true;
+  for (AttributeId a : set) {
+    if (!first) out += ", ";
+    first = false;
+    out += schema.attribute_name(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string EmitCreateTable(const SchemaDesign& design) {
+  const TableSchema& schema = design.table;
+
+  std::vector<std::string> items;  // column and constraint lines
+  std::vector<std::string> notes;  // inexpressible constraints
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    std::string line = schema.attribute_name(a) + " TEXT";
+    if (schema.nfs().Contains(a)) line += " NOT NULL";
+    items.push_back(std::move(line));
+  }
+  bool primary_used = false;
+  for (const KeyConstraint& key : design.sigma.keys()) {
+    const bool null_free = key.attrs.IsSubsetOf(schema.nfs());
+    if (key.is_certain() && null_free && !primary_used) {
+      items.push_back("PRIMARY KEY (" + ColumnList(schema, key.attrs) +
+                      ")");
+      primary_used = true;
+    } else if (key.is_possible() || null_free) {
+      // UNIQUE matches p-key semantics (null-containing rows never
+      // conflict); on null-free columns it is exact for both modes.
+      items.push_back("UNIQUE (" + ColumnList(schema, key.attrs) + ")");
+    } else {
+      // c-key with nullable columns: not declaratively expressible.
+      notes.push_back("-- certain key c<" + ColumnList(schema, key.attrs) +
+                      "> requires trigger-based enforcement "
+                      "(weak similarity)");
+    }
+  }
+
+  std::string out = "CREATE TABLE " + schema.name() + " (\n";
+  for (size_t i = 0; i < items.size(); ++i) {
+    out += "  " + items[i] + (i + 1 < items.size() ? "," : "") + "\n";
+  }
+  out += ");\n";
+  for (const std::string& note : notes) out += note + "\n";
+  for (const auto& fd : design.sigma.fds()) {
+    out += "-- FD " + fd.ToString(schema) +
+           " (not declaratively expressible in SQL)\n";
+  }
+  return out;
+}
+
+std::string EmitDecompositionDdl(const SchemaDesign& design,
+                                 const VrnfResult& result) {
+  std::string out;
+  for (size_t i = 0; i < result.decomposition.components.size(); ++i) {
+    const Component& component = result.decomposition.components[i];
+    auto projected = design.table.Project(
+        component.attrs,
+        component.name.empty()
+            ? design.table.name() + "_" + std::to_string(i)
+            : component.name);
+    if (!projected.ok()) continue;  // validated upstream
+
+    SchemaDesign sub{std::move(projected).value(), {}};
+    for (const KeyConstraint& key : result.component_keys[i]) {
+      // Translate global ids into the projected schema's ids.
+      AttributeSet local;
+      for (AttributeId a : key.attrs) {
+        auto id = sub.table.FindAttribute(design.table.attribute_name(a));
+        if (id.ok()) local.Add(id.value());
+      }
+      sub.sigma.AddKey(KeyConstraint::Certain(local));
+    }
+    out += "-- component " + component.ToString(design.table) +
+           (component.multiset ? "  (multiset projection)"
+                               : "  (set projection)") +
+           "\n";
+    out += EmitCreateTable(sub);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,32 @@
+// SQL DDL emission: turning designs and decompositions into CREATE
+// TABLE statements.
+//
+// NOT NULL columns map directly. Certain keys over null-free columns
+// map to PRIMARY KEY/UNIQUE; possible keys map to UNIQUE (SQL's UNIQUE
+// treats rows with nulls as distinct, which matches p-key semantics for
+// single-occurrence ⊥). Constraints SQL cannot express declaratively
+// (c-keys with nullable columns, FDs) are emitted as comments so the
+// generated schema remains honest.
+
+#ifndef SQLNF_ENGINE_DDL_H_
+#define SQLNF_ENGINE_DDL_H_
+
+#include <string>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+
+namespace sqlnf {
+
+/// CREATE TABLE for one design. All columns are typed TEXT (the library
+/// is type-agnostic); keys become table constraints where expressible.
+std::string EmitCreateTable(const SchemaDesign& design);
+
+/// DDL for every component of a VRNF decomposition of `design`,
+/// including the Theorem-12 keys the decomposition guarantees.
+std::string EmitDecompositionDdl(const SchemaDesign& design,
+                                 const VrnfResult& result);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_DDL_H_

@@ -1,0 +1,85 @@
+#include "sqlnf/engine/enforcer.h"
+
+#include "sqlnf/core/similarity.h"
+
+namespace sqlnf {
+
+IncrementalEnforcer::IncrementalEnforcer(const TableSchema& schema,
+                                         const ConstraintSet& sigma)
+    : schema_(schema) {
+  for (const auto& fd : sigma.fds()) {
+    ConstraintIndex index;
+    index.constraint = fd;
+    index.similarity_attrs = fd.lhs;
+    index.rhs = fd.rhs;
+    index.strong = fd.is_possible();
+    index.stable = fd.lhs.Intersect(schema.nfs());
+    indexes_.push_back(std::move(index));
+  }
+  for (const auto& key : sigma.keys()) {
+    ConstraintIndex index;
+    index.constraint = key;
+    index.similarity_attrs = key.attrs;
+    index.strong = key.is_possible();
+    index.stable = key.attrs.Intersect(schema.nfs());
+    indexes_.push_back(std::move(index));
+  }
+}
+
+size_t IncrementalEnforcer::HashOn(const Tuple& row,
+                                   const AttributeSet& attrs) {
+  size_t h = 0x51ed270b;
+  for (AttributeId a : attrs) h = h * 1099511628211ull + row[a].Hash();
+  return h;
+}
+
+std::optional<Violation> IncrementalEnforcer::Check(
+    const Table& table, const Tuple& row) const {
+  for (AttributeId a : schema_.nfs()) {
+    if (row[a].is_null()) {
+      Violation v;
+      v.row1 = v.row2 = table.num_rows();
+      v.attribute = a;
+      return v;
+    }
+  }
+  for (const ConstraintIndex& index : indexes_) {
+    auto bucket = index.buckets.find(HashOn(row, index.stable));
+    if (bucket == index.buckets.end()) continue;
+    for (int other_id : bucket->second) {
+      const Tuple& other = table.row(other_id);
+      // Hash collisions: confirm exact match on the stable columns.
+      if (!row.EqualOn(other, index.stable)) continue;
+      const AttributeSet rest =
+          index.similarity_attrs.Difference(index.stable);
+      const bool similar = index.strong
+                               ? StronglySimilar(row, other, rest)
+                               : WeaklySimilar(row, other, rest);
+      if (!similar) continue;
+      if (index.rhs.empty() || !row.EqualOn(other, index.rhs)) {
+        return Violation{other_id, table.num_rows(), index.constraint,
+                         std::nullopt};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+void IncrementalEnforcer::Add(const Tuple& row, int row_id) {
+  for (ConstraintIndex& index : indexes_) {
+    // Rows not total on the similarity attrs can still conflict under
+    // weak similarity, but never under strong similarity — skip them
+    // for possible constraints to keep buckets tight.
+    if (index.strong && !row.IsTotal(index.similarity_attrs)) continue;
+    index.buckets[HashOn(row, index.stable)].push_back(row_id);
+  }
+}
+
+void IncrementalEnforcer::Rebuild(const Table& table) {
+  for (ConstraintIndex& index : indexes_) index.buckets.clear();
+  for (int i = 0; i < table.num_rows(); ++i) {
+    Add(table.row(i), i);
+  }
+}
+
+}  // namespace sqlnf

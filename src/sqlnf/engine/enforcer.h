@@ -1,0 +1,66 @@
+// Incremental constraint enforcement with hash indexes.
+//
+// ValidateRowAgainst (catalog.h) probes every stored row per insert.
+// This enforcer maintains, per constraint, a hash index keyed by the
+// row's values on the constraint's STABLE columns — the LHS/key
+// attributes that are schema-level NOT NULL. Two rows can only be
+// (weakly or strongly) similar on the LHS when they agree exactly on
+// those columns, so candidate conflicts live in one bucket; within a
+// bucket the exact pairwise predicate runs. Constraints whose LHS has
+// no NOT NULL attribute keep a single bucket (the theoretical worst
+// case — weak similarity can relate anything through ⊥).
+//
+// Equivalence with the batch semantics is property-tested against
+// constraints/satisfies.h.
+
+#ifndef SQLNF_ENGINE_ENFORCER_H_
+#define SQLNF_ENGINE_ENFORCER_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/table.h"
+
+namespace sqlnf {
+
+/// Incremental checker for one (schema, Σ) pair. The enforcer does not
+/// own the table; feed it every accepted row via Add() (or Rebuild()
+/// after bulk changes).
+class IncrementalEnforcer {
+ public:
+  IncrementalEnforcer(const TableSchema& schema, const ConstraintSet& sigma);
+
+  /// Violation the candidate row would cause against the rows added so
+  /// far, or nullopt when it is safe. `table` must hold exactly the
+  /// rows previously Add()ed (used to fetch conflict partners).
+  std::optional<Violation> Check(const Table& table,
+                                 const Tuple& row) const;
+
+  /// Registers an accepted row (the table's row index `row_id`).
+  void Add(const Tuple& row, int row_id);
+
+  /// Drops all indexed rows and re-adds the table's current rows.
+  void Rebuild(const Table& table);
+
+ private:
+  struct ConstraintIndex {
+    Constraint constraint;
+    AttributeSet similarity_attrs;  // LHS for FDs, attrs for keys
+    AttributeSet rhs;               // empty for keys
+    bool strong = false;            // possible (strong) vs certain (weak)
+    AttributeSet stable;            // similarity_attrs ∩ schema NFS
+    std::unordered_map<size_t, std::vector<int>> buckets;
+  };
+
+  static size_t HashOn(const Tuple& row, const AttributeSet& attrs);
+
+  TableSchema schema_;
+  std::vector<ConstraintIndex> indexes_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_ENFORCER_H_

@@ -1,0 +1,97 @@
+#include "sqlnf/engine/relops.h"
+
+namespace sqlnf {
+
+Table SelectWhere(const Table& table,
+                  const std::function<bool(const Tuple&)>& predicate) {
+  Table out(table.schema());
+  for (const Tuple& t : table.rows()) {
+    if (predicate(t)) {
+      Status st = out.AddRow(t);
+      (void)st;  // same schema, arity always matches
+    }
+  }
+  return out;
+}
+
+Table SelectAll(const Table& table) {
+  return SelectWhere(table, [](const Tuple&) { return true; });
+}
+
+Result<Table> CrossWithSequence(const Table& table, int n,
+                                const std::string& column) {
+  if (n <= 0) return Status::Invalid("sequence length must be positive");
+  std::vector<std::string> names = {column};
+  std::vector<std::string> not_null = {column};
+  for (int i = 0; i < table.num_columns(); ++i) {
+    names.push_back(table.schema().attribute_name(i));
+    if (table.schema().nfs().Contains(i)) {
+      not_null.push_back(table.schema().attribute_name(i));
+    }
+  }
+  SQLNF_ASSIGN_OR_RETURN(
+      TableSchema schema,
+      TableSchema::Make(table.schema().name() + "_x" + std::to_string(n),
+                        names, not_null));
+  Table out(std::move(schema));
+  for (int k = 1; k <= n; ++k) {
+    for (const Tuple& t : table.rows()) {
+      std::vector<Value> row;
+      row.reserve(t.size() + 1);
+      row.push_back(Value::Int(k));
+      for (const Value& v : t.values()) row.push_back(v);
+      SQLNF_RETURN_NOT_OK(out.AddRow(Tuple(std::move(row))));
+    }
+  }
+  return out;
+}
+
+Result<Table> JoinAll(const std::vector<Table>& tables,
+                      const std::string& name) {
+  if (tables.empty()) return Status::Invalid("nothing to join");
+  Table joined = tables[0];
+  for (size_t i = 1; i < tables.size(); ++i) {
+    SQLNF_ASSIGN_OR_RETURN(joined, EqualityJoin(joined, tables[i], name));
+  }
+  return joined;
+}
+
+Result<int> UpdateWhere(Table* table,
+                        const std::function<bool(const Tuple&)>& predicate,
+                        AttributeId column, const Value& value) {
+  if (column < 0 || column >= table->num_columns()) {
+    return Status::Invalid("update column out of range");
+  }
+  if (value.is_null() && table->schema().nfs().Contains(column)) {
+    return Status::FailedPrecondition(
+        "cannot set NOT NULL column '" +
+        table->schema().attribute_name(column) + "' to NULL");
+  }
+  int changed = 0;
+  for (int i = 0; i < table->num_rows(); ++i) {
+    if (!predicate(table->row(i))) continue;
+    if (!((*table->mutable_row(i))[column] == value)) {
+      (*table->mutable_row(i))[column] = value;
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+int DeleteWhere(Table* table,
+                const std::function<bool(const Tuple&)>& predicate) {
+  Table kept(table->schema());
+  int removed = 0;
+  for (const Tuple& t : table->rows()) {
+    if (predicate(t)) {
+      ++removed;
+    } else {
+      Status st = kept.AddRow(t);
+      (void)st;
+    }
+  }
+  *table = std::move(kept);
+  return removed;
+}
+
+}  // namespace sqlnf

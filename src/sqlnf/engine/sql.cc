@@ -1,0 +1,554 @@
+#include "sqlnf/engine/sql.h"
+
+#include <cctype>
+#include <functional>
+
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/string_util.h"
+
+namespace sqlnf {
+
+std::string QueryResult::ToString() const {
+  std::string out = message;
+  if (rows.has_value()) {
+    if (!out.empty()) out += "\n";
+    out += rows->ToString();
+  }
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- lexer
+
+enum class TokenKind { kIdentifier, kString, kNumber, kSymbol, kEnd };
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // identifier (as written), symbol, digits, or
+                      // unescaped string body
+  std::string upper;  // identifier uppercased, for keyword matching
+};
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto push_symbol = [&](std::string s) {
+    out.push_back({TokenKind::kSymbol, std::move(s), ""});
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;  // line comment
+      continue;
+    }
+    if (c == '\'') {
+      std::string body;
+      ++i;
+      bool closed = false;
+      while (i < sql.size()) {
+        if (sql[i] == '\'') {
+          if (i + 1 < sql.size() && sql[i + 1] == '\'') {
+            body += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        body += sql[i++];
+      }
+      if (!closed) return Status::ParseError("unterminated string literal");
+      out.push_back({TokenKind::kString, std::move(body), ""});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::string digits(1, c);
+      ++i;
+      while (i < sql.size() &&
+             std::isdigit(static_cast<unsigned char>(sql[i]))) {
+        digits += sql[i++];
+      }
+      out.push_back({TokenKind::kNumber, std::move(digits), ""});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (i < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '_')) {
+        word += sql[i++];
+      }
+      std::string upper = word;
+      for (char& ch : upper) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+      out.push_back({TokenKind::kIdentifier, std::move(word),
+                     std::move(upper)});
+      continue;
+    }
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '>') {
+      push_symbol("->");
+      i += 2;
+      continue;
+    }
+    if (std::string("(),=;*").find(c) != std::string::npos) {
+      push_symbol(std::string(1, c));
+      ++i;
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' in SQL");
+  }
+  out.push_back({TokenKind::kEnd, "", ""});
+  return out;
+}
+
+// --------------------------------------------------------------- parser
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, Database* db)
+      : tokens_(std::move(tokens)), db_(db) {}
+
+  Result<QueryResult> ParseAndExecute() {
+    if (AcceptKeyword("CREATE")) return Create();
+    if (AcceptKeyword("INSERT")) return Insert();
+    if (AcceptKeyword("SELECT")) return Select();
+    if (AcceptKeyword("UPDATE")) return Update();
+    if (AcceptKeyword("DELETE")) return Delete();
+    if (AcceptKeyword("DROP")) return Drop();
+    if (AcceptKeyword("SHOW")) return Show();
+    if (AcceptKeyword("DESCRIBE")) return Describe();
+    return Status::ParseError("unknown statement: expected CREATE / "
+                              "INSERT / SELECT / UPDATE / DELETE / DROP / "
+                              "SHOW / DESCRIBE");
+  }
+
+ private:
+  // ---- token helpers.
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().kind == TokenKind::kIdentifier && Peek().upper == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw +
+                                ", got '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == s) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) {
+      return Status::ParseError(std::string("expected '") + s +
+                                "', got '" + Peek().text + "'");
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdentifier() {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError("expected identifier, got '" +
+                                Peek().text + "'");
+    }
+    return Next().text;
+  }
+  Result<Value> ExpectLiteral() {
+    if (Peek().kind == TokenKind::kString) return Value::Str(Next().text);
+    if (Peek().kind == TokenKind::kNumber) {
+      return Value::Int(std::stoll(Next().text));
+    }
+    if (Peek().kind == TokenKind::kIdentifier && Peek().upper == "NULL") {
+      ++pos_;
+      return Value::Null();
+    }
+    return Status::ParseError("expected literal, got '" + Peek().text +
+                              "'");
+  }
+  Status ExpectStatementEnd() {
+    AcceptSymbol(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Status::ParseError("trailing input after statement: '" +
+                                Peek().text + "'");
+    }
+    return Status::OK();
+  }
+
+  // Parenthesized comma-separated column-name list (after the '(').
+  Result<std::vector<std::string>> ColumnList() {
+    std::vector<std::string> cols;
+    do {
+      SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      cols.push_back(std::move(col));
+    } while (AcceptSymbol(","));
+    SQLNF_RETURN_NOT_OK(ExpectSymbol(")"));
+    return cols;
+  }
+
+  // ---- statements.
+  Result<QueryResult> Create() {
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+
+    std::vector<std::string> columns;
+    std::vector<std::string> not_null;
+    struct PendingKey {
+      std::vector<std::string> cols;
+      Mode mode;
+      bool primary;
+    };
+    struct PendingFd {
+      std::vector<std::string> lhs, rhs;
+      Mode mode;
+    };
+    std::vector<PendingKey> keys;
+    std::vector<PendingFd> fds;
+
+    do {
+      if (AcceptKeyword("PRIMARY")) {
+        SQLNF_RETURN_NOT_OK(ExpectKeyword("KEY"));
+        SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+        SQLNF_ASSIGN_OR_RETURN(auto cols, ColumnList());
+        keys.push_back({std::move(cols), Mode::kCertain, true});
+      } else if (AcceptKeyword("UNIQUE")) {
+        SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+        SQLNF_ASSIGN_OR_RETURN(auto cols, ColumnList());
+        keys.push_back({std::move(cols), Mode::kPossible, false});
+      } else if (AcceptKeyword("CERTAIN") || AcceptKeyword("POSSIBLE")) {
+        const Mode mode = tokens_[pos_ - 1].upper == "CERTAIN"
+                              ? Mode::kCertain
+                              : Mode::kPossible;
+        if (AcceptKeyword("KEY")) {
+          SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+          SQLNF_ASSIGN_OR_RETURN(auto cols, ColumnList());
+          keys.push_back({std::move(cols), mode, false});
+        } else {
+          SQLNF_RETURN_NOT_OK(ExpectKeyword("FD"));
+          SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+          PendingFd fd;
+          fd.mode = mode;
+          do {
+            SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+            fd.lhs.push_back(std::move(col));
+          } while (AcceptSymbol(","));
+          SQLNF_RETURN_NOT_OK(ExpectSymbol("->"));
+          do {
+            SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+            fd.rhs.push_back(std::move(col));
+          } while (AcceptSymbol(","));
+          SQLNF_RETURN_NOT_OK(ExpectSymbol(")"));
+          fds.push_back(std::move(fd));
+        }
+      } else {
+        // Column definition: name TYPE [NOT NULL].
+        SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        if (Peek().kind == TokenKind::kIdentifier &&
+            (Peek().upper == "TEXT" || Peek().upper == "INTEGER" ||
+             Peek().upper == "VARCHAR" || Peek().upper == "INT")) {
+          ++pos_;  // type is declarative only
+        }
+        if (AcceptKeyword("NOT")) {
+          SQLNF_RETURN_NOT_OK(ExpectKeyword("NULL"));
+          not_null.push_back(col);
+        }
+        columns.push_back(std::move(col));
+      }
+    } while (AcceptSymbol(","));
+    SQLNF_RETURN_NOT_OK(ExpectSymbol(")"));
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+
+    // PRIMARY KEY columns are NOT NULL in SQL.
+    for (const PendingKey& key : keys) {
+      if (!key.primary) continue;
+      for (const std::string& col : key.cols) not_null.push_back(col);
+    }
+    SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                           TableSchema::Make(name, columns, not_null));
+    ConstraintSet sigma;
+    for (const PendingKey& key : keys) {
+      SQLNF_ASSIGN_OR_RETURN(AttributeSet attrs,
+                             schema.ResolveAll(key.cols));
+      sigma.AddKey({attrs, key.mode});
+    }
+    for (const PendingFd& fd : fds) {
+      SQLNF_ASSIGN_OR_RETURN(AttributeSet lhs, schema.ResolveAll(fd.lhs));
+      SQLNF_ASSIGN_OR_RETURN(AttributeSet rhs, schema.ResolveAll(fd.rhs));
+      sigma.AddFd({lhs, rhs, fd.mode});
+    }
+    SQLNF_RETURN_NOT_OK(db_->CreateTable(schema, std::move(sigma)));
+    QueryResult result;
+    result.message = "created table " + name;
+    return result;
+  }
+
+  Result<QueryResult> Insert() {
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("INTO"));
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("VALUES"));
+    int inserted = 0;
+    do {
+      SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> values;
+      do {
+        SQLNF_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+        values.push_back(std::move(v));
+      } while (AcceptSymbol(","));
+      SQLNF_RETURN_NOT_OK(ExpectSymbol(")"));
+      SQLNF_RETURN_NOT_OK(db_->Insert(name, Tuple(std::move(values))));
+      ++inserted;
+    } while (AcceptSymbol(","));
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    QueryResult result;
+    result.affected = inserted;
+    result.message = std::to_string(inserted) + " row(s) inserted";
+    return result;
+  }
+
+  // WHERE col = lit [AND col = lit]* → predicate over `schema`.
+  Result<std::function<bool(const Tuple&)>> WhereClause(
+      const TableSchema& schema) {
+    if (!AcceptKeyword("WHERE")) {
+      return std::function<bool(const Tuple&)>(
+          [](const Tuple&) { return true; });
+    }
+    std::vector<std::pair<AttributeId, Value>> conditions;
+    do {
+      SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+      SQLNF_RETURN_NOT_OK(ExpectSymbol("="));
+      SQLNF_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+      SQLNF_ASSIGN_OR_RETURN(AttributeId id, schema.FindAttribute(col));
+      conditions.emplace_back(id, std::move(v));
+    } while (AcceptKeyword("AND"));
+    return std::function<bool(const Tuple&)>(
+        [conditions](const Tuple& t) {
+          for (const auto& [id, v] : conditions) {
+            if (!(t[id] == v)) return false;
+          }
+          return true;
+        });
+  }
+
+  Result<QueryResult> Select() {
+    // Projection list.
+    bool star = false;
+    std::vector<std::string> cols;
+    if (AcceptSymbol("*")) {
+      star = true;
+    } else {
+      do {
+        SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+        cols.push_back(std::move(col));
+      } while (AcceptSymbol(","));
+    }
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
+    Table current = stored->data;
+    while (AcceptKeyword("NATURAL")) {
+      SQLNF_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+      SQLNF_ASSIGN_OR_RETURN(std::string other, ExpectIdentifier());
+      SQLNF_ASSIGN_OR_RETURN(const StoredTable* right, db_->Find(other));
+      SQLNF_ASSIGN_OR_RETURN(
+          current, EqualityJoin(current, right->data, name + "_join"));
+    }
+    SQLNF_ASSIGN_OR_RETURN(auto predicate, WhereClause(current.schema()));
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+
+    Table filtered(current.schema());
+    for (const Tuple& t : current.rows()) {
+      if (predicate(t)) {
+        SQLNF_RETURN_NOT_OK(filtered.AddRow(t));
+      }
+    }
+    Table output(filtered.schema());
+    if (star) {
+      output = std::move(filtered);
+    } else {
+      // Projection preserving the requested column order.
+      std::vector<AttributeId> ids;
+      std::vector<std::string> names;
+      for (const std::string& col : cols) {
+        SQLNF_ASSIGN_OR_RETURN(AttributeId id,
+                               filtered.schema().FindAttribute(col));
+        ids.push_back(id);
+        names.push_back(col);
+      }
+      SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                             TableSchema::Make("result", names));
+      Table projected(std::move(schema));
+      for (const Tuple& t : filtered.rows()) {
+        std::vector<Value> row;
+        row.reserve(ids.size());
+        for (AttributeId id : ids) row.push_back(t[id]);
+        SQLNF_RETURN_NOT_OK(projected.AddRow(Tuple(std::move(row))));
+      }
+      output = std::move(projected);
+    }
+    QueryResult result;
+    result.affected = output.num_rows();
+    result.message = std::to_string(output.num_rows()) + " row(s)";
+    result.rows = std::move(output);
+    return result;
+  }
+
+  Result<QueryResult> Update() {
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("SET"));
+    SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectSymbol("="));
+    SQLNF_ASSIGN_OR_RETURN(Value value, ExpectLiteral());
+    SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
+    SQLNF_ASSIGN_OR_RETURN(AttributeId column,
+                           stored->data.schema().FindAttribute(col));
+    SQLNF_ASSIGN_OR_RETURN(auto predicate,
+                           WhereClause(stored->data.schema()));
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_ASSIGN_OR_RETURN(int changed,
+                           db_->Update(name, predicate, column, value));
+    QueryResult result;
+    result.affected = changed;
+    result.message = std::to_string(changed) + " row(s) updated";
+    return result;
+  }
+
+  Result<QueryResult> Delete() {
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
+    SQLNF_ASSIGN_OR_RETURN(auto predicate,
+                           WhereClause(stored->data.schema()));
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_ASSIGN_OR_RETURN(int removed, db_->Delete(name, predicate));
+    QueryResult result;
+    result.affected = removed;
+    result.message = std::to_string(removed) + " row(s) deleted";
+    return result;
+  }
+
+  Result<QueryResult> Drop() {
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_RETURN_NOT_OK(db_->DropTable(name));
+    QueryResult result;
+    result.message = "dropped table " + name;
+    return result;
+  }
+
+  Result<QueryResult> Show() {
+    SQLNF_RETURN_NOT_OK(ExpectKeyword("TABLES"));
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
+                           TableSchema::Make("tables", {"name", "rows"}));
+    Table listing(std::move(schema));
+    for (const std::string& name : db_->TableNames()) {
+      auto stored = db_->Find(name);
+      SQLNF_RETURN_NOT_OK(listing.AddRow(Tuple(
+          {Value::Str(name),
+           Value::Int((*stored)->data.num_rows())})));
+    }
+    QueryResult result;
+    result.message = std::to_string(listing.num_rows()) + " table(s)";
+    result.rows = std::move(listing);
+    return result;
+  }
+
+  Result<QueryResult> Describe() {
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
+    const TableSchema& schema = stored->data.schema();
+    SQLNF_ASSIGN_OR_RETURN(
+        TableSchema out_schema,
+        TableSchema::Make("columns", {"column", "not_null"}));
+    Table listing(std::move(out_schema));
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      SQLNF_RETURN_NOT_OK(listing.AddRow(
+          Tuple({Value::Str(schema.attribute_name(a)),
+                 Value::Str(schema.nfs().Contains(a) ? "yes" : "no")})));
+    }
+    QueryResult result;
+    result.message = "constraints: " + stored->sigma.ToString(schema);
+    result.rows = std::move(listing);
+    return result;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  Database* db_;
+};
+
+}  // namespace
+
+Result<QueryResult> SqlSession::Execute(std::string_view statement) {
+  SQLNF_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(statement));
+  return Parser(std::move(tokens), db_).ParseAndExecute();
+}
+
+Result<std::vector<QueryResult>> SqlSession::ExecuteScript(
+    std::string_view script) {
+  std::vector<QueryResult> results;
+  // Split on ';' outside string literals.
+  std::string current;
+  bool in_string = false;
+  auto flush = [&]() -> Status {
+    if (StripAsciiWhitespace(current).empty()) {
+      current.clear();
+      return Status::OK();
+    }
+    // Drop pure-comment statements.
+    bool only_comments = true;
+    for (const std::string& line : SplitString(current, '\n')) {
+      std::string_view stripped = StripAsciiWhitespace(line);
+      if (!stripped.empty() && !StartsWith(stripped, "--")) {
+        only_comments = false;
+        break;
+      }
+    }
+    if (!only_comments) {
+      SQLNF_ASSIGN_OR_RETURN(QueryResult result, Execute(current));
+      results.push_back(std::move(result));
+    }
+    current.clear();
+    return Status::OK();
+  };
+  for (size_t i = 0; i < script.size(); ++i) {
+    char c = script[i];
+    // Skip '--' line comments outside string literals (their content —
+    // apostrophes included — must not affect statement splitting).
+    if (!in_string && c == '-' && i + 1 < script.size() &&
+        script[i + 1] == '-') {
+      while (i < script.size() && script[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      SQLNF_RETURN_NOT_OK(flush());
+      continue;
+    }
+    current += c;
+  }
+  SQLNF_RETURN_NOT_OK(flush());
+  return results;
+}
+
+}  // namespace sqlnf

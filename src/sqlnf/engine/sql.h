@@ -1,0 +1,75 @@
+// A small SQL front end over the constraint-enforcing Database.
+//
+// Supported statements (case-insensitive keywords, ';'-terminated):
+//
+//   CREATE TABLE t (
+//     col TEXT [NOT NULL], ...,
+//     [PRIMARY KEY (cols),]            -- c-key + NOT NULL columns
+//     [UNIQUE (cols),]                 -- possible key p<cols>
+//     [CERTAIN KEY (cols),]            -- c-key c<cols>  (SQL extension)
+//     [POSSIBLE KEY (cols),]           -- p-key          (SQL extension)
+//     [CERTAIN FD (lhs -> rhs),]       -- c-FD           (SQL extension)
+//     [POSSIBLE FD (lhs -> rhs)]       -- p-FD           (SQL extension)
+//   );
+//   INSERT INTO t VALUES (lit, ...) [, (lit, ...)]*;
+//   SELECT * | col[, col]* FROM t [NATURAL JOIN u]* [WHERE col = lit
+//       [AND col = lit]*];
+//   UPDATE t SET col = lit [WHERE ...];
+//   DELETE FROM t [WHERE ...];
+//   DROP TABLE t;
+//   SHOW TABLES;
+//   DESCRIBE t;
+//
+// Literals: 'single-quoted strings' ('' escapes a quote), integers,
+// NULL. Types are declarative only (everything is a Value). WHERE
+// equality is marker equality: col = NULL matches exactly the ⊥ rows
+// (this engine is about schema design, not SQL's three-valued WHERE).
+//
+// The CERTAIN/POSSIBLE clauses are this library's SQL extension: they
+// declare the paper's constraint classes, and the Database enforces
+// them on every write — including certain keys over nullable columns,
+// which standard SQL cannot express declaratively.
+
+#ifndef SQLNF_ENGINE_SQL_H_
+#define SQLNF_ENGINE_SQL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlnf/engine/catalog.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Outcome of one statement.
+struct QueryResult {
+  std::optional<Table> rows;  // SELECT / SHOW / DESCRIBE payload
+  int affected = 0;           // DML row count
+  std::string message;        // human-readable summary
+
+  std::string ToString() const;
+};
+
+/// Executes SQL against a Database. Stateless besides the Database
+/// pointer; statements are independent.
+class SqlSession {
+ public:
+  /// `db` must outlive the session.
+  explicit SqlSession(Database* db) : db_(db) {}
+
+  /// Executes exactly one statement (trailing ';' optional).
+  Result<QueryResult> Execute(std::string_view statement);
+
+  /// Executes a ';'-separated script, stopping at the first error.
+  /// '--' line comments are ignored.
+  Result<std::vector<QueryResult>> ExecuteScript(std::string_view script);
+
+ private:
+  Database* db_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_SQL_H_

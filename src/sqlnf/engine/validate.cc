@@ -1,0 +1,169 @@
+#include "sqlnf/engine/validate.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "sqlnf/core/similarity.h"
+
+namespace sqlnf {
+
+namespace {
+
+// LHS columns that contain no ⊥ anywhere in the instance. Weakly
+// similar rows agree exactly on these, so they partition the pair space.
+AttributeSet InstanceNullFree(const Table& table, const AttributeSet& x) {
+  AttributeSet out = x;
+  for (AttributeId a : x) {
+    for (const Tuple& t : table.rows()) {
+      if (t[a].is_null()) {
+        out.Remove(a);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+size_t HashOn(const Tuple& t, const AttributeSet& x) {
+  size_t h = 0x84222325u;
+  for (AttributeId a : x) h = h * 1099511628211ull + t[a].Hash();
+  return h;
+}
+
+// Buckets row indices by exact values on `group_by` (must be total on
+// those columns for all listed rows).
+std::unordered_map<size_t, std::vector<int>> BucketRows(
+    const Table& table, const AttributeSet& group_by,
+    const std::vector<int>& rows) {
+  std::unordered_map<size_t, std::vector<int>> buckets;
+  buckets.reserve(rows.size());
+  for (int i : rows) {
+    buckets[HashOn(table.row(i), group_by)].push_back(i);
+  }
+  return buckets;
+}
+
+std::vector<int> AllRows(const Table& table) {
+  std::vector<int> rows(table.num_rows());
+  for (int i = 0; i < table.num_rows(); ++i) rows[i] = i;
+  return rows;
+}
+
+// Pairwise check within one bucket: LHS-similarity minus the already
+// grouped columns, then the RHS condition. `rest` is LHS − group
+// columns. Returns the violating pair if any.
+template <typename SimilarFn, typename BadFn>
+std::optional<Violation> ScanBucket(const Table& table,
+                                    const std::vector<int>& bucket,
+                                    const AttributeSet& group_by,
+                                    SimilarFn&& similar, BadFn&& bad) {
+  for (size_t i = 0; i < bucket.size(); ++i) {
+    for (size_t j = i + 1; j < bucket.size(); ++j) {
+      const Tuple& t = table.row(bucket[i]);
+      const Tuple& u = table.row(bucket[j]);
+      // Hash collisions: confirm the grouped columns really match.
+      if (!t.EqualOn(u, group_by)) continue;
+      if (similar(t, u) && bad(t, u)) {
+        return Violation{bucket[i], bucket[j], std::nullopt, std::nullopt};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Violation> FindFdViolationFast(
+    const Table& table, const FunctionalDependency& fd) {
+  std::optional<Violation> violation;
+  if (fd.is_possible()) {
+    // Only rows total on the LHS participate; strong similarity within a
+    // full-LHS bucket is automatic.
+    std::vector<int> rows;
+    for (int i = 0; i < table.num_rows(); ++i) {
+      if (table.row(i).IsTotal(fd.lhs)) rows.push_back(i);
+    }
+    for (auto& [hash, bucket] : BucketRows(table, fd.lhs, rows)) {
+      violation = ScanBucket(
+          table, bucket, fd.lhs,
+          [&](const Tuple& t, const Tuple& u) {
+            return StronglySimilar(t, u, fd.lhs);
+          },
+          [&](const Tuple& t, const Tuple& u) {
+            return !t.EqualOn(u, fd.rhs);
+          });
+      if (violation) break;
+    }
+  } else {
+    const AttributeSet group = InstanceNullFree(table, fd.lhs);
+    const AttributeSet rest = fd.lhs.Difference(group);
+    for (auto& [hash, bucket] : BucketRows(table, group, AllRows(table))) {
+      violation = ScanBucket(
+          table, bucket, group,
+          [&](const Tuple& t, const Tuple& u) {
+            return WeaklySimilar(t, u, rest);
+          },
+          [&](const Tuple& t, const Tuple& u) {
+            return !t.EqualOn(u, fd.rhs);
+          });
+      if (violation) break;
+    }
+  }
+  if (violation) violation->constraint = Constraint(fd);
+  return violation;
+}
+
+std::optional<Violation> FindKeyViolationFast(const Table& table,
+                                              const KeyConstraint& key) {
+  std::optional<Violation> violation;
+  if (key.is_possible()) {
+    std::vector<int> rows;
+    for (int i = 0; i < table.num_rows(); ++i) {
+      if (table.row(i).IsTotal(key.attrs)) rows.push_back(i);
+    }
+    for (auto& [hash, bucket] : BucketRows(table, key.attrs, rows)) {
+      violation = ScanBucket(
+          table, bucket, key.attrs,
+          [&](const Tuple& t, const Tuple& u) {
+            return StronglySimilar(t, u, key.attrs);
+          },
+          [](const Tuple&, const Tuple&) { return true; });
+      if (violation) break;
+    }
+  } else {
+    const AttributeSet group = InstanceNullFree(table, key.attrs);
+    const AttributeSet rest = key.attrs.Difference(group);
+    for (auto& [hash, bucket] : BucketRows(table, group, AllRows(table))) {
+      violation = ScanBucket(
+          table, bucket, group,
+          [&](const Tuple& t, const Tuple& u) {
+            return WeaklySimilar(t, u, rest);
+          },
+          [](const Tuple&, const Tuple&) { return true; });
+      if (violation) break;
+    }
+  }
+  if (violation) violation->constraint = Constraint(key);
+  return violation;
+}
+
+bool ValidateFd(const Table& table, const FunctionalDependency& fd) {
+  return !FindFdViolationFast(table, fd).has_value();
+}
+
+bool ValidateKey(const Table& table, const KeyConstraint& key) {
+  return !FindKeyViolationFast(table, key).has_value();
+}
+
+bool ValidateAll(const Table& table, const ConstraintSet& sigma) {
+  if (!table.CheckNfs().ok()) return false;
+  for (const auto& fd : sigma.fds()) {
+    if (!ValidateFd(table, fd)) return false;
+  }
+  for (const auto& key : sigma.keys()) {
+    if (!ValidateKey(table, key)) return false;
+  }
+  return true;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,43 @@
+// Scalable constraint validation (the Section 7 consistency check).
+//
+// The reference checkers in constraints/satisfies.h are O(n²) over all
+// row pairs. For large instances we exploit that weakly similar tuples
+// must agree EXACTLY on every LHS column that contains no ⊥ anywhere in
+// the instance: hash-partition rows on those columns, then compare pairs
+// only within partitions. For possible (strong) semantics, only rows
+// total on the LHS can participate, and strong similarity within the
+// partition is plain equality — no pair loop at all.
+//
+// Property tests cross-check every validator against the reference.
+
+#ifndef SQLNF_ENGINE_VALIDATE_H_
+#define SQLNF_ENGINE_VALIDATE_H_
+
+#include <optional>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/table.h"
+
+namespace sqlnf {
+
+/// Fast validation of one FD. Matches constraints/satisfies.h exactly.
+bool ValidateFd(const Table& table, const FunctionalDependency& fd);
+
+/// Fast validation of one key.
+bool ValidateKey(const Table& table, const KeyConstraint& key);
+
+/// Fast validation of a whole constraint set (plus the NFS).
+bool ValidateAll(const Table& table, const ConstraintSet& sigma);
+
+/// Like ValidateFd but returns the first violating row pair.
+std::optional<Violation> FindFdViolationFast(const Table& table,
+                                             const FunctionalDependency& fd);
+
+/// Like ValidateKey but returns the first violating row pair.
+std::optional<Violation> FindKeyViolationFast(const Table& table,
+                                              const KeyConstraint& key);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_VALIDATE_H_

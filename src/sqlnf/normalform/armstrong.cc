@@ -1,0 +1,72 @@
+#include "sqlnf/normalform/armstrong.h"
+
+#include <set>
+
+#include "sqlnf/reasoning/closure.h"
+
+namespace sqlnf {
+
+Result<Table> BuildArmstrongRelation(const SchemaDesign& design,
+                                     const ArmstrongOptions& options) {
+  const TableSchema& schema = design.table;
+  if (!(schema.nfs() == schema.all())) {
+    return Status::Invalid(
+        "Armstrong relations are built for the idealized case T_S = T; "
+        "use CounterExample() for per-constraint witnesses on general "
+        "SQL schemata");
+  }
+  const int n = schema.num_attributes();
+  if (n > options.max_attributes) {
+    return Status::OutOfRange("Armstrong construction is exponential; " +
+                              std::to_string(n) + " attributes exceed " +
+                              std::to_string(options.max_attributes));
+  }
+
+  ConstraintSet fds = design.sigma.FdProjection(schema.all());
+  ClosureEngine engine(fds, schema.nfs());
+  // With T_S = T the p- and c-closures coincide; collect the distinct
+  // closures of all subsets.
+  std::set<AttributeSet> closures;
+  const uint64_t full = schema.all().bits();
+  for (uint64_t bits = 0;; bits = (bits - full) & full) {
+    closures.insert(engine.PClosure(AttributeSet::FromBits(bits)));
+    if (bits == full) break;
+  }
+
+  const AttributeSet constant = engine.PClosure(AttributeSet());
+  Table out(schema);
+  int64_t next_value = 1;
+  for (const AttributeSet& closure : closures) {
+    if (closure == schema.all()) {
+      // A block agreeing on everything would be a duplicate pair; one
+      // representative total tuple suffices (added below as part of
+      // some other block's tuples is not guaranteed, so add one).
+      continue;
+    }
+    // Two tuples agreeing exactly on `closure` (block-local shared
+    // values; globally shared on closure(∅)).
+    std::vector<Value> row0(n), row1(n);
+    for (AttributeId a = 0; a < n; ++a) {
+      if (constant.Contains(a)) {
+        row0[a] = row1[a] = Value::Int(0);
+      } else if (closure.Contains(a)) {
+        row0[a] = row1[a] = Value::Int(next_value);
+      } else {
+        row0[a] = Value::Int(next_value + 1);
+        row1[a] = Value::Int(next_value + 2);
+      }
+    }
+    next_value += 3;
+    SQLNF_RETURN_NOT_OK(out.AddRow(Tuple(std::move(row0))));
+    SQLNF_RETURN_NOT_OK(out.AddRow(Tuple(std::move(row1))));
+  }
+  if (out.num_rows() == 0) {
+    // Σ implies every FD (closure(X) = T for all X): any single total
+    // tuple is Armstrong.
+    std::vector<Value> row(n, Value::Int(0));
+    SQLNF_RETURN_NOT_OK(out.AddRow(Tuple(std::move(row))));
+  }
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,37 @@
+// Armstrong relations for the idealized relational special case.
+//
+// An Armstrong relation for (T, Σ) satisfies exactly the FDs implied by
+// Σ: every non-implied FD is violated by some tuple pair. They are the
+// classical tool for communicating constraint sets by example
+// [Armstrong'74; Mannila/Räihä]. For the paper's full SQL class
+// (duplicates + ⊥) single perfect instances need not exist — the
+// per-constraint counterexamples of construction.h cover that need —
+// so this builder requires T_S = T (p/c notions coincide) and targets
+// FDs only.
+//
+// Construction: one two-tuple block per distinct closure of a subset of
+// T, the block agreeing exactly on that closure; blocks use disjoint
+// value ranges except for attributes in closure(∅), which are globally
+// constant. Exponential in |T| (guarded).
+
+#ifndef SQLNF_NORMALFORM_ARMSTRONG_H_
+#define SQLNF_NORMALFORM_ARMSTRONG_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct ArmstrongOptions {
+  int max_attributes = 16;  // 2^|T| closures
+};
+
+/// Builds a (duplicate-free, total) Armstrong relation for the FDs of
+/// `design` (keys are folded in as FDs X → T). Requires T_S = T.
+Result<Table> BuildArmstrongRelation(const SchemaDesign& design,
+                                     const ArmstrongOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NORMALFORM_ARMSTRONG_H_

@@ -1,0 +1,129 @@
+#include "sqlnf/normalform/construction.h"
+
+#include "sqlnf/normalform/normal_forms.h"
+
+namespace sqlnf {
+
+namespace {
+
+// Builds the two-tuple instance with value 0 on `shared`, ⊥ in both
+// rows on `nulled`, ⊥-vs-1 on `half_nulled`, and per-tuple distinct
+// values elsewhere. The four regions must be pairwise disjoint.
+Table BuildTwoTupleWitness(const TableSchema& schema,
+                           const AttributeSet& shared,
+                           const AttributeSet& nulled,
+                           const AttributeSet& half_nulled = {}) {
+  Table out(schema);
+  for (int i = 0; i < 2; ++i) {
+    std::vector<Value> row(schema.num_attributes());
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      if (shared.Contains(a)) {
+        row[a] = Value::Int(0);
+      } else if (nulled.Contains(a)) {
+        row[a] = Value::Null();
+      } else if (half_nulled.Contains(a)) {
+        row[a] = i == 0 ? Value::Null() : Value::Int(1);
+      } else {
+        row[a] = Value::Int(i + 1);  // distinct per tuple, never 0
+      }
+    }
+    Status st = out.AddRow(Tuple(std::move(row)));
+    (void)st;  // arity matches by construction
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> PKeyViolationWitness(const SchemaDesign& design,
+                                   const AttributeSet& x) {
+  Implication imp(design.table, design.sigma);
+  if (imp.Implies(KeyConstraint::Possible(x))) {
+    return Status::FailedPrecondition(
+        "Lemma 2(i) requires that p<X> is NOT implied by Sigma");
+  }
+  const AttributeSet xp = imp.PClosure(x);
+  const AttributeSet x_or_nfs = x.Union(design.table.nfs());
+  return BuildTwoTupleWitness(design.table, xp.Intersect(x_or_nfs),
+                              xp.Difference(x_or_nfs));
+}
+
+Result<Table> CKeyViolationWitness(const SchemaDesign& design,
+                                   const AttributeSet& x) {
+  Implication imp(design.table, design.sigma);
+  if (imp.Implies(KeyConstraint::Certain(x))) {
+    return Status::FailedPrecondition(
+        "Lemma 2(ii) requires that c<X> is NOT implied by Sigma");
+  }
+  const AttributeSet xxc = x.Union(imp.CClosure(x));
+  return BuildTwoTupleWitness(design.table,
+                              xxc.Intersect(design.table.nfs()),
+                              xxc.Difference(design.table.nfs()));
+}
+
+Result<Table> FdViolationWitness(const SchemaDesign& design,
+                                 const FunctionalDependency& fd) {
+  Implication imp(design.table, design.sigma);
+  if (imp.Implies(fd)) {
+    return Status::FailedPrecondition(
+        "FD violation witness requires that the FD is NOT implied");
+  }
+  const AttributeSet nfs = design.table.nfs();
+  if (fd.is_possible()) {
+    // Lemma 2(i) pattern: the pair is strongly similar on X ⊆ X*p and
+    // equal on all of X*p, so Σ holds; any Y-attribute outside X*p
+    // splits.
+    const AttributeSet xp = imp.PClosure(fd.lhs);
+    const AttributeSet x_or_nfs = fd.lhs.Union(nfs);
+    return BuildTwoTupleWitness(design.table, xp.Intersect(x_or_nfs),
+                                xp.Difference(x_or_nfs));
+  }
+  // Certain pattern: equal on X*c (0 on NOT NULL, ⊥⊥ otherwise), and
+  // ⊥-vs-value on the nullable LHS attributes outside X*c — weakly
+  // similar but unequal, which is what defeats internal c-FDs like
+  // a ->w a on nullable a. Σ stays satisfied: the pair's weak-agreement
+  // set is X ∪ X*c and its strong-agreement set is X*c ∩ T_S, exactly
+  // the firing conditions of Algorithm 2.
+  const AttributeSet xc = imp.CClosure(fd.lhs);
+  return BuildTwoTupleWitness(design.table, xc.Intersect(nfs),
+                              xc.Difference(nfs),
+                              fd.lhs.Difference(xc));
+}
+
+Result<Table> CounterExample(const SchemaDesign& design,
+                             const Constraint& constraint) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&constraint)) {
+    return FdViolationWitness(design, *fd);
+  }
+  const KeyConstraint& key = std::get<KeyConstraint>(constraint);
+  return key.is_possible() ? PKeyViolationWitness(design, key.attrs)
+                           : CKeyViolationWitness(design, key.attrs);
+}
+
+Result<RedundancyWitness> MakeRedundancyWitness(const SchemaDesign& design) {
+  std::optional<NormalFormViolation> violation = FindBcnfViolation(design);
+  if (!violation.has_value()) {
+    return Status::FailedPrecondition(
+        "schema is in BCNF, hence in RFNF (Theorem 9): no instance with "
+        "a redundant position exists");
+  }
+  const FunctionalDependency& fd = violation->fd;
+  const AttributeSet nfs = design.table.nfs();
+
+  Table witness(design.table);
+  AttributeSet candidates;  // positions made redundant by fd
+  if (fd.is_possible()) {
+    SQLNF_ASSIGN_OR_RETURN(witness, PKeyViolationWitness(design, fd.lhs));
+    candidates = fd.rhs.Difference(fd.lhs);
+  } else {
+    SQLNF_ASSIGN_OR_RETURN(witness, CKeyViolationWitness(design, fd.lhs));
+    candidates = fd.rhs.Difference(fd.lhs.Intersect(nfs));
+  }
+  if (candidates.empty()) {
+    return Status::Internal("non-trivial FD with no candidate position");
+  }
+  AttributeId column = *candidates.begin();
+  return RedundancyWitness{std::move(witness), Position{0, column}};
+}
+
+}  // namespace sqlnf

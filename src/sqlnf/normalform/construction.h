@@ -1,0 +1,66 @@
+// The Construction Lemma (Lemma 2): canonical two-tuple witnesses.
+//
+// Given Σ ⊭ p⟨X⟩ (resp. Σ ⊭ c⟨X⟩), the lemma constructs a two-tuple
+// instance {t0, t1} over (T, T_S) that satisfies Σ while violating the
+// key — and, when the missing key comes from a BCNF violation, the
+// instance exhibits a redundant position. These witnesses power the
+// semantic justification RFNF ⟺ BCNF (Theorem 9) and our property tests.
+//
+//   (i)  Σ ⊭ p⟨X⟩:  t_i[A] = 0 if A ∈ X*p ∩ (X ∪ T_S)
+//                    t_i[A] = ⊥ if A ∈ X*p − (X ∪ T_S)
+//                    t_i[A] = i otherwise
+//   (ii) Σ ⊭ c⟨X⟩:  t_i[A] = 0 if A ∈ (X ∪ X*c) ∩ T_S
+//                    t_i[A] = ⊥ if A ∈ (X ∪ X*c) − T_S
+//                    t_i[A] = i otherwise
+
+#ifndef SQLNF_NORMALFORM_CONSTRUCTION_H_
+#define SQLNF_NORMALFORM_CONSTRUCTION_H_
+
+#include <optional>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/normalform/redundancy.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Lemma 2(i): a two-tuple instance over (T, T_S) that satisfies Σ and
+/// violates p⟨X⟩. Requires Σ ⊭ p⟨X⟩ (FailedPrecondition otherwise).
+Result<Table> PKeyViolationWitness(const SchemaDesign& design,
+                                   const AttributeSet& x);
+
+/// Lemma 2(ii): a two-tuple instance that satisfies Σ and violates c⟨X⟩.
+/// Requires Σ ⊭ c⟨X⟩.
+Result<Table> CKeyViolationWitness(const SchemaDesign& design,
+                                   const AttributeSet& x);
+
+/// Completeness witnesses for FDs: a two-tuple instance over (T, T_S)
+/// satisfying Σ and violating the given non-implied FD. The p-FD
+/// pattern is Lemma 2(i)'s (shared on X*p, split by T_S ∪ X); the c-FD
+/// pattern additionally stores ⊥ against a value on the nullable LHS
+/// attributes outside X*c, which keeps the pair weakly similar on X
+/// while breaking equality. Requires Σ ⊭ fd (FailedPrecondition
+/// otherwise).
+Result<Table> FdViolationWitness(const SchemaDesign& design,
+                                 const FunctionalDependency& fd);
+
+/// Counterexample for any non-implied constraint: an instance over
+/// (T, T_S, Σ) violating it. This is the semantic "completeness" half
+/// of Theorems 1 and 4, made executable.
+Result<Table> CounterExample(const SchemaDesign& design,
+                             const Constraint& constraint);
+
+/// For a design that violates BCNF: an instance over (T, T_S, Σ) with at
+/// least one redundant position, plus one such position. Returns
+/// FailedPrecondition when the design is in BCNF (no such instance
+/// exists, by Theorem 9).
+struct RedundancyWitness {
+  Table instance;
+  Position position;
+};
+Result<RedundancyWitness> MakeRedundancyWitness(const SchemaDesign& design);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NORMALFORM_CONSTRUCTION_H_

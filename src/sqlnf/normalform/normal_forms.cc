@@ -1,0 +1,65 @@
+#include "sqlnf/normalform/normal_forms.h"
+
+namespace sqlnf {
+
+std::string NormalFormViolation::ToString(const TableSchema& schema) const {
+  return "FD " + fd.ToString(schema) + " holds but key " +
+         missing_key.ToString(schema) + " is not implied";
+}
+
+std::optional<NormalFormViolation> FindBcnfViolation(
+    const SchemaDesign& design) {
+  Implication imp(design.table, design.sigma);
+  const AttributeSet nfs = design.table.nfs();
+  for (const auto& fd : design.sigma.fds()) {
+    if (fd.IsTrivial(nfs)) continue;
+    KeyConstraint required{fd.lhs, fd.mode};
+    if (!imp.Implies(required)) {
+      return NormalFormViolation{fd, required};
+    }
+  }
+  return std::nullopt;
+}
+
+bool IsBcnf(const SchemaDesign& design) {
+  return !FindBcnfViolation(design).has_value();
+}
+
+bool IsRfnf(const SchemaDesign& design) { return IsBcnf(design); }
+
+Result<std::optional<NormalFormViolation>> FindSqlBcnfViolation(
+    const SchemaDesign& design) {
+  if (!design.sigma.AllCertain()) {
+    return Status::Invalid(
+        "SQL-BCNF (Definition 12) is defined for constraint sets of "
+        "certain FDs and certain keys only");
+  }
+  Implication imp(design.table, design.sigma);
+  for (const auto& fd : design.sigma.fds()) {
+    if (fd.IsInternal()) continue;  // internal c-FDs are exempt
+    KeyConstraint required = KeyConstraint::Certain(fd.lhs);
+    if (!imp.Implies(required)) {
+      return std::optional<NormalFormViolation>(
+          NormalFormViolation{fd, required});
+    }
+  }
+  return std::optional<NormalFormViolation>(std::nullopt);
+}
+
+Result<bool> IsSqlBcnf(const SchemaDesign& design) {
+  SQLNF_ASSIGN_OR_RETURN(auto violation, FindSqlBcnfViolation(design));
+  return !violation.has_value();
+}
+
+Result<bool> IsVrnf(const SchemaDesign& design) {
+  return IsSqlBcnf(design);
+}
+
+bool IsIdealizedRelationalCase(const SchemaDesign& design) {
+  if (!(design.table.nfs() == design.table.all())) return false;
+  Implication imp(design.table, design.sigma);
+  // "Some key holds": the whole schema forms a certain key.
+  return imp.Implies(KeyConstraint::Certain(design.table.all()));
+}
+
+}  // namespace sqlnf

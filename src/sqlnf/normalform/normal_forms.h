@@ -1,0 +1,66 @@
+// Syntactic normal forms and their decision procedures.
+//
+//   BCNF     (Definition 5, decided via Theorem 6): every non-trivial
+//            p-FD in Σ has an implied p-key LHS, every non-trivial c-FD
+//            an implied c-key LHS. Quadratic (Theorem 7).
+//   RFNF     (Definition 4): all instances redundancy-free. Equals BCNF
+//            (Theorem 9), hence also quadratic (Theorem 10).
+//   SQL-BCNF (Definition 12, decided via Theorem 14): Σ of c-FDs and
+//            c-keys; every EXTERNAL c-FD in Σ has an implied c-key LHS.
+//   VRNF     (Definition 10): all instances free of value redundancy.
+//            Equals SQL-BCNF (Theorem 15).
+//
+// Both conditions are invariant under equivalent representations of Σ,
+// which is why checking the *given* FDs suffices (Theorems 6/14).
+
+#ifndef SQLNF_NORMALFORM_NORMAL_FORMS_H_
+#define SQLNF_NORMALFORM_NORMAL_FORMS_H_
+
+#include <optional>
+#include <string>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/reasoning/implication.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Why a schema fails BCNF / SQL-BCNF: the offending FD and the key that
+/// would have been required but is not implied.
+struct NormalFormViolation {
+  FunctionalDependency fd;
+  KeyConstraint missing_key;
+
+  std::string ToString(const TableSchema& schema) const;
+};
+
+/// First BCNF violation per Theorem 6, or nullopt when in BCNF.
+std::optional<NormalFormViolation> FindBcnfViolation(
+    const SchemaDesign& design);
+
+/// Definition 5 via Theorem 6; quadratic in the input (Theorem 7).
+bool IsBcnf(const SchemaDesign& design);
+
+/// Redundancy-free normal form — equal to BCNF by Theorem 9.
+bool IsRfnf(const SchemaDesign& design);
+
+/// First SQL-BCNF violation per Theorem 14, or nullopt. Fails
+/// (InvalidArgument) when Σ contains possible constraints — Definition
+/// 12 is stated for c-FDs and c-keys.
+Result<std::optional<NormalFormViolation>> FindSqlBcnfViolation(
+    const SchemaDesign& design);
+
+/// Definition 12 via Theorem 14; quadratic in the input.
+Result<bool> IsSqlBcnf(const SchemaDesign& design);
+
+/// Value-redundancy-free normal form — equal to SQL-BCNF by Theorem 15.
+Result<bool> IsVrnf(const SchemaDesign& design);
+
+/// The idealized relational special case (paper §5.1): all attributes
+/// NOT NULL and some key implied. In that case BCNF here reduces to
+/// classical Boyce-Codd normal form.
+bool IsIdealizedRelationalCase(const SchemaDesign& design);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NORMALFORM_NORMAL_FORMS_H_

@@ -1,0 +1,177 @@
+#include "sqlnf/normalform/projection.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <vector>
+
+#include "sqlnf/normalform/normal_forms.h"
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+
+namespace {
+
+// Enumerates all subsets of `mask` in an order where every proper subset
+// precedes its supersets is NOT guaranteed by the (x-mask)&mask trick;
+// we instead collect subsets and sort by popcount when needed.
+std::vector<uint64_t> SubsetsOf(uint64_t mask) {
+  std::vector<uint64_t> out;
+  uint64_t x = 0;
+  while (true) {
+    out.push_back(x);
+    if (x == mask) break;
+    x = (x - mask) & mask;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ConstraintSet> ProjectSigma(const TableSchema& schema,
+                                   const ConstraintSet& sigma,
+                                   const AttributeSet& x,
+                                   const ProjectionOptions& options) {
+  if (!x.IsSubsetOf(schema.all())) {
+    return Status::Invalid("projection set is not a subset of the schema");
+  }
+  if (x.size() > options.max_attributes) {
+    return Status::OutOfRange(
+        "projection onto " + std::to_string(x.size()) +
+        " attributes exceeds limit " +
+        std::to_string(options.max_attributes) +
+        " (2^|X| closures needed; the problem is co-NP-complete)");
+  }
+
+  Implication imp(schema, sigma);
+  const AttributeSet nfs = schema.nfs();
+  ConstraintSet out;
+
+  // FD cover: keep Y ⊆ X when removing any single attribute of Y
+  // strictly shrinks the X-restricted closure (LHS-minimality); the RHS
+  // is the maximal implied one.
+  for (uint64_t bits : SubsetsOf(x.bits())) {
+    AttributeSet y = AttributeSet::FromBits(bits);
+
+    AttributeSet p_rhs = imp.PClosure(y).Intersect(x);
+    bool p_minimal = true;
+    for (AttributeId a : y) {
+      AttributeSet smaller = y;
+      smaller.Remove(a);
+      if (imp.PClosure(smaller).Intersect(x) == p_rhs) {
+        p_minimal = false;
+        break;
+      }
+    }
+    if (p_minimal) {
+      FunctionalDependency fd = FunctionalDependency::Possible(y, p_rhs);
+      if (!(options.drop_trivial && fd.IsTrivial(nfs)) && !fd.rhs.empty()) {
+        out.AddUniqueFd(fd);
+      }
+    }
+
+    AttributeSet c_rhs = imp.CClosure(y).Intersect(x);
+    bool c_minimal = true;
+    for (AttributeId a : y) {
+      AttributeSet smaller = y;
+      smaller.Remove(a);
+      if (imp.CClosure(smaller).Intersect(x) == c_rhs) {
+        c_minimal = false;
+        break;
+      }
+    }
+    if (c_minimal) {
+      FunctionalDependency fd = FunctionalDependency::Certain(y, c_rhs);
+      if (!(options.drop_trivial && fd.IsTrivial(nfs)) && !fd.rhs.empty()) {
+        out.AddUniqueFd(fd);
+      }
+    }
+  }
+
+  // Key cover: minimal implied keys inside X, per mode.
+  for (Mode mode : {Mode::kPossible, Mode::kCertain}) {
+    std::vector<AttributeSet> minimal;
+    std::vector<uint64_t> subsets = SubsetsOf(x.bits());
+    std::sort(subsets.begin(), subsets.end(),
+              [](uint64_t a, uint64_t b) {
+                int pa = std::popcount(a), pb = std::popcount(b);
+                return pa != pb ? pa < pb : a < b;
+              });
+    for (uint64_t bits : subsets) {
+      AttributeSet y = AttributeSet::FromBits(bits);
+      bool covered = false;
+      for (const AttributeSet& m : minimal) {
+        if (m.IsSubsetOf(y)) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) continue;
+      KeyConstraint key{y, mode};
+      if (imp.Implies(key)) {
+        minimal.push_back(y);
+        out.AddUniqueKey(key);
+      }
+    }
+  }
+  return out;
+}
+
+Result<SchemaDesign> ProjectDesign(const TableSchema& schema,
+                                   const ConstraintSet& sigma,
+                                   const AttributeSet& x,
+                                   std::string new_name,
+                                   const ProjectionOptions& options) {
+  SQLNF_ASSIGN_OR_RETURN(ConstraintSet cover,
+                         ProjectSigma(schema, sigma, x, options));
+  SQLNF_ASSIGN_OR_RETURN(TableSchema projected,
+                         schema.Project(x, std::move(new_name)));
+
+  // Renumber attribute ids: old id -> position within ascending x.
+  std::map<AttributeId, AttributeId> renumber;
+  AttributeId next = 0;
+  for (AttributeId a : x) renumber[a] = next++;
+  auto map_set = [&](const AttributeSet& s) {
+    AttributeSet out_set;
+    for (AttributeId a : s) out_set.Add(renumber.at(a));
+    return out_set;
+  };
+
+  ConstraintSet translated;
+  for (const auto& fd : cover.fds()) {
+    translated.AddFd({map_set(fd.lhs), map_set(fd.rhs), fd.mode});
+  }
+  for (const auto& key : cover.keys()) {
+    translated.AddKey({map_set(key.attrs), key.mode});
+  }
+  return SchemaDesign{std::move(projected), std::move(translated)};
+}
+
+Result<bool> IsProjectionBcnf(const TableSchema& schema,
+                              const ConstraintSet& sigma,
+                              const AttributeSet& x,
+                              const ProjectionOptions& options) {
+  SQLNF_ASSIGN_OR_RETURN(SchemaDesign projected,
+                         ProjectDesign(schema, sigma, x, "proj", options));
+  return IsBcnf(projected);
+}
+
+Result<bool> IsProjectionSqlBcnf(const TableSchema& schema,
+                                 const ConstraintSet& sigma,
+                                 const AttributeSet& x,
+                                 const ProjectionOptions& options) {
+  SQLNF_ASSIGN_OR_RETURN(SchemaDesign projected,
+                         ProjectDesign(schema, sigma, x, "proj", options));
+  // Keep only the certain constraints of the cover (SQL-BCNF's class);
+  // derived possible constraints do not participate in Definition 12.
+  ConstraintSet certain_only;
+  for (const auto& fd : projected.sigma.fds()) {
+    if (fd.is_certain()) certain_only.AddFd(fd);
+  }
+  for (const auto& key : projected.sigma.keys()) {
+    if (key.is_certain()) certain_only.AddKey(key);
+  }
+  return IsSqlBcnf({projected.table, certain_only});
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,61 @@
+// Schema projection (T, T_S, Σ) ↦ (X, X ∩ T_S, Σ[X]).
+//
+// Σ[X] = {Y → Z ∈ Σ+ | YZ ⊆ X} ∪ {(p/c)⟨Y⟩ ∈ Σ+ | Y ⊆ X}  (paper §5.1).
+//
+// We compute a finite COVER of Σ[X]: LHS-minimal FDs with maximal RHS
+// (Y → (Y* ∩ X) for each kept Y), plus the minimal implied keys inside
+// X. The cover is equivalent to Σ[X] over the projected schema: every
+// member of Σ[X] follows from it by L-augmentation and decomposition,
+// and every cover member is in Σ[X] by construction.
+//
+// Deciding BCNF / SQL-BCNF of a projection is co-NP-complete (Theorems
+// 8 and 17); accordingly this enumeration is exponential in |X| and is
+// guarded by a size limit.
+
+#ifndef SQLNF_NORMALFORM_PROJECTION_H_
+#define SQLNF_NORMALFORM_PROJECTION_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct ProjectionOptions {
+  /// Refuse to enumerate when |X| exceeds this (2^|X| closures needed).
+  int max_attributes = 22;
+  /// Drop trivial FDs from the cover (they carry no information).
+  bool drop_trivial = true;
+};
+
+/// A cover of Σ[X] over the ORIGINAL schema's attribute ids (attributes
+/// keep their ids; use TableSchema::Project to renumber if desired).
+Result<ConstraintSet> ProjectSigma(const TableSchema& schema,
+                                   const ConstraintSet& sigma,
+                                   const AttributeSet& x,
+                                   const ProjectionOptions& options = {});
+
+/// The fully projected design (X renumbered, NFS = X ∩ T_S, Σ[X] cover
+/// translated to the new ids).
+Result<SchemaDesign> ProjectDesign(const TableSchema& schema,
+                                   const ConstraintSet& sigma,
+                                   const AttributeSet& x,
+                                   std::string new_name,
+                                   const ProjectionOptions& options = {});
+
+/// Decides whether the projection of (T, T_S, Σ) onto X is in BCNF —
+/// the problem Theorem 8 shows co-NP-complete (hence the exponential
+/// cover computation inside).
+Result<bool> IsProjectionBcnf(const TableSchema& schema,
+                              const ConstraintSet& sigma,
+                              const AttributeSet& x,
+                              const ProjectionOptions& options = {});
+
+/// Same for SQL-BCNF (Theorem 17). Requires a certain-only Σ.
+Result<bool> IsProjectionSqlBcnf(const TableSchema& schema,
+                                 const ConstraintSet& sigma,
+                                 const AttributeSet& x,
+                                 const ProjectionOptions& options = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NORMALFORM_PROJECTION_H_

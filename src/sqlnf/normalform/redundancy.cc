@@ -1,0 +1,94 @@
+#include "sqlnf/normalform/redundancy.h"
+
+#include <string>
+
+#include "sqlnf/constraints/satisfies.h"
+
+namespace sqlnf {
+
+namespace {
+
+// A value guaranteed not to occur anywhere in `table` (genericity proxy
+// for "any domain value not mentioned in I").
+Value FreshValue(const Table& table) {
+  std::string candidate = "__fresh__";
+  bool collision = true;
+  while (collision) {
+    collision = false;
+    for (const Tuple& t : table.rows()) {
+      for (const Value& v : t.values()) {
+        if (!v.is_null() && v.kind() == Value::Kind::kString &&
+            v.str_value() == candidate) {
+          candidate += "_";
+          collision = true;
+          break;
+        }
+      }
+      if (collision) break;
+    }
+  }
+  return Value::Str(candidate);
+}
+
+}  // namespace
+
+bool IsRedundantPosition(const Table& table, const ConstraintSet& sigma,
+                         const Position& pos) {
+  const Value current = table.row(pos.row)[pos.column];
+  const bool nullable = !table.schema().nfs().Contains(pos.column);
+
+  std::vector<Value> candidates;
+  if (nullable && !current.is_null()) candidates.push_back(Value::Null());
+  candidates.push_back(FreshValue(table));
+  for (const Value& v : table.ColumnValues(pos.column)) {
+    if (!(v == current)) candidates.push_back(v);
+  }
+
+  Table probe = table;
+  for (const Value& candidate : candidates) {
+    (*probe.mutable_row(pos.row))[pos.column] = candidate;
+    if (!FindViolation(probe, sigma).has_value()) {
+      return false;  // found a p0-value substitution
+    }
+  }
+  return true;
+}
+
+bool IsValueRedundantPosition(const Table& table, const ConstraintSet& sigma,
+                              const Position& pos) {
+  if (table.row(pos.row)[pos.column].is_null()) return false;
+  return IsRedundantPosition(table, sigma, pos);
+}
+
+std::vector<Position> RedundantPositions(const Table& table,
+                                         const ConstraintSet& sigma) {
+  std::vector<Position> out;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    for (AttributeId c = 0; c < table.num_columns(); ++c) {
+      Position pos{r, c};
+      if (IsRedundantPosition(table, sigma, pos)) out.push_back(pos);
+    }
+  }
+  return out;
+}
+
+std::vector<Position> ValueRedundantPositions(const Table& table,
+                                              const ConstraintSet& sigma) {
+  std::vector<Position> out;
+  for (const Position& pos : RedundantPositions(table, sigma)) {
+    if (!table.row(pos.row)[pos.column].is_null()) out.push_back(pos);
+  }
+  return out;
+}
+
+bool IsRedundancyFreeInstance(const Table& table,
+                              const ConstraintSet& sigma) {
+  return RedundantPositions(table, sigma).empty();
+}
+
+bool IsValueRedundancyFreeInstance(const Table& table,
+                                   const ConstraintSet& sigma) {
+  return ValueRedundantPositions(table, sigma).empty();
+}
+
+}  // namespace sqlnf

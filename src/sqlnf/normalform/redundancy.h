@@ -1,0 +1,67 @@
+// Instance-level data redundancy (Definitions 4 and 10).
+//
+// A position p0 (row, column) of instance I over (T, T_S, Σ) is
+// REDUNDANT when I has no p0-value substitution: no instance I' over
+// (T, T_S, Σ) differing from I exactly at p0. It is VALUE REDUNDANT when
+// it is redundant and its value is not ⊥.
+//
+// Deciding redundancy requires quantifying over infinite domains; we use
+// the standard genericity argument: constraint satisfaction depends only
+// on the equality pattern of values within each column, so it suffices
+// to try (a) ⊥ when the column is nullable, (b) one globally fresh
+// value, and (c) every other distinct value already occurring in the
+// same column. If none yields a satisfying instance, no substitution
+// exists at all.
+//
+// These checkers are the semantic ground truth behind RFNF/VRNF; they
+// are O(candidates · n² · |Σ|) per position and are meant for the small
+// instances used in tests/examples. Decomposition reports use closed
+// formulas instead (decomposition/report.h).
+
+#ifndef SQLNF_NORMALFORM_REDUNDANCY_H_
+#define SQLNF_NORMALFORM_REDUNDANCY_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+
+namespace sqlnf {
+
+/// A cell coordinate in an instance.
+struct Position {
+  int row = 0;
+  AttributeId column = 0;
+
+  bool operator==(const Position&) const = default;
+};
+
+/// Definition 4. Precondition: `table` satisfies `sigma` and its NFS
+/// (otherwise the notion is vacuous — every position trivially lacks a
+/// substitution within the constraint-satisfying instance space).
+bool IsRedundantPosition(const Table& table, const ConstraintSet& sigma,
+                         const Position& pos);
+
+/// Definition 10: redundant and not ⊥.
+bool IsValueRedundantPosition(const Table& table, const ConstraintSet& sigma,
+                              const Position& pos);
+
+/// All redundant positions of the instance (row-major order).
+std::vector<Position> RedundantPositions(const Table& table,
+                                         const ConstraintSet& sigma);
+
+/// All value-redundant positions of the instance.
+std::vector<Position> ValueRedundantPositions(const Table& table,
+                                              const ConstraintSet& sigma);
+
+/// I is redundancy-free (Definition 4).
+bool IsRedundancyFreeInstance(const Table& table,
+                              const ConstraintSet& sigma);
+
+/// I is free from value redundancy (Definition 10).
+bool IsValueRedundancyFreeInstance(const Table& table,
+                                   const ConstraintSet& sigma);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NORMALFORM_REDUNDANCY_H_

@@ -1,0 +1,286 @@
+#include "sqlnf/reasoning/axioms.h"
+
+#include <algorithm>
+
+namespace sqlnf {
+
+const char* RuleName(RuleId rule) {
+  switch (rule) {
+    case RuleId::kPremise:
+      return "premise";
+    case RuleId::kReflexivity:
+      return "R (reflexivity)";
+    case RuleId::kLAugmentation:
+      return "A (L-augmentation)";
+    case RuleId::kStrengthening:
+      return "S (strengthening)";
+    case RuleId::kUnion:
+      return "U (union)";
+    case RuleId::kDecomposition:
+      return "D (decomposition)";
+    case RuleId::kPseudoTransitivity:
+      return "T (pseudo-transitivity)";
+    case RuleId::kNullTransitivity:
+      return "NT (null-transitivity)";
+    case RuleId::kKeyAugmentation:
+      return "kA (key-augmentation)";
+    case RuleId::kKeyStrengthening:
+      return "kS (key-strengthening)";
+    case RuleId::kKeyWeakening:
+      return "kW (key-weakening)";
+    case RuleId::kKeyFdWeakening:
+      return "kfW (key-FD-weakening)";
+    case RuleId::kKeyTransitivity:
+      return "kT (key-transitivity)";
+    case RuleId::kKeyNullTransitivity:
+      return "kNT (key-null-transitivity)";
+  }
+  return "?";
+}
+
+Result<AxiomEngine> AxiomEngine::Saturate(const TableSchema& schema,
+                                          const ConstraintSet& sigma,
+                                          const SaturationLimits& limits) {
+  if (schema.num_attributes() > limits.max_attributes) {
+    return Status::OutOfRange(
+        "axiomatic saturation is exponential; schema has " +
+        std::to_string(schema.num_attributes()) + " attributes, limit is " +
+        std::to_string(limits.max_attributes) +
+        " (use reasoning/implication.h for large schemas)");
+  }
+  AxiomEngine engine(schema);
+  SQLNF_RETURN_NOT_OK(engine.Run(sigma, limits));
+  return engine;
+}
+
+int AxiomEngine::AddFd(const FunctionalDependency& fd, RuleId rule,
+                       std::vector<int> premises) {
+  auto it = fd_index_.find(fd);
+  if (it != fd_index_.end()) return it->second;
+  int idx = static_cast<int>(steps_.size());
+  steps_.push_back({Constraint(fd), rule, std::move(premises)});
+  fd_index_.emplace(fd, idx);
+  changed_ = true;
+  return idx;
+}
+
+int AxiomEngine::AddKey(const KeyConstraint& key, RuleId rule,
+                        std::vector<int> premises) {
+  auto it = key_index_.find(key);
+  if (it != key_index_.end()) return it->second;
+  int idx = static_cast<int>(steps_.size());
+  steps_.push_back({Constraint(key), rule, std::move(premises)});
+  key_index_.emplace(key, idx);
+  changed_ = true;
+  return idx;
+}
+
+Status AxiomEngine::Run(const ConstraintSet& sigma,
+                        const SaturationLimits& limits) {
+  const int n = schema_.num_attributes();
+  const AttributeSet nfs = schema_.nfs();
+  const uint64_t full = AttributeSet::FullSet(n).bits();
+
+  for (const auto& fd : sigma.fds()) AddFd(fd, RuleId::kPremise, {});
+  for (const auto& key : sigma.keys()) AddKey(key, RuleId::kPremise, {});
+
+  // R: ⊢ X →s X for every X ⊆ T.
+  for (uint64_t x = 0;; x = (x - full) & full) {
+    AttributeSet set = AttributeSet::FromBits(x);
+    AddFd(FunctionalDependency::Possible(set, set), RuleId::kReflexivity,
+          {});
+    if (x == full) break;
+  }
+
+  do {
+    changed_ = false;
+    if (steps_.size() > static_cast<size_t>(limits.max_constraints)) {
+      return Status::OutOfRange("axiom saturation exceeded " +
+                                std::to_string(limits.max_constraints) +
+                                " constraints");
+    }
+    // Snapshot the current frontier; new conclusions join next round.
+    std::vector<std::pair<FunctionalDependency, int>> fds(fd_index_.begin(),
+                                                          fd_index_.end());
+    std::vector<std::pair<KeyConstraint, int>> keys(key_index_.begin(),
+                                                    key_index_.end());
+
+    for (const auto& [fd, idx] : fds) {
+      // A: X → Y ⊢ XZ → Y, one attribute at a time (iterated application
+      // reaches every Z).
+      for (AttributeId a = 0; a < n; ++a) {
+        if (fd.lhs.Contains(a)) continue;
+        FunctionalDependency aug = fd;
+        aug.lhs.Add(a);
+        AddFd(aug, RuleId::kLAugmentation, {idx});
+      }
+      // S: X →s Y, X ⊆ T_S ⊢ X →w Y.
+      if (fd.is_possible() && fd.lhs.IsSubsetOf(nfs)) {
+        AddFd(FunctionalDependency::Certain(fd.lhs, fd.rhs),
+              RuleId::kStrengthening, {idx});
+      }
+      // D: X → YZ ⊢ X → Y; singletons suffice (U rebuilds the rest).
+      for (AttributeId a : fd.rhs) {
+        FunctionalDependency dec = fd;
+        dec.rhs = AttributeSet::Single(a);
+        AddFd(dec, RuleId::kDecomposition, {idx});
+      }
+      // kfW needs a key premise; handled in the key loop below.
+    }
+
+    // Binary FD rules: U, T, NT.
+    for (const auto& [f1, i1] : fds) {
+      for (const auto& [f2, i2] : fds) {
+        // U: X → Y, X → Z ⊢ X → YZ (same mode, same LHS).
+        if (f1.mode == f2.mode && f1.lhs == f2.lhs) {
+          AddFd({f1.lhs, f1.rhs.Union(f2.rhs), f1.mode}, RuleId::kUnion,
+                {i1, i2});
+        }
+        // T: X → Y, XY →w Z ⊢ X → Z (second premise certain; first
+        // premise and conclusion share their mode).
+        if (f2.is_certain() && f2.lhs == f1.lhs.Union(f1.rhs)) {
+          AddFd({f1.lhs, f2.rhs, f1.mode}, RuleId::kPseudoTransitivity,
+                {i1, i2});
+        }
+        // NT: X →s Y, XY →s Z, Y ⊆ T_S ⊢ X →s Z.
+        if (f1.is_possible() && f2.is_possible() &&
+            f1.rhs.IsSubsetOf(nfs) && f2.lhs == f1.lhs.Union(f1.rhs)) {
+          AddFd(FunctionalDependency::Possible(f1.lhs, f2.rhs),
+                RuleId::kNullTransitivity, {i1, i2});
+        }
+      }
+    }
+
+    for (const auto& [key, idx] : keys) {
+      // kA: (p/c)⟨X⟩ ⊢ (p/c)⟨XY⟩, one attribute at a time.
+      for (AttributeId a = 0; a < n; ++a) {
+        if (key.attrs.Contains(a)) continue;
+        KeyConstraint aug = key;
+        aug.attrs.Add(a);
+        AddKey(aug, RuleId::kKeyAugmentation, {idx});
+      }
+      // kS: p⟨X⟩, X ⊆ T_S ⊢ c⟨X⟩.
+      if (key.is_possible() && key.attrs.IsSubsetOf(nfs)) {
+        AddKey(KeyConstraint::Certain(key.attrs), RuleId::kKeyStrengthening,
+               {idx});
+      }
+      // kW: c⟨X⟩ ⊢ p⟨X⟩.
+      if (key.is_certain()) {
+        AddKey(KeyConstraint::Possible(key.attrs), RuleId::kKeyWeakening,
+               {idx});
+      }
+      // kfW: (p/c)⟨X⟩ ⊢ X → Y for every Y (mode matches the key's).
+      Mode mode = key.mode;
+      for (uint64_t y = 0;; y = (y - full) & full) {
+        AddFd({key.attrs, AttributeSet::FromBits(y), mode},
+              RuleId::kKeyFdWeakening, {idx});
+        if (y == full) break;
+      }
+    }
+
+    // Interaction rules with both an FD and a key premise: kT, kNT.
+    for (const auto& [fd, fi] : fds) {
+      const AttributeSet xy = fd.lhs.Union(fd.rhs);
+      for (const auto& [key, ki] : keys) {
+        if (key.attrs == xy) {
+          // kT: X → Y, c⟨XY⟩ ⊢ (p/c)⟨X⟩ (conclusion mode = FD mode).
+          if (key.is_certain()) {
+            AddKey({fd.lhs, fd.mode}, RuleId::kKeyTransitivity, {fi, ki});
+          }
+          // kNT: X →s Y, p⟨XY⟩, Y ⊆ T_S ⊢ p⟨X⟩.
+          if (key.is_possible() && fd.is_possible() &&
+              fd.rhs.IsSubsetOf(nfs)) {
+            AddKey(KeyConstraint::Possible(fd.lhs),
+                   RuleId::kKeyNullTransitivity, {fi, ki});
+          }
+        }
+      }
+    }
+  } while (changed_);
+  return Status::OK();
+}
+
+bool AxiomEngine::Derivable(const FunctionalDependency& fd) const {
+  // FDs with an empty RHS hold in every instance; the calculus does not
+  // bother deriving them (see header).
+  if (fd.rhs.empty()) return true;
+  return fd_index_.count(fd) > 0;
+}
+
+bool AxiomEngine::Derivable(const KeyConstraint& key) const {
+  return key_index_.count(key) > 0;
+}
+
+bool AxiomEngine::Derivable(const Constraint& c) const {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    return Derivable(*fd);
+  }
+  return Derivable(std::get<KeyConstraint>(c));
+}
+
+std::vector<FunctionalDependency> AxiomEngine::DerivedFds() const {
+  std::vector<FunctionalDependency> out;
+  out.reserve(fd_index_.size());
+  for (const auto& [fd, idx] : fd_index_) out.push_back(fd);
+  return out;
+}
+
+std::vector<KeyConstraint> AxiomEngine::DerivedKeys() const {
+  std::vector<KeyConstraint> out;
+  out.reserve(key_index_.size());
+  for (const auto& [key, idx] : key_index_) out.push_back(key);
+  return out;
+}
+
+Result<std::string> AxiomEngine::Explain(const Constraint& c) const {
+  int root;
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    auto it = fd_index_.find(*fd);
+    if (it == fd_index_.end()) {
+      return Status::NotFound("constraint is not derivable: " +
+                              ConstraintToString(c, schema_));
+    }
+    root = it->second;
+  } else {
+    auto it = key_index_.find(std::get<KeyConstraint>(c));
+    if (it == key_index_.end()) {
+      return Status::NotFound("constraint is not derivable: " +
+                              ConstraintToString(c, schema_));
+    }
+    root = it->second;
+  }
+
+  // Collect the proof DAG below `root`, then print in step order.
+  std::vector<int> needed;
+  std::vector<bool> seen(steps_.size(), false);
+  std::vector<int> stack = {root};
+  while (!stack.empty()) {
+    int idx = stack.back();
+    stack.pop_back();
+    if (seen[idx]) continue;
+    seen[idx] = true;
+    needed.push_back(idx);
+    for (int p : steps_[idx].premises) stack.push_back(p);
+  }
+  std::sort(needed.begin(), needed.end());
+
+  std::string out;
+  std::map<int, int> renumber;
+  for (size_t line = 0; line < needed.size(); ++line) {
+    renumber[needed[line]] = static_cast<int>(line) + 1;
+  }
+  for (int idx : needed) {
+    const DerivationStep& step = steps_[idx];
+    out += "(" + std::to_string(renumber[idx]) + ") " +
+           ConstraintToString(step.conclusion, schema_) + "   [" +
+           RuleName(step.rule);
+    for (size_t i = 0; i < step.premises.size(); ++i) {
+      out += i == 0 ? ": " : ", ";
+      out += std::to_string(renumber[step.premises[i]]);
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,106 @@
+// The axiom systems of the paper and a saturation-based inference engine.
+//
+//   𝔉  (Table 1): R, A, S, U, D, T, NT        — p-/c-FDs + NOT NULL
+//   𝔎  (Table 2): kA, kS, kW                  — p-/c-keys + NOT NULL
+//   𝔉𝔎 (Table 3): kfW, kT, kNT                — interaction rules
+//
+// Theorem 1 states 𝔉 is sound and complete for FDs; Theorem 4 states
+// 𝔉 ∪ 𝔎 ∪ 𝔉𝔎 is sound and complete for the combined class. The engine
+// here saturates the (finite) constraint space over a schema by forward
+// rule application, records a derivation step for every constraint it
+// derives, and can print human-readable proofs.
+//
+// Saturation is exponential in |T| (the constraint space is
+// 2·4^|T| FDs + 2^{|T|+1} keys); it exists as (a) an explanation tool
+// and (b) the independent oracle against which the linear-time closure
+// procedures are property-tested. Use reasoning/implication.h for
+// production decisions.
+
+#ifndef SQLNF_REASONING_AXIOMS_H_
+#define SQLNF_REASONING_AXIOMS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Identifies the inference rule used by a derivation step.
+enum class RuleId {
+  kPremise,              // member of Σ
+  kReflexivity,          // R:  ⊢ X →s X
+  kLAugmentation,        // A:  X → Y ⊢ XZ → Y
+  kStrengthening,        // S:  X →s Y, X ⊆ T_S ⊢ X →w Y
+  kUnion,                // U:  X → Y, X → Z ⊢ X → YZ
+  kDecomposition,        // D:  X → YZ ⊢ X → Y
+  kPseudoTransitivity,   // T:  X → Y, XY →w Z ⊢ X → Z
+  kNullTransitivity,     // NT: X →s Y, XY →s Z, Y ⊆ T_S ⊢ X →s Z
+  kKeyAugmentation,      // kA: (p/c)⟨X⟩ ⊢ (p/c)⟨XY⟩
+  kKeyStrengthening,     // kS: p⟨X⟩, X ⊆ T_S ⊢ c⟨X⟩
+  kKeyWeakening,         // kW: c⟨X⟩ ⊢ p⟨X⟩
+  kKeyFdWeakening,       // kfW: (p/c)⟨X⟩ ⊢ X → Y
+  kKeyTransitivity,      // kT: X → Y, c⟨XY⟩ ⊢ (p/c)⟨X⟩
+  kKeyNullTransitivity,  // kNT: X →s Y, p⟨XY⟩, Y ⊆ T_S ⊢ p⟨X⟩
+};
+
+const char* RuleName(RuleId rule);
+
+/// One node of a forward-chaining proof.
+struct DerivationStep {
+  Constraint conclusion;
+  RuleId rule = RuleId::kPremise;
+  std::vector<int> premises;  // indices of earlier steps
+};
+
+/// Caps for saturation, to keep the exponential engine usable in tests.
+struct SaturationLimits {
+  int max_attributes = 6;       // refuse larger schemas
+  int max_constraints = 200000; // abort safety valve
+};
+
+/// Forward-chaining saturation of Σ under 𝔉 ∪ 𝔎 ∪ 𝔉𝔎 over (T, T_S).
+class AxiomEngine {
+ public:
+  /// Saturates. Fails (OutOfRange) when the schema exceeds the limits.
+  static Result<AxiomEngine> Saturate(const TableSchema& schema,
+                                      const ConstraintSet& sigma,
+                                      const SaturationLimits& limits = {});
+
+  /// Constraint is in the syntactic closure Σ+.
+  bool Derivable(const Constraint& c) const;
+  bool Derivable(const FunctionalDependency& fd) const;
+  bool Derivable(const KeyConstraint& key) const;
+
+  /// All derived FDs / keys (Σ+ restricted to each kind).
+  std::vector<FunctionalDependency> DerivedFds() const;
+  std::vector<KeyConstraint> DerivedKeys() const;
+
+  /// A linearized proof of `c` (premises before conclusions), rendered
+  /// one step per line; NotFound when `c` is not derivable.
+  Result<std::string> Explain(const Constraint& c) const;
+
+  size_t num_steps() const { return steps_.size(); }
+
+ private:
+  AxiomEngine(TableSchema schema) : schema_(std::move(schema)) {}
+
+  // Returns the step index; creates the step when new.
+  int AddFd(const FunctionalDependency& fd, RuleId rule,
+            std::vector<int> premises);
+  int AddKey(const KeyConstraint& key, RuleId rule,
+             std::vector<int> premises);
+  Status Run(const ConstraintSet& sigma, const SaturationLimits& limits);
+
+  TableSchema schema_;
+  std::vector<DerivationStep> steps_;
+  std::map<FunctionalDependency, int> fd_index_;
+  std::map<KeyConstraint, int> key_index_;
+  bool changed_ = false;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_REASONING_AXIOMS_H_

@@ -1,0 +1,137 @@
+#include "sqlnf/reasoning/closure.h"
+
+#include <algorithm>
+
+namespace sqlnf {
+
+AttributeSet PClosureNaive(const ConstraintSet& sigma,
+                           const AttributeSet& nfs, const AttributeSet& x) {
+  AttributeSet c = x;
+  AttributeSet c_old;
+  do {
+    c_old = c;
+    for (const auto& fd : sigma.fds()) {
+      if (fd.is_certain() && fd.lhs.IsSubsetOf(c)) {
+        c = c.Union(fd.rhs);
+      }
+    }
+    for (const auto& fd : sigma.fds()) {
+      if (fd.is_possible() &&
+          fd.lhs.IsSubsetOf(c.Intersect(nfs).Union(x))) {
+        c = c.Union(fd.rhs);
+      }
+    }
+  } while (!(c == c_old));
+  return c;
+}
+
+AttributeSet CClosureNaive(const ConstraintSet& sigma,
+                           const AttributeSet& nfs, const AttributeSet& x) {
+  AttributeSet c = x.Intersect(nfs);
+  AttributeSet c_old;
+  do {
+    c_old = c;
+    for (const auto& fd : sigma.fds()) {
+      if (fd.is_certain() && fd.lhs.IsSubsetOf(c.Union(x))) {
+        c = c.Union(fd.rhs);
+      }
+    }
+    for (const auto& fd : sigma.fds()) {
+      if (fd.is_possible() && fd.lhs.IsSubsetOf(c.Intersect(nfs))) {
+        c = c.Union(fd.rhs);
+      }
+    }
+  } while (!(c == c_old));
+  return c;
+}
+
+ClosureEngine::ClosureEngine(const ConstraintSet& sigma, AttributeSet nfs)
+    : nfs_(nfs) {
+  for (const auto& fd : sigma.fds()) {
+    fds_.push_back({fd.lhs, fd.rhs, fd.is_possible()});
+    for (AttributeId a : fd.lhs) {
+      num_attrs_ = std::max(num_attrs_, a + 1);
+    }
+    for (AttributeId a : fd.rhs) {
+      num_attrs_ = std::max(num_attrs_, a + 1);
+    }
+  }
+  weak_lists_.assign(num_attrs_, {});
+  strong_lists_.assign(num_attrs_, {});
+  for (int i = 0; i < static_cast<int>(fds_.size()); ++i) {
+    for (AttributeId a : fds_[i].lhs) {
+      (fds_[i].strong ? strong_lists_ : weak_lists_)[a].push_back(i);
+    }
+  }
+}
+
+AttributeSet ClosureEngine::Run(ClosureKind kind,
+                                const AttributeSet& x) const {
+  // Availability sets for the two firing predicates. An FD fires once
+  // every LHS attribute is "available" for its predicate class:
+  //   kP: weak-avail = C,             strong-avail = (C ∩ T_S) ∪ X
+  //   kC: weak-avail = C ∪ X,         strong-avail = C ∩ T_S
+  // C grows monotonically, so both availability sets do too; we track
+  // them explicitly and count down per-FD unmet counters.
+  AttributeSet closure = kind == kP ? x : x.Intersect(nfs_);
+  AttributeSet weak_avail = kind == kP ? closure : x;
+  AttributeSet strong_avail = x.Intersect(nfs_);
+  if (kind == kP) strong_avail = strong_avail.Union(x);  // (C∩T_S) ∪ X ⊇ X
+
+  std::vector<int> unmet(fds_.size());
+  std::vector<int> ready;  // FD indices whose counter reached zero
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    const AttributeSet avail = fds_[i].strong ? strong_avail : weak_avail;
+    unmet[i] = fds_[i].lhs.Difference(avail).size();
+    if (unmet[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+
+  // Events: attribute becomes weakly / strongly available.
+  std::vector<std::pair<AttributeId, bool>> events;  // (attr, strong?)
+  auto add_to_closure = [&](AttributeId a) {
+    if (closure.Contains(a)) return;
+    closure.Add(a);
+    // C gained `a`; derive availability transitions.
+    bool now_weak = kind == kP ? true /* weak-avail = C */
+                               : true /* weak-avail = C ∪ X ∋ a */;
+    bool now_strong = nfs_.Contains(a);  // both predicates need A ∈ T_S
+                                         // once past the initial X seed
+    if (now_weak && !weak_avail.Contains(a)) {
+      weak_avail.Add(a);
+      events.emplace_back(a, false);
+    }
+    if (now_strong && !strong_avail.Contains(a)) {
+      strong_avail.Add(a);
+      events.emplace_back(a, true);
+    }
+  };
+
+  while (!ready.empty() || !events.empty()) {
+    while (!ready.empty()) {
+      int fd_idx = ready.back();
+      ready.pop_back();
+      for (AttributeId a : fds_[fd_idx].rhs) add_to_closure(a);
+    }
+    if (!events.empty()) {
+      auto [a, strong] = events.back();
+      events.pop_back();
+      if (a < num_attrs_) {
+        const auto& list = strong ? strong_lists_[a] : weak_lists_[a];
+        for (int fd_idx : list) {
+          if (--unmet[fd_idx] == 0) ready.push_back(fd_idx);
+        }
+      }
+    }
+  }
+  return closure;
+}
+
+AttributeSet ClosureEngine::PClosure(const AttributeSet& x) const {
+  return Run(kP, x);
+}
+
+AttributeSet ClosureEngine::CClosure(const AttributeSet& x) const {
+  return Run(kC, x);
+}
+
+}  // namespace sqlnf

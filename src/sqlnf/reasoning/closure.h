@@ -1,0 +1,85 @@
+// Attribute closures for possible and certain FDs (Definition 2,
+// Algorithms 1 and 2, Theorem 3).
+//
+//   X*p = {A ∈ T | Σ ⊨ X →s A}   (p-closure)
+//   X*c = {A ∈ T | Σ ⊨ X →w A}   (c-closure)
+//
+// Unlike relational attribute closures, neither operator is a closure
+// operator: X*c need not contain X, and (X*p)*p = X*p can fail. What does
+// hold (Lemma 1): monotonicity, X ∪ X*c ⊆ X*p, (X*c)*c ⊆ X*c, and
+// (X*p)*c ⊆ X*p.
+//
+// Two implementations are provided:
+//  * PClosureNaive / CClosureNaive — the repeat-until loops of
+//    Algorithms 1/2, verbatim; quadratic, used as the testing oracle.
+//  * ClosureEngine — the linear-time variant using the Beeri/Bernstein
+//    counter technique: one unmet-attribute counter per FD and
+//    per-attribute firing lists, specialized to the two availability
+//    predicates each algorithm uses:
+//      Alg.1 (p):  weak FD fires when LHS ⊆ C;
+//                  strong FD fires when LHS ⊆ (C ∩ T_S) ∪ X.
+//      Alg.2 (c):  C starts at X ∩ T_S; weak FD fires when LHS ⊆ C ∪ X;
+//                  strong FD fires when LHS ⊆ C ∩ T_S.
+//
+// Keys in Σ must be converted to FDs first (ConstraintSet::FdProjection);
+// the functions below accept FD-only views and assert on keys.
+
+#ifndef SQLNF_REASONING_CLOSURE_H_
+#define SQLNF_REASONING_CLOSURE_H_
+
+#include <vector>
+
+#include "sqlnf/constraints/constraint.h"
+
+namespace sqlnf {
+
+/// Algorithm 1, literal transcription. `sigma` may contain keys; they are
+/// ignored (callers should pass Σ|FD for the combined class).
+AttributeSet PClosureNaive(const ConstraintSet& sigma,
+                           const AttributeSet& nfs, const AttributeSet& x);
+
+/// Algorithm 2, literal transcription.
+AttributeSet CClosureNaive(const ConstraintSet& sigma,
+                           const AttributeSet& nfs, const AttributeSet& x);
+
+/// Linear-time closure computation over a fixed (Σ|FD, T_S).
+///
+/// Construction indexes the FDs once; each Closure() call runs in
+/// O(|Σ| + |T|) — linear in the total input size, matching Theorem 3.
+/// The engine is reusable across many queries (normal-form checks issue
+/// one closure per input FD).
+class ClosureEngine {
+ public:
+  /// Indexes the FDs of `sigma` (keys, if any, are ignored — convert
+  /// them with FdProjection first when reasoning about the combined
+  /// class).
+  ClosureEngine(const ConstraintSet& sigma, AttributeSet nfs);
+
+  /// X*p (Algorithm 1 semantics).
+  AttributeSet PClosure(const AttributeSet& x) const;
+
+  /// X*c (Algorithm 2 semantics).
+  AttributeSet CClosure(const AttributeSet& x) const;
+
+ private:
+  enum ClosureKind { kP, kC };
+  AttributeSet Run(ClosureKind kind, const AttributeSet& x) const;
+
+  struct FdEntry {
+    AttributeSet lhs;
+    AttributeSet rhs;
+    bool strong;  // true for →s (p-FD), false for →w (c-FD)
+  };
+
+  AttributeSet nfs_;
+  std::vector<FdEntry> fds_;
+  // For each attribute id, indices of FDs whose LHS contains it, split
+  // by arrow kind (weak-firing FDs listen to weak availability etc.).
+  std::vector<std::vector<int>> weak_lists_;    // per-attribute, →w FDs
+  std::vector<std::vector<int>> strong_lists_;  // per-attribute, →s FDs
+  int num_attrs_ = 0;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_REASONING_CLOSURE_H_

@@ -1,0 +1,76 @@
+#include "sqlnf/reasoning/cover.h"
+
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+
+ConstraintSet MinimizeLhs(const TableSchema& schema,
+                          const ConstraintSet& sigma) {
+  ConstraintSet out = sigma;
+  for (auto& fd : *out.mutable_fds()) {
+    // Shrinking an LHS strengthens the FD, so the result still implies
+    // the original (by L-augmentation); checking the shrunk FD against
+    // the ORIGINAL Σ keeps the set equivalent.
+    for (AttributeId a : fd.lhs) {
+      FunctionalDependency candidate = fd;
+      candidate.lhs.Remove(a);
+      if (Implies(schema, sigma, candidate)) {
+        fd.lhs = candidate.lhs;
+      }
+    }
+  }
+  return out;
+}
+
+ConstraintSet MinimizeKeys(const TableSchema& schema,
+                           const ConstraintSet& sigma) {
+  ConstraintSet out = sigma;
+  for (auto& key : *out.mutable_keys()) {
+    for (AttributeId a : key.attrs) {
+      KeyConstraint candidate = key;
+      candidate.attrs.Remove(a);
+      if (Implies(schema, sigma, candidate)) {
+        key.attrs = candidate.attrs;
+      }
+    }
+  }
+  return out;
+}
+
+ConstraintSet RemoveRedundant(const TableSchema& schema,
+                              const ConstraintSet& sigma) {
+  ConstraintSet kept = sigma;
+  // FDs: try dropping each in turn against the current remainder.
+  for (size_t i = 0; i < kept.fds().size();) {
+    ConstraintSet without = kept;
+    without.mutable_fds()->erase(without.mutable_fds()->begin() + i);
+    if (Implies(schema, without, kept.fds()[i])) {
+      kept = without;
+    } else {
+      ++i;
+    }
+  }
+  for (size_t i = 0; i < kept.keys().size();) {
+    ConstraintSet without = kept;
+    without.mutable_keys()->erase(without.mutable_keys()->begin() + i);
+    if (Implies(schema, without, kept.keys()[i])) {
+      kept = without;
+    } else {
+      ++i;
+    }
+  }
+  return kept;
+}
+
+ConstraintSet ReducedCover(const TableSchema& schema,
+                           const ConstraintSet& sigma) {
+  ConstraintSet out = MinimizeLhs(schema, sigma);
+  out = MinimizeKeys(schema, out);
+  // Deduplicate before redundancy removal to keep the scan cheap.
+  ConstraintSet dedup;
+  for (const auto& fd : out.fds()) dedup.AddUniqueFd(fd);
+  for (const auto& key : out.keys()) dedup.AddUniqueKey(key);
+  return RemoveRedundant(schema, dedup);
+}
+
+}  // namespace sqlnf

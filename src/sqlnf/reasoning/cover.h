@@ -1,0 +1,38 @@
+// Covers: equivalent, smaller representations of a constraint set.
+//
+// Normal-form conditions are invariant under equivalent representations
+// of Σ (paper, Section 5.1), so it is safe — and useful for reporting —
+// to minimize Σ before analysis. We provide the standard notions lifted
+// to the combined class: LHS-minimization of FDs, removal of implied
+// constraints, and a canonical(-ish) cover combining both.
+
+#ifndef SQLNF_REASONING_COVER_H_
+#define SQLNF_REASONING_COVER_H_
+
+#include "sqlnf/constraints/constraint.h"
+
+namespace sqlnf {
+
+/// Replaces each FD's LHS with a minimal subset that still implies the
+/// FD under Σ (keeping Σ equivalent throughout). Deterministic: removal
+/// candidates are tried in ascending attribute order.
+ConstraintSet MinimizeLhs(const TableSchema& schema,
+                          const ConstraintSet& sigma);
+
+/// Shrinks each key's attribute set to a minimal subset that is still
+/// implied by Σ, keeping equivalence.
+ConstraintSet MinimizeKeys(const TableSchema& schema,
+                           const ConstraintSet& sigma);
+
+/// Drops constraints implied by the remaining ones (first-to-last scan).
+ConstraintSet RemoveRedundant(const TableSchema& schema,
+                              const ConstraintSet& sigma);
+
+/// MinimizeLhs + MinimizeKeys + RemoveRedundant + deduplication. The
+/// result is equivalent to `sigma` over (T, T_S).
+ConstraintSet ReducedCover(const TableSchema& schema,
+                           const ConstraintSet& sigma);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_REASONING_COVER_H_

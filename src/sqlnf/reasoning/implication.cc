@@ -1,0 +1,89 @@
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+
+bool KeyImpliedByKeysAlone(const std::vector<KeyConstraint>& keys,
+                           const AttributeSet& nfs,
+                           const KeyConstraint& query) {
+  for (const KeyConstraint& k : keys) {
+    if (!k.attrs.IsSubsetOf(query.attrs)) continue;
+    if (query.mode == Mode::kPossible) {
+      // kW + kA: any key (possible or certain) on a subset suffices.
+      return true;
+    }
+    // Certain query: a certain key on a subset (kA), or a possible key
+    // on a null-free subset (kS + kA).
+    if (k.is_certain() || k.attrs.IsSubsetOf(nfs)) return true;
+  }
+  return false;
+}
+
+Implication::Implication(const TableSchema& schema,
+                         const ConstraintSet& sigma)
+    : schema_(schema),
+      sigma_(sigma),
+      fd_projection_(sigma.FdProjection(schema.all())),
+      engine_(fd_projection_, schema.nfs()) {}
+
+bool Implication::Implies(const FunctionalDependency& fd) const {
+  if (fd.is_possible()) {
+    return fd.rhs.IsSubsetOf(engine_.PClosure(fd.lhs));
+  }
+  return fd.rhs.IsSubsetOf(engine_.CClosure(fd.lhs));
+}
+
+bool Implication::Implies(const KeyConstraint& key) const {
+  const AttributeSet& nfs = schema_.nfs();
+  const std::vector<KeyConstraint>& keys = sigma_.keys();
+  if (key.is_possible()) {
+    // (i): Σ ⊨ p⟨X⟩ iff Σ|key ⊨ c⟨X*p⟩ or Σ|key ⊨ p⟨X(X*p ∩ T_S)⟩.
+    AttributeSet xp = engine_.PClosure(key.attrs);
+    if (KeyImpliedByKeysAlone(keys, nfs, KeyConstraint::Certain(xp))) {
+      return true;
+    }
+    AttributeSet augmented = key.attrs.Union(xp.Intersect(nfs));
+    return KeyImpliedByKeysAlone(keys, nfs,
+                                 KeyConstraint::Possible(augmented));
+  }
+  // (ii): Σ ⊨ c⟨X⟩ iff Σ|key ⊨ c⟨X ∪ X*c⟩.
+  AttributeSet xc = engine_.CClosure(key.attrs);
+  return KeyImpliedByKeysAlone(
+      keys, nfs, KeyConstraint::Certain(key.attrs.Union(xc)));
+}
+
+bool Implication::Implies(const Constraint& c) const {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    return Implies(*fd);
+  }
+  return Implies(std::get<KeyConstraint>(c));
+}
+
+bool Implies(const TableSchema& schema, const ConstraintSet& sigma,
+             const FunctionalDependency& fd) {
+  return Implication(schema, sigma).Implies(fd);
+}
+
+bool Implies(const TableSchema& schema, const ConstraintSet& sigma,
+             const KeyConstraint& key) {
+  return Implication(schema, sigma).Implies(key);
+}
+
+bool Implies(const TableSchema& schema, const ConstraintSet& sigma,
+             const Constraint& c) {
+  return Implication(schema, sigma).Implies(c);
+}
+
+bool EquivalentSigmas(const TableSchema& schema, const ConstraintSet& s1,
+                      const ConstraintSet& s2) {
+  Implication imp1(schema, s1);
+  Implication imp2(schema, s2);
+  for (const Constraint& c : s2.All()) {
+    if (!imp1.Implies(c)) return false;
+  }
+  for (const Constraint& c : s1.All()) {
+    if (!imp2.Implies(c)) return false;
+  }
+  return true;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,79 @@
+// Implication for the combined class of p-FDs, c-FDs, p-keys, c-keys,
+// and NOT NULL constraints (Theorems 2, 4, 5).
+//
+// The decision procedure follows the paper's two reductions
+// (Definition 3 and the discussion around it):
+//
+//  FD query:   Σ ⊨ X →s Y  ⟺  Y ⊆ X*p w.r.t. Σ|FD
+//              Σ ⊨ X →w Y  ⟺  Y ⊆ X*c w.r.t. Σ|FD
+//  Key query:  Σ ⊨ p⟨X⟩  ⟺  Σ|key ⊨𝔎 c⟨X*p⟩  or  Σ|key ⊨𝔎 p⟨X(X*p ∩ T_S)⟩
+//              Σ ⊨ c⟨X⟩  ⟺  Σ|key ⊨𝔎 c⟨X X*c⟩
+//  where ⊨𝔎 is implication of keys by keys alone (axioms 𝔎, Table 2):
+//              keys ⊨𝔎 p⟨X⟩ ⟺ ∃ (p/c)⟨Z⟩ ∈ keys with Z ⊆ X
+//              keys ⊨𝔎 c⟨X⟩ ⟺ ∃ c⟨Z⟩ ∈ keys with Z ⊆ X,
+//                               or ∃ p⟨Z⟩ ∈ keys with Z ⊆ X and Z ⊆ T_S
+//
+// All decisions run in time linear in the input (Theorem 5).
+
+#ifndef SQLNF_REASONING_IMPLICATION_H_
+#define SQLNF_REASONING_IMPLICATION_H_
+
+#include <memory>
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/reasoning/closure.h"
+
+namespace sqlnf {
+
+/// Decides key implication by keys alone under the 𝔎 axioms.
+bool KeyImpliedByKeysAlone(const std::vector<KeyConstraint>& keys,
+                           const AttributeSet& nfs,
+                           const KeyConstraint& query);
+
+/// Implication engine over a fixed schema (T, T_S) and Σ.
+///
+/// Builds the FD-projection Σ|FD and its linear-time closure engine once;
+/// answers any number of implication queries.
+class Implication {
+ public:
+  Implication(const TableSchema& schema, const ConstraintSet& sigma);
+
+  /// X*p with respect to Σ|FD.
+  AttributeSet PClosure(const AttributeSet& x) const {
+    return engine_.PClosure(x);
+  }
+  /// X*c with respect to Σ|FD.
+  AttributeSet CClosure(const AttributeSet& x) const {
+    return engine_.CClosure(x);
+  }
+
+  bool Implies(const FunctionalDependency& fd) const;
+  bool Implies(const KeyConstraint& key) const;
+  bool Implies(const Constraint& c) const;
+
+  const TableSchema& schema() const { return schema_; }
+  const ConstraintSet& sigma() const { return sigma_; }
+
+ private:
+  TableSchema schema_;
+  ConstraintSet sigma_;
+  ConstraintSet fd_projection_;
+  ClosureEngine engine_;
+};
+
+/// One-shot convenience wrappers (build an Implication internally).
+bool Implies(const TableSchema& schema, const ConstraintSet& sigma,
+             const FunctionalDependency& fd);
+bool Implies(const TableSchema& schema, const ConstraintSet& sigma,
+             const KeyConstraint& key);
+bool Implies(const TableSchema& schema, const ConstraintSet& sigma,
+             const Constraint& c);
+
+/// Σ1 and Σ2 are equivalent (same instances, equivalently the same
+/// syntactic closure Σ+) over (T, T_S).
+bool EquivalentSigmas(const TableSchema& schema, const ConstraintSet& s1,
+                      const ConstraintSet& s2);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_REASONING_IMPLICATION_H_

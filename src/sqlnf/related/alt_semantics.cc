@@ -1,0 +1,135 @@
+#include "sqlnf/related/alt_semantics.h"
+
+#include <algorithm>
+
+namespace sqlnf {
+
+const char* ThreeValuedToString(ThreeValued v) {
+  switch (v) {
+    case ThreeValued::kFalse:
+      return "F";
+    case ThreeValued::kUnknown:
+      return "unk";
+    case ThreeValued::kTrue:
+      return "T";
+  }
+  return "?";
+}
+
+namespace {
+
+// Three-valued equality of one attribute pair: unknown when ⊥ involved.
+ThreeValued Eq3(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return ThreeValued::kUnknown;
+  return a == b ? ThreeValued::kTrue : ThreeValued::kFalse;
+}
+
+// Kleene conjunction over a set of attributes.
+ThreeValued And3(const Tuple& t, const Tuple& u, const AttributeSet& x) {
+  ThreeValued acc = ThreeValued::kTrue;
+  for (AttributeId a : x) {
+    acc = std::min(acc, Eq3(t[a], u[a]));
+    if (acc == ThreeValued::kFalse) break;
+  }
+  return acc;
+}
+
+// Łukasiewicz implication: numeric min(1, 1 − p + q) over {0, ½, 1}.
+ThreeValued Implies3(ThreeValued p, ThreeValued q) {
+  int val = 2 - static_cast<int>(p) + static_cast<int>(q);
+  return static_cast<ThreeValued>(std::min(val, 2));
+}
+
+// Replacement-world FD check: the replacement only affects LHS
+// matching; RHS equality is evaluated on the ORIGINAL tuples (⊥ as a
+// marker). This is what makes internal c-FDs like Example 1's
+// nd ->w d meaningful: completing a ⊥ dob can force two rows to match
+// on the LHS while their stored dobs (⊥ vs a date) still differ.
+bool ReplacementWorldSatisfies(const Table& world, const Table& original,
+                               const AttributeSet& lhs,
+                               const AttributeSet& rhs) {
+  const int n = world.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (world.row(i).EqualOn(world.row(j), lhs) &&
+          !original.row(i).EqualOn(original.row(j), rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ThreeValued VassiliouFd(const Table& table, const AttributeSet& lhs,
+                        const AttributeSet& rhs) {
+  ThreeValued acc = ThreeValued::kTrue;
+  const int n = table.num_rows();
+  for (int i = 0; i < n && acc != ThreeValued::kFalse; ++i) {
+    for (int j = 0; j < n; ++j) {  // ordered pairs, reflexive included
+      const Tuple& t = table.row(i);
+      const Tuple& u = table.row(j);
+      acc = std::min(acc, Implies3(And3(t, u, lhs), And3(t, u, rhs)));
+      if (acc == ThreeValued::kFalse) break;
+    }
+  }
+  return acc;
+}
+
+Result<bool> LeveneLoizouWeakFd(const Table& table, const AttributeSet& lhs,
+                                const AttributeSet& rhs,
+                                const WorldLimits& limits) {
+  return HoldsInSomeCompletion(table, lhs, rhs, limits);
+}
+
+Result<bool> LeveneLoizouStrongFd(const Table& table,
+                                  const AttributeSet& lhs,
+                                  const AttributeSet& rhs,
+                                  const WorldLimits& limits) {
+  return HoldsInEveryCompletion(table, lhs, rhs, limits);
+}
+
+Result<bool> SomeLhsReplacementSatisfies(const Table& table,
+                                         const AttributeSet& lhs,
+                                         const AttributeSet& rhs,
+                                         const WorldLimits& limits) {
+  bool found = false;
+  SQLNF_ASSIGN_OR_RETURN(
+      long long visited,
+      ForEachCompletion(table, lhs,
+                        [&](const Table& world) {
+                          if (ReplacementWorldSatisfies(world, table, lhs,
+                                                        rhs)) {
+                            found = true;
+                            return false;
+                          }
+                          return true;
+                        },
+                        limits));
+  (void)visited;
+  return found;
+}
+
+Result<bool> EveryLhsReplacementSatisfies(const Table& table,
+                                          const AttributeSet& lhs,
+                                          const AttributeSet& rhs,
+                                          const WorldLimits& limits) {
+  bool all = true;
+  SQLNF_ASSIGN_OR_RETURN(
+      long long visited,
+      ForEachCompletion(table, lhs,
+                        [&](const Table& world) {
+                          if (!ReplacementWorldSatisfies(world, table, lhs,
+                                                         rhs)) {
+                            all = false;
+                            return false;
+                          }
+                          return true;
+                        },
+                        limits));
+  (void)visited;
+  return all;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,64 @@
+// Alternative FD semantics from the literature (paper Section 3,
+// Example 2), for comparison against possible/certain FDs:
+//
+//  * Vassiliou [39]: three-valued satisfaction. Per ordered tuple pair
+//    (reflexive pairs included) the implication  t[X]=t'[X] ⇒ t[Y]=t'[Y]
+//    is evaluated in Łukasiewicz three-valued logic, where an atomic
+//    comparison involving ⊥ is `unknown`; the FD's value is the minimum
+//    over all pairs (holds / may hold / does not hold).
+//  * Levene/Loizou [24]: weak FDs (hold in SOME possible world) and
+//    strong FDs (hold in EVERY possible world) under the
+//    "value unknown at present" completion semantics.
+//  * LHS-replacement characterizations of Lien's possible FDs and this
+//    paper's certain FDs: X →s Y holds iff SOME replacement of the ⊥
+//    occurrences in the X-columns satisfies the FD classically;
+//    X →w Y holds iff EVERY such replacement does.
+
+#ifndef SQLNF_RELATED_ALT_SEMANTICS_H_
+#define SQLNF_RELATED_ALT_SEMANTICS_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/related/possible_worlds.h"
+
+namespace sqlnf {
+
+enum class ThreeValued { kFalse, kUnknown, kTrue };
+
+const char* ThreeValuedToString(ThreeValued v);
+
+/// Vassiliou's three-valued FD satisfaction (Łukasiewicz, reflexive
+/// pairs included).
+ThreeValued VassiliouFd(const Table& table, const AttributeSet& lhs,
+                        const AttributeSet& rhs);
+
+/// Levene/Loizou weak FD: the classical FD holds in some completion.
+Result<bool> LeveneLoizouWeakFd(const Table& table, const AttributeSet& lhs,
+                                const AttributeSet& rhs,
+                                const WorldLimits& limits = {});
+
+/// Levene/Loizou strong FD: the classical FD holds in every completion.
+Result<bool> LeveneLoizouStrongFd(const Table& table,
+                                  const AttributeSet& lhs,
+                                  const AttributeSet& rhs,
+                                  const WorldLimits& limits = {});
+
+/// ∃-replacement semantics: some replacement of ⊥ in the LHS columns
+/// makes every LHS-matching pair agree on the ORIGINAL RHS values (the
+/// replacement affects matching only). Coincides with the possible FD
+/// X →s Y (tested property).
+Result<bool> SomeLhsReplacementSatisfies(const Table& table,
+                                         const AttributeSet& lhs,
+                                         const AttributeSet& rhs,
+                                         const WorldLimits& limits = {});
+
+/// ∀-replacement semantics: every replacement of ⊥ in the LHS columns
+/// satisfies the FD classically. Coincides with the certain FD X →w Y.
+Result<bool> EveryLhsReplacementSatisfies(const Table& table,
+                                          const AttributeSet& lhs,
+                                          const AttributeSet& rhs,
+                                          const WorldLimits& limits = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_RELATED_ALT_SEMANTICS_H_

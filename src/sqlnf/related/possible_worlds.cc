@@ -1,0 +1,141 @@
+#include "sqlnf/related/possible_worlds.h"
+
+#include <string>
+
+namespace sqlnf {
+
+namespace {
+
+// Null positions and candidate targets for one column.
+struct ColumnPlan {
+  AttributeId column;
+  std::vector<int> null_rows;
+  std::vector<Value> candidates;  // existing values + fresh values
+  int num_existing = 0;
+};
+
+// Classical FD on a total (within lhs/rhs) table: exact equality.
+bool ClassicalFdHolds(const Table& table, const AttributeSet& lhs,
+                      const AttributeSet& rhs) {
+  const int n = table.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (table.row(i).EqualOn(table.row(j), lhs) &&
+          !table.row(i).EqualOn(table.row(j), rhs)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<long long> ForEachCompletion(
+    const Table& table, const AttributeSet& columns,
+    const std::function<bool(const Table&)>& fn,
+    const WorldLimits& limits) {
+  std::vector<ColumnPlan> plans;
+  long long world_estimate = 1;
+  for (AttributeId col : columns) {
+    ColumnPlan plan;
+    plan.column = col;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      if (table.row(r)[col].is_null()) plan.null_rows.push_back(r);
+    }
+    if (plan.null_rows.empty()) continue;
+    plan.candidates = table.ColumnValues(col);
+    plan.num_existing = static_cast<int>(plan.candidates.size());
+    // k pairwise-distinct fresh values; names cannot collide with data
+    // values because they use a reserved prefix unlikely in tests, and
+    // equality patterns only need distinctness.
+    for (size_t k = 0; k < plan.null_rows.size(); ++k) {
+      plan.candidates.push_back(Value::Str(
+          "__world__" + std::to_string(col) + "_" + std::to_string(k)));
+    }
+    for (size_t i = 0; i < plan.null_rows.size(); ++i) {
+      world_estimate *= static_cast<long long>(plan.candidates.size());
+      if (world_estimate > limits.max_worlds) {
+        return Status::OutOfRange(
+            "completion space exceeds max_worlds limit");
+      }
+    }
+    plans.push_back(std::move(plan));
+  }
+
+  Table world = table;
+  long long visited = 0;
+  bool keep_going = true;
+
+  // Odometer over all (column, null position) choices.
+  std::vector<std::pair<int, int>> slots;  // (plan idx, null idx)
+  for (size_t p = 0; p < plans.size(); ++p) {
+    for (size_t k = 0; k < plans[p].null_rows.size(); ++k) {
+      slots.emplace_back(static_cast<int>(p), static_cast<int>(k));
+    }
+  }
+  std::vector<int> odometer(slots.size(), 0);
+  while (keep_going) {
+    for (size_t s = 0; s < slots.size(); ++s) {
+      const ColumnPlan& plan = plans[slots[s].first];
+      (*world.mutable_row(
+          plan.null_rows[slots[s].second]))[plan.column] =
+          plan.candidates[odometer[s]];
+    }
+    ++visited;
+    if (!fn(world)) break;
+    // Advance the odometer.
+    size_t s = 0;
+    for (; s < slots.size(); ++s) {
+      const ColumnPlan& plan = plans[slots[s].first];
+      if (++odometer[s] < static_cast<int>(plan.candidates.size())) break;
+      odometer[s] = 0;
+    }
+    if (s == slots.size()) keep_going = false;
+  }
+  return visited;
+}
+
+Result<bool> HoldsInSomeCompletion(const Table& table,
+                                   const AttributeSet& lhs,
+                                   const AttributeSet& rhs,
+                                   const WorldLimits& limits) {
+  bool found = false;
+  SQLNF_ASSIGN_OR_RETURN(
+      long long visited,
+      ForEachCompletion(
+          table, table.schema().all(),
+          [&](const Table& world) {
+            if (ClassicalFdHolds(world, lhs, rhs)) {
+              found = true;
+              return false;
+            }
+            return true;
+          },
+          limits));
+  (void)visited;
+  return found;
+}
+
+Result<bool> HoldsInEveryCompletion(const Table& table,
+                                    const AttributeSet& lhs,
+                                    const AttributeSet& rhs,
+                                    const WorldLimits& limits) {
+  bool all = true;
+  SQLNF_ASSIGN_OR_RETURN(
+      long long visited,
+      ForEachCompletion(
+          table, table.schema().all(),
+          [&](const Table& world) {
+            if (!ClassicalFdHolds(world, lhs, rhs)) {
+              all = false;
+              return false;
+            }
+            return true;
+          },
+          limits));
+  (void)visited;
+  return all;
+}
+
+}  // namespace sqlnf

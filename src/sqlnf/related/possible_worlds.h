@@ -1,0 +1,56 @@
+// Possible-world (completion) enumeration for tables with ⊥.
+//
+// A completion replaces every ⊥ occurrence by a domain value. Domains
+// are infinite, but FD/key satisfaction depends only on the equality
+// pattern within each column, so it suffices to enumerate, per column,
+// assignments of the ⊥ positions to either (a) one of the existing
+// values of that column or (b) one of k "fresh" pairwise-distinct
+// values (k = number of ⊥ positions in the column); columns are
+// independent. Every equality pattern a real completion could exhibit
+// is realized by at least one enumerated world.
+//
+// This engine powers the Levene/Loizou weak & strong FDs (Section 3 /
+// Example 2) and the ∃/∀ LHS-replacement characterization of possible
+// and certain FDs (Section 2's intuition), and the tests that validate
+// both characterizations.
+
+#ifndef SQLNF_RELATED_POSSIBLE_WORLDS_H_
+#define SQLNF_RELATED_POSSIBLE_WORLDS_H_
+
+#include <functional>
+#include <vector>
+
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+struct WorldLimits {
+  /// Abort when the enumeration would exceed this many worlds.
+  long long max_worlds = 2'000'000;
+};
+
+/// Calls `fn` for every canonical completion of `table`, restricted to
+/// replacing ⊥ only in `columns` (pass schema.all() for full
+/// completions). Stops early when `fn` returns false. Returns the
+/// number of worlds visited, or OutOfRange past the limit.
+Result<long long> ForEachCompletion(
+    const Table& table, const AttributeSet& columns,
+    const std::function<bool(const Table&)>& fn,
+    const WorldLimits& limits = {});
+
+/// True when some / every completion of `table` (all columns) satisfies
+/// the classical FD lhs → rhs (evaluated as exact value equality, which
+/// on total data coincides with both Definition-1 semantics).
+Result<bool> HoldsInSomeCompletion(const Table& table,
+                                   const AttributeSet& lhs,
+                                   const AttributeSet& rhs,
+                                   const WorldLimits& limits = {});
+Result<bool> HoldsInEveryCompletion(const Table& table,
+                                    const AttributeSet& lhs,
+                                    const AttributeSet& rhs,
+                                    const WorldLimits& limits = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_RELATED_POSSIBLE_WORLDS_H_

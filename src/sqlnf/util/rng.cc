@@ -1,0 +1,25 @@
+#include "sqlnf/util/rng.h"
+
+#include <cassert>
+
+namespace sqlnf {
+
+int64_t Rng::Uniform(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextDouble() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::Chance(double p) { return NextDouble() < p; }
+
+size_t Rng::Index(size_t size) {
+  assert(size > 0);
+  return static_cast<size_t>(Uniform(0, static_cast<int64_t>(size) - 1));
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,147 @@
+// Status and Result<T>: exception-free error handling in the style of
+// Apache Arrow / RocksDB.
+//
+// Functions that can fail return Status (no payload) or Result<T>
+// (payload or error). Callers check `.ok()` before use.
+
+#ifndef SQLNF_UTIL_STATUS_H_
+#define SQLNF_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqlnf {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kOutOfRange,        // index / capacity exceeded (e.g. >64 attributes)
+  kNotFound,          // lookup miss (attribute name, file, ...)
+  kFailedPrecondition,// object state does not allow the operation
+  kParseError,        // constraint / CSV text could not be parsed
+  kIoError,           // filesystem problem
+  kInternal,          // invariant violation inside the library (a bug)
+};
+
+/// Returns a short human-readable name for `code` ("InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that has no payload.
+///
+/// A default-constructed Status is OK. Error statuses carry a code and a
+/// message. Status is cheap to copy (small string optimization covers the
+/// common case of short messages).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Accessors assert on misuse in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — enables `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status — enables
+  /// `return Status::Invalid(...);`. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; OK when a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out, or returns `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present
+};
+
+// Propagate errors: `SQLNF_RETURN_NOT_OK(DoThing());`
+#define SQLNF_RETURN_NOT_OK(expr)            \
+  do {                                       \
+    ::sqlnf::Status _st = (expr);            \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+// Assign or propagate: `SQLNF_ASSIGN_OR_RETURN(auto x, MakeX());`
+#define SQLNF_CONCAT_IMPL(a, b) a##b
+#define SQLNF_CONCAT(a, b) SQLNF_CONCAT_IMPL(a, b)
+#define SQLNF_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto SQLNF_CONCAT(_res_, __LINE__) = (expr);                 \
+  if (!SQLNF_CONCAT(_res_, __LINE__).ok())                     \
+    return SQLNF_CONCAT(_res_, __LINE__).status();             \
+  lhs = std::move(SQLNF_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_UTIL_STATUS_H_

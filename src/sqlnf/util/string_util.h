@@ -1,0 +1,30 @@
+// Small string helpers shared across the library.
+
+#ifndef SQLNF_UTIL_STRING_UTIL_H_
+#define SQLNF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlnf {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`; keeps empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, strips each piece, and drops empty pieces.
+std::vector<std::string> SplitAndStrip(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_UTIL_STRING_UTIL_H_

@@ -1,0 +1,56 @@
+#include "sqlnf/util/text_table.h"
+
+#include <algorithm>
+
+namespace sqlnf {
+
+void TextTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::ToString() const {
+  size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  if (cols == 0) return "";
+
+  std::vector<size_t> width(cols, 0);
+  auto account = [&](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  account(header_);
+  for (const auto& row : rows_) account(row);
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t i = 0; i < cols; ++i) {
+      const std::string cell = i < row.size() ? row[i] : "";
+      line += cell;
+      if (i + 1 < cols) {
+        line.append(width[i] - cell.size(), ' ');
+        line += " | ";
+      }
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    for (size_t i = 0; i < cols; ++i) {
+      out.append(width[i], '-');
+      if (i + 1 < cols) out += "-+-";
+    }
+    out += '\n';
+  }
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,38 @@
+// ASCII table rendering for benchmark / example output.
+
+#ifndef SQLNF_UTIL_TEXT_TABLE_H_
+#define SQLNF_UTIL_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace sqlnf {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table
+/// with a header separator, e.g.
+///
+///   item         | catalog | price
+///   -------------+---------+------
+///   Fitbit Surge | Amazon  | 240
+class TextTable {
+ public:
+  /// Sets the header row. Clears previously added rows' width cache.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row. Rows shorter than the header are padded with
+  /// empty cells; longer rows extend the column count.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table; each line ends with '\n'.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_UTIL_TEXT_TABLE_H_

@@ -1,0 +1,141 @@
+// Approximate FDs/keys (the dirty-data lens): ε = 0 agrees with exact
+// discovery; small ε recovers planted constraints hidden by corrupted
+// rows.
+
+#include "sqlnf/discovery/approximate.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/datagen/generator.h"
+#include "sqlnf/discovery/tane.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::RandomInstance;
+using testing::Rows;
+using testing::Schema;
+
+TEST(ApproximateTest, ExactWhenEpsilonZero) {
+  Rng rng(55);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 2));
+    TableSchema schema = testing::Schema(std::string("abcd").substr(0, n));
+    Table t = RandomInstance(&rng, schema, 12, 2, 0.2);
+
+    ApproximateOptions approx;
+    approx.epsilon = 0.0;
+    approx.max_lhs_size = n;
+    ASSERT_OK_AND_ASSIGN(ApproximateResult a, DiscoverApproximate(t, approx));
+
+    TaneOptions tane_options;
+    tane_options.max_lhs_size = n + 1;
+    ASSERT_OK_AND_ASSIGN(TaneResult tane, DiscoverFdsTane(t, tane_options));
+
+    // Compare as (lhs, rhs) pairs.
+    std::vector<std::pair<uint64_t, int>> approx_pairs, tane_pairs;
+    for (const auto& fd : a.fds) {
+      approx_pairs.emplace_back(fd.lhs.bits(), fd.rhs);
+      EXPECT_EQ(fd.error, 0.0);
+    }
+    for (const auto& fd : tane.fds) {
+      for (AttributeId r : fd.rhs) {
+        tane_pairs.emplace_back(fd.lhs.bits(), r);
+      }
+    }
+    std::sort(approx_pairs.begin(), approx_pairs.end());
+    std::sort(tane_pairs.begin(), tane_pairs.end());
+    EXPECT_EQ(approx_pairs, tane_pairs) << t.ToString();
+
+    std::vector<AttributeSet> approx_keys;
+    for (const auto& key : a.keys) approx_keys.push_back(key.attrs);
+    std::sort(approx_keys.begin(), approx_keys.end());
+    EXPECT_EQ(approx_keys, tane.minimal_keys);
+  }
+}
+
+TEST(ApproximateTest, RecoversDirtyFd) {
+  // b = f(a) except one corrupted row.
+  TableSchema schema = Schema("abc");
+  Table t = Rows(schema, {"1xA", "1xB", "2yC", "2yD", "3zE", "3zF",
+                          "1qG"});  // row 6 breaks a -> b
+  ApproximateOptions exact;
+  exact.epsilon = 0.0;
+  ASSERT_OK_AND_ASSIGN(ApproximateResult none, DiscoverApproximate(t, exact));
+  bool found_exact = false;
+  for (const auto& fd : none.fds) {
+    if (fd.lhs == AttributeSet{0} && fd.rhs == 1) found_exact = true;
+  }
+  EXPECT_FALSE(found_exact);
+
+  ApproximateOptions loose;
+  loose.epsilon = 0.2;  // one of seven rows
+  ASSERT_OK_AND_ASSIGN(ApproximateResult some, DiscoverApproximate(t, loose));
+  bool found = false;
+  for (const auto& fd : some.fds) {
+    if (fd.lhs == AttributeSet{0} && fd.rhs == 1) {
+      found = true;
+      EXPECT_NEAR(fd.error, 1.0 / 7.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ApproximateTest, NearKeysMatchFigure6Narrative) {
+  // A should-be-key column with duplicated contact details (the
+  // paper's "identical contact details stored multiple times").
+  TableSchema schema = Schema("kv");
+  Table t(schema);
+  for (int i = 0; i < 48; ++i) {
+    ASSERT_OK(t.AddRowText({std::to_string(i), "v" + std::to_string(i)}));
+  }
+  ASSERT_OK(t.AddRowText({"7", "v7"}));   // dup
+  ASSERT_OK(t.AddRowText({"13", "v13"})); // dup
+  ApproximateOptions options;
+  options.epsilon = 0.05;  // 2 of 50 rows duplicated
+  ASSERT_OK_AND_ASSIGN(ApproximateResult result,
+                       DiscoverApproximate(t, options));
+  bool k_near_key = false;
+  for (const auto& key : result.keys) {
+    if (key.attrs == AttributeSet{0}) {
+      k_near_key = true;
+      EXPECT_NEAR(key.error, 2.0 / 50.0, 1e-9);
+    }
+  }
+  EXPECT_TRUE(k_near_key);
+}
+
+TEST(ApproximateTest, MinimalityHoldsWithinEpsilon) {
+  Rng rng(66);
+  TableSchema schema = Schema("abcd");
+  Table t = RandomInstance(&rng, schema, 20, 3, 0.1);
+  ApproximateOptions options;
+  options.epsilon = 0.1;
+  options.max_lhs_size = 3;
+  ASSERT_OK_AND_ASSIGN(ApproximateResult result,
+                       DiscoverApproximate(t, options));
+  // No reported FD's LHS contains another reported LHS for the same RHS.
+  for (const auto& f1 : result.fds) {
+    for (const auto& f2 : result.fds) {
+      if (f1.rhs != f2.rhs) continue;
+      if (f1.lhs == f2.lhs) continue;
+      EXPECT_FALSE(f1.lhs.IsProperSubsetOf(f2.lhs))
+          << "non-minimal approximate FD reported";
+    }
+  }
+}
+
+TEST(ApproximateTest, RejectsBadArguments) {
+  Table empty(Schema("a"));
+  EXPECT_FALSE(DiscoverApproximate(empty).ok());
+  Table one = Rows(Schema("a"), {"1"});
+  ApproximateOptions bad;
+  bad.epsilon = 1.5;
+  EXPECT_FALSE(DiscoverApproximate(one, bad).ok());
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,89 @@
+// Armstrong relations for the idealized relational case: the instance
+// satisfies exactly the implied FDs.
+
+#include "sqlnf/normalform/armstrong.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/reasoning/implication.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::RandomSubset;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ArmstrongTest, RejectsNullableSchemas) {
+  TableSchema schema = Schema("ab", "a");
+  EXPECT_FALSE(BuildArmstrongRelation({schema, ConstraintSet()}).ok());
+}
+
+TEST(ArmstrongTest, RejectsOversizedSchemas) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 20; ++i) names.push_back("a" + std::to_string(i));
+  TableSchema schema =
+      TableSchema::Make("t", names, names).value();
+  EXPECT_FALSE(BuildArmstrongRelation({schema, ConstraintSet()}).ok());
+}
+
+TEST(ArmstrongTest, EmptySigmaYieldsFdFreeRelation) {
+  TableSchema schema = Schema("abc", "abc");
+  ASSERT_OK_AND_ASSIGN(Table armstrong,
+                       BuildArmstrongRelation({schema, ConstraintSet()}));
+  // Every non-trivial FD must fail; every trivial FD must hold.
+  EXPECT_FALSE(Satisfies(armstrong, testing::Fd(schema, "a ->s b")));
+  EXPECT_FALSE(Satisfies(armstrong, testing::Fd(schema, "ab ->s c")));
+  EXPECT_TRUE(Satisfies(armstrong, testing::Fd(schema, "ab ->s a")));
+}
+
+TEST(ArmstrongTest, AllFdsImpliedYieldsSingleton) {
+  TableSchema schema = Schema("ab", "ab");
+  SchemaDesign design{schema, Sigma(schema, "{} ->s ab")};
+  ASSERT_OK_AND_ASSIGN(Table armstrong, BuildArmstrongRelation(design));
+  EXPECT_GE(armstrong.num_rows(), 1);
+  EXPECT_TRUE(Satisfies(armstrong, testing::Fd(schema, "{} ->s ab")));
+}
+
+class ArmstrongPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArmstrongPropertyTest, SatisfiesExactlyTheImpliedFds) {
+  Rng rng(GetParam() * 47 + 23);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    std::string names = std::string("abcdef").substr(0, n);
+    TableSchema schema = Schema(names, names);
+    ConstraintSet sigma;
+    for (int f = 0; f < 3; ++f) {
+      AttributeSet lhs = RandomSubset(&rng, n, 0.35);
+      AttributeSet rhs = RandomSubset(&rng, n, 0.35);
+      if (rhs.empty()) continue;
+      sigma.AddFd(FunctionalDependency::Possible(lhs, rhs));
+    }
+    SchemaDesign design{schema, sigma};
+    ASSERT_OK_AND_ASSIGN(Table armstrong, BuildArmstrongRelation(design));
+    Implication imp(schema, sigma);
+
+    // Exactness: Armstrong satisfies an FD iff Σ implies it (exhaustive
+    // over all single-attribute RHS FDs).
+    for (uint64_t bits = 0; bits < (uint64_t{1} << n); ++bits) {
+      AttributeSet lhs = AttributeSet::FromBits(bits);
+      for (AttributeId a = 0; a < n; ++a) {
+        FunctionalDependency fd =
+            FunctionalDependency::Possible(lhs, AttributeSet::Single(a));
+        EXPECT_EQ(Satisfies(armstrong, fd), imp.Implies(fd))
+            << fd.ToString(schema) << " over " << sigma.ToString(schema)
+            << "\n"
+            << armstrong.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArmstrongPropertyTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,114 @@
+#include "sqlnf/core/attribute_set.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/util/rng.h"
+
+namespace sqlnf {
+namespace {
+
+TEST(AttributeSetTest, EmptyAndSingle) {
+  AttributeSet empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0);
+  AttributeSet s = AttributeSet::Single(5);
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(AttributeSetTest, FullSet) {
+  EXPECT_EQ(AttributeSet::FullSet(0).size(), 0);
+  EXPECT_EQ(AttributeSet::FullSet(5).size(), 5);
+  EXPECT_EQ(AttributeSet::FullSet(64).size(), 64);
+  EXPECT_TRUE(AttributeSet::FullSet(3).Contains(2));
+  EXPECT_FALSE(AttributeSet::FullSet(3).Contains(3));
+}
+
+TEST(AttributeSetTest, AddRemove) {
+  AttributeSet s;
+  s.Add(0);
+  s.Add(63);
+  EXPECT_EQ(s.size(), 2);
+  s.Remove(0);
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(63));
+}
+
+TEST(AttributeSetTest, SetAlgebra) {
+  AttributeSet a = {0, 1, 2};
+  AttributeSet b = {2, 3};
+  EXPECT_EQ((a | b), (AttributeSet{0, 1, 2, 3}));
+  EXPECT_EQ((a & b), AttributeSet{2});
+  EXPECT_EQ((a - b), (AttributeSet{0, 1}));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE((a - b).Intersects(b));
+}
+
+TEST(AttributeSetTest, SubsetRelations) {
+  AttributeSet a = {1, 2};
+  AttributeSet b = {1, 2, 3};
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsProperSubsetOf(b));
+  EXPECT_FALSE(a.IsProperSubsetOf(a));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(AttributeSet().IsSubsetOf(a));
+}
+
+TEST(AttributeSetTest, IterationAscending) {
+  AttributeSet s = {5, 1, 40};
+  std::vector<AttributeId> ids = s.ToVector();
+  EXPECT_EQ(ids, (std::vector<AttributeId>{1, 5, 40}));
+  std::vector<AttributeId> iterated;
+  for (AttributeId a : s) iterated.push_back(a);
+  EXPECT_EQ(iterated, ids);
+}
+
+TEST(AttributeSetTest, IterationEmpty) {
+  for (AttributeId a : AttributeSet()) {
+    FAIL() << "unexpected element " << a;
+  }
+}
+
+TEST(AttributeSetTest, RandomizedAlgebraAgainstStdSet) {
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::set<int> sa, sb;
+    AttributeSet a, b;
+    for (int i = 0; i < 10; ++i) {
+      int x = static_cast<int>(rng.Uniform(0, 63));
+      int y = static_cast<int>(rng.Uniform(0, 63));
+      sa.insert(x);
+      a.Add(x);
+      sb.insert(y);
+      b.Add(y);
+    }
+    std::set<int> su, si, sd;
+    std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                   std::inserter(su, su.begin()));
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::inserter(si, si.begin()));
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(sd, sd.begin()));
+    auto to_std = [](const AttributeSet& s) {
+      std::set<int> out;
+      for (AttributeId id : s) out.insert(id);
+      return out;
+    };
+    EXPECT_EQ(to_std(a | b), su);
+    EXPECT_EQ(to_std(a & b), si);
+    EXPECT_EQ(to_std(a - b), sd);
+    EXPECT_EQ(a.size(), static_cast<int>(sa.size()));
+    EXPECT_EQ(a.IsSubsetOf(b),
+              std::includes(sb.begin(), sb.end(), sa.begin(), sa.end()));
+  }
+}
+
+}  // namespace
+}  // namespace sqlnf

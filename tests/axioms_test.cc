@@ -1,0 +1,141 @@
+// The axiom systems 𝔉, 𝔎, 𝔉𝔎 (Tables 1-3): per-rule soundness checked
+// by model checking on random instances, derivation examples from the
+// paper, and proof explanations.
+
+#include "sqlnf/reasoning/axioms.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Fd;
+using testing::Key;
+using testing::RandomInstance;
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(AxiomsTest, PaperDerivationExample) {
+  // Section 4.1: from oi ->s c and ic ->w p, L-augmentation gives
+  // oic ->w p, pseudo-transitivity gives oi ->s p.
+  TableSchema schema = Schema("oicp", "ocp");
+  ASSERT_OK_AND_ASSIGN(
+      AxiomEngine engine,
+      AxiomEngine::Saturate(schema, Sigma(schema, "oi ->s c; ic ->w p")));
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "oic ->w p")));
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "oi ->s p")));
+  EXPECT_FALSE(engine.Derivable(Fd(schema, "oi ->w p")));
+}
+
+TEST(AxiomsTest, PaperKeyDerivationExample) {
+  // Section 4.2: key-null-transitivity derives p<oi> from oi ->s c and
+  // p<oic> because c ∈ T_S.
+  TableSchema schema = Schema("oicp", "ocp");
+  ASSERT_OK_AND_ASSIGN(
+      AxiomEngine engine,
+      AxiomEngine::Saturate(schema, Sigma(schema, "oi ->s c; p<oic>")));
+  EXPECT_TRUE(engine.Derivable(Key(schema, "p<oi>")));
+  EXPECT_FALSE(engine.Derivable(Key(schema, "c<oi>")));
+}
+
+TEST(AxiomsTest, StrengtheningNeedsNullFreeLhs) {
+  TableSchema nn = Schema("ab", "a");
+  ASSERT_OK_AND_ASSIGN(AxiomEngine e1,
+                       AxiomEngine::Saturate(nn, Sigma(nn, "a ->s b")));
+  EXPECT_TRUE(e1.Derivable(Fd(nn, "a ->w b")));
+
+  TableSchema nullable = Schema("ab", "");
+  ASSERT_OK_AND_ASSIGN(
+      AxiomEngine e2,
+      AxiomEngine::Saturate(nullable, Sigma(nullable, "a ->s b")));
+  EXPECT_FALSE(e2.Derivable(Fd(nullable, "a ->w b")));
+}
+
+TEST(AxiomsTest, WeakeningIsDerivable) {
+  // X ->w Y ⊢ X ->s Y follows from R + T even though no explicit
+  // weakening rule exists.
+  TableSchema schema = Schema("ab", "");
+  ASSERT_OK_AND_ASSIGN(
+      AxiomEngine engine,
+      AxiomEngine::Saturate(schema, Sigma(schema, "a ->w b")));
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "a ->s b")));
+}
+
+TEST(AxiomsTest, KeyFdWeakening) {
+  TableSchema schema = Schema("abc", "");
+  ASSERT_OK_AND_ASSIGN(AxiomEngine engine,
+                       AxiomEngine::Saturate(schema, Sigma(schema, "c<a>")));
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "a ->w bc")));
+  EXPECT_TRUE(engine.Derivable(Key(schema, "p<a>")));  // kW
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "a ->s bc")));
+}
+
+TEST(AxiomsTest, ExplainProducesLinearProof) {
+  TableSchema schema = Schema("oicp", "ocp");
+  ASSERT_OK_AND_ASSIGN(
+      AxiomEngine engine,
+      AxiomEngine::Saturate(schema, Sigma(schema, "oi ->s c; ic ->w p")));
+  ASSERT_OK_AND_ASSIGN(std::string proof,
+                       engine.Explain(Constraint(Fd(schema, "oi ->s p"))));
+  EXPECT_NE(proof.find("premise"), std::string::npos);
+  EXPECT_NE(proof.find("{o,i} ->s {p}"), std::string::npos);
+  // Underivable constraints report NotFound.
+  EXPECT_FALSE(engine.Explain(Constraint(Fd(schema, "oi ->w p"))).ok());
+}
+
+TEST(AxiomsTest, RefusesLargeSchemas) {
+  TableSchema big = Schema("abcdefgh");
+  EXPECT_FALSE(AxiomEngine::Saturate(big, ConstraintSet()).ok());
+}
+
+TEST(AxiomsTest, EmptyRhsFdsAreTriviallyDerivable) {
+  TableSchema schema = Schema("ab", "");
+  ASSERT_OK_AND_ASSIGN(AxiomEngine engine,
+                       AxiomEngine::Saturate(schema, ConstraintSet()));
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "a ->w {}")));
+  EXPECT_TRUE(engine.Derivable(Fd(schema, "a ->s {}")));
+}
+
+// Soundness of the whole calculus (Theorems 1 and 4, "sound" half):
+// every derivable constraint holds in every random instance that
+// satisfies the premises.
+class AxiomSoundnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AxiomSoundnessTest, DerivedConstraintsHoldInModels) {
+  Rng rng(GetParam() * 13 + 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 1));  // 2..3 attributes
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 2, 1);
+    auto engine = AxiomEngine::Saturate(schema, sigma);
+    ASSERT_OK(engine.status());
+    auto fds = engine->DerivedFds();
+    auto keys = engine->DerivedKeys();
+    for (int m = 0; m < 20; ++m) {
+      Table instance = RandomInstance(&rng, schema, 3, 2);
+      if (!SatisfiesAll(instance, sigma)) continue;
+      for (const auto& fd : fds) {
+        EXPECT_TRUE(Satisfies(instance, fd))
+            << fd.ToString(schema) << " derived from "
+            << sigma.ToString(schema) << "\n"
+            << instance.ToString();
+      }
+      for (const auto& key : keys) {
+        EXPECT_TRUE(Satisfies(instance, key))
+            << key.ToString(schema) << " derived from "
+            << sigma.ToString(schema) << "\n"
+            << instance.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AxiomSoundnessTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

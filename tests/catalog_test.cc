@@ -1,0 +1,153 @@
+// Database catalog: native enforcement of the paper's constraints on
+// writes (the "trigger layer" SQL cannot declare).
+
+#include "sqlnf/engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Rows;
+using testing::Schema;
+using testing::Sigma;
+
+Tuple Row(std::initializer_list<const char*> cells) {
+  std::vector<Value> values;
+  for (const char* c : cells) {
+    values.push_back(c == nullptr ? Value::Null() : Value::Str(c));
+  }
+  return Tuple(std::move(values));
+}
+
+TEST(ValidateRowAgainstTest, MatchesBatchSemantics) {
+  TableSchema schema = Schema("icp", "ip");
+  ConstraintSet sigma = Sigma(schema, "ic ->w p");
+  Table t = Rows(schema, {"FAX"});
+  // Weakly similar on (i,c) with a different price: rejected.
+  auto v = ValidateRowAgainst(t, Row({"F", nullptr, "Y"}), sigma);
+  ASSERT_TRUE(v.has_value());
+  // Same price: accepted.
+  EXPECT_FALSE(
+      ValidateRowAgainst(t, Row({"F", nullptr, "X"}), sigma).has_value());
+  // NFS violation reported with the column.
+  auto nfs = ValidateRowAgainst(t, Row({nullptr, "A", "X"}), sigma);
+  ASSERT_TRUE(nfs.has_value());
+  EXPECT_TRUE(nfs->attribute.has_value());
+}
+
+TEST(DatabaseTest, CreateDropAndLookup) {
+  Database db;
+  TableSchema schema = Schema("ab", "a");
+  EXPECT_OK(db.CreateTable(schema, ConstraintSet()));
+  EXPECT_FALSE(db.CreateTable(schema, ConstraintSet()).ok());  // dup
+  EXPECT_TRUE(db.HasTable("T"));
+  EXPECT_EQ(db.TableNames().size(), 1u);
+  EXPECT_OK(db.DropTable("T"));
+  EXPECT_FALSE(db.DropTable("T").ok());
+  EXPECT_FALSE(db.Find("T").ok());
+}
+
+TEST(DatabaseTest, InsertEnforcesCertainKeyOverNullableColumns) {
+  // c<i,c> with nullable c — inexpressible in standard SQL.
+  Database db;
+  TableSchema schema = Schema("icp", "ip");
+  ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "c<ic>")));
+  EXPECT_OK(db.Insert("T", Row({"Fitbit", "Amazon", "240"})));
+  // A ⊥-catalog row weakly collides with the stored one: rejected.
+  auto st = db.Insert("T", Row({"Fitbit", nullptr, "200"}));
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("c<"), std::string::npos);
+  // Different item: fine.
+  EXPECT_OK(db.Insert("T", Row({"Dora", nullptr, "25"})));
+  ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
+  EXPECT_EQ(stored->data.num_rows(), 2);
+}
+
+TEST(DatabaseTest, InsertEnforcesCertainFd) {
+  Database db;
+  TableSchema schema = Schema("icp", "ip");
+  ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "ic ->w p")));
+  EXPECT_OK(db.Insert("T", Row({"Fitbit", "Amazon", "240"})));
+  EXPECT_OK(db.Insert("T", Row({"Fitbit", nullptr, "240"})));  // same p
+  EXPECT_FALSE(db.Insert("T", Row({"Fitbit", nullptr, "200"})).ok());
+  EXPECT_OK(db.Insert("T", Row({"Dora", "Kingtoys", "25"})));
+}
+
+TEST(DatabaseTest, RejectedWritesLeaveTableUntouched) {
+  Database db;
+  TableSchema schema = Schema("ab", "ab");
+  ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "c<a>")));
+  ASSERT_OK(db.Insert("T", Row({"1", "x"})));
+  EXPECT_FALSE(db.Insert("T", Row({"1", "y"})).ok());
+  ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
+  EXPECT_EQ(stored->data.num_rows(), 1);
+  EXPECT_EQ(stored->data.row(0)[1], Value::Str("x"));
+}
+
+TEST(DatabaseTest, UpdateValidatesPostImageAtomically) {
+  Database db;
+  TableSchema schema = Schema("abc", "abc");
+  ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "a ->w c")));
+  ASSERT_OK(db.Insert("T", Row({"1", "p", "x"})));
+  ASSERT_OK(db.Insert("T", Row({"1", "q", "x"})));
+  // Changing only one of the two a=1 rows breaks the FD: rejected.
+  bool first = true;
+  auto one_row = [&first](const Tuple&) {
+    bool take = first;
+    first = false;
+    return take;
+  };
+  auto rejected = db.Update("T", one_row, 2, Value::Str("y"));
+  EXPECT_FALSE(rejected.ok());
+  ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
+  EXPECT_EQ(stored->data.row(0)[2], Value::Str("x"));  // untouched
+  // Changing both rows together is consistent.
+  ASSERT_OK_AND_ASSIGN(
+      int changed,
+      db.Update("T", [](const Tuple&) { return true; }, 2,
+                Value::Str("y")));
+  EXPECT_EQ(changed, 2);
+}
+
+TEST(DatabaseTest, UpdateRejectsNullIntoNotNull) {
+  Database db;
+  TableSchema schema = Schema("ab", "a");
+  ASSERT_OK(db.CreateTable(schema, ConstraintSet()));
+  ASSERT_OK(db.Insert("T", Row({"1", "x"})));
+  EXPECT_FALSE(
+      db.Update("T", [](const Tuple&) { return true; }, 0, Value::Null())
+          .ok());
+  // Nullable column accepts ⊥.
+  ASSERT_OK_AND_ASSIGN(
+      int changed,
+      db.Update("T", [](const Tuple&) { return true; }, 1, Value::Null()));
+  EXPECT_EQ(changed, 1);
+}
+
+TEST(DatabaseTest, DeleteNeverViolates) {
+  Database db;
+  TableSchema schema = Schema("ab", "ab");
+  ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "a ->w b")));
+  ASSERT_OK(db.Insert("T", Row({"1", "x"})));
+  ASSERT_OK(db.Insert("T", Row({"2", "y"})));
+  ASSERT_OK_AND_ASSIGN(
+      int removed,
+      db.Delete("T", [](const Tuple& t) { return t[0] == Value::Str("1"); }));
+  EXPECT_EQ(removed, 1);
+  ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
+  EXPECT_EQ(stored->data.num_rows(), 1);
+}
+
+TEST(DatabaseTest, InsertArityChecked) {
+  Database db;
+  TableSchema schema = Schema("ab");
+  ASSERT_OK(db.CreateTable(schema, ConstraintSet()));
+  EXPECT_FALSE(db.Insert("T", Row({"1"})).ok());
+  EXPECT_FALSE(db.Insert("missing", Row({"1", "2"})).ok());
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,163 @@
+// The chase (schema-level losslessness certification, relational case).
+
+#include "sqlnf/decomposition/chase.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/decomposition/bcnf_decompose.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "sqlnf/decomposition/three_nf.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::Schema;
+using testing::Sigma;
+
+Decomposition TwoWay(const TableSchema& schema, const char* left,
+                     const char* right) {
+  Decomposition d;
+  d.components.push_back({Attrs(schema, left), false, "L"});
+  d.components.push_back({Attrs(schema, right), false, "R"});
+  return d;
+}
+
+TEST(ChaseTest, ClassicTextbookCases) {
+  TableSchema schema = Schema("abc", "abc");
+  // No FDs: {ab},{bc} is lossy.
+  SchemaDesign no_fds{schema, ConstraintSet()};
+  ASSERT_OK_AND_ASSIGN(ChaseResult lossy,
+                       ChaseLossless(no_fds, TwoWay(schema, "ab", "bc")));
+  EXPECT_FALSE(lossy.lossless);
+  ASSERT_TRUE(lossy.counterexample.has_value());
+
+  // b -> c certifies it.
+  SchemaDesign with_fd{schema, Sigma(schema, "b ->s c")};
+  ASSERT_OK_AND_ASSIGN(ChaseResult fine,
+                       ChaseLossless(with_fd, TwoWay(schema, "ab", "bc")));
+  EXPECT_TRUE(fine.lossless);
+  // b -> a also works (the other side holds the join key closure).
+  SchemaDesign other{schema, Sigma(schema, "b ->s a")};
+  ASSERT_OK_AND_ASSIGN(ChaseResult fine2,
+                       ChaseLossless(other, TwoWay(schema, "ab", "bc")));
+  EXPECT_TRUE(fine2.lossless);
+  // a -> c does not (the shared attribute is b).
+  SchemaDesign wrong{schema, Sigma(schema, "a ->s c")};
+  ASSERT_OK_AND_ASSIGN(ChaseResult bad,
+                       ChaseLossless(wrong, TwoWay(schema, "ab", "bc")));
+  EXPECT_FALSE(bad.lossless);
+}
+
+TEST(ChaseTest, TransitiveChaseSteps) {
+  // Needs two chase rounds: {ab},{bc},{cd} with b -> c, c -> d.
+  TableSchema schema = Schema("abcd", "abcd");
+  SchemaDesign design{schema, Sigma(schema, "b ->s c; c ->s d")};
+  Decomposition d;
+  d.components.push_back({Attrs(schema, "ab"), false, ""});
+  d.components.push_back({Attrs(schema, "bc"), false, ""});
+  d.components.push_back({Attrs(schema, "cd"), false, ""});
+  ASSERT_OK_AND_ASSIGN(ChaseResult result, ChaseLossless(design, d));
+  EXPECT_TRUE(result.lossless);
+}
+
+TEST(ChaseTest, CounterexampleIsRealAndLossy) {
+  TableSchema schema = Schema("abc", "abc");
+  SchemaDesign design{schema, Sigma(schema, "a ->s c")};
+  Decomposition d = TwoWay(schema, "ab", "bc");
+  ASSERT_OK_AND_ASSIGN(ChaseResult result, ChaseLossless(design, d));
+  ASSERT_FALSE(result.lossless);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_TRUE(SatisfiesAll(*result.counterexample, design.sigma));
+  ASSERT_OK_AND_ASSIGN(bool lossless,
+                       IsLosslessForInstance(*result.counterexample, d));
+  EXPECT_FALSE(lossless);
+}
+
+TEST(ChaseTest, RejectsNullableSchemas) {
+  TableSchema schema = Schema("ab", "a");
+  EXPECT_FALSE(
+      ChaseLossless({schema, ConstraintSet()}, TwoWay(schema, "ab", "ab"))
+          .ok());
+}
+
+class ChasePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChasePropertyTest, CertifiesBcnfAnd3NfAndAlg3Outputs) {
+  Rng rng(GetParam() * 19 + 7);
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = 3 + static_cast<int>(rng.Uniform(0, 2));
+    std::string names = std::string("abcdef").substr(0, n);
+    TableSchema schema = Schema(names, names);
+    ConstraintSet sigma;
+    for (int f = 0; f < 2; ++f) {
+      AttributeSet lhs = testing::RandomSubset(&rng, n, 0.3);
+      AttributeSet rhs = testing::RandomSubset(&rng, n, 0.3);
+      if (lhs.empty() || rhs.empty()) continue;
+      sigma.AddFd(FunctionalDependency::Certain(lhs, lhs.Union(rhs)));
+    }
+    sigma.AddKey(KeyConstraint::Certain(schema.all()));
+    SchemaDesign design{schema, sigma};
+
+    ASSERT_OK_AND_ASSIGN(Decomposition bcnf,
+                         ClassicalBcnfDecompose(design));
+    ASSERT_OK_AND_ASSIGN(ChaseResult bcnf_chase,
+                         ChaseLossless(design, bcnf));
+    EXPECT_TRUE(bcnf_chase.lossless) << design.ToString();
+
+    ASSERT_OK_AND_ASSIGN(Decomposition three_nf, ThreeNfSynthesis(design));
+    ASSERT_OK_AND_ASSIGN(ChaseResult three_chase,
+                         ChaseLossless(design, three_nf));
+    EXPECT_TRUE(three_chase.lossless) << design.ToString();
+
+    ASSERT_OK_AND_ASSIGN(VrnfResult vrnf, VrnfDecompose(design));
+    ASSERT_OK_AND_ASSIGN(ChaseResult vrnf_chase,
+                         ChaseLossless(design, vrnf.decomposition));
+    EXPECT_TRUE(vrnf_chase.lossless) << design.ToString();
+  }
+}
+
+TEST_P(ChasePropertyTest, LossyVerdictsComeWithWitnesses) {
+  Rng rng(GetParam() * 83 + 41);
+  int lossy_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 3 + static_cast<int>(rng.Uniform(0, 2));
+    std::string names = std::string("abcde").substr(0, n);
+    TableSchema schema = Schema(names, names);
+    ConstraintSet sigma;
+    AttributeSet lhs = testing::RandomSubset(&rng, n, 0.3);
+    AttributeSet rhs = testing::RandomSubset(&rng, n, 0.3);
+    if (!lhs.empty() && !rhs.empty()) {
+      sigma.AddFd(FunctionalDependency::Possible(lhs, rhs));
+    }
+    SchemaDesign design{schema, sigma};
+    // A random two-way split.
+    AttributeSet left = testing::RandomSubset(&rng, n, 0.6);
+    if (left.empty() || left == schema.all()) continue;
+    Decomposition d;
+    d.components.push_back({left, false, "L"});
+    d.components.push_back(
+        {schema.all().Difference(left).Union(
+             AttributeSet::Single(*left.begin())),
+         false, "R"});
+    ASSERT_OK_AND_ASSIGN(ChaseResult result, ChaseLossless(design, d));
+    if (result.lossless) continue;
+    ++lossy_seen;
+    ASSERT_TRUE(result.counterexample.has_value());
+    EXPECT_TRUE(SatisfiesAll(*result.counterexample, sigma));
+    ASSERT_OK_AND_ASSIGN(
+        bool lossless,
+        IsLosslessForInstance(*result.counterexample, d));
+    EXPECT_FALSE(lossless) << design.ToString() << "\n"
+                           << result.counterexample->ToString();
+  }
+  EXPECT_GT(lossy_seen, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChasePropertyTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

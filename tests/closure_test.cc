@@ -1,0 +1,138 @@
+// Closure algorithms (Definition 2, Algorithms 1 and 2, Lemma 1,
+// Theorem 3): the paper's worked example plus property sweeps comparing
+// the naive repeat-until loops against the linear-time engine.
+
+#include "sqlnf/reasoning/closure.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::RandomSubset;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ClosureTest, PaperWorkedExample) {
+  // PURCHASE = oicp, T_S = ocp, Σ = {oi ->s c, ic ->w p} (Section 4.1):
+  // oi*p = oicp (so Σ ⊨ oi ->s p) but oi*c = o (so Σ ⊭ oi ->w p).
+  TableSchema schema = Schema("oicp", "ocp");
+  ConstraintSet sigma = Sigma(schema, "oi ->s c; ic ->w p");
+  AttributeSet oi = Attrs(schema, "oi");
+
+  EXPECT_EQ(PClosureNaive(sigma, schema.nfs(), oi), schema.all());
+  EXPECT_EQ(CClosureNaive(sigma, schema.nfs(), oi), Attrs(schema, "o"));
+
+  ClosureEngine engine(sigma, schema.nfs());
+  EXPECT_EQ(engine.PClosure(oi), schema.all());
+  EXPECT_EQ(engine.CClosure(oi), Attrs(schema, "o"));
+}
+
+TEST(ClosureTest, CClosureNeedNotContainX) {
+  // X*c starts from X ∩ T_S; nullable LHS attributes are not certain
+  // consequences of themselves.
+  TableSchema schema = Schema("ab", "");
+  ConstraintSet sigma;  // empty
+  ClosureEngine engine(sigma, schema.nfs());
+  EXPECT_TRUE(engine.CClosure(Attrs(schema, "ab")).empty());
+  EXPECT_EQ(engine.PClosure(Attrs(schema, "ab")), schema.all());
+}
+
+TEST(ClosureTest, StrongFdNeedsNullFreeSupportInCClosure) {
+  // a ->s b can only fire inside a c-closure once its LHS is certain,
+  // i.e. within C ∩ T_S.
+  TableSchema nullable = Schema("ab", "");
+  ConstraintSet sigma = Sigma(nullable, "a ->s b");
+  ClosureEngine engine(sigma, nullable.nfs());
+  EXPECT_TRUE(engine.CClosure(Attrs(nullable, "a")).empty());
+
+  TableSchema notnull = Schema("ab", "a");
+  ConstraintSet sigma2 = Sigma(notnull, "a ->s b");
+  ClosureEngine engine2(sigma2, notnull.nfs());
+  EXPECT_EQ(engine2.CClosure(Attrs(notnull, "a")), Attrs(notnull, "ab"));
+}
+
+TEST(ClosureTest, WeakFdFiresFromXInCClosure) {
+  // Algorithm 2 line 4: weak FDs fire when LHS ⊆ C ∪ X, so a nullable
+  // LHS attribute of X still triggers certain FDs.
+  TableSchema schema = Schema("ab", "");
+  ConstraintSet sigma = Sigma(schema, "a ->w b");
+  ClosureEngine engine(sigma, schema.nfs());
+  EXPECT_EQ(engine.CClosure(Attrs(schema, "a")), Attrs(schema, "b"));
+}
+
+TEST(ClosureTest, ChainsThroughBothArrowKinds) {
+  TableSchema schema = Schema("abcd", "ab");
+  ConstraintSet sigma = Sigma(schema, "a ->w b; b ->s c; c ->w d");
+  ClosureEngine engine(sigma, schema.nfs());
+  // p-closure of a: a, then b (weak), then c (strong: b ∈ C ∩ T_S),
+  // then d (weak).
+  EXPECT_EQ(engine.PClosure(Attrs(schema, "a")), schema.all());
+  // c-closure of a: a ∈ T_S → C={a}; weak a->b fires → b; strong b->c
+  // fires (b ∈ C∩T_S) → c; weak c->d fires → d.
+  EXPECT_EQ(engine.CClosure(Attrs(schema, "a")), schema.all());
+}
+
+TEST(ClosureTest, EmptyLhsFiresImmediately) {
+  TableSchema schema = Schema("ab");
+  ConstraintSet sigma = Sigma(schema, "{} ->w a");
+  ClosureEngine engine(sigma, schema.nfs());
+  EXPECT_EQ(engine.CClosure(AttributeSet()), Attrs(schema, "a"));
+  EXPECT_EQ(engine.PClosure(AttributeSet()), Attrs(schema, "a"));
+}
+
+class ClosurePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClosurePropertyTest, LinearEngineMatchesNaiveAlgorithms) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 6));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma =
+        RandomSigma(&rng, n, static_cast<int>(rng.Uniform(0, 8)), 0);
+    ClosureEngine engine(sigma, schema.nfs());
+    for (int q = 0; q < 10; ++q) {
+      AttributeSet x = RandomSubset(&rng, n);
+      EXPECT_EQ(engine.PClosure(x), PClosureNaive(sigma, schema.nfs(), x))
+          << schema.FormatSet(x) << " over " << sigma.ToString(schema);
+      EXPECT_EQ(engine.CClosure(x), CClosureNaive(sigma, schema.nfs(), x))
+          << schema.FormatSet(x) << " over " << sigma.ToString(schema);
+    }
+  }
+}
+
+TEST_P(ClosurePropertyTest, Lemma1Properties) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 60; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 6));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma =
+        RandomSigma(&rng, n, static_cast<int>(rng.Uniform(0, 8)), 0);
+    ClosureEngine engine(sigma, schema.nfs());
+    AttributeSet x = RandomSubset(&rng, n);
+    AttributeSet y = x.Union(RandomSubset(&rng, n));
+
+    AttributeSet xp = engine.PClosure(x);
+    AttributeSet xc = engine.CClosure(x);
+    // (i) monotonicity.
+    EXPECT_TRUE(xp.IsSubsetOf(engine.PClosure(y)));
+    EXPECT_TRUE(xc.IsSubsetOf(engine.CClosure(y)));
+    // (ii) X, X*c ⊆ X*p.
+    EXPECT_TRUE(x.IsSubsetOf(xp));
+    EXPECT_TRUE(xc.IsSubsetOf(xp));
+    // (iii) (X*c)*c ⊆ X*c and (X*p)*c ⊆ X*p.
+    EXPECT_TRUE(engine.CClosure(xc).IsSubsetOf(xc));
+    EXPECT_TRUE(engine.CClosure(xp).IsSubsetOf(xp));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosurePropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,145 @@
+#include "sqlnf/constraints/constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/parser.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Fd;
+using testing::Key;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ParserTest, CompactAndCommaNotation) {
+  TableSchema schema = Schema("oicp");
+  FunctionalDependency fd = Fd(schema, "oi ->s c");
+  EXPECT_EQ(fd.lhs, (AttributeSet{0, 1}));
+  EXPECT_EQ(fd.rhs, AttributeSet{2});
+  EXPECT_TRUE(fd.is_possible());
+
+  FunctionalDependency fd2 = Fd(schema, "i,c ->w p");
+  EXPECT_EQ(fd2.lhs, (AttributeSet{1, 2}));
+  EXPECT_TRUE(fd2.is_certain());
+}
+
+TEST(ParserTest, LongAttributeNames) {
+  auto schema =
+      TableSchema::Make("t", {"item", "catalog", "price"}, {}).value();
+  FunctionalDependency fd = Fd(schema, "item,catalog ->w price");
+  EXPECT_EQ(fd.lhs, (AttributeSet{0, 1}));
+  EXPECT_EQ(fd.rhs, AttributeSet{2});
+}
+
+TEST(ParserTest, EmptySets) {
+  TableSchema schema = Schema("ab");
+  FunctionalDependency fd = Fd(schema, "{} ->s a");
+  EXPECT_TRUE(fd.lhs.empty());
+  FunctionalDependency fd2 = Fd(schema, "a ->w {}");
+  EXPECT_TRUE(fd2.rhs.empty());
+}
+
+TEST(ParserTest, Keys) {
+  TableSchema schema = Schema("oicp");
+  KeyConstraint pk = Key(schema, "p<oic>");
+  EXPECT_TRUE(pk.is_possible());
+  EXPECT_EQ(pk.attrs, (AttributeSet{0, 1, 2}));
+  KeyConstraint ck = Key(schema, "c<i,c>");
+  EXPECT_TRUE(ck.is_certain());
+}
+
+TEST(ParserTest, ConstraintSetMixed) {
+  TableSchema schema = Schema("oicp");
+  ConstraintSet sigma = Sigma(schema, "oi ->s c; ic ->w p; p<oic>");
+  EXPECT_EQ(sigma.fds().size(), 2u);
+  EXPECT_EQ(sigma.keys().size(), 1u);
+}
+
+TEST(ParserTest, Errors) {
+  TableSchema schema = Schema("ab");
+  EXPECT_FALSE(ParseFd(schema, "a -> b").ok());      // missing mode
+  EXPECT_FALSE(ParseFd(schema, "a ->x b").ok());     // bad mode
+  EXPECT_FALSE(ParseFd(schema, "a ->s z").ok());     // unknown attr
+  EXPECT_FALSE(ParseKey(schema, "q<a>").ok());       // bad prefix
+  EXPECT_FALSE(ParseKey(schema, "p<>").ok());        // empty term
+  EXPECT_FALSE(ParseConstraint(schema, "xyz").ok());
+}
+
+TEST(ConstraintTest, InternalExternalTotal) {
+  TableSchema schema = Schema("abc");
+  EXPECT_TRUE(Fd(schema, "ab ->w a").IsInternal());
+  EXPECT_FALSE(Fd(schema, "ab ->w c").IsInternal());
+  EXPECT_TRUE(Fd(schema, "a ->w ab").IsTotal());    // X ⊆ RHS, certain
+  EXPECT_FALSE(Fd(schema, "a ->s ab").IsTotal());   // possible
+  EXPECT_FALSE(Fd(schema, "ab ->w b").IsTotal());   // LHS ⊄ RHS
+}
+
+TEST(ConstraintTest, Triviality) {
+  TableSchema schema = Schema("abc", "a");
+  const AttributeSet nfs = schema.nfs();
+  // p-FD: trivial iff RHS ⊆ LHS.
+  EXPECT_TRUE(Fd(schema, "ab ->s a").IsTrivial(nfs));
+  EXPECT_FALSE(Fd(schema, "ab ->s c").IsTrivial(nfs));
+  // c-FD: trivial iff RHS ⊆ LHS ∩ T_S. b is nullable → ab ->w b is a
+  // real constraint (Example 1's nd ->w d pattern).
+  EXPECT_TRUE(Fd(schema, "ab ->w a").IsTrivial(nfs));
+  EXPECT_FALSE(Fd(schema, "ab ->w b").IsTrivial(nfs));
+  EXPECT_FALSE(Fd(schema, "ab ->w ab").IsTrivial(nfs));
+}
+
+TEST(ConstraintTest, ToStringRoundTrips) {
+  TableSchema schema = Schema("oicp");
+  EXPECT_EQ(Fd(schema, "oi ->s c").ToString(schema), "{o,i} ->s {c}");
+  EXPECT_EQ(Key(schema, "c<ic>").ToString(schema), "c<{i,c}>");
+}
+
+TEST(ConstraintSetTest, UniqueAdd) {
+  TableSchema schema = Schema("ab");
+  ConstraintSet sigma;
+  EXPECT_TRUE(sigma.AddUniqueFd(Fd(schema, "a ->w b")));
+  EXPECT_FALSE(sigma.AddUniqueFd(Fd(schema, "a ->w b")));
+  EXPECT_TRUE(sigma.AddUniqueFd(Fd(schema, "a ->s b")));  // mode differs
+  EXPECT_EQ(sigma.fds().size(), 2u);
+}
+
+TEST(ConstraintSetTest, FdProjectionReplacesKeys) {
+  TableSchema schema = Schema("oicp", "ocp");
+  ConstraintSet sigma = Sigma(schema, "oi ->s c; p<oic>");
+  ConstraintSet fds = sigma.FdProjection(schema.all());
+  EXPECT_TRUE(fds.keys().empty());
+  ASSERT_EQ(fds.fds().size(), 2u);
+  // The key p<oic> became the p-FD oic ->s oicp.
+  EXPECT_EQ(fds.fds()[1].lhs, (AttributeSet{0, 1, 2}));
+  EXPECT_EQ(fds.fds()[1].rhs, schema.all());
+  EXPECT_TRUE(fds.fds()[1].is_possible());
+}
+
+TEST(ConstraintSetTest, KeyProjection) {
+  TableSchema schema = Schema("oicp");
+  ConstraintSet sigma = Sigma(schema, "oi ->s c; p<oic>; c<op>");
+  ConstraintSet keys = sigma.KeyProjection();
+  EXPECT_TRUE(keys.fds().empty());
+  EXPECT_EQ(keys.keys().size(), 2u);
+}
+
+TEST(ConstraintSetTest, Predicates) {
+  TableSchema schema = Schema("abc");
+  EXPECT_TRUE(Sigma(schema, "a ->w ab; c<ab>").AllCertain());
+  EXPECT_FALSE(Sigma(schema, "a ->s b").AllCertain());
+  EXPECT_TRUE(Sigma(schema, "a ->w ab; ab ->w abc").AllFdsTotal());
+  EXPECT_FALSE(Sigma(schema, "a ->w b").AllFdsTotal());
+  EXPECT_EQ(Sigma(schema, "a ->w ab; c<ab>").InputSize(), 5);
+}
+
+TEST(ConstraintSetTest, SchemaDesignToString) {
+  TableSchema schema = Schema("oicp", "ocp");
+  SchemaDesign design{schema, Sigma(schema, "ic ->w p")};
+  std::string s = design.ToString();
+  EXPECT_NE(s.find("{i,c} ->w {p}"), std::string::npos);
+  EXPECT_NE(s.find("NOT NULL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,81 @@
+#include "sqlnf/reasoning/cover.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/reasoning/implication.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(CoverTest, MinimizeLhsDropsExtraneousAttributes) {
+  TableSchema schema = Schema("abc", "abc");
+  // ab ->s c is implied already by a ->s c; the LHS shrinks to a.
+  ConstraintSet sigma = Sigma(schema, "a ->s c; ab ->s c");
+  ConstraintSet minimized = MinimizeLhs(schema, sigma);
+  EXPECT_EQ(minimized.fds()[1].lhs, AttributeSet{0});
+  EXPECT_TRUE(EquivalentSigmas(schema, sigma, minimized));
+}
+
+TEST(CoverTest, MinimizeKeys) {
+  TableSchema schema = Schema("abc", "abc");
+  ConstraintSet sigma = Sigma(schema, "c<a>; c<ab>");
+  ConstraintSet minimized = MinimizeKeys(schema, sigma);
+  EXPECT_EQ(minimized.keys()[1].attrs, AttributeSet{0});
+  EXPECT_TRUE(EquivalentSigmas(schema, sigma, minimized));
+}
+
+TEST(CoverTest, RemoveRedundantDropsImplied) {
+  TableSchema schema = Schema("abc", "abc");
+  ConstraintSet sigma = Sigma(schema, "a ->s b; b ->s c; a ->s c");
+  ConstraintSet reduced = RemoveRedundant(schema, sigma);
+  EXPECT_EQ(reduced.fds().size(), 2u);
+  EXPECT_TRUE(EquivalentSigmas(schema, sigma, reduced));
+}
+
+TEST(CoverTest, ReducedCoverCombines) {
+  TableSchema schema = Schema("abcd", "abcd");
+  ConstraintSet sigma =
+      Sigma(schema, "a ->s b; ab ->s c; a ->s c; c<ad>; c<abd>");
+  ConstraintSet reduced = ReducedCover(schema, sigma);
+  EXPECT_TRUE(EquivalentSigmas(schema, sigma, reduced));
+  EXPECT_LT(reduced.size(), sigma.size());
+}
+
+TEST(CoverTest, KeepsNonRedundantMixedModes) {
+  TableSchema schema = Schema("ab", "");
+  // a ->s b does NOT imply a ->w b on nullable schemas; both stay.
+  ConstraintSet sigma = Sigma(schema, "a ->s b; a ->w b");
+  ConstraintSet reduced = ReducedCover(schema, sigma);
+  // a ->w b implies a ->s b, so only the certain one must survive.
+  EXPECT_EQ(reduced.fds().size(), 1u);
+  EXPECT_TRUE(reduced.fds()[0].is_certain());
+  EXPECT_TRUE(EquivalentSigmas(schema, sigma, reduced));
+}
+
+class CoverPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverPropertyTest, ReducedCoverStaysEquivalent) {
+  Rng rng(GetParam() * 11 + 5);
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 4));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(
+        &rng, n, static_cast<int>(rng.Uniform(0, 6)),
+        static_cast<int>(rng.Uniform(0, 3)));
+    ConstraintSet reduced = ReducedCover(schema, sigma);
+    EXPECT_TRUE(EquivalentSigmas(schema, sigma, reduced))
+        << sigma.ToString(schema) << " vs " << reduced.ToString(schema);
+    EXPECT_LE(reduced.size(), sigma.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverPropertyTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sqlnf

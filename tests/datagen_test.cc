@@ -1,0 +1,240 @@
+// Data generation: planted FDs hold, corpus shape, and — critically —
+// the LMRP replicas reproduce every number the paper reports for them
+// (Section 7; see lmrp.h).
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/datagen/generator.h"
+#include "sqlnf/datagen/lmrp.h"
+#include "sqlnf/datagen/uci.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "sqlnf/decomposition/report.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+#include "sqlnf/engine/validate.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+TEST(GeneratorTest, PlantedFdsHold) {
+  TableSpec spec;
+  spec.num_columns = 6;
+  spec.num_rows = 200;
+  spec.fds = {{{0, 1}, {2}}, {{2}, {3}}};
+  spec.null_rates.assign(6, 0.2);  // only non-FD columns get ⊥
+  spec.duplicate_rate = 0.1;
+  spec.seed = 11;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(spec));
+  EXPECT_EQ(t.num_rows(), 200);
+  FunctionalDependency fd1 =
+      FunctionalDependency::Certain({0, 1}, {2});
+  FunctionalDependency fd2 = FunctionalDependency::Certain({2}, {3});
+  EXPECT_TRUE(Satisfies(t, fd1));
+  EXPECT_TRUE(Satisfies(t, fd2));
+  // FD columns stayed null-free; others received ⊥s.
+  EXPECT_EQ(t.CountNulls(0), 0);
+  EXPECT_EQ(t.CountNulls(2), 0);
+  EXPECT_GT(t.CountNulls(4) + t.CountNulls(5), 0);
+}
+
+TEST(GeneratorTest, DirtyRowsBreakPlants) {
+  TableSpec spec;
+  spec.num_columns = 4;
+  spec.num_rows = 300;
+  spec.fds = {{{0}, {1}}};
+  spec.dirty_rate = 0.3;
+  spec.domain_sizes = {10, 50, 5, 5};
+  spec.seed = 12;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(spec));
+  EXPECT_FALSE(
+      Satisfies(t, FunctionalDependency::Certain({0}, {1})));
+}
+
+TEST(GeneratorTest, DeterministicAcrossCalls) {
+  TableSpec spec;
+  spec.seed = 99;
+  ASSERT_OK_AND_ASSIGN(Table a, GenerateTable(spec));
+  ASSERT_OK_AND_ASSIGN(Table b, GenerateTable(spec));
+  EXPECT_TRUE(a.SameMultiset(b));
+}
+
+TEST(GeneratorTest, ValidatesSpec) {
+  TableSpec bad;
+  bad.num_columns = 0;
+  EXPECT_FALSE(GenerateTable(bad).ok());
+  TableSpec bad_fd;
+  bad_fd.num_columns = 3;
+  bad_fd.fds = {{{7}, {1}}};
+  EXPECT_FALSE(GenerateTable(bad_fd).ok());
+}
+
+TEST(CorpusTest, Has130Tables) {
+  auto profiles = DefaultCorpusProfiles();
+  int total = 0;
+  for (const auto& p : profiles) total += p.num_tables;
+  EXPECT_EQ(profiles.size(), 7u);
+  EXPECT_EQ(total, 130);
+}
+
+TEST(CorpusTest, BuildsDeterministically) {
+  auto profiles = DefaultCorpusProfiles();
+  // Shrink for test speed: 2 tables per profile.
+  for (auto& p : profiles) p.num_tables = 2;
+  ASSERT_OK_AND_ASSIGN(auto corpus_a, BuildCorpus(profiles, 5));
+  ASSERT_OK_AND_ASSIGN(auto corpus_b, BuildCorpus(profiles, 5));
+  ASSERT_EQ(corpus_a.size(), corpus_b.size());
+  ASSERT_EQ(corpus_a.size(), 14u);
+  for (size_t i = 0; i < corpus_a.size(); ++i) {
+    EXPECT_TRUE(corpus_a[i].SameMultiset(corpus_b[i]));
+  }
+}
+
+TEST(LmrpContactTest, SnippetMatchesFigure7) {
+  ASSERT_OK_AND_ASSIGN(Table snippet, ContactDraftLookupSnippet());
+  EXPECT_EQ(snippet.num_rows(), 14);
+  EXPECT_EQ(snippet.num_columns(), 5);
+  // σ holds on the snippet; city ->w state_id fails on it (paper).
+  ASSERT_OK_AND_ASSIGN(FunctionalDependency sigma,
+                       ContactSigmaFd(snippet.schema()));
+  EXPECT_TRUE(Satisfies(snippet, sigma));
+  auto city_state = ParseFd(snippet.schema(), "city ->w state_id");
+  ASSERT_OK(city_state.status());
+  EXPECT_FALSE(Satisfies(snippet, *city_state));
+  // People move: first,last ->s state_id fails (Stacey Brennan).
+  auto person_state =
+      ParseFd(snippet.schema(), "first_name,last_name ->s state_id");
+  EXPECT_FALSE(Satisfies(snippet, *person_state));
+  // Its σ-decomposition has 10 set rows (Figure 8).
+  AttributeSet proj = sigma.rhs;
+  ASSERT_OK_AND_ASSIGN(Table set_part, ProjectSet(snippet, proj, "p"));
+  EXPECT_EQ(set_part.num_rows(), 10);
+}
+
+TEST(LmrpContactTest, FullTableMatchesPaperNumbers) {
+  ASSERT_OK_AND_ASSIGN(Table contact, ContactDraftLookup());
+  EXPECT_EQ(contact.num_rows(), 124);
+  EXPECT_EQ(contact.num_columns(), 14);
+  ASSERT_OK_AND_ASSIGN(FunctionalDependency sigma,
+                       ContactSigmaFd(contact.schema()));
+  EXPECT_TRUE(Satisfies(contact, sigma));
+  // NFS columns are null-free; city has ⊥s.
+  EXPECT_OK(contact.CheckNfs());
+  ASSERT_OK_AND_ASSIGN(AttributeId city,
+                       contact.schema().FindAttribute("city"));
+  EXPECT_GT(contact.CountNulls(city), 0);
+
+  // The 4-column set projection has 105 rows: 19 sources of potential
+  // inconsistency eliminated (paper).
+  ASSERT_OK_AND_ASSIGN(Table proj, ProjectSet(contact, sigma.rhs, "p"));
+  EXPECT_EQ(proj.num_rows(), 105);
+
+  // c<first,last,city> holds on the projection.
+  AttributeSet key_attrs = sigma.lhs;
+  // Translate into the projection's ids.
+  AttributeSet local;
+  for (AttributeId a : key_attrs) {
+    ASSERT_OK_AND_ASSIGN(
+        AttributeId id,
+        proj.schema().FindAttribute(contact.schema().attribute_name(a)));
+    local.Add(id);
+  }
+  EXPECT_TRUE(Satisfies(proj, KeyConstraint::Certain(local)));
+
+  // The σ-decomposition is lossless on the replica.
+  Decomposition d;
+  d.components.push_back(
+      {sigma.lhs.Union(contact.schema().all().Difference(sigma.rhs)), true,
+       "rest"});
+  d.components.push_back({sigma.rhs, false, "proj"});
+  ASSERT_OK_AND_ASSIGN(bool lossless, IsLosslessForInstance(contact, d));
+  EXPECT_TRUE(lossless);
+}
+
+TEST(LmrpContractorTest, MatchesPaperNumbers) {
+  ASSERT_OK_AND_ASSIGN(Table contractor, Contractor());
+  EXPECT_EQ(contractor.num_rows(), 173);
+  EXPECT_EQ(contractor.num_columns(), 22);
+  EXPECT_EQ(contractor.num_cells(), 3806);
+  ASSERT_OK_AND_ASSIGN(ConstraintSet lambda,
+                       ContractorLambdaFds(contractor.schema()));
+  ASSERT_EQ(lambda.fds().size(), 3u);
+  for (const auto& fd : lambda.fds()) {
+    EXPECT_TRUE(fd.IsTotal());
+    EXPECT_TRUE(Satisfies(contractor, fd)) << fd.ToString(contractor.schema());
+  }
+
+  SchemaDesign design{contractor.schema(), lambda};
+  ASSERT_OK_AND_ASSIGN(VrnfResult result, VrnfDecompose(design));
+  ASSERT_EQ(result.decomposition.components.size(), 4u);
+  ASSERT_OK_AND_ASSIGN(auto tables,
+                       ProjectAll(contractor, result.decomposition));
+
+  // Paper: tables of 38×4, 67×5, 73×4 and the 173×17 multiset remainder
+  // → 3720 cells total (vs 3806).
+  ASSERT_OK_AND_ASSIGN(DecompositionReport report,
+                       ReportDecomposition(contractor,
+                                           result.decomposition));
+  EXPECT_EQ(report.cells_before, 3806);
+  EXPECT_EQ(report.cells_after, 3720);
+  std::vector<std::pair<int, int>> shapes;
+  for (const Table& t : tables) {
+    shapes.emplace_back(t.num_rows(), t.num_columns());
+  }
+  std::sort(shapes.begin(), shapes.end());
+  EXPECT_EQ(shapes[0], std::make_pair(38, 4));
+  EXPECT_EQ(shapes[1], std::make_pair(67, 5));
+  EXPECT_EQ(shapes[2], std::make_pair(73, 4));
+  EXPECT_EQ(shapes[3], std::make_pair(173, 17));
+
+  // Per-step eliminations: 1 dmerc_rgn value + 134 ⊥, 135 status,
+  // 106 contractor_version, 106 status_flag, 100 url = 448 values.
+  ASSERT_OK_AND_ASSIGN(auto steps, ReportVrnfSteps(contractor, result));
+  int total_values = 0, total_nulls = 0;
+  std::map<std::string, std::pair<int, int>> by_column;
+  for (const auto& step : steps) {
+    for (const auto& col : step.columns) {
+      total_values += col.values_eliminated;
+      total_nulls += col.nulls_eliminated;
+      by_column[contractor.schema().attribute_name(col.column)] = {
+          col.values_eliminated, col.nulls_eliminated};
+    }
+  }
+  EXPECT_EQ(total_values, 448);
+  EXPECT_EQ(total_nulls, 134);
+  EXPECT_EQ(by_column["dmerc_rgn"], std::make_pair(1, 134));
+  EXPECT_EQ(by_column["status"], std::make_pair(135, 0));
+  EXPECT_EQ(by_column["contractor_version"], std::make_pair(106, 0));
+  EXPECT_EQ(by_column["status_flag"], std::make_pair(106, 0));
+  EXPECT_EQ(by_column["url"], std::make_pair(100, 0));
+
+  // Lossless on the replica.
+  ASSERT_OK_AND_ASSIGN(
+      bool lossless,
+      IsLosslessForInstance(contractor, result.decomposition));
+  EXPECT_TRUE(lossless);
+}
+
+TEST(UciShapedTest, Shapes) {
+  ASSERT_OK_AND_ASSIGN(Table bc, UciBreastCancerShaped());
+  EXPECT_EQ(bc.num_rows(), 699);
+  EXPECT_EQ(bc.num_columns(), 11);
+  ASSERT_OK_AND_ASSIGN(Table adult, UciAdultShaped(1000));
+  EXPECT_EQ(adult.num_rows(), 1000);
+  EXPECT_EQ(adult.num_columns(), 14);
+  ASSERT_OK_AND_ASSIGN(Table hep, UciHepatitisShaped());
+  EXPECT_EQ(hep.num_rows(), 155);
+  EXPECT_EQ(hep.num_columns(), 20);
+  // Nulls appear where specified.
+  ASSERT_OK_AND_ASSIGN(AttributeId protime,
+                       hep.schema().FindAttribute("protime"));
+  EXPECT_GT(hep.CountNulls(protime), 20);
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,235 @@
+// Projections, equality joins, and lossless decomposition (Definitions
+// 6-8, Theorem 11), on the paper's Figures 2, 4, 5 and random sweeps.
+
+#include "sqlnf/decomposition/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::Fd;
+using testing::RandomInstance;
+using testing::RandomSchema;
+using testing::Rows;
+using testing::Schema;
+
+TEST(ProjectionOpsTest, SetVsMultiset) {
+  TableSchema schema = Schema("abc");
+  Table t = Rows(schema, {"11x", "11y", "22z", "11x"});
+  ASSERT_OK_AND_ASSIGN(Table ms, ProjectMultiset(t, {0, 1}, "ms"));
+  EXPECT_EQ(ms.num_rows(), 4);
+  ASSERT_OK_AND_ASSIGN(Table s, ProjectSet(t, {0, 1}, "s"));
+  EXPECT_EQ(s.num_rows(), 2);  // (1,1) and (2,2)
+  // ⊥ is preserved by projection and distinct tuples with ⊥ are kept.
+  Table tn = Rows(schema, {"1_x", "1_y", "1_x"});
+  ASSERT_OK_AND_ASSIGN(Table sn, ProjectSet(tn, {0, 1, 2}, "sn"));
+  EXPECT_EQ(sn.num_rows(), 2);
+}
+
+TEST(ProjectionOpsTest, ValidateDecomposition) {
+  TableSchema schema = Schema("abc");
+  Decomposition good;
+  good.components.push_back({Attrs(schema, "ab"), true, ""});
+  good.components.push_back({Attrs(schema, "bc"), false, ""});
+  EXPECT_OK(good.Validate(schema));
+
+  Decomposition not_covering;
+  not_covering.components.push_back({Attrs(schema, "ab"), true, ""});
+  EXPECT_FALSE(not_covering.Validate(schema).ok());
+
+  Decomposition empty_comp;
+  empty_comp.components.push_back({AttributeSet(), false, ""});
+  empty_comp.components.push_back({schema.all(), true, ""});
+  EXPECT_FALSE(empty_comp.Validate(schema).ok());
+}
+
+TEST(EqualityJoinTest, JoinsOnCommonColumnsWithExactNullMatch) {
+  TableSchema left_schema = Schema("ab");
+  TableSchema right_schema =
+      TableSchema::MakeCompact("R", "bc").value();
+  Table left = Rows(left_schema, {"1x", "2_", "3y"});
+  Table right = Rows(right_schema, {"xA", "_B", "yC", "zD"});
+  ASSERT_OK_AND_ASSIGN(Table joined, EqualityJoin(left, right, "J"));
+  EXPECT_EQ(joined.num_columns(), 3);
+  EXPECT_EQ(joined.num_rows(), 3);  // x-x, ⊥-⊥, y-y; z unmatched
+  // The ⊥ row joined with the ⊥ row only.
+  bool found_null_join = false;
+  for (const Tuple& t : joined.rows()) {
+    if (t[1].is_null()) {
+      EXPECT_EQ(t[2], Value::Str("B"));
+      found_null_join = true;
+    }
+  }
+  EXPECT_TRUE(found_null_join);
+}
+
+TEST(EqualityJoinTest, BagSemantics) {
+  TableSchema ls = TableSchema::MakeCompact("L", "ab").value();
+  TableSchema rs = TableSchema::MakeCompact("R", "bc").value();
+  Table left = Rows(ls, {"1x", "1x"});
+  Table right = Rows(rs, {"xA", "xB"});
+  ASSERT_OK_AND_ASSIGN(Table joined, EqualityJoin(left, right, "J"));
+  EXPECT_EQ(joined.num_rows(), 4);  // 2 left × 2 matching right
+}
+
+TEST(LosslessTest, Figure2ClassicalDecomposition) {
+  TableSchema schema = Schema("oicp");
+  Table purchase = Rows(schema, {"1FAX", "1FBX", "3FAX", "3DKY"});
+  Decomposition d = DecomposeByFd(schema, Fd(schema, "ic ->w p"));
+  // Components: [[oic]] and [icp].
+  ASSERT_EQ(d.components.size(), 2u);
+  EXPECT_TRUE(d.components[0].multiset);
+  EXPECT_EQ(d.components[0].attrs, Attrs(schema, "oic"));
+  EXPECT_FALSE(d.components[1].multiset);
+  EXPECT_EQ(d.components[1].attrs, Attrs(schema, "icp"));
+
+  ASSERT_OK_AND_ASSIGN(auto tables, ProjectAll(purchase, d));
+  EXPECT_EQ(tables[0].num_rows(), 4);
+  EXPECT_EQ(tables[1].num_rows(), 3);  // the two 240-rows merged
+
+  ASSERT_OK_AND_ASSIGN(bool lossless, IsLosslessForInstance(purchase, d));
+  EXPECT_TRUE(lossless);
+}
+
+TEST(LosslessTest, Figure4PFdDecompositionIsLossy) {
+  // The instance satisfies ic ->s p but its decomposition loses
+  // information — p-FDs do not support decomposition under nulls.
+  TableSchema schema = Schema("oicp");
+  Table t = Rows(schema, {"1F_X", "2F_Y"});
+  ASSERT_TRUE(Satisfies(t, Fd(schema, "ic ->s p")));
+  Decomposition d = DecomposeByFd(schema, Fd(schema, "ic ->s p"));
+  ASSERT_OK_AND_ASSIGN(bool lossless, IsLosslessForInstance(t, d));
+  EXPECT_FALSE(lossless);
+}
+
+TEST(LosslessTest, Figure5CertainFdDecompositionIsLossless) {
+  TableSchema schema = Schema("oicp");
+  Table t = Rows(schema, {"1FAX", "1F_X", "3FAX", "3DKY"});
+  ASSERT_TRUE(Satisfies(t, Fd(schema, "ic ->w p")));
+  Decomposition d = DecomposeByFd(schema, Fd(schema, "ic ->w p"));
+  ASSERT_OK_AND_ASSIGN(bool lossless, IsLosslessForInstance(t, d));
+  EXPECT_TRUE(lossless);
+}
+
+TEST(LosslessTest, LienPartialDecompositionTheorem) {
+  // Lien (paper §3): a table satisfying the p-FD X ->s Y decomposes
+  // losslessly ON ITS X-TOTAL PART. Figure 4's instance: lossy as a
+  // whole, lossless after dropping the ⊥-catalog rows.
+  TableSchema schema = Schema("oicp");
+  Table t = Rows(schema, {"1F_X", "2F_Y", "3GAZ", "4GAZ"});
+  FunctionalDependency p_fd = Fd(schema, "ic ->s p");
+  ASSERT_TRUE(Satisfies(t, p_fd));
+  Decomposition d = DecomposeByFd(schema, p_fd);
+  ASSERT_OK_AND_ASSIGN(bool whole, IsLosslessForInstance(t, d));
+  EXPECT_FALSE(whole);
+  Table total_part = XTotalPart(t, p_fd.lhs);
+  EXPECT_EQ(total_part.num_rows(), 2);
+  ASSERT_OK_AND_ASSIGN(bool partial,
+                       IsLosslessForInstance(total_part, d));
+  EXPECT_TRUE(partial);
+}
+
+class LienTheoremTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LienTheoremTest, XTotalPartAlwaysDecomposesUnderPfds) {
+  Rng rng(GetParam() * 59 + 31);
+  int exercised = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    Table instance = RandomInstance(&rng, schema, 6, 2, 0.3);
+    FunctionalDependency fd;
+    fd.lhs = testing::RandomSubset(&rng, n);
+    fd.rhs = testing::RandomSubset(&rng, n);
+    fd.mode = Mode::kPossible;
+    if (fd.rhs.empty()) continue;
+    if (!Satisfies(instance, fd)) continue;
+    Table total = XTotalPart(instance, fd.lhs);
+    if (total.num_rows() == 0) continue;
+    ++exercised;
+    Decomposition d = DecomposeByFd(schema, fd);
+    ASSERT_OK_AND_ASSIGN(bool lossless, IsLosslessForInstance(total, d));
+    EXPECT_TRUE(lossless) << fd.ToString(schema) << "\n"
+                          << total.ToString();
+  }
+  EXPECT_GT(exercised, 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LienTheoremTest, ::testing::Range(0, 4));
+
+// Theorem 11 as a property: whenever an instance satisfies a c-FD, the
+// induced binary decomposition is lossless. (And the multiset side
+// preserves duplicates.)
+class Theorem11Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem11Test, CertainFdsDecomposeLosslessly) {
+  Rng rng(GetParam() * 53 + 29);
+  int exercised = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    Table instance = RandomInstance(&rng, schema, 6, 2, 0.3);
+    FunctionalDependency fd;
+    fd.lhs = testing::RandomSubset(&rng, n);
+    fd.rhs = testing::RandomSubset(&rng, n);
+    fd.mode = Mode::kCertain;
+    if (fd.rhs.empty() || fd.lhs.Union(fd.rhs) == schema.all()) continue;
+    if (!Satisfies(instance, fd)) continue;
+    ++exercised;
+    Decomposition d = DecomposeByFd(schema, fd);
+    ASSERT_OK_AND_ASSIGN(bool lossless,
+                         IsLosslessForInstance(instance, d));
+    EXPECT_TRUE(lossless)
+        << fd.ToString(schema) << "\n" << instance.ToString();
+  }
+  EXPECT_GT(exercised, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem11Test, ::testing::Range(0, 6));
+
+// Theorem 12: when the TOTAL form X →w XY holds, c<X> holds on the set
+// projection I[XY] — the property that makes Algorithm 3's components
+// redundancy-free.
+class Theorem12Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem12Test, TotalFdsInduceCertainKeysOnProjections) {
+  Rng rng(GetParam() * 89 + 37);
+  int exercised = 0;
+  for (int trial = 0; trial < 800; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    Table instance = RandomInstance(&rng, schema, 4, 2, 0.25);
+    AttributeSet x = testing::RandomSubset(&rng, n, 0.4);
+    AttributeSet y = testing::RandomSubset(&rng, n, 0.4).Difference(x);
+    if (y.empty()) continue;
+    FunctionalDependency total =
+        FunctionalDependency::Certain(x, x.Union(y));
+    if (!Satisfies(instance, total)) continue;
+    ++exercised;
+    auto projected = ProjectSet(instance, x.Union(y), "xy");
+    ASSERT_OK(projected.status());
+    // c<X> on the projection, with X renumbered to local ids.
+    AttributeSet local;
+    for (AttributeId a : x) {
+      auto id = projected->schema().FindAttribute(
+          schema.attribute_name(a));
+      ASSERT_OK(id.status());
+      local.Add(*id);
+    }
+    EXPECT_TRUE(Satisfies(*projected, KeyConstraint::Certain(local)))
+        << total.ToString(schema) << "\n"
+        << instance.ToString() << projected->ToString();
+  }
+  EXPECT_GT(exercised, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem12Test, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

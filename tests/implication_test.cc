@@ -1,0 +1,189 @@
+// Implication for the combined constraint class (Theorems 2, 4, 5),
+// including the FD-projection / key-projection reductions and the
+// cross-check against the axiomatic saturation engine (Theorem 4's
+// soundness + completeness, verified constructively on small schemas).
+
+#include "sqlnf/reasoning/implication.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/reasoning/axioms.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Fd;
+using testing::Key;
+using testing::RandomInstance;
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::RandomSubset;
+using testing::Rows;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ImplicationTest, PaperFdExample) {
+  TableSchema schema = Schema("oicp", "ocp");
+  Implication imp(schema, Sigma(schema, "oi ->s c; ic ->w p"));
+  EXPECT_TRUE(imp.Implies(Fd(schema, "oi ->s p")));
+  EXPECT_FALSE(imp.Implies(Fd(schema, "oi ->w p")));
+  // Witness from the paper for the non-implication.
+  Table witness = Rows(schema, {"1FAX", "1_KY"});
+  EXPECT_TRUE(SatisfiesAll(witness, Sigma(schema, "oi ->s c; ic ->w p")));
+  EXPECT_FALSE(Satisfies(witness, Fd(schema, "oi ->w p")));
+}
+
+TEST(ImplicationTest, PaperKeyExample) {
+  // Σ = {oi ->s c, p<oic>} implies p<oi> via key-null-transitivity
+  // (c ∈ T_S).
+  TableSchema schema = Schema("oicp", "ocp");
+  Implication imp(schema, Sigma(schema, "oi ->s c; p<oic>"));
+  EXPECT_TRUE(imp.Implies(Key(schema, "p<oi>")));
+  EXPECT_FALSE(imp.Implies(Key(schema, "c<oi>")));
+  EXPECT_FALSE(imp.Implies(Fd(schema, "oi ->w p")));
+}
+
+TEST(ImplicationTest, KeyImpliedByKeysAloneAxioms) {
+  TableSchema schema = Schema("abc", "ab");
+  const AttributeSet nfs = schema.nfs();
+  std::vector<KeyConstraint> keys = {Key(schema, "p<a>")};
+  // kA: supersets are implied.
+  EXPECT_TRUE(KeyImpliedByKeysAlone(keys, nfs, Key(schema, "p<ab>")));
+  EXPECT_FALSE(KeyImpliedByKeysAlone(keys, nfs, Key(schema, "p<b>")));
+  // kS: p<a> with a ∈ T_S gives c<a> (and supersets).
+  EXPECT_TRUE(KeyImpliedByKeysAlone(keys, nfs, Key(schema, "c<ac>")));
+  // A p-key with a nullable attribute does not certify.
+  std::vector<KeyConstraint> keys2 = {Key(schema, "p<ac>")};
+  EXPECT_FALSE(KeyImpliedByKeysAlone(keys2, nfs, Key(schema, "c<ac>")));
+  EXPECT_TRUE(KeyImpliedByKeysAlone(keys2, nfs, Key(schema, "p<abc>")));
+  // kW: a c-key gives the p-key.
+  std::vector<KeyConstraint> keys3 = {Key(schema, "c<ac>")};
+  EXPECT_TRUE(KeyImpliedByKeysAlone(keys3, nfs, Key(schema, "p<ac>")));
+}
+
+TEST(ImplicationTest, CertainKeyViaCertainFdAndKey) {
+  // kT (certain): X ->w Y and c<XY> imply c<X>.
+  TableSchema schema = Schema("abc", "");
+  Implication imp(schema, Sigma(schema, "a ->w bc; c<abc>"));
+  EXPECT_TRUE(imp.Implies(Key(schema, "c<a>")));
+  EXPECT_TRUE(imp.Implies(Key(schema, "p<a>")));  // kW
+}
+
+TEST(ImplicationTest, PossibleFdDoesNotCertifyKey) {
+  // With a ->s bc only, weakly similar ⊥-rows escape: c<a> not implied.
+  TableSchema schema = Schema("abc", "");
+  Implication imp(schema, Sigma(schema, "a ->s bc; c<abc>"));
+  EXPECT_FALSE(imp.Implies(Key(schema, "c<a>")));
+  // kT (possible): p<a> IS implied.
+  EXPECT_TRUE(imp.Implies(Key(schema, "p<a>")));
+  // Semantic confirmation of the negative: a two-row model.
+  Table m = Rows(schema, {"_12", "134"});
+  EXPECT_TRUE(SatisfiesAll(m, Sigma(schema, "a ->s bc; c<abc>")));
+  EXPECT_FALSE(Satisfies(m, Key(schema, "c<a>")));
+}
+
+TEST(ImplicationTest, TrivialFdsAlwaysImplied) {
+  TableSchema schema = Schema("abc", "a");
+  Implication imp(schema, ConstraintSet());
+  EXPECT_TRUE(imp.Implies(Fd(schema, "ab ->s ab")));
+  EXPECT_TRUE(imp.Implies(Fd(schema, "ab ->w a")));   // a ∈ T_S
+  EXPECT_FALSE(imp.Implies(Fd(schema, "ab ->w b")));  // b nullable
+}
+
+TEST(ImplicationTest, CertainFdImpliesPossibleFd) {
+  TableSchema schema = Schema("ab", "");
+  Implication imp(schema, Sigma(schema, "a ->w b"));
+  EXPECT_TRUE(imp.Implies(Fd(schema, "a ->s b")));
+}
+
+TEST(ImplicationTest, EquivalentSigmas) {
+  TableSchema schema = Schema("abc", "abc");
+  // On fully NOT NULL schemas, ->s and ->w coincide.
+  EXPECT_TRUE(EquivalentSigmas(schema, Sigma(schema, "a ->s b"),
+                               Sigma(schema, "a ->w b")));
+  TableSchema nullable = Schema("abc", "");
+  EXPECT_FALSE(EquivalentSigmas(nullable, Sigma(nullable, "a ->s b"),
+                                Sigma(nullable, "a ->w b")));
+  EXPECT_TRUE(EquivalentSigmas(schema, Sigma(schema, "a ->s b; a ->s c"),
+                               Sigma(schema, "a ->s bc")));
+}
+
+// The big cross-check: the linear-time decision procedure agrees with
+// axiomatic derivability (Theorems 1 and 4) on every queried constraint
+// over random small schemas.
+class ImplicationVsAxiomsTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationVsAxiomsTest, DecisionMatchesDerivability) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 12; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 2));  // 2..4 attributes
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(
+        &rng, n, static_cast<int>(rng.Uniform(0, 4)),
+        static_cast<int>(rng.Uniform(0, 2)));
+    auto engine = AxiomEngine::Saturate(schema, sigma);
+    ASSERT_OK(engine.status());
+    Implication imp(schema, sigma);
+
+    for (int q = 0; q < 30; ++q) {
+      if (rng.Chance(0.6)) {
+        FunctionalDependency fd;
+        fd.lhs = RandomSubset(&rng, n);
+        fd.rhs = RandomSubset(&rng, n);
+        fd.mode = rng.Chance(0.5) ? Mode::kPossible : Mode::kCertain;
+        EXPECT_EQ(imp.Implies(fd), engine->Derivable(fd))
+            << fd.ToString(schema) << " over " << sigma.ToString(schema)
+            << " NFS " << schema.FormatSet(schema.nfs());
+      } else {
+        KeyConstraint key;
+        key.attrs = RandomSubset(&rng, n, 0.5);
+        key.mode = rng.Chance(0.5) ? Mode::kPossible : Mode::kCertain;
+        EXPECT_EQ(imp.Implies(key), engine->Derivable(key))
+            << key.ToString(schema) << " over " << sigma.ToString(schema)
+            << " NFS " << schema.FormatSet(schema.nfs());
+      }
+    }
+  }
+}
+
+// Soundness via model checking: whenever the decision procedure says
+// Σ ⊨ φ, no random instance satisfying Σ may violate φ.
+TEST_P(ImplicationVsAxiomsTest, SoundnessAgainstRandomModels) {
+  Rng rng(GetParam() * 97 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 2, 1);
+    Implication imp(schema, sigma);
+
+    std::vector<Constraint> queries;
+    for (int q = 0; q < 12; ++q) {
+      FunctionalDependency fd;
+      fd.lhs = RandomSubset(&rng, n);
+      fd.rhs = RandomSubset(&rng, n);
+      fd.mode = rng.Chance(0.5) ? Mode::kPossible : Mode::kCertain;
+      if (imp.Implies(fd)) queries.emplace_back(fd);
+      KeyConstraint key{RandomSubset(&rng, n, 0.5),
+                        rng.Chance(0.5) ? Mode::kPossible : Mode::kCertain};
+      if (imp.Implies(key)) queries.emplace_back(key);
+    }
+    for (int m = 0; m < 15; ++m) {
+      Table instance = RandomInstance(&rng, schema, 4, 2);
+      if (!SatisfiesAll(instance, sigma)) continue;
+      for (const Constraint& c : queries) {
+        EXPECT_TRUE(Satisfies(instance, c))
+            << ConstraintToString(c, schema) << " claimed implied by "
+            << sigma.ToString(schema) << "\n"
+            << instance.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationVsAxiomsTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,142 @@
+// BCNF and SQL-BCNF (Definitions 5 and 12, Theorems 6, 7, 14),
+// exercised on the paper's examples, plus representation-invariance.
+
+#include "sqlnf/normalform/normal_forms.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/reasoning/cover.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Fd;
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(BcnfTest, PaperPurchaseNotInBcnf) {
+  // PURCHASE = oicp, T_S = oip, Σ = {ic ->w p}: not in BCNF because
+  // c<ic> is not implied (Section 5.1).
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "ic ->w p")};
+  EXPECT_FALSE(IsBcnf(design));
+  auto violation = FindBcnfViolation(design);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->fd, Fd(schema, "ic ->w p"));
+  EXPECT_TRUE(violation->missing_key.is_certain());
+  EXPECT_NE(violation->ToString(schema).find("c<{i,c}>"),
+            std::string::npos);
+}
+
+TEST(BcnfTest, PaperPurchaseVariantInBcnf) {
+  // With T_S = ∅ and Σ = {oic ->w p, c<oicp>}, the schema IS in BCNF:
+  // c<oic> is implied because p ∈ (oic)*c.
+  TableSchema schema = Schema("oicp", "");
+  SchemaDesign design{schema, Sigma(schema, "oic ->w p; c<oicp>")};
+  EXPECT_TRUE(IsBcnf(design));
+  EXPECT_TRUE(IsRfnf(design));
+}
+
+TEST(BcnfTest, PossibleFdNeedsPossibleKey) {
+  TableSchema schema = Schema("abc", "abc");
+  EXPECT_FALSE(IsBcnf({schema, Sigma(schema, "a ->s b")}));
+  EXPECT_TRUE(IsBcnf({schema, Sigma(schema, "a ->s b; p<a>")}));
+}
+
+TEST(BcnfTest, TrivialFdsDoNotViolate) {
+  TableSchema schema = Schema("abc", "a");
+  EXPECT_TRUE(IsBcnf({schema, Sigma(schema, "ab ->s a")}));
+  EXPECT_TRUE(IsBcnf({schema, Sigma(schema, "ab ->w a")}));  // a ∈ T_S
+  // ab ->w b is non-trivial (b nullable) and needs c<ab>.
+  EXPECT_FALSE(IsBcnf({schema, Sigma(schema, "ab ->w b")}));
+}
+
+TEST(BcnfTest, ClassicalSpecialCase) {
+  // All NOT NULL + an implied key: reduces to classical BCNF.
+  TableSchema schema = Schema("abc", "abc");
+  SchemaDesign good{schema, Sigma(schema, "a ->s bc; c<a>")};
+  EXPECT_TRUE(IsIdealizedRelationalCase(good));
+  EXPECT_TRUE(IsBcnf(good));
+  SchemaDesign bad{schema, Sigma(schema, "a ->s b; c<abc>")};
+  EXPECT_TRUE(IsIdealizedRelationalCase(bad));
+  EXPECT_FALSE(IsBcnf(bad));  // a determines b but is no key
+}
+
+TEST(BcnfTest, InvariantUnderEquivalentRepresentations) {
+  TableSchema schema = Schema("abc", "abc");
+  ConstraintSet s1 = Sigma(schema, "a ->s bc; c<a>");
+  ConstraintSet s2 = Sigma(schema, "a ->s b; a ->s c; c<a>; c<ab>");
+  ASSERT_TRUE(EquivalentSigmas(schema, s1, s2));
+  EXPECT_EQ(IsBcnf({schema, s1}), IsBcnf({schema, s2}));
+  // And under cover reduction.
+  ConstraintSet reduced = ReducedCover(schema, s2);
+  EXPECT_EQ(IsBcnf({schema, s2}), IsBcnf({schema, reduced}));
+}
+
+TEST(SqlBcnfTest, PaperExample3) {
+  // (oicp, oip, {oic ->w cp}) is not in SQL-BCNF; both output schemata
+  // of Algorithm 3 are (Section 6.2).
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "oic ->w cp")};
+  ASSERT_OK_AND_ASSIGN(bool in_nf, IsSqlBcnf(design));
+  EXPECT_FALSE(in_nf);
+
+  TableSchema t1 = Schema("oic", "oi");
+  ASSERT_OK_AND_ASSIGN(bool nf1,
+                       IsSqlBcnf({t1, Sigma(t1, "oic ->w c")}));
+  EXPECT_TRUE(nf1);  // internal c-FDs are exempt
+
+  TableSchema t2 = Schema("oicp", "oip");
+  ASSERT_OK_AND_ASSIGN(bool nf2, IsSqlBcnf({t2, Sigma(t2, "c<oic>")}));
+  EXPECT_TRUE(nf2);
+}
+
+TEST(SqlBcnfTest, ExternalFdNeedsCertainKey) {
+  TableSchema schema = Schema("abc", "");
+  ASSERT_OK_AND_ASSIGN(bool without,
+                       IsSqlBcnf({schema, Sigma(schema, "a ->w ab")}));
+  EXPECT_FALSE(without);
+  ASSERT_OK_AND_ASSIGN(
+      bool with, IsSqlBcnf({schema, Sigma(schema, "a ->w ab; c<a>")}));
+  EXPECT_TRUE(with);
+}
+
+TEST(SqlBcnfTest, RejectsPossibleConstraints) {
+  TableSchema schema = Schema("ab", "a");
+  EXPECT_FALSE(IsSqlBcnf({schema, Sigma(schema, "a ->s b")}).ok());
+  EXPECT_FALSE(IsSqlBcnf({schema, Sigma(schema, "p<a>")}).ok());
+}
+
+TEST(SqlBcnfTest, VrnfAliases) {
+  TableSchema schema = Schema("oicp", "oip");
+  ASSERT_OK_AND_ASSIGN(bool vrnf,
+                       IsVrnf({schema, Sigma(schema, "oic ->w cp")}));
+  EXPECT_FALSE(vrnf);
+}
+
+TEST(SqlBcnfTest, BcnfImpliesSqlBcnfOnCertainInputs) {
+  // RFNF ⊆ VRNF: redundancy-freedom is the stronger requirement, so a
+  // BCNF schema (certain constraints only) is always in SQL-BCNF.
+  Rng rng(77);
+  int checked = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 2, 1);
+    // Force certain-only constraint sets.
+    for (auto& fd : *sigma.mutable_fds()) fd.mode = Mode::kCertain;
+    for (auto& key : *sigma.mutable_keys()) key.mode = Mode::kCertain;
+    SchemaDesign design{schema, sigma};
+    if (!IsBcnf(design)) continue;
+    ++checked;
+    ASSERT_OK_AND_ASSIGN(bool sql_bcnf, IsSqlBcnf(design));
+    EXPECT_TRUE(sql_bcnf) << design.ToString();
+  }
+  EXPECT_GT(checked, 10);
+}
+
+}  // namespace
+}  // namespace sqlnf

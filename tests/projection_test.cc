@@ -1,0 +1,151 @@
+// Schema projection Σ[X] (Section 5.1, Theorems 8/17 context).
+
+#include "sqlnf/normalform/projection.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/normalform/normal_forms.h"
+#include "sqlnf/reasoning/implication.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::Fd;
+using testing::Key;
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::RandomSubset;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ProjectionTest, KeepsConstraintsInsideX) {
+  TableSchema schema = Schema("abcd", "abcd");
+  ConstraintSet sigma = Sigma(schema, "a ->s b; c ->s d");
+  ASSERT_OK_AND_ASSIGN(ConstraintSet proj,
+                       ProjectSigma(schema, sigma, Attrs(schema, "ab")));
+  Implication imp(schema, proj);
+  EXPECT_TRUE(imp.Implies(Fd(schema, "a ->s b")));
+  EXPECT_FALSE(imp.Implies(Fd(schema, "c ->s d")));
+}
+
+TEST(ProjectionTest, TransitiveConsequencesSurviveProjection) {
+  // a -> b -> c projected onto {a,c} keeps a -> c.
+  TableSchema schema = Schema("abc", "abc");
+  ConstraintSet sigma = Sigma(schema, "a ->s b; b ->s c");
+  ASSERT_OK_AND_ASSIGN(ConstraintSet proj,
+                       ProjectSigma(schema, sigma, Attrs(schema, "ac")));
+  Implication imp(schema, proj);
+  EXPECT_TRUE(imp.Implies(Fd(schema, "a ->s c")));
+}
+
+TEST(ProjectionTest, KeysProject) {
+  TableSchema schema = Schema("abc", "abc");
+  ConstraintSet sigma = Sigma(schema, "c<a>");
+  ASSERT_OK_AND_ASSIGN(ConstraintSet proj,
+                       ProjectSigma(schema, sigma, Attrs(schema, "ab")));
+  Implication imp(schema, proj);
+  EXPECT_TRUE(imp.Implies(Key(schema, "c<ab>")));
+  EXPECT_TRUE(imp.Implies(Key(schema, "c<a>")));
+}
+
+TEST(ProjectionTest, ProjectDesignRenumbers) {
+  TableSchema schema = Schema("abcd", "bd");
+  ConstraintSet sigma = Sigma(schema, "b ->w bd");
+  ASSERT_OK_AND_ASSIGN(
+      SchemaDesign design,
+      ProjectDesign(schema, sigma, Attrs(schema, "bd"), "proj"));
+  EXPECT_EQ(design.table.num_attributes(), 2);
+  EXPECT_EQ(design.table.attribute_name(0), "b");
+  EXPECT_EQ(design.table.nfs(), AttributeSet::FullSet(2));
+  Implication imp(design.table, design.sigma);
+  EXPECT_TRUE(imp.Implies(Fd(design.table, "b ->w d")));
+}
+
+TEST(ProjectionTest, RefusesOversizedProjections) {
+  ProjectionOptions options;
+  options.max_attributes = 3;
+  TableSchema schema = Schema("abcde");
+  EXPECT_FALSE(
+      ProjectSigma(schema, ConstraintSet(), schema.all(), options).ok());
+}
+
+TEST(ProjectionTest, RefusesForeignAttributes) {
+  TableSchema schema = Schema("ab");
+  AttributeSet outside = {5};
+  EXPECT_FALSE(ProjectSigma(schema, ConstraintSet(), outside).ok());
+}
+
+TEST(ProjectionTest, ProjectionBcnfDecision) {
+  // (abc, abc, {a -> b, key c<ac>}) is in BCNF as a whole; its
+  // projection onto {a,b} is too (a becomes a key there? No: a -> b
+  // projects but no key on {a,b} follows) — Theorem 8's problem.
+  TableSchema schema = Schema("abc", "abc");
+  ConstraintSet sigma = Sigma(schema, "a ->s b; c<ac>");
+  ASSERT_OK_AND_ASSIGN(bool whole_bcnf,
+                       IsProjectionBcnf(schema, sigma, schema.all()));
+  EXPECT_FALSE(whole_bcnf);  // a -> b without key a
+  ASSERT_OK_AND_ASSIGN(bool ab_bcnf,
+                       IsProjectionBcnf(schema, sigma, Attrs(schema, "ab")));
+  EXPECT_FALSE(ab_bcnf);  // a -> b survives, still no key
+  ASSERT_OK_AND_ASSIGN(bool ac_bcnf,
+                       IsProjectionBcnf(schema, sigma, Attrs(schema, "ac")));
+  EXPECT_TRUE(ac_bcnf);  // only the key c<ac> lives here
+}
+
+TEST(ProjectionTest, ProjectionSqlBcnfDecision) {
+  TableSchema schema = Schema("oicp", "oip");
+  ConstraintSet sigma = Sigma(schema, "oic ->w cp");
+  ASSERT_OK_AND_ASSIGN(
+      bool oic_vrnf,
+      IsProjectionSqlBcnf(schema, sigma, Attrs(schema, "oic")));
+  // Example 3's [oic] component is in SQL-BCNF (the surviving c-FD
+  // oic ->w c is internal).
+  EXPECT_TRUE(oic_vrnf);
+  ASSERT_OK_AND_ASSIGN(bool whole,
+                       IsProjectionSqlBcnf(schema, sigma, schema.all()));
+  EXPECT_FALSE(whole);
+}
+
+// The projected cover is exactly Σ+ restricted to X: implication of any
+// constraint inside X agrees before and after projection.
+class ProjectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectionPropertyTest, CoverPreservesImplicationInsideX) {
+  Rng rng(GetParam() * 41 + 11);
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 3, 1);
+    AttributeSet x = RandomSubset(&rng, n, 0.7);
+    if (x.empty()) continue;
+    auto proj = ProjectSigma(schema, sigma, x);
+    ASSERT_OK(proj.status());
+    Implication imp_full(schema, sigma);
+    Implication imp_proj(schema, *proj);
+
+    for (int q = 0; q < 25; ++q) {
+      // Random constraint fully inside X.
+      AttributeSet lhs = RandomSubset(&rng, n).Intersect(x);
+      AttributeSet rhs = RandomSubset(&rng, n).Intersect(x);
+      Mode mode = rng.Chance(0.5) ? Mode::kPossible : Mode::kCertain;
+      FunctionalDependency fd{lhs, rhs, mode};
+      EXPECT_EQ(imp_full.Implies(fd), imp_proj.Implies(fd))
+          << fd.ToString(schema) << " | X=" << schema.FormatSet(x)
+          << " | Sigma=" << sigma.ToString(schema)
+          << " | proj=" << proj->ToString(schema);
+      KeyConstraint key{lhs, mode};
+      EXPECT_EQ(imp_full.Implies(key), imp_proj.Implies(key))
+          << key.ToString(schema) << " | X=" << schema.FormatSet(x)
+          << " | Sigma=" << sigma.ToString(schema)
+          << " | proj=" << proj->ToString(schema);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectionPropertyTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

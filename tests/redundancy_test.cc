@@ -1,0 +1,260 @@
+// Instance-level redundancy (Definitions 4 and 10), the Construction
+// Lemma (Lemma 2), and the semantic justifications RFNF ⟺ BCNF
+// (Theorem 9) and VRNF ⟺ SQL-BCNF (Theorem 15), verified constructively
+// on the paper's examples and random schemas.
+
+#include "sqlnf/normalform/redundancy.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/normalform/construction.h"
+#include "sqlnf/normalform/normal_forms.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Fd;
+using testing::Key;
+using testing::RandomInstance;
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::Rows;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(RedundancyTest, Figure1BoldPrices) {
+  // purchase satisfies item,catalog -> price; exactly the two
+  // Fitbit/Amazon price cells are redundant (the Brookstone 240 is not).
+  TableSchema schema = Schema("oicp", "oicp");
+  Table purchase = Rows(schema, {"1FAX", "1FBX", "3FAX", "3DKY"});
+  ConstraintSet sigma = Sigma(schema, "ic ->w p");
+  ASSERT_TRUE(SatisfiesAll(purchase, sigma));
+
+  EXPECT_TRUE(IsRedundantPosition(purchase, sigma, {0, 3}));
+  EXPECT_TRUE(IsRedundantPosition(purchase, sigma, {2, 3}));
+  EXPECT_FALSE(IsRedundantPosition(purchase, sigma, {1, 3}));
+  EXPECT_FALSE(IsRedundantPosition(purchase, sigma, {3, 3}));
+  // Non-price positions are never redundant here.
+  EXPECT_FALSE(IsRedundantPosition(purchase, sigma, {0, 0}));
+  EXPECT_FALSE(IsRedundantPosition(purchase, sigma, {0, 1}));
+
+  auto positions = RedundantPositions(purchase, sigma);
+  EXPECT_EQ(positions.size(), 2u);
+}
+
+TEST(RedundancyTest, Figure5ProjectionKeepsRedundancy) {
+  // purchase[icp] of Figure 5: both 240 occurrences are redundant
+  // because c<ic> fails on the projection.
+  TableSchema schema = Schema("icp", "ip");
+  Table proj = Rows(schema, {"FAX", "F_X", "DKY"});
+  ConstraintSet sigma = Sigma(schema, "ic ->w p");
+  ASSERT_TRUE(SatisfiesAll(proj, sigma));
+  EXPECT_TRUE(IsRedundantPosition(proj, sigma, {0, 2}));
+  EXPECT_TRUE(IsRedundantPosition(proj, sigma, {1, 2}));
+  EXPECT_FALSE(IsRedundantPosition(proj, sigma, {2, 2}));
+}
+
+TEST(RedundancyTest, Section62NullMarkersOnlyRedundantPositions) {
+  // The [oic] instance of Section 6.2: ⊥ positions are redundant,
+  // the duplicated Kingtoys values are NOT.
+  TableSchema schema = Schema("oic", "oi");
+  Table t = Rows(schema, {"1F_", "1F_", "3DK", "3DK"});
+  ConstraintSet sigma = Sigma(schema, "oic ->w c");
+  ASSERT_TRUE(SatisfiesAll(t, sigma));
+
+  EXPECT_TRUE(IsRedundantPosition(t, sigma, {0, 2}));
+  EXPECT_TRUE(IsRedundantPosition(t, sigma, {1, 2}));
+  EXPECT_FALSE(IsRedundantPosition(t, sigma, {2, 2}));
+  EXPECT_FALSE(IsRedundantPosition(t, sigma, {3, 2}));
+
+  // Hence: redundant positions exist (not redundancy-free) but none is
+  // value-redundant — exactly the RFNF vs VRNF gap.
+  EXPECT_FALSE(IsRedundancyFreeInstance(t, sigma));
+  EXPECT_TRUE(IsValueRedundancyFreeInstance(t, sigma));
+  EXPECT_TRUE(ValueRedundantPositions(t, sigma).empty());
+  EXPECT_EQ(RedundantPositions(t, sigma).size(), 2u);
+}
+
+TEST(RedundancyTest, KeysMakeValuesNonRedundant) {
+  TableSchema schema = Schema("icp", "icp");
+  Table t = Rows(schema, {"FAX", "FBX", "DKY"});
+  ConstraintSet sigma = Sigma(schema, "ic ->w p; c<ic>");
+  ASSERT_TRUE(SatisfiesAll(t, sigma));
+  EXPECT_TRUE(IsRedundancyFreeInstance(t, sigma));
+}
+
+TEST(ConstructionTest, PKeyWitness) {
+  TableSchema schema = Schema("oicp", "ocp");
+  SchemaDesign design{schema, Sigma(schema, "oi ->s c; ic ->w p")};
+  ASSERT_OK_AND_ASSIGN(
+      Table witness,
+      PKeyViolationWitness(design, testing::Attrs(schema, "oi")));
+  EXPECT_EQ(witness.num_rows(), 2);
+  EXPECT_TRUE(SatisfiesAll(witness, design.sigma));
+  EXPECT_FALSE(Satisfies(witness, Key(schema, "p<oi>")));
+}
+
+TEST(ConstructionTest, CKeyWitness) {
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "ic ->w p")};
+  ASSERT_OK_AND_ASSIGN(
+      Table witness,
+      CKeyViolationWitness(design, testing::Attrs(schema, "ic")));
+  EXPECT_TRUE(SatisfiesAll(witness, design.sigma));
+  EXPECT_FALSE(Satisfies(witness, Key(schema, "c<ic>")));
+}
+
+TEST(ConstructionTest, RefusesImpliedKeys) {
+  TableSchema schema = Schema("ab", "ab");
+  SchemaDesign design{schema, Sigma(schema, "c<a>")};
+  EXPECT_FALSE(
+      PKeyViolationWitness(design, testing::Attrs(schema, "a")).ok());
+  EXPECT_FALSE(
+      CKeyViolationWitness(design, testing::Attrs(schema, "ab")).ok());
+}
+
+TEST(ConstructionTest, RedundancyWitnessForNonBcnfSchema) {
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "ic ->w p")};
+  ASSERT_FALSE(IsBcnf(design));
+  ASSERT_OK_AND_ASSIGN(RedundancyWitness witness,
+                       MakeRedundancyWitness(design));
+  EXPECT_TRUE(SatisfiesAll(witness.instance, design.sigma));
+  EXPECT_TRUE(IsRedundantPosition(witness.instance, design.sigma,
+                                  witness.position));
+}
+
+TEST(ConstructionTest, RedundancyWitnessRefusedInBcnf) {
+  TableSchema schema = Schema("ab", "ab");
+  SchemaDesign design{schema, Sigma(schema, "a ->s b; p<a>")};
+  ASSERT_TRUE(IsBcnf(design));
+  EXPECT_FALSE(MakeRedundancyWitness(design).ok());
+}
+
+TEST(ConstructionTest, FdWitnessForInternalCertainFd) {
+  // a ->w a on a nullable a is not implied by the empty Σ; the witness
+  // must pair ⊥ against a value.
+  TableSchema schema = Schema("ab", "");
+  SchemaDesign design{schema, ConstraintSet()};
+  ASSERT_OK_AND_ASSIGN(Table witness,
+                       FdViolationWitness(design, Fd(schema, "a ->w a")));
+  EXPECT_FALSE(Satisfies(witness, Fd(schema, "a ->w a")));
+}
+
+// Executable completeness (Theorems 1 and 4): whenever the decision
+// procedure rejects an implication, CounterExample builds an instance
+// over (T, T_S, Σ) violating the queried constraint.
+class CompletenessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompletenessTest, CounterExamplesForAllRejectedQueries) {
+  Rng rng(GetParam() * 37 + 11);
+  int exercised = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 3));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 3, 1);
+    SchemaDesign design{schema, sigma};
+    Implication imp(schema, sigma);
+    for (int q = 0; q < 20; ++q) {
+      Constraint query;
+      if (rng.Chance(0.6)) {
+        FunctionalDependency fd;
+        fd.lhs = testing::RandomSubset(&rng, n);
+        fd.rhs = testing::RandomSubset(&rng, n);
+        fd.mode = rng.Chance(0.5) ? Mode::kPossible : Mode::kCertain;
+        if (imp.Implies(fd)) continue;
+        query = fd;
+      } else {
+        KeyConstraint key{testing::RandomSubset(&rng, n, 0.5),
+                          rng.Chance(0.5) ? Mode::kPossible
+                                          : Mode::kCertain};
+        if (imp.Implies(key)) continue;
+        query = key;
+      }
+      ++exercised;
+      ASSERT_OK_AND_ASSIGN(Table witness, CounterExample(design, query));
+      EXPECT_TRUE(SatisfiesAll(witness, sigma))
+          << ConstraintToString(query, schema) << " over "
+          << design.ToString() << "\n"
+          << witness.ToString();
+      EXPECT_FALSE(Satisfies(witness, query))
+          << ConstraintToString(query, schema) << " over "
+          << design.ToString() << "\n"
+          << witness.ToString();
+    }
+  }
+  EXPECT_GT(exercised, 50);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompletenessTest, ::testing::Range(0, 6));
+
+// Theorem 9 (RFNF ⟺ BCNF), verified constructively in both directions.
+class Theorem9Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem9Test, BcnfSchemasAdmitNoRedundancy) {
+  Rng rng(GetParam() * 17 + 2);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 2));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 2, 1);
+    SchemaDesign design{schema, sigma};
+    if (!IsBcnf(design)) continue;
+    for (int m = 0; m < 12; ++m) {
+      Table instance = RandomInstance(&rng, schema, 4, 2);
+      if (!SatisfiesAll(instance, sigma)) continue;
+      EXPECT_TRUE(IsRedundancyFreeInstance(instance, sigma))
+          << design.ToString() << "\n"
+          << instance.ToString();
+    }
+  }
+}
+
+TEST_P(Theorem9Test, NonBcnfSchemasAdmitRedundancy) {
+  Rng rng(GetParam() * 23 + 9);
+  int exercised = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 2));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 2, 1);
+    SchemaDesign design{schema, sigma};
+    if (IsBcnf(design)) continue;
+    ++exercised;
+    ASSERT_OK_AND_ASSIGN(RedundancyWitness witness,
+                         MakeRedundancyWitness(design));
+    EXPECT_TRUE(SatisfiesAll(witness.instance, sigma))
+        << design.ToString() << "\n" << witness.instance.ToString();
+    EXPECT_TRUE(
+        IsRedundantPosition(witness.instance, sigma, witness.position))
+        << design.ToString() << "\n" << witness.instance.ToString();
+  }
+  EXPECT_GT(exercised, 3);
+}
+
+// Theorem 15 (VRNF ⟺ SQL-BCNF) on certain-only constraint sets.
+TEST_P(Theorem9Test, SqlBcnfSchemasAdmitNoValueRedundancy) {
+  Rng rng(GetParam() * 29 + 4);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 2));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 2, 1);
+    for (auto& fd : *sigma.mutable_fds()) fd.mode = Mode::kCertain;
+    for (auto& key : *sigma.mutable_keys()) key.mode = Mode::kCertain;
+    SchemaDesign design{schema, sigma};
+    ASSERT_OK_AND_ASSIGN(bool in_nf, IsSqlBcnf(design));
+    if (!in_nf) continue;
+    for (int m = 0; m < 12; ++m) {
+      Table instance = RandomInstance(&rng, schema, 4, 2);
+      if (!SatisfiesAll(instance, sigma)) continue;
+      EXPECT_TRUE(IsValueRedundancyFreeInstance(instance, sigma))
+          << design.ToString() << "\n"
+          << instance.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem9Test, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,165 @@
+// Alternative FD semantics (Section 3): the full Example 2 comparison
+// matrix across all five semantics, possible-worlds machinery, and the
+// ∃/∀ LHS-replacement characterizations of p-/c-FDs (Section 2's
+// intuition) as a tested property.
+
+#include "sqlnf/related/alt_semantics.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/related/possible_worlds.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::RandomInstance;
+using testing::Rows;
+using testing::Schema;
+
+// Example 2's relation: e(mployee) d(ept) m(anager) s(alary).
+Table Example2() {
+  return Rows(Schema("edms"), {"TCV_", "T_G_"});
+}
+
+struct Example2Row {
+  const char* lhs;
+  const char* rhs;
+  ThreeValued vassiliou;
+  bool ll_weak;
+  bool ll_strong;
+  bool possible;
+  bool certain;
+};
+
+TEST(Example2Test, FullComparisonMatrix) {
+  Table t = Example2();
+  const TableSchema& schema = t.schema();
+  const Example2Row rows[] = {
+      {"e", "d", ThreeValued::kUnknown, true, false, false, false},
+      {"e", "m", ThreeValued::kFalse, false, false, false, false},
+      {"e", "s", ThreeValued::kUnknown, true, false, true, true},
+      {"d", "d", ThreeValued::kTrue, true, true, true, false},
+      {"d", "m", ThreeValued::kUnknown, true, false, true, false},
+      {"m", "e", ThreeValued::kTrue, true, true, true, true},
+      {"m", "d", ThreeValued::kUnknown, true, true, true, true},
+  };
+  for (const Example2Row& row : rows) {
+    AttributeSet lhs = Attrs(schema, row.lhs);
+    AttributeSet rhs = Attrs(schema, row.rhs);
+    SCOPED_TRACE(std::string(row.lhs) + " -> " + row.rhs);
+    EXPECT_EQ(VassiliouFd(t, lhs, rhs), row.vassiliou);
+    ASSERT_OK_AND_ASSIGN(bool weak, LeveneLoizouWeakFd(t, lhs, rhs));
+    EXPECT_EQ(weak, row.ll_weak);
+    ASSERT_OK_AND_ASSIGN(bool strong, LeveneLoizouStrongFd(t, lhs, rhs));
+    EXPECT_EQ(strong, row.ll_strong);
+    EXPECT_EQ(Satisfies(t, FunctionalDependency::Possible(lhs, rhs)),
+              row.possible);
+    EXPECT_EQ(Satisfies(t, FunctionalDependency::Certain(lhs, rhs)),
+              row.certain);
+  }
+}
+
+TEST(PossibleWorldsTest, CountsCompletionsOfTotalTableAsOne) {
+  Table t = Rows(Schema("ab"), {"11", "22"});
+  int worlds = 0;
+  ASSERT_OK_AND_ASSIGN(
+      long long visited,
+      ForEachCompletion(t, t.schema().all(), [&](const Table& world) {
+        ++worlds;
+        EXPECT_TRUE(world.SameMultiset(t));
+        return true;
+      }));
+  EXPECT_EQ(visited, 1);
+  EXPECT_EQ(worlds, 1);
+}
+
+TEST(PossibleWorldsTest, EnumeratesExistingAndFreshTargets) {
+  // One ⊥ in a column with one existing value: targets = {existing,
+  // fresh} → 2 worlds.
+  Table t = Rows(Schema("a"), {"1", "_"});
+  ASSERT_OK_AND_ASSIGN(
+      long long visited,
+      ForEachCompletion(t, t.schema().all(),
+                        [](const Table&) { return true; }));
+  EXPECT_EQ(visited, 2);
+}
+
+TEST(PossibleWorldsTest, SharedFreshValuesAcrossNulls) {
+  // Two ⊥s in one column, no existing values: partitions {same fresh},
+  // {different fresh} must both be realized so equality patterns are
+  // complete: 2 distinguishable patterns out of 4 assignments.
+  Table t = Rows(Schema("ab"), {"_1", "_2"});
+  bool saw_equal = false, saw_different = false;
+  ASSERT_OK(ForEachCompletion(t, Attrs(t.schema(), "a"),
+                              [&](const Table& world) {
+                                if (world.row(0)[0] == world.row(1)[0]) {
+                                  saw_equal = true;
+                                } else {
+                                  saw_different = true;
+                                }
+                                return true;
+                              })
+                .status());
+  EXPECT_TRUE(saw_equal);
+  EXPECT_TRUE(saw_different);
+}
+
+TEST(PossibleWorldsTest, RespectsLimit) {
+  TableSchema schema = Schema("abcd");
+  Table t = Rows(schema, {"____", "____", "____", "____"});
+  WorldLimits limits;
+  limits.max_worlds = 10;
+  EXPECT_FALSE(
+      ForEachCompletion(t, schema.all(), [](const Table&) { return true; },
+                        limits)
+          .ok());
+}
+
+TEST(VassiliouTest, ReflexivePairsMatter) {
+  // A single tuple with ⊥ already renders X -> Y unknown when Y has ⊥
+  // and X is total (T → U = U under Łukasiewicz).
+  Table t = Rows(Schema("ab"), {"1_"});
+  EXPECT_EQ(VassiliouFd(t, {0}, {1}), ThreeValued::kUnknown);
+  // But d -> d stays true: U → U = T.
+  EXPECT_EQ(VassiliouFd(t, {1}, {1}), ThreeValued::kTrue);
+}
+
+// The paper's intuition for Definition 1, as a theorem: a p-FD holds iff
+// SOME replacement of LHS ⊥s satisfies the FD classically; a c-FD holds
+// iff EVERY replacement does.
+class ReplacementCharacterizationTest
+    : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplacementCharacterizationTest, MatchesDefinition1) {
+  Rng rng(GetParam() * 101 + 43);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 2 + static_cast<int>(rng.Uniform(0, 1));
+    TableSchema schema =
+        testing::Schema(std::string("abc").substr(0, n));
+    Table t = RandomInstance(&rng, schema, 3, 2, 0.35);
+    AttributeSet lhs = testing::RandomSubset(&rng, n, 0.5);
+    AttributeSet rhs = testing::RandomSubset(&rng, n, 0.5);
+
+    ASSERT_OK_AND_ASSIGN(bool some,
+                         SomeLhsReplacementSatisfies(t, lhs, rhs));
+    ASSERT_OK_AND_ASSIGN(bool every,
+                         EveryLhsReplacementSatisfies(t, lhs, rhs));
+    EXPECT_EQ(some,
+              Satisfies(t, FunctionalDependency::Possible(lhs, rhs)))
+        << schema.FormatSet(lhs) << "->" << schema.FormatSet(rhs) << "\n"
+        << t.ToString();
+    EXPECT_EQ(every,
+              Satisfies(t, FunctionalDependency::Certain(lhs, rhs)))
+        << schema.FormatSet(lhs) << "->" << schema.FormatSet(rhs) << "\n"
+        << t.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplacementCharacterizationTest,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sqlnf

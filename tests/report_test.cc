@@ -1,0 +1,83 @@
+// Decomposition reports: per-column occurrence accounting and per-step
+// eliminations (the Section 7 bookkeeping).
+
+#include "sqlnf/decomposition/report.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/decomposition/vrnf_decompose.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::Rows;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ReportTest, CellAndColumnAccounting) {
+  TableSchema schema = Schema("abc");
+  Table t = Rows(schema, {"1xP", "1xP", "2yQ", "2yQ", "3zR"});
+  Decomposition d;
+  d.components.push_back({Attrs(schema, "ab"), true, "rest"});
+  d.components.push_back({Attrs(schema, "bc"), false, "facts"});
+  ASSERT_OK_AND_ASSIGN(DecompositionReport report,
+                       ReportDecomposition(t, d));
+  EXPECT_EQ(report.cells_before, 15);
+  // rest keeps 5 rows × 2 cols; facts dedupes to 3 rows × 2 cols.
+  EXPECT_EQ(report.cells_after, 16);
+
+  // Column a: one component, multiset → occurrences unchanged.
+  EXPECT_EQ(report.columns[0].components, 1);
+  EXPECT_EQ(report.columns[0].values_eliminated(), 0);
+  // Column b: in BOTH components → occurrences grew; no elimination
+  // reported (join keys are not redundancy).
+  EXPECT_EQ(report.columns[1].components, 2);
+  EXPECT_EQ(report.columns[1].occurrences_after, 8);
+  EXPECT_EQ(report.columns[1].values_eliminated(), 0);
+  // Column c: deduplicated from 5 to 3 occurrences.
+  EXPECT_EQ(report.columns[2].values_eliminated(), 2);
+  EXPECT_EQ(report.TotalValuesEliminated(), 2);
+  EXPECT_EQ(report.TotalNullsEliminated(), 0);
+  EXPECT_NE(report.ToString(schema).find("c: 2 values"),
+            std::string::npos);
+}
+
+TEST(ReportTest, NullsAccountedSeparately) {
+  TableSchema schema = Schema("ab");
+  Table t = Rows(schema, {"1_", "1_", "2x"});
+  Decomposition d;
+  d.components.push_back({Attrs(schema, "ab"), false, "dedup"});
+  ASSERT_OK_AND_ASSIGN(DecompositionReport report,
+                       ReportDecomposition(t, d));
+  // (1,⊥) collapses: one ⊥ eliminated, no values.
+  EXPECT_EQ(report.columns[1].nulls_eliminated(), 1);
+  EXPECT_EQ(report.columns[1].values_eliminated(), 0);
+}
+
+TEST(ReportTest, StepReportMatchesDirectAccounting) {
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "ic ->w icp")};
+  Table t = Rows(schema, {"1FAX", "2FAX", "3FAX", "4DKY"});
+  ASSERT_OK_AND_ASSIGN(VrnfResult vrnf, VrnfDecompose(design));
+  ASSERT_EQ(vrnf.steps.size(), 1u);
+  ASSERT_OK_AND_ASSIGN(auto steps, ReportVrnfSteps(t, vrnf));
+  ASSERT_EQ(steps.size(), 1u);
+  EXPECT_EQ(steps[0].source_rows, 4);
+  EXPECT_EQ(steps[0].set_rows, 2);  // (F,A,X) and (D,K,Y)
+  ASSERT_EQ(steps[0].columns.size(), 1u);  // p is the only pure-RHS attr
+  EXPECT_EQ(steps[0].columns[0].values_eliminated, 2);
+  EXPECT_EQ(steps[0].columns[0].nulls_eliminated, 0);
+}
+
+TEST(ReportTest, InvalidDecompositionRejected) {
+  TableSchema schema = Schema("ab");
+  Table t = Rows(schema, {"11"});
+  Decomposition not_covering;
+  not_covering.components.push_back({Attrs(schema, "a"), true, ""});
+  EXPECT_FALSE(ReportDecomposition(t, not_covering).ok());
+}
+
+}  // namespace
+}  // namespace sqlnf

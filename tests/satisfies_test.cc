@@ -1,0 +1,154 @@
+// Satisfaction semantics, exercised on the paper's running examples
+// (Figures 1, 3, 4, 5; Examples 1 and 2).
+
+#include "sqlnf/constraints/satisfies.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Fd;
+using testing::Key;
+using testing::Rows;
+using testing::Schema;
+
+// Figure 1: the purchase relation. o=order, i=item, c=catalog, p=price;
+// F=Fitbit Surge, D=Dora Doll, A=Amazon, B=Brookstone, K=Kingtoys,
+// X=240, Y=25.
+Table Purchase() {
+  return Rows(Schema("oicp"), {"1FAX", "1FBX", "3FAX", "3DKY"});
+}
+
+TEST(SatisfiesTest, Figure1PurchaseSatisfiesItemCatalogToPrice) {
+  Table purchase = Purchase();
+  EXPECT_TRUE(Satisfies(purchase, Fd(purchase.schema(), "ic ->s p")));
+  EXPECT_TRUE(Satisfies(purchase, Fd(purchase.schema(), "ic ->w p")));
+  // {item, catalog} is not a key: Fitbit/Amazon occurs in two orders.
+  EXPECT_FALSE(Satisfies(purchase, Key(purchase.schema(), "p<ic>")));
+  EXPECT_FALSE(Satisfies(purchase, Key(purchase.schema(), "c<ic>")));
+  // The full schema is a key here (all rows distinct and total).
+  EXPECT_TRUE(Satisfies(purchase, Key(purchase.schema(), "p<oicp>")));
+}
+
+TEST(SatisfiesTest, Figure3DuplicatesSatisfyAllFdsViolateAllKeys) {
+  // Two identical total rows: every FD holds, every key fails.
+  TableSchema schema = Schema("icp");
+  Table t = Rows(schema, {"FAX", "FAX"});
+  for (const char* fd : {"i ->s cp", "ic ->w p", "icp ->s icp",
+                         "{} ->w icp"}) {
+    EXPECT_TRUE(Satisfies(t, Fd(schema, fd))) << fd;
+  }
+  for (const char* key : {"p<i>", "p<icp>", "c<icp>", "c<i>"}) {
+    EXPECT_FALSE(Satisfies(t, Key(schema, key))) << key;
+  }
+}
+
+TEST(SatisfiesTest, Figure4PossibleHoldsCertainFails) {
+  TableSchema schema = Schema("oicp");
+  Table t = Rows(schema, {"1F_X", "2F_Y"});
+  // Strong similarity on ic never fires (catalog is ⊥).
+  EXPECT_TRUE(Satisfies(t, Fd(schema, "ic ->s p")));
+  // Weak similarity does fire and prices differ.
+  EXPECT_FALSE(Satisfies(t, Fd(schema, "ic ->w p")));
+}
+
+TEST(SatisfiesTest, Figure5CertainFdHolds) {
+  TableSchema schema = Schema("oicp");
+  Table t = Rows(schema, {"1FAX", "1F_X", "3FAX", "3DKY"});
+  EXPECT_TRUE(Satisfies(t, Fd(schema, "ic ->w p")));
+  EXPECT_TRUE(Satisfies(t, Fd(schema, "ic ->s p")));
+  // But ic ->w icp does NOT hold (rows 0,1 weakly agree on ic yet differ
+  // on catalog) — the reason the icp projection keeps redundancy.
+  EXPECT_FALSE(Satisfies(t, Fd(schema, "ic ->w icp")));
+}
+
+TEST(SatisfiesTest, Figure5ProjectionKeys) {
+  // The icp projection of Figure 5: p-key p<ic> holds, c-key c<ic> not.
+  TableSchema schema = Schema("icp");
+  Table proj = Rows(schema, {"FAX", "F_X", "DKY"});
+  EXPECT_TRUE(Satisfies(proj, Key(schema, "p<ic>")));
+  EXPECT_FALSE(Satisfies(proj, Key(schema, "c<ic>")));
+}
+
+TEST(SatisfiesTest, Example1EmployeeIdentification) {
+  // n(ame) d(ob) a(ppointment), NOT NULL n,a. J=John Smith, B=James
+  // Brown; dobs 1,2; appointments D,F,P.
+  TableSchema schema = Schema("nda", "na");
+  Table t = Rows(schema, {"J1D", "J2F", "J_P", "B_P"});
+  EXPECT_OK(t.CheckNfs());
+  // The c-FD nd ->w d is violated: row 2's John Smith is not identified.
+  EXPECT_FALSE(Satisfies(t, Fd(schema, "nd ->w d")));
+  // Removing the ambiguous row satisfies it.
+  Table fixed = Rows(schema, {"J1D", "J2F", "J1P", "B_P"});
+  EXPECT_TRUE(Satisfies(fixed, Fd(schema, "nd ->w d")));
+  // The c-key c<nd> would even forbid two appointments per employee.
+  EXPECT_FALSE(Satisfies(fixed, Key(schema, "c<nd>")));
+}
+
+TEST(SatisfiesTest, Example2PossibleCertainColumns) {
+  // e(mployee) d(ept) m(anager) s(alary): Turing rows.
+  TableSchema schema = Schema("edms");
+  Table t = Rows(schema, {"TCV_", "T_G_"});
+  auto check = [&](const char* lhs_rhs_p, bool expect) {
+    EXPECT_EQ(Satisfies(t, Fd(schema, lhs_rhs_p)), expect) << lhs_rhs_p;
+  };
+  check("e ->s d", false);
+  check("e ->w d", false);
+  check("e ->s m", false);
+  check("e ->w m", false);
+  check("e ->s s", true);
+  check("e ->w s", true);
+  check("d ->s d", true);
+  check("d ->w d", false);  // the paper highlights this one
+  check("d ->s m", true);
+  check("d ->w m", false);
+  check("m ->s e", true);
+  check("m ->w e", true);
+  check("m ->s d", true);
+  check("m ->w d", true);
+}
+
+TEST(SatisfiesTest, EmptyLhsMeansConstantColumns) {
+  TableSchema schema = Schema("ab");
+  Table same = Rows(schema, {"1x", "1y"});
+  EXPECT_TRUE(Satisfies(same, Fd(schema, "{} ->s a")));
+  EXPECT_TRUE(Satisfies(same, Fd(schema, "{} ->w a")));
+  EXPECT_FALSE(Satisfies(same, Fd(schema, "{} ->w b")));
+}
+
+TEST(SatisfiesTest, ViolationReportsRowsAndConstraint) {
+  TableSchema schema = Schema("ab", "a");
+  Table t = Rows(schema, {"11", "12"});
+  ConstraintSet sigma = testing::Sigma(schema, "a ->w b");
+  auto v = FindViolation(t, sigma);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->row1, 0);
+  EXPECT_EQ(v->row2, 1);
+  EXPECT_NE(v->ToString(schema).find("->w"), std::string::npos);
+}
+
+TEST(SatisfiesTest, ViolationReportsNfsFirst) {
+  TableSchema schema = Schema("ab", "a");
+  Table t = Rows(schema, {"_1"});
+  auto v = FindViolation(t, ConstraintSet());
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->attribute.has_value());
+  EXPECT_EQ(*v->attribute, 0);
+  EXPECT_NE(v->ToString(schema).find("NOT NULL"), std::string::npos);
+}
+
+TEST(SatisfiesTest, SatisfiesAllChecksNfsAndSigma) {
+  TableSchema schema = Schema("ab", "a");
+  ConstraintSet sigma = testing::Sigma(schema, "a ->w b; p<a>");
+  EXPECT_TRUE(SatisfiesAll(Rows(schema, {"11", "22"}), sigma));
+  EXPECT_FALSE(SatisfiesAll(Rows(schema, {"11", "12"}), sigma));  // FD
+  EXPECT_FALSE(SatisfiesAll(Rows(schema, {"_1"}), sigma));        // NFS
+  EXPECT_FALSE(
+      SatisfiesAll(Rows(schema, {"11", "11"}), sigma));  // key (dups)
+}
+
+}  // namespace
+}  // namespace sqlnf

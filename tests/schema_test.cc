@@ -1,0 +1,94 @@
+#include "sqlnf/core/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+TEST(SchemaTest, MakeBasic) {
+  auto schema = TableSchema::Make("t", {"a", "b", "c"}, {"a", "c"});
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->num_attributes(), 3);
+  EXPECT_EQ(schema->attribute_name(1), "b");
+  EXPECT_TRUE(schema->nfs().Contains(0));
+  EXPECT_FALSE(schema->nfs().Contains(1));
+  EXPECT_TRUE(schema->nfs().Contains(2));
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_FALSE(TableSchema::Make("t", {}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  EXPECT_FALSE(TableSchema::Make("t", {"a", "a"}).ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(TableSchema::Make("t", {"a", ""}).ok());
+}
+
+TEST(SchemaTest, RejectsUnknownNotNull) {
+  EXPECT_FALSE(TableSchema::Make("t", {"a"}, {"z"}).ok());
+}
+
+TEST(SchemaTest, RejectsTooManyAttributes) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 65; ++i) names.push_back("a" + std::to_string(i));
+  EXPECT_FALSE(TableSchema::Make("t", names).ok());
+}
+
+TEST(SchemaTest, MakeCompactMatchesPaperNotation) {
+  // PURCHASE = oicp with T_S = ocp (paper, Section 4.1).
+  auto schema = TableSchema::MakeCompact("PURCHASE", "oicp", "ocp");
+  ASSERT_OK(schema.status());
+  EXPECT_EQ(schema->num_attributes(), 4);
+  EXPECT_EQ(schema->attribute_name(0), "o");
+  EXPECT_EQ(schema->nfs(), (AttributeSet{0, 2, 3}));
+}
+
+TEST(SchemaTest, FindAttribute) {
+  TableSchema schema = testing::Schema("abc");
+  ASSERT_OK_AND_ASSIGN(AttributeId id, schema.FindAttribute("b"));
+  EXPECT_EQ(id, 1);
+  EXPECT_FALSE(schema.FindAttribute("z").ok());
+}
+
+TEST(SchemaTest, FormatSet) {
+  TableSchema schema = testing::Schema("abc");
+  EXPECT_EQ(schema.FormatSet({0, 2}), "{a,c}");
+  EXPECT_EQ(schema.FormatSet({}), "{}");
+}
+
+TEST(SchemaTest, ProjectRenumbersAndKeepsNfs) {
+  TableSchema schema = testing::Schema("abcd", "bd");
+  ASSERT_OK_AND_ASSIGN(TableSchema p, schema.Project({1, 3}, "p"));
+  EXPECT_EQ(p.num_attributes(), 2);
+  EXPECT_EQ(p.attribute_name(0), "b");
+  EXPECT_EQ(p.attribute_name(1), "d");
+  EXPECT_EQ(p.nfs(), AttributeSet::FullSet(2));
+}
+
+TEST(SchemaTest, ProjectRejectsEmptyAndForeign) {
+  TableSchema schema = testing::Schema("ab");
+  EXPECT_FALSE(schema.Project({}, "p").ok());
+  EXPECT_FALSE(schema.Project({5}, "p").ok());
+}
+
+TEST(SchemaTest, SetNfsValidates) {
+  TableSchema schema = testing::Schema("ab");
+  EXPECT_OK(schema.SetNfs({1}));
+  EXPECT_FALSE(schema.SetNfs({3}).ok());
+}
+
+TEST(SchemaTest, SameStructureIgnoresName) {
+  auto a = TableSchema::MakeCompact("X", "ab", "a");
+  auto b = TableSchema::MakeCompact("Y", "ab", "a");
+  auto c = TableSchema::MakeCompact("X", "ab", "b");
+  EXPECT_TRUE(a->SameStructure(*b));
+  EXPECT_FALSE(a->SameStructure(*c));
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,79 @@
+#include "sqlnf/constraints/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/reasoning/implication.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::RandomSchema;
+using testing::RandomSigma;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(SerializeTest, ParseBasics) {
+  ASSERT_OK_AND_ASSIGN(SchemaDesign design, ParseDesign(R"(
+# a comment
+table purchase
+attrs order_id item catalog price
+notnull order_id item price
+constraint item,catalog ->w price
+constraint p<order_id>
+)"));
+  EXPECT_EQ(design.table.name(), "purchase");
+  EXPECT_EQ(design.table.num_attributes(), 4);
+  EXPECT_EQ(design.table.nfs().size(), 3);
+  EXPECT_EQ(design.sigma.fds().size(), 1u);
+  EXPECT_EQ(design.sigma.keys().size(), 1u);
+  EXPECT_TRUE(design.sigma.fds()[0].is_certain());
+}
+
+TEST(SerializeTest, Errors) {
+  EXPECT_FALSE(ParseDesign("attrs a b\n").ok());         // missing table
+  EXPECT_FALSE(ParseDesign("table t\n").ok());           // missing attrs
+  EXPECT_FALSE(ParseDesign("table t\nattrs a\nbogus x\n").ok());
+  EXPECT_FALSE(
+      ParseDesign("table t\nattrs a\nconstraint a ->q a\n").ok());
+  EXPECT_FALSE(ParseDesign("table t\nattrs a\nnotnull z\n").ok());
+}
+
+TEST(SerializeTest, RoundTripPreservesDesign) {
+  TableSchema schema = Schema("abcd", "bd");
+  SchemaDesign design{schema,
+                      Sigma(schema, "ab ->w abc; c ->s d; c<bd>; p<a>")};
+  ASSERT_OK_AND_ASSIGN(SchemaDesign parsed,
+                       ParseDesign(FormatDesign(design)));
+  EXPECT_TRUE(parsed.table.SameStructure(design.table));
+  EXPECT_EQ(parsed.sigma.fds(), design.sigma.fds());
+  EXPECT_EQ(parsed.sigma.keys(), design.sigma.keys());
+}
+
+TEST(SerializeTest, RandomRoundTrips) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    int n = 1 + static_cast<int>(rng.Uniform(0, 7));
+    TableSchema schema = RandomSchema(&rng, n);
+    ConstraintSet sigma = RandomSigma(&rng, n, 3, 2);
+    SchemaDesign design{schema, sigma};
+    auto parsed = ParseDesign(FormatDesign(design));
+    ASSERT_OK(parsed.status()) << FormatDesign(design);
+    EXPECT_TRUE(parsed->table.SameStructure(schema));
+    EXPECT_EQ(parsed->sigma.fds(), sigma.fds());
+    EXPECT_EQ(parsed->sigma.keys(), sigma.keys());
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  TableSchema schema = Schema("ab", "a");
+  SchemaDesign design{schema, Sigma(schema, "a ->w ab")};
+  const std::string path = ::testing::TempDir() + "/sqlnf_design_test.txt";
+  ASSERT_OK(WriteDesignFile(design, path));
+  ASSERT_OK_AND_ASSIGN(SchemaDesign back, ReadDesignFile(path));
+  EXPECT_TRUE(back.table.SameStructure(schema));
+  EXPECT_FALSE(ReadDesignFile("/nonexistent/file").ok());
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -1,0 +1,153 @@
+#include "sqlnf/core/table.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/core/similarity.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Rows;
+using testing::Schema;
+
+TEST(ValueTest, EqualityAndOrder) {
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value::Int(3), Value::Int(3));
+  EXPECT_FALSE(Value::Int(3) == Value::Int(4));
+  EXPECT_FALSE(Value::Int(3) == Value::Str("3"));
+  EXPECT_FALSE(Value::Null() == Value::Int(0));
+  EXPECT_TRUE(Value::Null() < Value::Int(-100));
+  EXPECT_TRUE(Value::Int(5) < Value::Str(""));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("abc").ToString(), "abc");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(9).Hash(), Value::Int(9).Hash());
+  EXPECT_EQ(Value::Str("x").Hash(), Value::Str("x").Hash());
+  EXPECT_NE(Value::Int(9).Hash(), Value::Null().Hash());
+}
+
+TEST(TupleTest, RestrictAndTotal) {
+  TableSchema schema = Schema("abcd");
+  Table t = Rows(schema, {"1_34"});
+  const Tuple& row = t.row(0);
+  EXPECT_TRUE(row.IsTotal({0, 2}));
+  EXPECT_FALSE(row.IsTotal({1}));
+  Tuple r = row.Restrict({0, 3});
+  EXPECT_EQ(r.size(), 2);
+  EXPECT_EQ(r[0], Value::Str("1"));
+  EXPECT_EQ(r[1], Value::Str("4"));
+}
+
+TEST(TupleTest, EqualOnTreatsNullSyntactically) {
+  TableSchema schema = Schema("ab");
+  Table t = Rows(schema, {"1_", "1_", "12"});
+  EXPECT_TRUE(t.row(0).EqualOn(t.row(1), {0, 1}));   // ⊥ = ⊥
+  EXPECT_FALSE(t.row(0).EqualOn(t.row(2), {0, 1}));  // ⊥ ≠ 2
+  EXPECT_TRUE(t.row(0).EqualOn(t.row(2), {0}));
+}
+
+TEST(TableTest, AddRowChecksArity) {
+  Table t(Schema("ab"));
+  EXPECT_FALSE(t.AddRow(Tuple({Value::Int(1)})).ok());
+  EXPECT_OK(t.AddRow(Tuple({Value::Int(1), Value::Int(2)})));
+  EXPECT_EQ(t.num_rows(), 1);
+  EXPECT_EQ(t.num_cells(), 2);
+}
+
+TEST(TableTest, AddRowTextParsesNull) {
+  Table t(Schema("ab"));
+  EXPECT_OK(t.AddRowText({"x", "NULL"}));
+  EXPECT_FALSE(t.row(0)[0].is_null());
+  EXPECT_TRUE(t.row(0)[1].is_null());
+}
+
+TEST(TableTest, CheckNfs) {
+  TableSchema schema = Schema("ab", "a");
+  Table good = Rows(schema, {"1_", "22"});
+  EXPECT_OK(good.CheckNfs());
+  Table bad = Rows(schema, {"_1"});
+  EXPECT_FALSE(bad.CheckNfs().ok());
+}
+
+TEST(TableTest, ColumnValuesDistinctNonNull) {
+  TableSchema schema = Schema("a");
+  Table t = Rows(schema, {"1", "2", "1", "_"});
+  auto values = t.ColumnValues(0);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], Value::Str("1"));
+  EXPECT_EQ(values[1], Value::Str("2"));
+  EXPECT_EQ(t.CountNulls(0), 1);
+}
+
+TEST(TableTest, SameMultisetIgnoresOrderRespectsMultiplicity) {
+  TableSchema schema = Schema("ab");
+  Table a = Rows(schema, {"11", "22", "11"});
+  Table b = Rows(schema, {"22", "11", "11"});
+  Table c = Rows(schema, {"11", "22", "22"});
+  EXPECT_TRUE(a.SameMultiset(b));
+  EXPECT_FALSE(a.SameMultiset(c));
+}
+
+TEST(TableTest, SameMultisetNeedsSameStructure) {
+  Table a = Rows(Schema("ab", "a"), {"11"});
+  Table b = Rows(Schema("ab", "b"), {"11"});
+  EXPECT_FALSE(a.SameMultiset(b));
+}
+
+TEST(TableTest, ToStringMarksNotNull) {
+  Table t = Rows(Schema("ab", "a"), {"1_"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("a*"), std::string::npos);
+  EXPECT_NE(s.find("NULL"), std::string::npos);
+}
+
+// Weak/strong similarity (paper, Section 2).
+TEST(SimilarityTest, Definitions) {
+  TableSchema schema = Schema("abc");
+  Table t = Rows(schema, {"11_", "1_2", "132", "112"});
+  const AttributeSet all = schema.all();
+  // Rows 0,1: a equal; b: one ⊥; c: one ⊥ → weakly similar, not strongly.
+  EXPECT_TRUE(WeaklySimilar(t.row(0), t.row(1), all));
+  EXPECT_FALSE(StronglySimilar(t.row(0), t.row(1), all));
+  // Rows 1,2: b differs? row1 b=⊥ row2 b=3 → weak ok; c equal.
+  EXPECT_TRUE(WeaklySimilar(t.row(1), t.row(2), all));
+  // Rows 0,2: b: 1 vs 3 both non-null differ → not weakly similar.
+  EXPECT_FALSE(WeaklySimilar(t.row(0), t.row(2), all));
+  // Rows 1,3: strong on {a,c}: both total and equal.
+  EXPECT_TRUE(StronglySimilar(t.row(1), t.row(3), {0, 2}));
+  EXPECT_FALSE(StronglySimilar(t.row(1), t.row(3), {1}));
+  // Strong and weak coincide on total parts.
+  EXPECT_TRUE(WeaklySimilar(t.row(1), t.row(3), {0, 2}));
+}
+
+TEST(SimilarityTest, EmptySetAlwaysSimilar) {
+  TableSchema schema = Schema("a");
+  Table t = Rows(schema, {"1", "2"});
+  EXPECT_TRUE(WeaklySimilar(t.row(0), t.row(1), {}));
+  EXPECT_TRUE(StronglySimilar(t.row(0), t.row(1), {}));
+}
+
+TEST(SimilarityTest, StrongImpliesWeakRandomized) {
+  Rng rng(5);
+  TableSchema schema = Schema("abcde");
+  Table t = testing::RandomInstance(&rng, schema, 30);
+  for (int i = 0; i < t.num_rows(); ++i) {
+    for (int j = 0; j < t.num_rows(); ++j) {
+      AttributeSet x = testing::RandomSubset(&rng, 5);
+      if (StronglySimilar(t.row(i), t.row(j), x)) {
+        EXPECT_TRUE(WeaklySimilar(t.row(i), t.row(j), x));
+        EXPECT_TRUE(t.row(i).IsTotal(x));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlnf

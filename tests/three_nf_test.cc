@@ -1,0 +1,102 @@
+// Classical 3NF synthesis baseline (reference [7]): always dependency
+// preserving and lossless on total relations.
+
+#include "sqlnf/decomposition/three_nf.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/decomposition/dependency_preservation.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::RandomInstance;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(ThreeNfTest, TextbookSynthesis) {
+  // R(a,b,c,d), a -> b, c -> d: components {a,b}, {c,d} plus the key
+  // {a,c}.
+  TableSchema schema = Schema("abcd", "abcd");
+  SchemaDesign design{schema, Sigma(schema, "a ->s b; c ->s d")};
+  ASSERT_OK_AND_ASSIGN(Decomposition d, ThreeNfSynthesis(design));
+  EXPECT_OK(d.Validate(schema));
+  EXPECT_EQ(d.components.size(), 3u);
+  ASSERT_OK_AND_ASSIGN(AttributeSet key, MinimalClassicalKey(design));
+  EXPECT_EQ(key, Attrs(schema, "ac"));
+}
+
+TEST(ThreeNfTest, KeyComponentOmittedWhenCovered) {
+  TableSchema schema = Schema("abc", "abc");
+  SchemaDesign design{schema, Sigma(schema, "ab ->s c")};
+  ASSERT_OK_AND_ASSIGN(Decomposition d, ThreeNfSynthesis(design));
+  // {a,b} is the key and lives inside the single FD component.
+  EXPECT_EQ(d.components.size(), 1u);
+  EXPECT_EQ(d.components[0].attrs, schema.all());
+}
+
+TEST(ThreeNfTest, AttributesOutsideFdsLandInKeyComponent) {
+  TableSchema schema = Schema("abcd", "abcd");
+  SchemaDesign design{schema, Sigma(schema, "a ->s b")};
+  ASSERT_OK_AND_ASSIGN(Decomposition d, ThreeNfSynthesis(design));
+  EXPECT_OK(d.Validate(schema));  // c and d covered via the key
+  ASSERT_OK_AND_ASSIGN(AttributeSet key, MinimalClassicalKey(design));
+  EXPECT_EQ(key, Attrs(schema, "acd"));
+}
+
+TEST(ThreeNfTest, RejectsNullableSchemas) {
+  TableSchema schema = Schema("ab", "a");
+  EXPECT_FALSE(ThreeNfSynthesis({schema, ConstraintSet()}).ok());
+  EXPECT_FALSE(MinimalClassicalKey({schema, ConstraintSet()}).ok());
+}
+
+class ThreeNfPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeNfPropertyTest, PreservingAndLossless) {
+  Rng rng(GetParam() * 91 + 17);
+  for (int trial = 0; trial < 15; ++trial) {
+    int n = 3 + static_cast<int>(rng.Uniform(0, 2));
+    std::string names = std::string("abcdef").substr(0, n);
+    TableSchema schema = Schema(names, names);
+    ConstraintSet sigma;
+    for (int f = 0; f < 2; ++f) {
+      AttributeSet lhs = testing::RandomSubset(&rng, n, 0.3);
+      AttributeSet rhs = testing::RandomSubset(&rng, n, 0.3);
+      if (lhs.empty() || rhs.empty()) continue;
+      sigma.AddFd(FunctionalDependency::Possible(lhs, rhs));
+    }
+    SchemaDesign design{schema, sigma};
+    ASSERT_OK_AND_ASSIGN(Decomposition d, ThreeNfSynthesis(design));
+    EXPECT_OK(d.Validate(schema));
+
+    // Dependency preservation always holds for synthesis output.
+    ASSERT_OK_AND_ASSIGN(bool preserving,
+                         IsDependencyPreserving(design, d));
+    EXPECT_TRUE(preserving) << design.ToString() << " -> "
+                            << d.ToString(schema);
+
+    // Losslessness on random total instances satisfying Σ (set
+    // semantics: use duplicate-free instances, the classical setting).
+    for (int m = 0; m < 8; ++m) {
+      Table instance = RandomInstance(&rng, schema, 5, 2, 0.0);
+      if (!SatisfiesAll(instance, sigma)) continue;
+      // Deduplicate rows (relations are sets).
+      auto dedup = ProjectSet(instance, schema.all(), "dedup");
+      ASSERT_OK(dedup.status());
+      ASSERT_OK_AND_ASSIGN(bool lossless,
+                           IsLosslessForInstance(*dedup, d));
+      EXPECT_TRUE(lossless) << design.ToString() << "\n"
+                            << dedup->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeNfPropertyTest,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace sqlnf

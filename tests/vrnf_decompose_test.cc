@@ -1,0 +1,171 @@
+// Algorithm 3 (Theorem 16): the paper's Example 3, the reduction to the
+// classical case, and property sweeps (losslessness + VRNF of every
+// component on random instances).
+
+#include "sqlnf/decomposition/vrnf_decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "sqlnf/reasoning/implication.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::Fd;
+using testing::RandomInstance;
+using testing::RandomSchema;
+using testing::Rows;
+using testing::Schema;
+using testing::Sigma;
+
+TEST(VrnfDecomposeTest, PaperExample3) {
+  // (oicp, oip, {oic ->w cp}) → {[[oic]] with no key, [oicp] with
+  // c<oic>}; given as total FD oic ->w oicp.
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "oic ->w oicp")};
+  ASSERT_OK_AND_ASSIGN(VrnfResult result, VrnfDecompose(design));
+
+  ASSERT_EQ(result.steps.size(), 1u);
+  EXPECT_EQ(result.steps[0].fd.lhs, Attrs(schema, "oic"));
+  EXPECT_EQ(result.steps[0].set_component, schema.all());
+  EXPECT_EQ(result.steps[0].rest_component, Attrs(schema, "oic"));
+
+  ASSERT_EQ(result.decomposition.components.size(), 2u);
+  // FIFO order: the remainder [[oic]] first, then the [oicp] set part.
+  EXPECT_EQ(result.decomposition.components[0].attrs,
+            Attrs(schema, "oic"));
+  EXPECT_TRUE(result.decomposition.components[0].multiset);
+  EXPECT_TRUE(result.component_keys[0].empty());
+  EXPECT_EQ(result.decomposition.components[1].attrs, schema.all());
+  EXPECT_FALSE(result.decomposition.components[1].multiset);
+  ASSERT_EQ(result.component_keys[1].size(), 1u);
+  EXPECT_EQ(result.component_keys[1][0].attrs, Attrs(schema, "oic"));
+
+  ASSERT_OK_AND_ASSIGN(bool vrnf, AllComponentsVrnf(design, result));
+  EXPECT_TRUE(vrnf);
+}
+
+TEST(VrnfDecomposeTest, AlreadyVrnfStaysWhole) {
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "c<oic>")};
+  ASSERT_OK_AND_ASSIGN(VrnfResult result, VrnfDecompose(design));
+  EXPECT_TRUE(result.steps.empty());
+  ASSERT_EQ(result.decomposition.components.size(), 1u);
+  EXPECT_EQ(result.decomposition.components[0].attrs, schema.all());
+}
+
+TEST(VrnfDecomposeTest, RejectsNonTotalInput) {
+  TableSchema schema = Schema("abc", "");
+  EXPECT_FALSE(VrnfDecompose({schema, Sigma(schema, "a ->w b")}).ok());
+  EXPECT_FALSE(VrnfDecompose({schema, Sigma(schema, "a ->s ab")}).ok());
+  EXPECT_FALSE(VrnfDecompose({schema, Sigma(schema, "p<a>")}).ok());
+}
+
+TEST(VrnfDecomposeTest, NormalizeToTotalRewrites) {
+  TableSchema schema = Schema("abc", "ab");
+  // p-FD with null-free LHS and p-key with null-free attrs normalize.
+  ASSERT_OK_AND_ASSIGN(
+      ConstraintSet total,
+      NormalizeToTotal(schema, Sigma(schema, "a ->s c; p<ab>")));
+  EXPECT_TRUE(total.AllCertain());
+  EXPECT_TRUE(total.AllFdsTotal());
+  EXPECT_TRUE(EquivalentSigmas(schema, total,
+                               Sigma(schema, "a ->s c; p<ab>")));
+  // A p-FD with a nullable LHS attribute cannot be rewritten.
+  EXPECT_FALSE(NormalizeToTotal(schema, Sigma(schema, "c ->s a")).ok());
+  // Nor a p-key with nullable attributes.
+  EXPECT_FALSE(NormalizeToTotal(schema, Sigma(schema, "p<c>")).ok());
+}
+
+TEST(VrnfDecomposeTest, ClassicalSpecialCaseSplitsLikeBcnf) {
+  // T_S = T, key on the schema: Algorithm 3 = classical BCNF
+  // decomposition. a -> b with key c<ac>: split into [ab] and [ac].
+  TableSchema schema = Schema("abc", "abc");
+  SchemaDesign design{schema, Sigma(schema, "a ->w ab; c<ac>")};
+  ASSERT_OK_AND_ASSIGN(VrnfResult result, VrnfDecompose(design));
+  ASSERT_EQ(result.decomposition.components.size(), 2u);
+  EXPECT_EQ(result.decomposition.components[0].attrs, Attrs(schema, "ac"));
+  EXPECT_EQ(result.decomposition.components[1].attrs, Attrs(schema, "ab"));
+  ASSERT_OK_AND_ASSIGN(bool vrnf, AllComponentsVrnf(design, result));
+  EXPECT_TRUE(vrnf);
+}
+
+TEST(VrnfDecomposeTest, LosslessOnPaperInstance) {
+  TableSchema schema = Schema("oicp", "oip");
+  SchemaDesign design{schema, Sigma(schema, "oic ->w oicp")};
+  ASSERT_OK_AND_ASSIGN(VrnfResult result, VrnfDecompose(design));
+  // §6.2's four-row instance (with duplicates and ⊥).
+  Table t = Rows(schema, {"1F_X", "1F_X", "3DKY", "3DKY"});
+  ASSERT_TRUE(SatisfiesAll(t, design.sigma));
+  ASSERT_OK_AND_ASSIGN(bool lossless,
+                       IsLosslessForInstance(t, result.decomposition));
+  EXPECT_TRUE(lossless);
+}
+
+TEST(VrnfDecomposeTest, ChainedDecomposition) {
+  // Two independent total FDs must both be split off.
+  TableSchema schema = Schema("abcde", "abcde");
+  SchemaDesign design{schema, Sigma(schema, "a ->w ab; c ->w cd")};
+  ASSERT_OK_AND_ASSIGN(VrnfResult result, VrnfDecompose(design));
+  EXPECT_EQ(result.steps.size(), 2u);
+  EXPECT_EQ(result.decomposition.components.size(), 3u);
+  ASSERT_OK_AND_ASSIGN(bool vrnf, AllComponentsVrnf(design, result));
+  EXPECT_TRUE(vrnf);
+}
+
+// Theorem 16 as a property: on random total-FD + c-key inputs the
+// algorithm terminates with (a) a valid decomposition, (b) all
+// components in VRNF, and (c) lossless reconstruction for random
+// instances satisfying Σ.
+class Theorem16Test : public ::testing::TestWithParam<int> {};
+
+TEST_P(Theorem16Test, DecomposesLosslesslyIntoVrnf) {
+  Rng rng(GetParam() * 61 + 13);
+  int exercised = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    int n = 3 + static_cast<int>(rng.Uniform(0, 2));
+    TableSchema schema = RandomSchema(&rng, n);
+    // Random total FDs and certain keys.
+    ConstraintSet sigma;
+    int fds = 1 + static_cast<int>(rng.Uniform(0, 2));
+    for (int f = 0; f < fds; ++f) {
+      AttributeSet lhs = testing::RandomSubset(&rng, n, 0.3);
+      AttributeSet rhs = lhs.Union(testing::RandomSubset(&rng, n, 0.3));
+      if (rhs == lhs || lhs.empty()) continue;
+      sigma.AddFd(FunctionalDependency::Certain(lhs, rhs));
+    }
+    if (rng.Chance(0.4)) {
+      sigma.AddKey(
+          KeyConstraint::Certain(testing::RandomSubset(&rng, n, 0.5)));
+    }
+    if (sigma.empty()) continue;
+    SchemaDesign design{schema, sigma};
+    auto result = VrnfDecompose(design);
+    ASSERT_OK(result.status()) << design.ToString();
+    ++exercised;
+    EXPECT_OK(result->decomposition.Validate(schema));
+    ASSERT_OK_AND_ASSIGN(bool vrnf, AllComponentsVrnf(design, *result));
+    EXPECT_TRUE(vrnf) << design.ToString();
+
+    for (int m = 0; m < 10; ++m) {
+      Table instance = RandomInstance(&rng, schema, 5, 2, 0.3);
+      if (!SatisfiesAll(instance, sigma)) continue;
+      ASSERT_OK_AND_ASSIGN(
+          bool lossless,
+          IsLosslessForInstance(instance, result->decomposition));
+      EXPECT_TRUE(lossless) << design.ToString() << "\n"
+                            << instance.ToString() << "\n"
+                            << result->decomposition.ToString(schema);
+    }
+  }
+  EXPECT_GT(exercised, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem16Test, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace sqlnf

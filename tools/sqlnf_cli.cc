@@ -1,0 +1,280 @@
+// sqlnf — command-line front end for the library.
+//
+//   sqlnf check <design-file>
+//       Normal-form report: BCNF/RFNF, SQL-BCNF/VRNF, violations, and a
+//       construction-lemma witness instance for the first violation.
+//   sqlnf normalize <design-file>
+//       Algorithm 3 (after NormalizeToTotal): decomposition, dependency
+//       preservation, and CREATE TABLE statements.
+//   sqlnf implies <design-file> '<constraint>'
+//       Decide Σ ⊨ φ; prints an axiomatic proof (small schemas) or a
+//       counterexample instance.
+//   sqlnf mine <csv-file>
+//       Discover keys and FDs from data; classify (nn/p/c/t/λ).
+//   sqlnf advise <csv-file>
+//       mine + normalize + DDL, end to end.
+//   sqlnf shell [script.sql]
+//       Run SQL (with the CERTAIN KEY / CERTAIN FD extensions, enforced
+//       on every write) from a script file or interactively from stdin.
+//
+// Design file format: see sqlnf/constraints/serialize.h.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "sqlnf/constraints/parser.h"
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/constraints/serialize.h"
+#include "sqlnf/decomposition/dependency_preservation.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "sqlnf/decomposition/report.h"
+#include "sqlnf/decomposition/vrnf_decompose.h"
+#include "sqlnf/discovery/discover.h"
+#include "sqlnf/engine/csv.h"
+#include "sqlnf/engine/ddl.h"
+#include "sqlnf/engine/sql.h"
+#include "sqlnf/normalform/construction.h"
+#include "sqlnf/normalform/normal_forms.h"
+#include "sqlnf/reasoning/axioms.h"
+#include "sqlnf/reasoning/implication.h"
+
+namespace sqlnf {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sqlnf <command> <args>\n"
+      "  check <design-file>                normal-form report\n"
+      "  normalize <design-file>            Algorithm 3 + DDL\n"
+      "  implies <design-file> <constraint> decide implication\n"
+      "  mine <csv-file>                    discover constraints\n"
+      "  advise <csv-file>                  mine + normalize + DDL\n"
+      "  shell [script.sql]                 SQL with enforced c-keys/FDs\n");
+  return 2;
+}
+
+int CmdShell(const std::string& path) {
+  Database db;
+  SqlSession session(&db);
+  if (!path.empty()) {
+    std::ifstream in(path);
+    if (!in) return Fail(Status::IoError("cannot open " + path));
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto results = session.ExecuteScript(buffer.str());
+    if (!results.ok()) return Fail(results.status());
+    for (const QueryResult& result : *results) {
+      std::printf("%s\n", result.ToString().c_str());
+    }
+    return 0;
+  }
+  // Interactive: one statement per ';'-terminated chunk from stdin.
+  std::string buffer;
+  std::string line;
+  std::printf("sqlnf shell — SQL with CERTAIN KEY / CERTAIN FD "
+              "enforcement. Ctrl-D to exit.\n> ");
+  while (std::getline(std::cin, line)) {
+    buffer += line + "\n";
+    if (line.find(';') != std::string::npos) {
+      auto results = session.ExecuteScript(buffer);
+      if (!results.ok()) {
+        std::printf("error: %s\n", results.status().ToString().c_str());
+      } else {
+        for (const QueryResult& result : *results) {
+          std::printf("%s\n", result.ToString().c_str());
+        }
+      }
+      buffer.clear();
+    }
+    std::printf("> ");
+  }
+  return 0;
+}
+
+int CmdCheck(const std::string& path) {
+  auto design = ReadDesignFile(path);
+  if (!design.ok()) return Fail(design.status());
+  std::printf("%s\n\n", design->ToString().c_str());
+
+  auto violation = FindBcnfViolation(*design);
+  std::printf("BCNF / RFNF (Theorems 6, 9): %s\n",
+              violation ? "NO" : "yes");
+  if (violation) {
+    std::printf("  violation: %s\n",
+                violation->ToString(design->table).c_str());
+    auto witness = MakeRedundancyWitness(*design);
+    if (witness.ok()) {
+      std::printf(
+          "  witness instance (redundant at row %d, column %s):\n%s",
+          witness->position.row,
+          design->table.attribute_name(witness->position.column).c_str(),
+          witness->instance.ToString().c_str());
+    }
+  }
+  auto sql_bcnf = IsSqlBcnf(*design);
+  if (sql_bcnf.ok()) {
+    std::printf("SQL-BCNF / VRNF (Theorems 14, 15): %s\n",
+                *sql_bcnf ? "yes" : "NO");
+  } else {
+    std::printf("SQL-BCNF / VRNF: n/a (%s)\n",
+                sql_bcnf.status().message().c_str());
+  }
+  return 0;
+}
+
+int CmdNormalize(const std::string& path) {
+  auto design = ReadDesignFile(path);
+  if (!design.ok()) return Fail(design.status());
+  auto total = NormalizeToTotal(design->table, design->sigma);
+  if (!total.ok()) return Fail(total.status());
+  SchemaDesign normalized{design->table, std::move(total).value()};
+
+  auto result = VrnfDecompose(normalized);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("decomposition: %s\n",
+              result->decomposition.ToString(design->table).c_str());
+  for (const VrnfStep& step : result->steps) {
+    std::printf("  %s\n", step.ToString(design->table).c_str());
+  }
+  auto preserving =
+      IsDependencyPreserving(normalized, result->decomposition);
+  if (preserving.ok()) {
+    std::printf("dependency preserving: %s\n",
+                *preserving ? "yes" : "NO (cross-table checks needed)");
+  }
+  std::printf("\n%s", EmitDecompositionDdl(normalized, *result).c_str());
+  return 0;
+}
+
+int CmdImplies(const std::string& path, const std::string& constraint_text) {
+  auto design = ReadDesignFile(path);
+  if (!design.ok()) return Fail(design.status());
+  auto constraint = ParseConstraint(design->table, constraint_text);
+  if (!constraint.ok()) return Fail(constraint.status());
+
+  Implication imp(design->table, design->sigma);
+  bool implied = imp.Implies(*constraint);
+  std::printf("Sigma %s %s\n", implied ? "implies" : "does NOT imply",
+              ConstraintToString(*constraint, design->table).c_str());
+  if (implied) {
+    auto engine = AxiomEngine::Saturate(design->table, design->sigma);
+    if (engine.ok()) {
+      auto proof = engine->Explain(*constraint);
+      if (proof.ok()) std::printf("\nproof:\n%s", proof->c_str());
+    } else {
+      std::printf("(schema too large for an axiomatic proof print)\n");
+    }
+  } else {
+    auto witness = CounterExample(*design, *constraint);
+    if (witness.ok()) {
+      std::printf("counterexample instance over (T, T_S, Sigma):\n%s",
+                  witness->ToString().c_str());
+    }
+  }
+  return 0;
+}
+
+int CmdMine(const std::string& path) {
+  auto table = ReadCsvFile(path);
+  if (!table.ok()) return Fail(table.status());
+  DiscoveryOptions options;
+  options.hitting.max_size = 5;
+  auto mined = DiscoverConstraints(*table, options);
+  if (!mined.ok()) return Fail(mined.status());
+
+  TableSchema schema = table->schema();
+  (void)schema.SetNfs(mined->null_free_columns);
+  std::printf("table: %d rows x %d columns, null-free columns %s\n\n",
+              table->num_rows(), table->num_columns(),
+              schema.FormatSet(schema.nfs()).c_str());
+  auto print_fds = [&](const char* label,
+                       const std::vector<FunctionalDependency>& fds) {
+    std::printf("%s (%zu):\n", label, fds.size());
+    for (const auto& fd : fds) {
+      std::printf("  %s\n", fd.ToString(schema).c_str());
+    }
+  };
+  print_fds("certain FDs", mined->c_fds);
+  print_fds("possible FDs", mined->p_fds);
+  std::printf("certain keys (%zu):\n", mined->c_keys.size());
+  for (const auto& key : mined->c_keys) {
+    std::printf("  %s\n", key.ToString(schema).c_str());
+  }
+  std::printf("possible keys (%zu):\n", mined->p_keys.size());
+  for (const auto& key : mined->p_keys) {
+    std::printf("  %s\n", key.ToString(schema).c_str());
+  }
+  FdClassification cls = ClassifyDiscovered(*table, *mined);
+  std::printf(
+      "\nclassification: nn=%d p=%d c=%d total=%d lambda=%d\n",
+      cls.nn_count, cls.p_count, cls.c_count, cls.t_count,
+      cls.lambda_count);
+  return 0;
+}
+
+int CmdAdvise(const std::string& path) {
+  auto table = ReadCsvFile(path);
+  if (!table.ok()) return Fail(table.status());
+  DiscoveryOptions options;
+  options.hitting.max_size = 4;
+  auto mined = DiscoverConstraints(*table, options);
+  if (!mined.ok()) return Fail(mined.status());
+
+  TableSchema schema = table->schema();
+  (void)schema.SetNfs(mined->null_free_columns);
+  FdClassification cls = ClassifyDiscovered(*table, *mined);
+  ConstraintSet sigma;
+  for (const auto& fd : cls.lambda_fds) sigma.AddUniqueFd(fd);
+  for (const auto& key : mined->c_keys) sigma.AddUniqueKey(key);
+  SchemaDesign design{schema, sigma};
+  std::printf("mined design:\n%s\n", FormatDesign(design).c_str());
+
+  if (sigma.fds().empty()) {
+    std::printf("no lambda-FDs found; nothing to normalize.\n");
+    return 0;
+  }
+  auto result = VrnfDecompose(design);
+  if (!result.ok()) return Fail(result.status());
+  auto report = ReportDecomposition(*table, result->decomposition);
+  if (report.ok()) {
+    std::printf("%s\n", report->ToString(schema).c_str());
+  }
+  auto lossless = IsLosslessForInstance(*table, result->decomposition);
+  if (lossless.ok()) {
+    std::printf("lossless on the input data: %s\n\n",
+                *lossless ? "yes" : "NO");
+  }
+  std::printf("%s", EmitDecompositionDdl(design, *result).c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace sqlnf
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "shell") {
+    return sqlnf::CmdShell(argc >= 3 ? argv[2] : "");
+  }
+  if (argc < 3) return sqlnf::Usage();
+  const std::string command = argv[1];
+  const std::string arg = argv[2];
+  if (command == "check") return sqlnf::CmdCheck(arg);
+  if (command == "normalize") return sqlnf::CmdNormalize(arg);
+  if (command == "implies") {
+    if (argc < 4) return sqlnf::Usage();
+    return sqlnf::CmdImplies(arg, argv[3]);
+  }
+  if (command == "mine") return sqlnf::CmdMine(arg);
+  if (command == "advise") return sqlnf::CmdAdvise(arg);
+  return sqlnf::Usage();
+}
