@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contact_lookup.dir/bench_contact_lookup.cc.o"
+  "CMakeFiles/bench_contact_lookup.dir/bench_contact_lookup.cc.o.d"
+  "bench_contact_lookup"
+  "bench_contact_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contact_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contractor.dir/bench_contractor.cc.o"
+  "CMakeFiles/bench_contractor.dir/bench_contractor.cc.o.d"
+  "bench_contractor"
+  "bench_contractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_example2_semantics.dir/bench_example2_semantics.cc.o"
+  "CMakeFiles/bench_example2_semantics.dir/bench_example2_semantics.cc.o.d"
+  "bench_example2_semantics"
+  "bench_example2_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_example2_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

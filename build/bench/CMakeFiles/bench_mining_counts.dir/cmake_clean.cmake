@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mining_counts.dir/bench_mining_counts.cc.o"
+  "CMakeFiles/bench_mining_counts.dir/bench_mining_counts.cc.o.d"
+  "bench_mining_counts"
+  "bench_mining_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mining_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_normalform.dir/bench_normalform.cc.o"
+  "CMakeFiles/bench_normalform.dir/bench_normalform.cc.o.d"
+  "bench_normalform"
+  "bench_normalform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_normalform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

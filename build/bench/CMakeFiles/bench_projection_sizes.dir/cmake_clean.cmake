@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projection_sizes.dir/bench_projection_sizes.cc.o"
+  "CMakeFiles/bench_projection_sizes.dir/bench_projection_sizes.cc.o.d"
+  "bench_projection_sizes"
+  "bench_projection_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projection_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_perf.dir/bench_validation_perf.cc.o"
+  "CMakeFiles/bench_validation_perf.dir/bench_validation_perf.cc.o.d"
+  "bench_validation_perf"
+  "bench_validation_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enforced_constraints.dir/enforced_constraints.cpp.o"
+  "CMakeFiles/enforced_constraints.dir/enforced_constraints.cpp.o.d"
+  "enforced_constraints"
+  "enforced_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enforced_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for enforced_constraints.
+# This may be replaced when dependencies are built.

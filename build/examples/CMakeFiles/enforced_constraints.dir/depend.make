@@ -1,0 +1,2 @@
+# Empty dependencies file for enforced_constraints.
+# This may be replaced when dependencies are built.

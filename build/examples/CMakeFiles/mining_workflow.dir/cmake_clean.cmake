@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mining_workflow.dir/mining_workflow.cpp.o"
+  "CMakeFiles/mining_workflow.dir/mining_workflow.cpp.o.d"
+  "mining_workflow"
+  "mining_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mining_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

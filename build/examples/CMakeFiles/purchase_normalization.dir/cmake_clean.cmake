@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purchase_normalization.dir/purchase_normalization.cpp.o"
+  "CMakeFiles/purchase_normalization.dir/purchase_normalization.cpp.o.d"
+  "purchase_normalization"
+  "purchase_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purchase_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

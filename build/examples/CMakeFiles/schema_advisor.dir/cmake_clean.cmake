@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_advisor.dir/schema_advisor.cpp.o"
+  "CMakeFiles/schema_advisor.dir/schema_advisor.cpp.o.d"
+  "schema_advisor"
+  "schema_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

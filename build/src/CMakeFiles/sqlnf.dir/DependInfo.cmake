@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqlnf/constraints/constraint.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/constraint.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/constraint.cc.o.d"
+  "/root/repo/src/sqlnf/constraints/parser.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/parser.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/parser.cc.o.d"
+  "/root/repo/src/sqlnf/constraints/satisfies.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/satisfies.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/satisfies.cc.o.d"
+  "/root/repo/src/sqlnf/constraints/serialize.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/serialize.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/constraints/serialize.cc.o.d"
+  "/root/repo/src/sqlnf/core/attribute_set.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/attribute_set.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/attribute_set.cc.o.d"
+  "/root/repo/src/sqlnf/core/schema.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/schema.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/schema.cc.o.d"
+  "/root/repo/src/sqlnf/core/similarity.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/similarity.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/similarity.cc.o.d"
+  "/root/repo/src/sqlnf/core/table.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/table.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/table.cc.o.d"
+  "/root/repo/src/sqlnf/core/value.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/value.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/core/value.cc.o.d"
+  "/root/repo/src/sqlnf/datagen/generator.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/datagen/generator.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/datagen/generator.cc.o.d"
+  "/root/repo/src/sqlnf/datagen/lmrp.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/datagen/lmrp.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/datagen/lmrp.cc.o.d"
+  "/root/repo/src/sqlnf/datagen/uci.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/datagen/uci.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/datagen/uci.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/bcnf_decompose.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/bcnf_decompose.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/bcnf_decompose.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/chase.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/chase.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/chase.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/decomposition.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/decomposition.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/decomposition.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/dependency_preservation.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/dependency_preservation.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/dependency_preservation.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/lossless.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/lossless.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/lossless.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/report.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/report.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/report.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/three_nf.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/three_nf.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/three_nf.cc.o.d"
+  "/root/repo/src/sqlnf/decomposition/vrnf_decompose.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/vrnf_decompose.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/decomposition/vrnf_decompose.cc.o.d"
+  "/root/repo/src/sqlnf/discovery/agree_sets.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/agree_sets.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/agree_sets.cc.o.d"
+  "/root/repo/src/sqlnf/discovery/approximate.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/approximate.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/approximate.cc.o.d"
+  "/root/repo/src/sqlnf/discovery/discover.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/discover.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/discover.cc.o.d"
+  "/root/repo/src/sqlnf/discovery/hitting_set.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/hitting_set.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/hitting_set.cc.o.d"
+  "/root/repo/src/sqlnf/discovery/partition.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/partition.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/partition.cc.o.d"
+  "/root/repo/src/sqlnf/discovery/tane.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/tane.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/discovery/tane.cc.o.d"
+  "/root/repo/src/sqlnf/engine/catalog.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/catalog.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/catalog.cc.o.d"
+  "/root/repo/src/sqlnf/engine/csv.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/csv.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/csv.cc.o.d"
+  "/root/repo/src/sqlnf/engine/ddl.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/ddl.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/ddl.cc.o.d"
+  "/root/repo/src/sqlnf/engine/enforcer.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/enforcer.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/enforcer.cc.o.d"
+  "/root/repo/src/sqlnf/engine/relops.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/relops.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/relops.cc.o.d"
+  "/root/repo/src/sqlnf/engine/sql.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/sql.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/sql.cc.o.d"
+  "/root/repo/src/sqlnf/engine/validate.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/validate.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/engine/validate.cc.o.d"
+  "/root/repo/src/sqlnf/normalform/armstrong.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/armstrong.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/armstrong.cc.o.d"
+  "/root/repo/src/sqlnf/normalform/construction.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/construction.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/construction.cc.o.d"
+  "/root/repo/src/sqlnf/normalform/normal_forms.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/normal_forms.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/normal_forms.cc.o.d"
+  "/root/repo/src/sqlnf/normalform/projection.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/projection.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/projection.cc.o.d"
+  "/root/repo/src/sqlnf/normalform/redundancy.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/redundancy.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/normalform/redundancy.cc.o.d"
+  "/root/repo/src/sqlnf/reasoning/axioms.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/axioms.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/axioms.cc.o.d"
+  "/root/repo/src/sqlnf/reasoning/closure.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/closure.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/closure.cc.o.d"
+  "/root/repo/src/sqlnf/reasoning/cover.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/cover.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/cover.cc.o.d"
+  "/root/repo/src/sqlnf/reasoning/implication.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/implication.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/reasoning/implication.cc.o.d"
+  "/root/repo/src/sqlnf/related/alt_semantics.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/related/alt_semantics.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/related/alt_semantics.cc.o.d"
+  "/root/repo/src/sqlnf/related/possible_worlds.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/related/possible_worlds.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/related/possible_worlds.cc.o.d"
+  "/root/repo/src/sqlnf/util/rng.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/rng.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/rng.cc.o.d"
+  "/root/repo/src/sqlnf/util/status.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/status.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/status.cc.o.d"
+  "/root/repo/src/sqlnf/util/string_util.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/string_util.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/string_util.cc.o.d"
+  "/root/repo/src/sqlnf/util/text_table.cc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/text_table.cc.o" "gcc" "src/CMakeFiles/sqlnf.dir/sqlnf/util/text_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

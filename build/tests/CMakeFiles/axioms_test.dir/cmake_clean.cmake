@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/axioms_test.dir/axioms_test.cc.o"
+  "CMakeFiles/axioms_test.dir/axioms_test.cc.o.d"
+  "axioms_test"
+  "axioms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/axioms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

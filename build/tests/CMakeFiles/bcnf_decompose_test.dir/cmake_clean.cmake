@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcnf_decompose_test.dir/bcnf_decompose_test.cc.o"
+  "CMakeFiles/bcnf_decompose_test.dir/bcnf_decompose_test.cc.o.d"
+  "bcnf_decompose_test"
+  "bcnf_decompose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcnf_decompose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closure_test.dir/closure_test.cc.o"
+  "CMakeFiles/closure_test.dir/closure_test.cc.o.d"
+  "closure_test"
+  "closure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

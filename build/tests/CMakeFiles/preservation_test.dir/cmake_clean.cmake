@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preservation_test.dir/preservation_test.cc.o"
+  "CMakeFiles/preservation_test.dir/preservation_test.cc.o.d"
+  "preservation_test"
+  "preservation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preservation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_test.dir/related_test.cc.o"
+  "CMakeFiles/related_test.dir/related_test.cc.o.d"
+  "related_test"
+  "related_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satisfies_test.dir/satisfies_test.cc.o"
+  "CMakeFiles/satisfies_test.dir/satisfies_test.cc.o.d"
+  "satisfies_test"
+  "satisfies_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satisfies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

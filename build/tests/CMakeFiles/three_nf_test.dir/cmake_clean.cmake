@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_nf_test.dir/three_nf_test.cc.o"
+  "CMakeFiles/three_nf_test.dir/three_nf_test.cc.o.d"
+  "three_nf_test"
+  "three_nf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_nf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

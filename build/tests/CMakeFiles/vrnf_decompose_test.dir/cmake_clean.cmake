@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrnf_decompose_test.dir/vrnf_decompose_test.cc.o"
+  "CMakeFiles/vrnf_decompose_test.dir/vrnf_decompose_test.cc.o.d"
+  "vrnf_decompose_test"
+  "vrnf_decompose_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrnf_decompose_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlnf_cli.dir/sqlnf_cli.cc.o"
+  "CMakeFiles/sqlnf_cli.dir/sqlnf_cli.cc.o.d"
+  "sqlnf"
+  "sqlnf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlnf_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
