@@ -11,6 +11,7 @@
 #define SQLNF_CORE_ATTRIBUTE_SET_H_
 
 #include <bit>
+#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <vector>
@@ -33,14 +34,19 @@ class AttributeSet {
     for (AttributeId id : ids) Add(id);
   }
 
-  /// The set {0, 1, ..., n-1}; `n` must be in [0, 64].
+  /// The set {0, 1, ..., n-1}; `n` must be in [0, 64]. A negative `n`
+  /// yields the empty set (asserts in debug builds) — shifting by it
+  /// would be undefined behavior.
   static AttributeSet FullSet(int n) {
+    assert(n >= 0 && n <= kMaxAttributes);
     AttributeSet s;
-    s.bits_ = n >= 64 ? ~uint64_t{0} : ((uint64_t{1} << n) - 1);
+    s.bits_ = n >= 64 ? ~uint64_t{0}
+              : n <= 0 ? 0
+                       : ((uint64_t{1} << n) - 1);
     return s;
   }
 
-  /// Singleton {id}.
+  /// Singleton {id}. Precondition: id ∈ [0, 64).
   static AttributeSet Single(AttributeId id) {
     AttributeSet s;
     s.Add(id);
@@ -53,9 +59,21 @@ class AttributeSet {
     return s;
   }
 
-  void Add(AttributeId id) { bits_ |= uint64_t{1} << id; }
-  void Remove(AttributeId id) { bits_ &= ~(uint64_t{1} << id); }
+  // Precondition for Add/Remove/Contains: id ∈ [0, kMaxAttributes).
+  // Shifting a uint64 by a negative or >= 64 amount is undefined
+  // behavior, so out-of-range ids assert in debug builds; release
+  // builds must never pass them (TableSchema rejects wider schemas at
+  // construction).
+  void Add(AttributeId id) {
+    assert(id >= 0 && id < kMaxAttributes);
+    bits_ |= uint64_t{1} << id;
+  }
+  void Remove(AttributeId id) {
+    assert(id >= 0 && id < kMaxAttributes);
+    bits_ &= ~(uint64_t{1} << id);
+  }
   bool Contains(AttributeId id) const {
+    assert(id >= 0 && id < kMaxAttributes);
     return (bits_ >> id) & uint64_t{1};
   }
 

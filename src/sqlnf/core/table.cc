@@ -48,6 +48,11 @@ Status Table::AddRow(Tuple row) {
                            " does not match schema arity " +
                            std::to_string(num_columns()));
   }
+  if (null_free_valid_) {
+    for (AttributeId a : null_free_) {
+      if (row[a].is_null()) null_free_.Remove(a);
+    }
+  }
   rows_.push_back(std::move(row));
   return Status::OK();
 }
@@ -83,6 +88,19 @@ std::vector<Value> Table::ColumnValues(AttributeId a) const {
     }
   }
   return out;
+}
+
+AttributeSet Table::NullFreeColumns() const {
+  if (!null_free_valid_) {
+    null_free_ = AttributeSet::FullSet(num_columns());
+    for (const Tuple& t : rows_) {
+      for (AttributeId a : null_free_) {
+        if (t[a].is_null()) null_free_.Remove(a);
+      }
+    }
+    null_free_valid_ = true;
+  }
+  return null_free_;
 }
 
 int Table::CountNulls(AttributeId a) const {

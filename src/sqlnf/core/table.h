@@ -53,7 +53,9 @@ class Tuple {
 /// A table instance: a multiset of tuples over a TableSchema.
 class Table {
  public:
-  explicit Table(TableSchema schema) : schema_(std::move(schema)) {}
+  explicit Table(TableSchema schema)
+      : schema_(std::move(schema)),
+        null_free_(AttributeSet::FullSet(schema_.num_attributes())) {}
 
   const TableSchema& schema() const { return schema_; }
   TableSchema* mutable_schema() { return &schema_; }
@@ -66,7 +68,12 @@ class Table {
   }
 
   const Tuple& row(int i) const { return rows_[i]; }
-  Tuple* mutable_row(int i) { return &rows_[i]; }
+  /// Mutable access to a row invalidates the null-free-column cache
+  /// (the caller may write or erase ⊥ cells); it is lazily recomputed.
+  Tuple* mutable_row(int i) {
+    null_free_valid_ = false;
+    return &rows_[i];
+  }
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Appends a row; its arity must equal the schema's. This checks arity
@@ -88,6 +95,11 @@ class Table {
   /// Number of ⊥ cells in column `a`.
   int CountNulls(AttributeId a) const;
 
+  /// Columns with no ⊥ anywhere in the instance. Maintained
+  /// incrementally by AddRow — O(1) for the validators' hot path — and
+  /// recomputed lazily after mutable_row() hands out write access.
+  AttributeSet NullFreeColumns() const;
+
   /// True when the two tables have the same schema structure and equal
   /// row multisets (row order ignored, multiplicities respected).
   bool SameMultiset(const Table& other) const;
@@ -98,6 +110,9 @@ class Table {
  private:
   TableSchema schema_;
   std::vector<Tuple> rows_;
+  // Cache for NullFreeColumns(); see there.
+  mutable AttributeSet null_free_;
+  mutable bool null_free_valid_ = true;
 };
 
 }  // namespace sqlnf

@@ -1,6 +1,8 @@
 #include "sqlnf/discovery/agree_sets.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
 #include <map>
 #include <unordered_set>
 
@@ -57,25 +59,86 @@ PairAgreement ComputeAgreement(const EncodedTable& enc, int row1,
   return out;
 }
 
+namespace {
+
+struct TripleHash {
+  size_t operator()(const std::array<uint64_t, 3>& t) const {
+    return t[0] * 1000003 + t[1] * 31 + t[2];
+  }
+};
+using TripleKey = std::array<uint64_t, 3>;
+using SeenSet = std::unordered_set<TripleKey, TripleHash>;
+
+TripleKey KeyOf(const PairAgreement& agreement) {
+  return {agreement.eq.bits(), agreement.strong.bits(),
+          agreement.weak.bits()};
+}
+
+// Sweeps the triangle slice with outer rows in [row_begin, row_end),
+// inner rows up to n, deduplicating into `seen`/`out` in (i, j) order.
+void SweepSlice(const EncodedTable& enc, int n, int row_begin, int row_end,
+                SeenSet* seen, std::vector<PairAgreement>* out) {
+  for (int i = row_begin; i < row_end; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      PairAgreement agreement = ComputeAgreement(enc, i, j);
+      if (seen->insert(KeyOf(agreement)).second) {
+        out->push_back(agreement);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<PairAgreement> CollectAgreements(const EncodedTable& enc,
-                                             int max_rows) {
+                                             int max_rows,
+                                             const ParallelOptions& par) {
   int n = enc.num_rows();
   if (max_rows > 0 && max_rows < n) n = max_rows;
 
-  struct TripleHash {
-    size_t operator()(const std::array<uint64_t, 3>& t) const {
-      return t[0] * 1000003 + t[1] * 31 + t[2];
-    }
+  if (par.threads <= 1 || n < 256) {
+    SeenSet seen;
+    std::vector<PairAgreement> out;
+    SweepSlice(enc, n, 0, n, &seen, &out);
+    return out;
+  }
+
+  // Chunk the outer rows so each chunk covers roughly the same number of
+  // PAIRS (outer row i owns n-1-i pairs): the boundary for cumulative
+  // fraction f of the triangle is b = n·(1 − √(1−f)). Chunks exceed the
+  // thread count for dynamic load balancing.
+  ThreadPool pool(par.threads);
+  const int chunks = std::min(n, pool.num_threads() * 8);
+  std::vector<int> bounds(chunks + 1, n);
+  bounds[0] = 0;
+  for (int c = 1; c < chunks; ++c) {
+    const double f = static_cast<double>(c) / chunks;
+    int b = static_cast<int>(n * (1.0 - std::sqrt(1.0 - f)));
+    bounds[c] = std::clamp(b, bounds[c - 1], n);
+  }
+
+  // Per-chunk sweep with local dedup; chunks keep (i, j) order.
+  struct Slice {
+    SeenSet seen;
+    std::vector<PairAgreement> out;
   };
-  std::unordered_set<std::array<uint64_t, 3>, TripleHash> seen;
+  std::vector<Slice> slices(chunks);
+  pool.RunTasks(chunks, [&](int c) {
+    SweepSlice(enc, n, bounds[c], bounds[c + 1], &slices[c].seen,
+               &slices[c].out);
+  });
+
+  // Ordered merge: chunks partition the outer rows in ascending order,
+  // so folding them in chunk order against one global seen-set yields
+  // exactly the serial output (same triples, same first-occurrence
+  // positions).
+  SeenSet seen;
   std::vector<PairAgreement> out;
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      PairAgreement agreement = ComputeAgreement(enc, i, j);
-      std::array<uint64_t, 3> key = {agreement.eq.bits(),
-                                     agreement.strong.bits(),
-                                     agreement.weak.bits()};
-      if (seen.insert(key).second) out.push_back(agreement);
+  for (Slice& slice : slices) {
+    for (PairAgreement& agreement : slice.out) {
+      if (seen.insert(KeyOf(agreement)).second) {
+        out.push_back(agreement);
+      }
     }
   }
   return out;

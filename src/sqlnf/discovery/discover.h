@@ -33,6 +33,10 @@ struct DiscoveryOptions {
   /// <= 0 disables the cap.
   int max_rows = 5000;
   HittingSetOptions hitting;  // LHS size / count caps
+  /// Threads for the pair sweep (<= 1 → serial). The sweep is chunked
+  /// and merged in row order, so the discovered constraints are
+  /// IDENTICAL for every thread count (see agree_sets.h).
+  int threads = 1;
 };
 
 /// Everything mined from one table.

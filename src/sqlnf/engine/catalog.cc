@@ -112,15 +112,15 @@ Result<int> Database::Update(
   }
   // Post-image validation on a copy; swap in on success.
   Table candidate = stored->data;
-  int changed = 0;
+  std::vector<int> changed_rows;
   for (int i = 0; i < candidate.num_rows(); ++i) {
     if (!predicate(candidate.row(i))) continue;
     if (!((*candidate.mutable_row(i))[column] == value)) {
       (*candidate.mutable_row(i))[column] = value;
-      ++changed;
+      changed_rows.push_back(i);
     }
   }
-  if (changed == 0) return 0;
+  if (changed_rows.empty()) return 0;
   if (!candidate.CheckNfs().ok()) {
     return Status::FailedPrecondition(
         "UPDATE rejected: NOT NULL column cannot hold NULL");
@@ -132,9 +132,13 @@ Result<int> Database::Update(
         (violation ? violation->ToString(candidate.schema())
                    : std::string("constraint violation")));
   }
+  // Maintain the enforcer incrementally: unindex the changed rows under
+  // their PRE-image values (the hash keys), then re-add the post-images.
+  // Untouched rows keep their ids — no full rebuild.
+  for (int i : changed_rows) stored->enforcer.Remove(stored->data.row(i), i);
   stored->data = std::move(candidate);
-  stored->enforcer.Rebuild(stored->data);
-  return changed;
+  for (int i : changed_rows) stored->enforcer.Add(stored->data.row(i), i);
+  return static_cast<int>(changed_rows.size());
 }
 
 Result<int> Database::Delete(
@@ -142,17 +146,22 @@ Result<int> Database::Delete(
     const std::function<bool(const Tuple&)>& predicate) {
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   Table kept(stored->data.schema());
-  int removed = 0;
-  for (const Tuple& t : stored->data.rows()) {
+  std::vector<int> erased;
+  for (int i = 0; i < stored->data.num_rows(); ++i) {
+    const Tuple& t = stored->data.row(i);
     if (predicate(t)) {
-      ++removed;
+      erased.push_back(i);
     } else {
       SQLNF_RETURN_NOT_OK(kept.AddRow(t));
     }
   }
+  // Unindex the erased rows, then renumber the survivors in place —
+  // surviving rows keep their relative order, so each id drops by the
+  // number of erased ids below it. No full rebuild.
+  for (int i : erased) stored->enforcer.Remove(stored->data.row(i), i);
   stored->data = std::move(kept);
-  if (removed > 0) stored->enforcer.Rebuild(stored->data);
-  return removed;
+  stored->enforcer.CompactAfterErase(erased);
+  return static_cast<int>(erased.size());
 }
 
 }  // namespace sqlnf

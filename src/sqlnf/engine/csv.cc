@@ -27,6 +27,10 @@ Result<std::vector<std::vector<RawField>>> Tokenize(std::string_view text) {
     field_started = false;
   };
   auto end_record = [&]() {
+    // A fully empty line (no separators, no quotes, no text) is not a
+    // 1-field record — skip it, as RFC 4180 readers do. Treating it as
+    // a record used to surface as a misleading arity error.
+    if (record.empty() && !field_started) return;
     end_field();
     records.push_back(std::move(record));
     record.clear();
@@ -49,8 +53,12 @@ Result<std::vector<std::vector<RawField>>> Tokenize(std::string_view text) {
     }
     switch (c) {
       case '"':
-        if (field_started && !field.text.empty()) {
-          return Status::ParseError("stray quote inside unquoted field");
+        // A quote may only OPEN a field; one after field text (quoted
+        // or not) is malformed.
+        if (field_started) {
+          return Status::ParseError(
+              field.quoted ? "quote after closing quote"
+                           : "stray quote inside unquoted field");
         }
         in_quotes = true;
         field.quoted = true;
@@ -65,6 +73,11 @@ Result<std::vector<std::vector<RawField>>> Tokenize(std::string_view text) {
         end_record();
         break;
       default:
+        if (field.quoted) {
+          // "abc"def — previously the trailing text was silently
+          // concatenated onto the quoted field.
+          return Status::ParseError("text after closing quote");
+        }
         field.text += c;
         field_started = true;
         break;
@@ -164,8 +177,13 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
     for (int i = 0; i < t.size(); ++i) {
       if (i > 0) out += ',';
       const Value& v = t[i];
-      out += v.is_null() ? options.null_token
-                         : EscapeField(v.ToString(), options.null_token);
+      std::string field =
+          v.is_null() ? options.null_token
+                      : EscapeField(v.ToString(), options.null_token);
+      // A lone empty field would render as a blank line, which readers
+      // (ours included) skip — quote it to keep the record.
+      if (t.size() == 1 && field.empty()) field = "\"\"";
+      out += field;
     }
     out += '\n';
   }

@@ -1,6 +1,9 @@
 #include "sqlnf/engine/enforcer.h"
 
+#include <algorithm>
+
 #include "sqlnf/core/similarity.h"
+#include "sqlnf/util/fnv.h"
 
 namespace sqlnf {
 
@@ -28,8 +31,8 @@ IncrementalEnforcer::IncrementalEnforcer(const TableSchema& schema,
 
 size_t IncrementalEnforcer::HashOn(const Tuple& row,
                                    const AttributeSet& attrs) {
-  size_t h = 0x51ed270b;
-  for (AttributeId a : attrs) h = h * 1099511628211ull + row[a].Hash();
+  uint64_t h = kFnv64OffsetBasis;
+  for (AttributeId a : attrs) h = FnvMix(h, row[a].Hash());
   return h;
 }
 
@@ -75,7 +78,35 @@ void IncrementalEnforcer::Add(const Tuple& row, int row_id) {
   }
 }
 
+void IncrementalEnforcer::Remove(const Tuple& row, int row_id) {
+  for (ConstraintIndex& index : indexes_) {
+    // Mirror Add(): rows skipped there were never indexed.
+    if (index.strong && !row.IsTotal(index.similarity_attrs)) continue;
+    auto bucket = index.buckets.find(HashOn(row, index.stable));
+    if (bucket == index.buckets.end()) continue;
+    auto& ids = bucket->second;
+    auto it = std::find(ids.begin(), ids.end(), row_id);
+    if (it == ids.end()) continue;
+    ids.erase(it);
+    if (ids.empty()) index.buckets.erase(bucket);
+  }
+}
+
+void IncrementalEnforcer::CompactAfterErase(const std::vector<int>& erased) {
+  if (erased.empty()) return;
+  for (ConstraintIndex& index : indexes_) {
+    for (auto& [hash, ids] : index.buckets) {
+      for (int& id : ids) {
+        id -= static_cast<int>(
+            std::upper_bound(erased.begin(), erased.end(), id) -
+            erased.begin());
+      }
+    }
+  }
+}
+
 void IncrementalEnforcer::Rebuild(const Table& table) {
+  ++rebuilds_;
   for (ConstraintIndex& index : indexes_) index.buckets.clear();
   for (int i = 0; i < table.num_rows(); ++i) {
     Add(table.row(i), i);

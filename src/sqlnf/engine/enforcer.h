@@ -42,8 +42,27 @@ class IncrementalEnforcer {
   /// Registers an accepted row (the table's row index `row_id`).
   void Add(const Tuple& row, int row_id);
 
+  /// Unregisters a previously Add()ed row. `row` must hold the exact
+  /// values it was indexed with (the PRE-image for updates — the hash
+  /// locates the bucket). A row Add() skipped (strong constraint, ⊥ on
+  /// the LHS) is silently absent; that is fine.
+  void Remove(const Tuple& row, int row_id);
+
+  /// Renumbers the indexed row ids after rows `erased` (ascending,
+  /// already Remove()d) were deleted from the table: every surviving id
+  /// drops by the number of erased ids below it. O(index entries), no
+  /// rehashing — the cheap half of what Rebuild used to redo.
+  void CompactAfterErase(const std::vector<int>& erased);
+
   /// Drops all indexed rows and re-adds the table's current rows.
+  /// Last-resort bulk rebuild; the write paths maintain the index
+  /// incrementally via Add/Remove/CompactAfterErase.
   void Rebuild(const Table& table);
+
+  /// Number of Rebuild() calls over this enforcer's lifetime — lets
+  /// tests assert the incremental write paths never fall back to a full
+  /// rebuild.
+  int rebuilds() const { return rebuilds_; }
 
  private:
   struct ConstraintIndex {
@@ -59,6 +78,7 @@ class IncrementalEnforcer {
 
   TableSchema schema_;
   std::vector<ConstraintIndex> indexes_;
+  int rebuilds_ = 0;
 };
 
 }  // namespace sqlnf

@@ -1,46 +1,71 @@
 #include "sqlnf/engine/validate.h"
 
+#include <atomic>
+#include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "sqlnf/core/similarity.h"
+#include "sqlnf/util/fnv.h"
+#include "sqlnf/util/parallel.h"
 
 namespace sqlnf {
 
 namespace {
 
+// Tables below this row count are validated serially even when the
+// caller asks for threads: the pool + merge overhead dwarfs the scan.
+constexpr int kParallelRowThreshold = 2048;
+
 // LHS columns that contain no ⊥ anywhere in the instance. Weakly
-// similar rows agree exactly on these, so they partition the pair space.
+// similar rows agree exactly on these, so they partition the pair
+// space. Served from the Table's incrementally maintained cache — no
+// per-call instance rescan.
 AttributeSet InstanceNullFree(const Table& table, const AttributeSet& x) {
-  AttributeSet out = x;
-  for (AttributeId a : x) {
-    for (const Tuple& t : table.rows()) {
-      if (t[a].is_null()) {
-        out.Remove(a);
-        break;
-      }
-    }
-  }
-  return out;
+  return x.Intersect(table.NullFreeColumns());
 }
 
 size_t HashOn(const Tuple& t, const AttributeSet& x) {
-  size_t h = 0x84222325u;
-  for (AttributeId a : x) h = h * 1099511628211ull + t[a].Hash();
+  uint64_t h = kFnv64OffsetBasis;
+  for (AttributeId a : x) h = FnvMix(h, t[a].Hash());
   return h;
 }
 
+using BucketMap = std::unordered_map<size_t, std::vector<int>>;
+
 // Buckets row indices by exact values on `group_by` (must be total on
-// those columns for all listed rows).
-std::unordered_map<size_t, std::vector<int>> BucketRows(
-    const Table& table, const AttributeSet& group_by,
-    const std::vector<int>& rows) {
-  std::unordered_map<size_t, std::vector<int>> buckets;
-  buckets.reserve(rows.size());
-  for (int i : rows) {
-    buckets[HashOn(table.row(i), group_by)].push_back(i);
+// those columns for all listed rows). With a pool, each thread buckets
+// a contiguous slice of `rows`, and the slices merge in slice order —
+// bucket contents come out in ascending row order either way.
+BucketMap BucketRows(const Table& table, const AttributeSet& group_by,
+                     const std::vector<int>& rows, ThreadPool* pool) {
+  if (pool == nullptr) {
+    BucketMap buckets;
+    buckets.reserve(rows.size());
+    for (int i : rows) {
+      buckets[HashOn(table.row(i), group_by)].push_back(i);
+    }
+    return buckets;
   }
-  return buckets;
+  return ParallelReduce<BucketMap>(
+      *pool, 0, static_cast<int64_t>(rows.size()), BucketMap{},
+      [&](int64_t b, int64_t e) {
+        BucketMap local;
+        local.reserve(e - b);
+        for (int64_t k = b; k < e; ++k) {
+          local[HashOn(table.row(rows[k]), group_by)].push_back(rows[k]);
+        }
+        return local;
+      },
+      [](BucketMap acc, BucketMap part) {
+        if (acc.empty()) return part;
+        for (auto& [hash, ids] : part) {
+          auto& dst = acc[hash];
+          dst.insert(dst.end(), ids.begin(), ids.end());
+        }
+        return acc;
+      });
 }
 
 std::vector<int> AllRows(const Table& table) {
@@ -71,10 +96,58 @@ std::optional<Violation> ScanBucket(const Table& table,
   return std::nullopt;
 }
 
+// Scans every bucket for a violation, short-circuiting on the first
+// one. With a pool, buckets are claimed dynamically (one task per
+// multi-row bucket) and a found-flag stops the remaining scans early;
+// any violating pair is a correct witness, so the parallel pick may
+// differ from the serial one.
+template <typename SimilarFn, typename BadFn>
+std::optional<Violation> ScanBuckets(const Table& table,
+                                     const BucketMap& buckets,
+                                     const AttributeSet& group_by,
+                                     SimilarFn&& similar, BadFn&& bad,
+                                     ThreadPool* pool) {
+  if (pool == nullptr) {
+    for (const auto& [hash, bucket] : buckets) {
+      auto violation = ScanBucket(table, bucket, group_by, similar, bad);
+      if (violation) return violation;
+    }
+    return std::nullopt;
+  }
+  std::vector<const std::vector<int>*> work;
+  work.reserve(buckets.size());
+  for (const auto& [hash, bucket] : buckets) {
+    if (bucket.size() > 1) work.push_back(&bucket);
+  }
+  std::atomic<bool> found{false};
+  std::mutex mu;
+  std::optional<Violation> result;
+  pool->RunTasks(static_cast<int>(work.size()), [&](int k) {
+    if (found.load(std::memory_order_relaxed)) return;
+    auto violation = ScanBucket(table, *work[k], group_by, similar, bad);
+    if (violation) {
+      std::lock_guard<std::mutex> lock(mu);
+      if (!result) result = violation;
+      found.store(true, std::memory_order_relaxed);
+    }
+  });
+  return result;
+}
+
+// True when parallelism is requested and the table is big enough to
+// amortize a pool.
+bool WantPool(const Table& table, const ParallelOptions& par) {
+  return par.threads > 1 && table.num_rows() >= kParallelRowThreshold;
+}
+
 }  // namespace
 
-std::optional<Violation> FindFdViolationFast(
-    const Table& table, const FunctionalDependency& fd) {
+std::optional<Violation> FindFdViolationFast(const Table& table,
+                                             const FunctionalDependency& fd,
+                                             const ParallelOptions& par) {
+  std::optional<ThreadPool> pool;
+  if (WantPool(table, par)) pool.emplace(par.threads);
+  ThreadPool* p = pool ? &*pool : nullptr;
   std::optional<Violation> violation;
   if (fd.is_possible()) {
     // Only rows total on the LHS participate; strong similarity within a
@@ -83,85 +156,82 @@ std::optional<Violation> FindFdViolationFast(
     for (int i = 0; i < table.num_rows(); ++i) {
       if (table.row(i).IsTotal(fd.lhs)) rows.push_back(i);
     }
-    for (auto& [hash, bucket] : BucketRows(table, fd.lhs, rows)) {
-      violation = ScanBucket(
-          table, bucket, fd.lhs,
-          [&](const Tuple& t, const Tuple& u) {
-            return StronglySimilar(t, u, fd.lhs);
-          },
-          [&](const Tuple& t, const Tuple& u) {
-            return !t.EqualOn(u, fd.rhs);
-          });
-      if (violation) break;
-    }
+    violation = ScanBuckets(
+        table, BucketRows(table, fd.lhs, rows, p), fd.lhs,
+        [&](const Tuple& t, const Tuple& u) {
+          return StronglySimilar(t, u, fd.lhs);
+        },
+        [&](const Tuple& t, const Tuple& u) {
+          return !t.EqualOn(u, fd.rhs);
+        },
+        p);
   } else {
     const AttributeSet group = InstanceNullFree(table, fd.lhs);
     const AttributeSet rest = fd.lhs.Difference(group);
-    for (auto& [hash, bucket] : BucketRows(table, group, AllRows(table))) {
-      violation = ScanBucket(
-          table, bucket, group,
-          [&](const Tuple& t, const Tuple& u) {
-            return WeaklySimilar(t, u, rest);
-          },
-          [&](const Tuple& t, const Tuple& u) {
-            return !t.EqualOn(u, fd.rhs);
-          });
-      if (violation) break;
-    }
+    violation = ScanBuckets(
+        table, BucketRows(table, group, AllRows(table), p), group,
+        [&](const Tuple& t, const Tuple& u) {
+          return WeaklySimilar(t, u, rest);
+        },
+        [&](const Tuple& t, const Tuple& u) {
+          return !t.EqualOn(u, fd.rhs);
+        },
+        p);
   }
   if (violation) violation->constraint = Constraint(fd);
   return violation;
 }
 
 std::optional<Violation> FindKeyViolationFast(const Table& table,
-                                              const KeyConstraint& key) {
+                                              const KeyConstraint& key,
+                                              const ParallelOptions& par) {
+  std::optional<ThreadPool> pool;
+  if (WantPool(table, par)) pool.emplace(par.threads);
+  ThreadPool* p = pool ? &*pool : nullptr;
   std::optional<Violation> violation;
   if (key.is_possible()) {
     std::vector<int> rows;
     for (int i = 0; i < table.num_rows(); ++i) {
       if (table.row(i).IsTotal(key.attrs)) rows.push_back(i);
     }
-    for (auto& [hash, bucket] : BucketRows(table, key.attrs, rows)) {
-      violation = ScanBucket(
-          table, bucket, key.attrs,
-          [&](const Tuple& t, const Tuple& u) {
-            return StronglySimilar(t, u, key.attrs);
-          },
-          [](const Tuple&, const Tuple&) { return true; });
-      if (violation) break;
-    }
+    violation = ScanBuckets(
+        table, BucketRows(table, key.attrs, rows, p), key.attrs,
+        [&](const Tuple& t, const Tuple& u) {
+          return StronglySimilar(t, u, key.attrs);
+        },
+        [](const Tuple&, const Tuple&) { return true; }, p);
   } else {
     const AttributeSet group = InstanceNullFree(table, key.attrs);
     const AttributeSet rest = key.attrs.Difference(group);
-    for (auto& [hash, bucket] : BucketRows(table, group, AllRows(table))) {
-      violation = ScanBucket(
-          table, bucket, group,
-          [&](const Tuple& t, const Tuple& u) {
-            return WeaklySimilar(t, u, rest);
-          },
-          [](const Tuple&, const Tuple&) { return true; });
-      if (violation) break;
-    }
+    violation = ScanBuckets(
+        table, BucketRows(table, group, AllRows(table), p), group,
+        [&](const Tuple& t, const Tuple& u) {
+          return WeaklySimilar(t, u, rest);
+        },
+        [](const Tuple&, const Tuple&) { return true; }, p);
   }
   if (violation) violation->constraint = Constraint(key);
   return violation;
 }
 
-bool ValidateFd(const Table& table, const FunctionalDependency& fd) {
-  return !FindFdViolationFast(table, fd).has_value();
+bool ValidateFd(const Table& table, const FunctionalDependency& fd,
+                const ParallelOptions& par) {
+  return !FindFdViolationFast(table, fd, par).has_value();
 }
 
-bool ValidateKey(const Table& table, const KeyConstraint& key) {
-  return !FindKeyViolationFast(table, key).has_value();
+bool ValidateKey(const Table& table, const KeyConstraint& key,
+                 const ParallelOptions& par) {
+  return !FindKeyViolationFast(table, key, par).has_value();
 }
 
-bool ValidateAll(const Table& table, const ConstraintSet& sigma) {
+bool ValidateAll(const Table& table, const ConstraintSet& sigma,
+                 const ParallelOptions& par) {
   if (!table.CheckNfs().ok()) return false;
   for (const auto& fd : sigma.fds()) {
-    if (!ValidateFd(table, fd)) return false;
+    if (!ValidateFd(table, fd, par)) return false;
   }
   for (const auto& key : sigma.keys()) {
-    if (!ValidateKey(table, key)) return false;
+    if (!ValidateKey(table, key, par)) return false;
   }
   return true;
 }

@@ -9,6 +9,12 @@
 // partition is plain equality — no pair loop at all.
 //
 // Property tests cross-check every validator against the reference.
+//
+// Every entry point takes an optional ParallelOptions: with threads > 1
+// the hash buckets are scanned by a thread pool with first-violation
+// short-circuit. Satisfaction verdicts are identical to serial; when a
+// constraint is violated, WHICH violating pair is reported may differ
+// (any violating pair is a correct witness).
 
 #ifndef SQLNF_ENGINE_VALIDATE_H_
 #define SQLNF_ENGINE_VALIDATE_H_
@@ -18,25 +24,31 @@
 #include "sqlnf/constraints/constraint.h"
 #include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/core/table.h"
+#include "sqlnf/util/parallel.h"
 
 namespace sqlnf {
 
 /// Fast validation of one FD. Matches constraints/satisfies.h exactly.
-bool ValidateFd(const Table& table, const FunctionalDependency& fd);
+bool ValidateFd(const Table& table, const FunctionalDependency& fd,
+                const ParallelOptions& par = {});
 
 /// Fast validation of one key.
-bool ValidateKey(const Table& table, const KeyConstraint& key);
+bool ValidateKey(const Table& table, const KeyConstraint& key,
+                 const ParallelOptions& par = {});
 
 /// Fast validation of a whole constraint set (plus the NFS).
-bool ValidateAll(const Table& table, const ConstraintSet& sigma);
+bool ValidateAll(const Table& table, const ConstraintSet& sigma,
+                 const ParallelOptions& par = {});
 
 /// Like ValidateFd but returns the first violating row pair.
-std::optional<Violation> FindFdViolationFast(const Table& table,
-                                             const FunctionalDependency& fd);
+std::optional<Violation> FindFdViolationFast(
+    const Table& table, const FunctionalDependency& fd,
+    const ParallelOptions& par = {});
 
 /// Like ValidateKey but returns the first violating row pair.
-std::optional<Violation> FindKeyViolationFast(const Table& table,
-                                              const KeyConstraint& key);
+std::optional<Violation> FindKeyViolationFast(
+    const Table& table, const KeyConstraint& key,
+    const ParallelOptions& par = {});
 
 }  // namespace sqlnf
 

@@ -1,0 +1,30 @@
+// FNV-1a 64-bit hashing constants, shared by every hash-bucketing site
+// (engine/validate.cc, engine/enforcer.cc).
+//
+// The validators previously seeded their polynomial hashes with 32-bit
+// fragments of the FNV offset basis (0x84222325, 0x51ed270b) while
+// multiplying by the 64-bit FNV prime — a mismatch that clusters the
+// high bits and measurably inflates bucket collisions. Use the real
+// 64-bit pair everywhere instead.
+
+#ifndef SQLNF_UTIL_FNV_H_
+#define SQLNF_UTIL_FNV_H_
+
+#include <cstdint>
+
+namespace sqlnf {
+
+/// FNV-1a 64-bit offset basis (0xcbf29ce484222325).
+inline constexpr uint64_t kFnv64OffsetBasis = 14695981039346656037ull;
+
+/// FNV-1a 64-bit prime (0x00000100000001b3).
+inline constexpr uint64_t kFnv64Prime = 1099511628211ull;
+
+/// Folds one 64-bit word into an FNV-1a state.
+inline constexpr uint64_t FnvMix(uint64_t h, uint64_t word) {
+  return (h ^ word) * kFnv64Prime;
+}
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_UTIL_FNV_H_

@@ -1,0 +1,97 @@
+#include "sqlnf/util/parallel.h"
+
+namespace sqlnf {
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(1, threads) - 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    for (;;) {
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= total_) break;
+      (*job)(i);
+      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          total_) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::RunTasks(int num_tasks,
+                          const std::function<void(int)>& task) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (int i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &task;
+    total_ = num_tasks;
+    next_.store(0, std::memory_order_relaxed);
+    completed_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread claims tasks alongside the workers.
+  for (;;) {
+    const int i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) break;
+    task(i);
+    completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) == total_;
+  });
+  job_ = nullptr;
+}
+
+int ParallelChunks(const ThreadPool& pool, int64_t n) {
+  const int target = pool.num_threads() * 4;
+  return static_cast<int>(
+      std::min<int64_t>(n, std::max(1, target)));
+}
+
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  const int chunks = ParallelChunks(pool, n);
+  const int64_t per_chunk = (n + chunks - 1) / chunks;
+  pool.RunTasks(chunks, [&](int c) {
+    const int64_t b = begin + c * per_chunk;
+    const int64_t e = std::min(end, b + per_chunk);
+    if (b < e) body(b, e);
+  });
+}
+
+}  // namespace sqlnf

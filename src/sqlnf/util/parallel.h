@@ -1,0 +1,110 @@
+// Dependency-free parallel-execution utility: a fixed pool of worker
+// threads plus chunked ParallelFor / ParallelReduce helpers.
+//
+// The hot paths of this engine — the O(n²) row-pair sweep behind
+// Section-7 discovery, the grouped validators' bucket scans, and
+// corpus-level mining — are embarrassingly parallel. Everything here is
+// deterministic by construction: work is split into chunks whose
+// boundaries depend only on the input size, and reductions fold the
+// per-chunk results left-to-right in chunk order. With `threads <= 1`
+// every helper runs inline on the calling thread (no pool, no locks),
+// which keeps tests and single-threaded callers bit-for-bit identical
+// to the pre-parallel code.
+//
+// Thread counts are always an EXPLICIT caller option (ParallelOptions /
+// DiscoveryOptions::threads); nothing here inspects the machine.
+
+#ifndef SQLNF_UTIL_PARALLEL_H_
+#define SQLNF_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sqlnf {
+
+/// Caller-facing knob for the parallel entry points. `threads <= 1`
+/// means serial execution on the calling thread.
+struct ParallelOptions {
+  int threads = 1;
+};
+
+/// A fixed pool of `threads - 1` workers; the calling thread always
+/// participates, so `ThreadPool(4)` uses four threads total. One batch
+/// of tasks runs at a time (RunTasks is not reentrant); tasks are
+/// claimed dynamically from an atomic counter, so uneven task costs
+/// load-balance themselves.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads doing work (workers + the caller).
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs task(0) .. task(num_tasks - 1), each exactly once, across the
+  /// workers and the calling thread. Blocks until all complete. Tasks
+  /// must not call RunTasks on the same pool.
+  void RunTasks(int num_tasks, const std::function<void(int)>& task);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;  // batch in flight
+  int total_ = 0;
+  std::atomic<int> next_{0};
+  std::atomic<int> completed_{0};
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Number of chunks used to split `n` items for a pool: enough slack
+/// for dynamic load balancing without drowning in scheduling overhead.
+int ParallelChunks(const ThreadPool& pool, int64_t n);
+
+/// Splits [begin, end) into chunks and runs `body(chunk_begin,
+/// chunk_end)` for each, in parallel. Chunk boundaries depend only on
+/// the range and the pool size.
+void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
+                 const std::function<void(int64_t, int64_t)>& body);
+
+/// Maps [begin, end) in chunks and folds the per-chunk results
+/// LEFT-TO-RIGHT in chunk order — deterministic for non-commutative
+/// combines (e.g. ordered dedup merges). `map(chunk_begin, chunk_end)`
+/// produces one T per chunk; `combine(accumulator, chunk_result)` folds
+/// it in on the calling thread. T must be default-constructible, and
+/// combining a default-constructed T must be a no-op (chunking may
+/// produce empty tail chunks).
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(ThreadPool& pool, int64_t begin, int64_t end, T init,
+                 MapFn&& map, CombineFn&& combine) {
+  const int64_t n = end - begin;
+  if (n <= 0) return init;
+  const int chunks = ParallelChunks(pool, n);
+  std::vector<T> partial(chunks);
+  const int64_t per_chunk = (n + chunks - 1) / chunks;
+  pool.RunTasks(chunks, [&](int c) {
+    const int64_t b = begin + c * per_chunk;
+    const int64_t e = std::min(end, b + per_chunk);
+    if (b < e) partial[c] = map(b, e);
+  });
+  T acc = std::move(init);
+  for (T& p : partial) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_UTIL_PARALLEL_H_

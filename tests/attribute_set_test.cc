@@ -110,5 +110,39 @@ TEST(AttributeSetTest, RandomizedAlgebraAgainstStdSet) {
   }
 }
 
+TEST(AttributeSetTest, Bounds) {
+  // FullSet is guarded at both ends: negative n is the empty set (a
+  // negative shift would be UB), n >= 64 saturates.
+  EXPECT_TRUE(AttributeSet::FullSet(0).empty());
+  EXPECT_EQ(AttributeSet::FullSet(64).size(), 64);
+  EXPECT_EQ(AttributeSet::FullSet(64),
+            AttributeSet::FromBits(~uint64_t{0}));
+
+  // Boundary ids round-trip through Add/Contains/Remove.
+  AttributeSet s;
+  s.Add(0);
+  s.Add(63);
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(63));
+  EXPECT_EQ(s.size(), 2);
+  s.Remove(0);
+  s.Remove(63);
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(AttributeSet::Single(63).ToVector(),
+            std::vector<AttributeId>{63});
+
+#ifndef NDEBUG
+  // Out-of-range ids are a precondition violation; debug builds assert.
+  EXPECT_DEATH(AttributeSet::FullSet(-1), "");
+  EXPECT_DEATH(AttributeSet().Add(-1), "");
+  EXPECT_DEATH(AttributeSet().Add(64), "");
+  EXPECT_DEATH(AttributeSet().Remove(64), "");
+  EXPECT_DEATH((void)AttributeSet().Contains(-1), "");
+#else
+  // Release builds rely on the guard for FullSet only.
+  EXPECT_TRUE(AttributeSet::FullSet(-1).empty());
+#endif
+}
+
 }  // namespace
 }  // namespace sqlnf

@@ -141,6 +141,95 @@ TEST(DatabaseTest, DeleteNeverViolates) {
   EXPECT_EQ(stored->data.num_rows(), 1);
 }
 
+TEST(DatabaseTest, UpdateAndDeleteMaintainIndexWithoutRebuild) {
+  Database db;
+  TableSchema schema = Schema("abc", "a");
+  ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "c<ab>; a ->w c")));
+  ASSERT_OK(db.Insert("T", Row({"1", "p", "x"})));
+  ASSERT_OK(db.Insert("T", Row({"2", "q", "x"})));
+  ASSERT_OK(db.Insert("T", Row({"3", nullptr, "y"})));
+  ASSERT_OK(db.Insert("T", Row({"4", "r", "z"})));
+
+  // Delete the a=2 row: its key must be freed, survivors renumbered.
+  ASSERT_OK_AND_ASSIGN(
+      int removed,
+      db.Delete("T", [](const Tuple& t) { return t[0] == Value::Str("2"); }));
+  EXPECT_EQ(removed, 1);
+  EXPECT_OK(db.Insert("T", Row({"2", "q", "w"})));  // key reusable
+
+  // Surviving keys are still guarded (the renumbered index finds the
+  // conflict partner at its NEW row id).
+  auto dup = db.Insert("T", Row({"4", "r", "z"}));
+  EXPECT_FALSE(dup.ok());
+
+  // Update moves a row to a new bucket: the OLD key frees up, the NEW
+  // key conflicts.
+  ASSERT_OK_AND_ASSIGN(
+      int changed,
+      db.Update(
+          "T", [](const Tuple& t) { return t[0] == Value::Str("4"); }, 1,
+          Value::Str("s")));
+  EXPECT_EQ(changed, 1);
+  EXPECT_FALSE(db.Insert("T", Row({"4", "s", "z"})).ok());  // post-image
+  EXPECT_OK(db.Insert("T", Row({"4", "r", "z"})));          // pre-image freed
+
+  // All of the above ran on the incremental paths only.
+  ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
+  EXPECT_EQ(stored->enforcer.rebuilds(), 0);
+}
+
+TEST(DatabaseTest, MutationsKeepEnforcerConsistentRandomized) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 3 + static_cast<int>(rng.Uniform(0, 1));
+    TableSchema schema = testing::RandomSchema(&rng, n);
+    ConstraintSet sigma = testing::RandomSigma(&rng, n, 2, 1);
+    Database db;
+    ASSERT_OK(db.CreateTable(schema, sigma));
+
+    auto random_row = [&] {
+      std::vector<Value> values;
+      for (AttributeId a = 0; a < n; ++a) {
+        if (!schema.nfs().Contains(a) && rng.Chance(0.25)) {
+          values.push_back(Value::Null());
+        } else {
+          values.push_back(Value::Int(rng.Uniform(0, 2)));
+        }
+      }
+      return Tuple(std::move(values));
+    };
+    for (int i = 0; i < 25; ++i) (void)db.Insert("T", random_row());
+
+    for (int step = 0; step < 12; ++step) {
+      // Random mutation through the catalog write paths.
+      const Value match = Value::Int(rng.Uniform(0, 2));
+      const AttributeId col = static_cast<AttributeId>(rng.Index(n));
+      if (rng.Chance(0.5)) {
+        const Value set = rng.Chance(0.2) ? Value::Null()
+                                          : Value::Int(rng.Uniform(0, 2));
+        (void)db.Update(
+            "T", [&](const Tuple& t) { return t[0] == match; }, col, set);
+      } else {
+        (void)db.Delete("T", [&](const Tuple& t) { return t[col] == match; });
+      }
+
+      // The incrementally maintained index must agree with the
+      // from-scratch reference on arbitrary candidate rows.
+      ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
+      ASSERT_EQ(stored->enforcer.rebuilds(), 0);
+      for (int k = 0; k < 8; ++k) {
+        Tuple candidate = random_row();
+        const auto incremental =
+            stored->enforcer.Check(stored->data, candidate);
+        const auto reference =
+            ValidateRowAgainst(stored->data, candidate, sigma);
+        ASSERT_EQ(incremental.has_value(), reference.has_value())
+            << "trial " << trial << " step " << step;
+      }
+    }
+  }
+}
+
 TEST(DatabaseTest, InsertArityChecked) {
   Database db;
   TableSchema schema = Schema("ab");

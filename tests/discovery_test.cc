@@ -9,6 +9,7 @@
 #include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/discovery/agree_sets.h"
 #include "sqlnf/discovery/hitting_set.h"
+#include "sqlnf/engine/validate.h"
 #include "test_util.h"
 
 namespace sqlnf {
@@ -202,6 +203,48 @@ TEST_P(DiscoveryPropertyTest, DiscoveredConstraintsHoldAndAreMinimal) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DiscoveryPropertyTest,
                          ::testing::Range(0, 5));
+
+// The parallel pair sweep must be bit-identical to serial: same
+// agreements in the same order, hence identical mined constraints.
+TEST(DiscoverTest, ParallelSweepMatchesSerialExactly) {
+  Rng rng(424242);
+  TableSchema schema = testing::Schema("abcdef");
+  // Big enough to cross the parallel threshold inside CollectAgreements.
+  Table t = testing::RandomInstance(&rng, schema, 500, 4, 0.2);
+
+  EncodedTable enc(t);
+  const auto serial = CollectAgreements(enc, 0, ParallelOptions{1});
+  for (int threads : {2, 4, 7}) {
+    const auto parallel = CollectAgreements(enc, 0, ParallelOptions{threads});
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].eq, serial[i].eq);
+      EXPECT_EQ(parallel[i].strong, serial[i].strong);
+      EXPECT_EQ(parallel[i].weak, serial[i].weak);
+    }
+  }
+
+  DiscoveryOptions serial_options;
+  serial_options.threads = 1;
+  DiscoveryOptions parallel_options;
+  parallel_options.threads = 4;
+  ASSERT_OK_AND_ASSIGN(DiscoveryResult a,
+                       DiscoverConstraints(t, serial_options));
+  ASSERT_OK_AND_ASSIGN(DiscoveryResult b,
+                       DiscoverConstraints(t, parallel_options));
+  EXPECT_EQ(a.null_free_columns, b.null_free_columns);
+  EXPECT_EQ(a.classical_fds, b.classical_fds);
+  EXPECT_EQ(a.nn_fds, b.nn_fds);
+  EXPECT_EQ(a.p_fds, b.p_fds);
+  EXPECT_EQ(a.c_fds, b.c_fds);
+  EXPECT_EQ(a.p_keys, b.p_keys);
+  EXPECT_EQ(a.c_keys, b.c_keys);
+
+  // Parallel validation reaches the same verdicts too.
+  for (const auto& fd : a.c_fds) {
+    EXPECT_EQ(ValidateFd(t, fd, ParallelOptions{4}), ValidateFd(t, fd));
+  }
+}
 
 TEST(ClassifyTest, TotalAndLambdaFds) {
   // b is a function of a; a is not a key (duplicates); a null-free.

@@ -50,6 +50,32 @@ TEST(CsvTest, Errors) {
   EXPECT_FALSE(ReadCsvString("a\n\"unterminated\n").ok());  // quote
 }
 
+TEST(CsvTest, RejectsTextAfterClosingQuote) {
+  // "abc"def used to silently parse as abcdef.
+  auto r = ReadCsvString("a\n\"abc\"def\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("closing quote"), std::string::npos);
+  // Re-opened quotes after a closed field are malformed too.
+  EXPECT_FALSE(ReadCsvString("a\n\"abc\"\"def\"x\n").ok());
+  EXPECT_FALSE(ReadCsvString("a\n\"\"x\n").ok());
+  // The escaped-quote form stays valid.
+  ASSERT_OK_AND_ASSIGN(Table t, ReadCsvString("a\n\"ab\"\"cd\"\n"));
+  EXPECT_EQ(t.row(0)[0].ToString(), "ab\"cd");
+}
+
+TEST(CsvTest, SkipsFullyEmptyRecords) {
+  // A blank line mid-file used to become a bogus 1-field record and
+  // fail with a misleading arity error.
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       ReadCsvString("a,b\n1,2\n\n3,4\n\r\n5,6\n"));
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.row(1)[0].ToString(), "3");
+  // A quoted empty field is still a real 1-field record.
+  ASSERT_OK_AND_ASSIGN(Table one, ReadCsvString("a\n\"\"\n"));
+  EXPECT_EQ(one.num_rows(), 1);
+  EXPECT_EQ(one.row(0)[0].ToString(), "");
+}
+
 TEST(CsvTest, RoundTrip) {
   TableSchema schema = Schema("ab");
   Table t = Rows(schema, {"1_", "2x"});

@@ -127,6 +127,26 @@ TEST(SimilarityTest, Definitions) {
   EXPECT_TRUE(WeaklySimilar(t.row(1), t.row(3), {0, 2}));
 }
 
+TEST(TableTest, NullFreeColumnsCacheTracksMutations) {
+  TableSchema schema = Schema("abc");
+  Table t(schema);
+  // Empty instance: every column is (vacuously) null-free.
+  EXPECT_EQ(t.NullFreeColumns(), AttributeSet::FullSet(3));
+
+  // AddRow maintains the cache incrementally.
+  ASSERT_OK(t.AddRowText({"1", "NULL", "2"}));
+  EXPECT_EQ(t.NullFreeColumns(), (AttributeSet{0, 2}));
+  ASSERT_OK(t.AddRowText({"NULL", "3", "4"}));
+  EXPECT_EQ(t.NullFreeColumns(), AttributeSet{2});
+
+  // mutable_row invalidates; the next query recomputes from the data.
+  (*t.mutable_row(0))[1] = Value::Str("x");
+  (*t.mutable_row(1))[0] = Value::Str("y");
+  EXPECT_EQ(t.NullFreeColumns(), AttributeSet::FullSet(3));
+  (*t.mutable_row(0))[2] = Value::Null();
+  EXPECT_EQ(t.NullFreeColumns(), (AttributeSet{0, 1}));
+}
+
 TEST(SimilarityTest, EmptySetAlwaysSimilar) {
   TableSchema schema = Schema("a");
   Table t = Rows(schema, {"1", "2"});
