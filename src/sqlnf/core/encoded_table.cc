@@ -1,0 +1,135 @@
+#include "sqlnf/core/encoded_table.h"
+
+#include <cassert>
+
+namespace sqlnf {
+
+EncodedTable::EncodedTable(const Table& table)
+    : EncodedTable(table, AttributeSet::FullSet(table.num_columns())) {}
+
+EncodedTable::EncodedTable(const Table& table, const AttributeSet& columns)
+    : num_rows_(table.num_rows()),
+      encoded_(columns),
+      columns_(table.num_columns()) {
+  for (AttributeId col : encoded_) {
+    Column& c = columns_[col];
+    c.codes.resize(num_rows_);
+    for (int row = 0; row < num_rows_; ++row) {
+      c.codes[row] = Encode(&c, table.row(row)[col]);
+    }
+  }
+}
+
+EncodedTable::EncodedTable(int num_columns)
+    : encoded_(AttributeSet::FullSet(num_columns)), columns_(num_columns) {}
+
+uint32_t EncodedTable::Encode(Column* col, const Value& value) {
+  if (value.is_null()) {
+    ++col->null_count;
+    return kNullCode;
+  }
+  auto [it, inserted] =
+      col->dict.emplace(value, static_cast<uint32_t>(col->values.size()));
+  if (inserted) col->values.push_back(value);
+  return it->second;
+}
+
+uint32_t EncodedTable::LookupCode(AttributeId col, const Value& value) const {
+  if (value.is_null()) return kNullCode;
+  const Column& c = columns_[col];
+  auto it = c.dict.find(value);
+  return it == c.dict.end() ? kMissingCode : it->second;
+}
+
+const Value& EncodedTable::DecodeCode(AttributeId col, uint32_t code) const {
+  static const Value kNull = Value::Null();
+  if (code == kNullCode) return kNull;
+  return columns_[col].values[code];
+}
+
+AttributeSet EncodedTable::NullFreeColumns() const {
+  AttributeSet out;
+  for (AttributeId col : encoded_) {
+    if (columns_[col].null_count == 0) out.Add(col);
+  }
+  return out;
+}
+
+void EncodedTable::AppendRow(const Tuple& row) {
+  assert(row.size() == num_columns());
+  for (AttributeId col : encoded_) {
+    Column& c = columns_[col];
+    c.codes.push_back(Encode(&c, row[col]));
+  }
+  ++num_rows_;
+}
+
+void EncodedTable::UpdateCell(int row, AttributeId col, const Value& value) {
+  Column& c = columns_[col];
+  if (c.codes[row] == kNullCode) --c.null_count;
+  c.codes[row] = Encode(&c, value);
+  // Encode counted a fresh ⊥; a non-null value leaves the count alone.
+}
+
+void EncodedTable::EraseRows(const std::vector<int>& rows) {
+  if (rows.empty()) return;
+  for (AttributeId col : encoded_) {
+    Column& c = columns_[col];
+    size_t next_erase = 0;
+    int write = 0;
+    for (int read = 0; read < num_rows_; ++read) {
+      if (next_erase < rows.size() && rows[next_erase] == read) {
+        if (c.codes[read] == kNullCode) --c.null_count;
+        ++next_erase;
+        continue;
+      }
+      c.codes[write++] = c.codes[read];
+    }
+    c.codes.resize(write);
+  }
+  num_rows_ -= static_cast<int>(rows.size());
+}
+
+Table EncodedTable::Decode(const TableSchema& schema) const {
+  assert(schema.num_attributes() == num_columns());
+  assert(encoded_ == AttributeSet::FullSet(num_columns()));
+  Table out(schema);
+  for (int row = 0; row < num_rows_; ++row) {
+    std::vector<Value> values;
+    values.reserve(num_columns());
+    for (AttributeId col = 0; col < num_columns(); ++col) {
+      values.push_back(DecodeCode(col, columns_[col].codes[row]));
+    }
+    Status st = out.AddRow(Tuple(std::move(values)));
+    assert(st.ok());
+    (void)st;
+  }
+  return out;
+}
+
+bool EncodedTable::EquivalentTo(const EncodedTable& other) const {
+  if (num_rows_ != other.num_rows_ ||
+      num_columns() != other.num_columns() || encoded_ != other.encoded_) {
+    return false;
+  }
+  for (AttributeId col : encoded_) {
+    const std::vector<uint32_t>& a = columns_[col].codes;
+    const std::vector<uint32_t>& b = other.columns_[col].codes;
+    std::unordered_map<uint32_t, uint32_t> fwd, rev;
+    for (int row = 0; row < num_rows_; ++row) {
+      if ((a[row] == kNullCode) != (b[row] == kNullCode)) return false;
+      if (a[row] == kNullCode) continue;
+      auto [fit, finserted] = fwd.emplace(a[row], b[row]);
+      if (!finserted && fit->second != b[row]) return false;
+      if (finserted &&
+          !(DecodeCode(col, a[row]) == other.DecodeCode(col, b[row]))) {
+        return false;
+      }
+      auto [rit, rinserted] = rev.emplace(b[row], a[row]);
+      if (!rinserted && rit->second != a[row]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,142 @@
+// EncodedTable: the shared columnar, dictionary-encoded view of a Table.
+//
+// Per column, every distinct non-null value is assigned a dense uint32
+// code in first-occurrence order; ⊥ gets the reserved kNullCode. Codes
+// are stored column-major, so the quadratic sweeps of discovery
+// (agree sets, TANE partitions) and the grouped validators of
+// engine/validate.h all run on flat integer vectors instead of hashing
+// and comparing raw Values row by row. Because the dictionary is
+// per-column, code equality is value equality and kNullCode is ⊥ — the
+// paper's similarity notions (Section 2) become three integer compares:
+//
+//   equal      a == b                    (⊥ matches ⊥)
+//   strong     a == b ∧ a ≠ kNullCode
+//   weak       a == b ∨ a == kNullCode ∨ b == kNullCode
+//
+// The encoding is maintainable in place: AppendRow / UpdateCell /
+// EraseRows keep it consistent across engine writes (the incremental
+// enforcer holds one per stored table and never re-encodes), and
+// LookupCode probes the dictionaries without mutating them, so a
+// candidate row can be checked before it is accepted. Dictionaries only
+// grow — codes of deleted values are retired, not recycled — which
+// keeps every historical code stable.
+
+#ifndef SQLNF_CORE_ENCODED_TABLE_H_
+#define SQLNF_CORE_ENCODED_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sqlnf/core/attribute_set.h"
+#include "sqlnf/core/schema.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/core/value.h"
+
+namespace sqlnf {
+
+/// Column-coded view of a table: per column, one uint32 code per row.
+class EncodedTable {
+ public:
+  /// Reserved code for ⊥. Never assigned to a value.
+  static constexpr uint32_t kNullCode = 0xFFFFFFFFu;
+  /// Returned by LookupCode for values absent from a dictionary; such a
+  /// value differs from every encoded cell of the column. Never stored.
+  static constexpr uint32_t kMissingCode = 0xFFFFFFFEu;
+
+  /// Encodes every column of `table`.
+  explicit EncodedTable(const Table& table);
+
+  /// Encodes only `columns` (a validator needs just LHS ∪ RHS); the
+  /// others stay unencoded and must not be queried.
+  EncodedTable(const Table& table, const AttributeSet& columns);
+
+  /// An empty encoding of `num_columns` columns (all encoded), to be
+  /// grown row by row via AppendRow.
+  explicit EncodedTable(int num_columns);
+
+  int num_rows() const { return num_rows_; }
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+
+  /// Columns this encoding covers.
+  const AttributeSet& encoded_columns() const { return encoded_; }
+
+  uint32_t code(AttributeId col, int row) const {
+    return columns_[col].codes[row];
+  }
+  /// The whole code vector of one encoded column.
+  const std::vector<uint32_t>& column(AttributeId col) const {
+    return columns_[col].codes;
+  }
+
+  /// Distinct non-null values ever encoded in `col` (codes are
+  /// 0..dictionary_size-1; deleted values keep their retired codes).
+  int dictionary_size(AttributeId col) const {
+    return static_cast<int>(columns_[col].values.size());
+  }
+
+  /// Code `value` would carry in `col`: kNullCode for ⊥, the assigned
+  /// code if present, kMissingCode otherwise. Does not mutate.
+  uint32_t LookupCode(AttributeId col, const Value& value) const;
+
+  /// The value behind a code (⊥ for kNullCode). Requires a code
+  /// previously assigned in `col`.
+  const Value& DecodeCode(AttributeId col, uint32_t code) const;
+
+  /// Encoded columns currently containing no ⊥ (the instance-inferred
+  /// NFS). Maintained incrementally — O(columns) per call.
+  AttributeSet NullFreeColumns() const;
+
+  /// Appends one row (arity must match). O(columns) dictionary probes.
+  void AppendRow(const Tuple& row);
+
+  /// Re-encodes a single cell in place (the UPDATE write path).
+  void UpdateCell(int row, AttributeId col, const Value& value);
+
+  /// Removes the listed rows (ascending, deduplicated); surviving rows
+  /// keep their relative order, ids shift down (the DELETE write path).
+  void EraseRows(const std::vector<int>& rows);
+
+  /// Rebuilds the Table this encoding represents. Requires a full
+  /// encoding and a schema of matching arity.
+  Table Decode(const TableSchema& schema) const;
+
+  /// True when both encodings describe the same cell contents: same
+  /// shape, same encoded columns, ⊥ in the same cells, and per column a
+  /// bijection between live codes. Incremental maintenance and a
+  /// from-scratch re-encode agree under this notion even though their
+  /// dictionaries may order (or retain) values differently.
+  bool EquivalentTo(const EncodedTable& other) const;
+
+ private:
+  struct ValueHasher {
+    size_t operator()(const Value& v) const { return v.Hash(); }
+  };
+  struct Column {
+    std::vector<uint32_t> codes;  // one per row; kNullCode for ⊥
+    std::vector<Value> values;    // code -> value
+    std::unordered_map<Value, uint32_t, ValueHasher> dict;
+    int null_count = 0;
+  };
+
+  /// Encodes `value` into `col`, growing the dictionary on first sight.
+  uint32_t Encode(Column* col, const Value& value);
+
+  int num_rows_ = 0;
+  AttributeSet encoded_;
+  std::vector<Column> columns_;
+};
+
+/// The three per-pair similarity tests on codes (see header comment).
+inline bool CodesEqual(uint32_t a, uint32_t b) { return a == b; }
+inline bool CodesStronglySimilar(uint32_t a, uint32_t b) {
+  return a == b && a != EncodedTable::kNullCode;
+}
+inline bool CodesWeaklySimilar(uint32_t a, uint32_t b) {
+  return a == b || a == EncodedTable::kNullCode ||
+         b == EncodedTable::kNullCode;
+}
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_CORE_ENCODED_TABLE_H_

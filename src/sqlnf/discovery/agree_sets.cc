@@ -3,56 +3,22 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <map>
 #include <unordered_set>
 
 namespace sqlnf {
-
-EncodedTable::EncodedTable(const Table& table)
-    : num_rows_(table.num_rows()) {
-  codes_.resize(table.num_columns());
-  for (AttributeId col = 0; col < table.num_columns(); ++col) {
-    std::map<Value, int32_t> dict;
-    codes_[col].resize(num_rows_);
-    for (int row = 0; row < num_rows_; ++row) {
-      const Value& v = table.row(row)[col];
-      if (v.is_null()) {
-        codes_[col][row] = -1;
-        continue;
-      }
-      auto [it, inserted] =
-          dict.emplace(v, static_cast<int32_t>(dict.size()));
-      codes_[col][row] = it->second;
-    }
-  }
-}
-
-AttributeSet EncodedTable::NullFreeColumns() const {
-  AttributeSet out;
-  for (AttributeId col = 0; col < num_columns(); ++col) {
-    bool has_null = false;
-    for (int32_t c : codes_[col]) {
-      if (c == -1) {
-        has_null = true;
-        break;
-      }
-    }
-    if (!has_null) out.Add(col);
-  }
-  return out;
-}
 
 PairAgreement ComputeAgreement(const EncodedTable& enc, int row1,
                                int row2) {
   PairAgreement out;
   for (AttributeId col = 0; col < enc.num_columns(); ++col) {
-    const int32_t a = enc.code(col, row1);
-    const int32_t b = enc.code(col, row2);
+    const uint32_t a = enc.code(col, row1);
+    const uint32_t b = enc.code(col, row2);
     if (a == b) {
       out.eq.Add(col);
       out.weak.Add(col);
-      if (a != -1) out.strong.Add(col);
-    } else if (a == -1 || b == -1) {
+      if (a != EncodedTable::kNullCode) out.strong.Add(col);
+    } else if (a == EncodedTable::kNullCode ||
+               b == EncodedTable::kNullCode) {
       out.weak.Add(col);
     }
   }

@@ -11,6 +11,10 @@
 // hitting every complement U − sim_m(pair) over the violating pairs.
 // Keys use the same machinery without the RHS condition. Only MAXIMAL
 // agree sets need to be kept (a subset imposes a weaker constraint).
+//
+// The pair sweep runs on the shared columnar representation
+// (core/encoded_table.h), the same one the engine validators and the
+// incremental enforcer use.
 
 #ifndef SQLNF_DISCOVERY_AGREE_SETS_H_
 #define SQLNF_DISCOVERY_AGREE_SETS_H_
@@ -18,30 +22,12 @@
 #include <cstdint>
 #include <vector>
 
+#include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/util/parallel.h"
 #include "sqlnf/util/status.h"
 
 namespace sqlnf {
-
-/// Column-coded view of a table: per column, one int32 code per row
-/// (equal values share a code; -1 encodes ⊥). Makes the O(n²·cols)
-/// pair sweep cache-friendly.
-class EncodedTable {
- public:
-  explicit EncodedTable(const Table& table);
-
-  int num_rows() const { return num_rows_; }
-  int num_columns() const { return static_cast<int>(codes_.size()); }
-  int32_t code(AttributeId col, int row) const { return codes_[col][row]; }
-
-  /// Columns without any ⊥ (the instance-inferred NFS).
-  AttributeSet NullFreeColumns() const;
-
- private:
-  int num_rows_;
-  std::vector<std::vector<int32_t>> codes_;  // [col][row]
-};
 
 /// The three agree sets of one row pair.
 struct PairAgreement {

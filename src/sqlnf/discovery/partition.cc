@@ -13,7 +13,7 @@ void StrippedPartition::Finalize() {
 
 StrippedPartition StrippedPartition::ForColumn(const EncodedTable& table,
                                                AttributeId column) {
-  std::unordered_map<int32_t, std::vector<int>> groups;
+  std::unordered_map<uint32_t, std::vector<int>> groups;
   for (int row = 0; row < table.num_rows(); ++row) {
     groups[table.code(column, row)].push_back(row);
   }

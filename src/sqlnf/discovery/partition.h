@@ -12,7 +12,7 @@
 
 #include <vector>
 
-#include "sqlnf/discovery/agree_sets.h"
+#include "sqlnf/core/encoded_table.h"
 
 namespace sqlnf {
 

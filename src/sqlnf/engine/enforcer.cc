@@ -1,15 +1,15 @@
 #include "sqlnf/engine/enforcer.h"
 
 #include <algorithm>
+#include <cassert>
 
-#include "sqlnf/core/similarity.h"
 #include "sqlnf/util/fnv.h"
 
 namespace sqlnf {
 
 IncrementalEnforcer::IncrementalEnforcer(const TableSchema& schema,
                                          const ConstraintSet& sigma)
-    : schema_(schema) {
+    : schema_(schema), encoded_(schema.num_attributes()) {
   for (const auto& fd : sigma.fds()) {
     ConstraintIndex index;
     index.constraint = fd;
@@ -29,11 +29,26 @@ IncrementalEnforcer::IncrementalEnforcer(const TableSchema& schema,
   }
 }
 
-size_t IncrementalEnforcer::HashOn(const Tuple& row,
-                                   const AttributeSet& attrs) {
+uint64_t IncrementalEnforcer::HashCodes(const std::vector<uint32_t>& codes,
+                                        const AttributeSet& attrs) {
   uint64_t h = kFnv64OffsetBasis;
-  for (AttributeId a : attrs) h = FnvMix(h, row[a].Hash());
+  for (AttributeId a : attrs) h = FnvMix(h, codes[a]);
   return h;
+}
+
+uint64_t IncrementalEnforcer::HashStoredRow(int row_id,
+                                            const AttributeSet& attrs) const {
+  uint64_t h = kFnv64OffsetBasis;
+  for (AttributeId a : attrs) h = FnvMix(h, encoded_.code(a, row_id));
+  return h;
+}
+
+bool IncrementalEnforcer::RowTotal(int row_id,
+                                   const AttributeSet& attrs) const {
+  for (AttributeId a : attrs) {
+    if (encoded_.code(a, row_id) == EncodedTable::kNullCode) return false;
+  }
+  return true;
 }
 
 std::optional<Violation> IncrementalEnforcer::Check(
@@ -46,20 +61,46 @@ std::optional<Violation> IncrementalEnforcer::Check(
       return v;
     }
   }
+  // Probe the dictionaries once; a value the encoding has never seen
+  // maps to kMissingCode, which equals no stored code — such a cell can
+  // only conflict through ⊥, exactly like the value semantics.
+  std::vector<uint32_t> cand(encoded_.num_columns());
+  for (AttributeId a = 0; a < encoded_.num_columns(); ++a) {
+    cand[a] = encoded_.LookupCode(a, row[a]);
+  }
   for (const ConstraintIndex& index : indexes_) {
-    auto bucket = index.buckets.find(HashOn(row, index.stable));
+    auto bucket = index.buckets.find(HashCodes(cand, index.stable));
     if (bucket == index.buckets.end()) continue;
+    const AttributeSet rest =
+        index.similarity_attrs.Difference(index.stable);
     for (int other_id : bucket->second) {
-      const Tuple& other = table.row(other_id);
-      // Hash collisions: confirm exact match on the stable columns.
-      if (!row.EqualOn(other, index.stable)) continue;
-      const AttributeSet rest =
-          index.similarity_attrs.Difference(index.stable);
-      const bool similar = index.strong
-                               ? StronglySimilar(row, other, rest)
-                               : WeaklySimilar(row, other, rest);
+      // Hash collisions: confirm exact code match on the stable columns.
+      bool stable_equal = true;
+      for (AttributeId a : index.stable) {
+        if (cand[a] != encoded_.code(a, other_id)) {
+          stable_equal = false;
+          break;
+        }
+      }
+      if (!stable_equal) continue;
+      bool similar = true;
+      for (AttributeId a : rest) {
+        const uint32_t other = encoded_.code(a, other_id);
+        if (index.strong ? !CodesStronglySimilar(cand[a], other)
+                         : !CodesWeaklySimilar(cand[a], other)) {
+          similar = false;
+          break;
+        }
+      }
       if (!similar) continue;
-      if (index.rhs.empty() || !row.EqualOn(other, index.rhs)) {
+      bool rhs_equal = true;
+      for (AttributeId a : index.rhs) {
+        if (cand[a] != encoded_.code(a, other_id)) {
+          rhs_equal = false;
+          break;
+        }
+      }
+      if (index.rhs.empty() || !rhs_equal) {
         return Violation{other_id, table.num_rows(), index.constraint,
                          std::nullopt};
       }
@@ -69,20 +110,35 @@ std::optional<Violation> IncrementalEnforcer::Check(
 }
 
 void IncrementalEnforcer::Add(const Tuple& row, int row_id) {
+  if (row_id == encoded_.num_rows()) {
+    encoded_.AppendRow(row);
+  } else {
+    // Re-add in place (the UPDATE write path re-encodes the slot).
+    assert(row_id >= 0 && row_id < encoded_.num_rows());
+    for (AttributeId a = 0; a < encoded_.num_columns(); ++a) {
+      encoded_.UpdateCell(row_id, a, row[a]);
+    }
+  }
   for (ConstraintIndex& index : indexes_) {
     // Rows not total on the similarity attrs can still conflict under
     // weak similarity, but never under strong similarity — skip them
     // for possible constraints to keep buckets tight.
-    if (index.strong && !row.IsTotal(index.similarity_attrs)) continue;
-    index.buckets[HashOn(row, index.stable)].push_back(row_id);
+    if (index.strong &&
+        !RowTotal(row_id, index.similarity_attrs)) {
+      continue;
+    }
+    index.buckets[HashStoredRow(row_id, index.stable)].push_back(row_id);
   }
 }
 
 void IncrementalEnforcer::Remove(const Tuple& row, int row_id) {
+  (void)row;  // The encoding still holds the pre-image; hash from codes.
   for (ConstraintIndex& index : indexes_) {
     // Mirror Add(): rows skipped there were never indexed.
-    if (index.strong && !row.IsTotal(index.similarity_attrs)) continue;
-    auto bucket = index.buckets.find(HashOn(row, index.stable));
+    if (index.strong && !RowTotal(row_id, index.similarity_attrs)) {
+      continue;
+    }
+    auto bucket = index.buckets.find(HashStoredRow(row_id, index.stable));
     if (bucket == index.buckets.end()) continue;
     auto& ids = bucket->second;
     auto it = std::find(ids.begin(), ids.end(), row_id);
@@ -94,6 +150,7 @@ void IncrementalEnforcer::Remove(const Tuple& row, int row_id) {
 
 void IncrementalEnforcer::CompactAfterErase(const std::vector<int>& erased) {
   if (erased.empty()) return;
+  encoded_.EraseRows(erased);
   for (ConstraintIndex& index : indexes_) {
     for (auto& [hash, ids] : index.buckets) {
       for (int& id : ids) {
@@ -107,6 +164,7 @@ void IncrementalEnforcer::CompactAfterErase(const std::vector<int>& erased) {
 
 void IncrementalEnforcer::Rebuild(const Table& table) {
   ++rebuilds_;
+  encoded_ = EncodedTable(schema_.num_attributes());
   for (ConstraintIndex& index : indexes_) index.buckets.clear();
   for (int i = 0; i < table.num_rows(); ++i) {
     Add(table.row(i), i);

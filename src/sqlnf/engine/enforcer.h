@@ -1,27 +1,38 @@
-// Incremental constraint enforcement with hash indexes.
+// Incremental constraint enforcement with code-based hash indexes.
 //
 // ValidateRowAgainst (catalog.h) probes every stored row per insert.
-// This enforcer maintains, per constraint, a hash index keyed by the
-// row's values on the constraint's STABLE columns — the LHS/key
+// This enforcer maintains ONE dictionary encoding of the stored rows
+// (core/encoded_table.h) plus, per constraint, a hash index keyed by
+// the row's CODES on the constraint's STABLE columns — the LHS/key
 // attributes that are schema-level NOT NULL. Two rows can only be
 // (weakly or strongly) similar on the LHS when they agree exactly on
 // those columns, so candidate conflicts live in one bucket; within a
-// bucket the exact pairwise predicate runs. Constraints whose LHS has
-// no NOT NULL attribute keep a single bucket (the theoretical worst
-// case — weak similarity can relate anything through ⊥).
+// bucket the pairwise predicate runs on integer codes. Constraints
+// whose LHS has no NOT NULL attribute keep a single bucket (the
+// theoretical worst case — weak similarity can relate anything
+// through ⊥).
+//
+// A candidate row is checked WITHOUT touching the encoding: its cells
+// are probed against the dictionaries (LookupCode), and a value never
+// seen before can only conflict through ⊥ — which the code predicates
+// handle. The encoding is maintained across the write paths
+// (Add / Remove / CompactAfterErase) and never rebuilt from scratch.
 //
 // Equivalence with the batch semantics is property-tested against
-// constraints/satisfies.h.
+// constraints/satisfies.h; the encoding's consistency with a
+// from-scratch re-encode is property-tested in enforcer_test.
 
 #ifndef SQLNF_ENGINE_ENFORCER_H_
 #define SQLNF_ENGINE_ENFORCER_H_
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "sqlnf/constraints/constraint.h"
 #include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 
 namespace sqlnf {
@@ -35,27 +46,30 @@ class IncrementalEnforcer {
 
   /// Violation the candidate row would cause against the rows added so
   /// far, or nullopt when it is safe. `table` must hold exactly the
-  /// rows previously Add()ed (used to fetch conflict partners).
+  /// rows previously Add()ed (its size names the candidate row id in
+  /// the violation).
   std::optional<Violation> Check(const Table& table,
                                  const Tuple& row) const;
 
   /// Registers an accepted row (the table's row index `row_id`).
+  /// `row_id` must be the append position — encoded rows and table rows
+  /// stay aligned — except when re-adding a row previously Remove()d in
+  /// place (the UPDATE write path), where the slot is re-encoded.
   void Add(const Tuple& row, int row_id);
 
-  /// Unregisters a previously Add()ed row. `row` must hold the exact
-  /// values it was indexed with (the PRE-image for updates — the hash
-  /// locates the bucket). A row Add() skipped (strong constraint, ⊥ on
-  /// the LHS) is silently absent; that is fine.
+  /// Unregisters a previously Add()ed row from the constraint indexes.
+  /// The encoded slot stays (Add() with the same id re-encodes it, and
+  /// CompactAfterErase() drops it for deletes).
   void Remove(const Tuple& row, int row_id);
 
   /// Renumbers the indexed row ids after rows `erased` (ascending,
-  /// already Remove()d) were deleted from the table: every surviving id
-  /// drops by the number of erased ids below it. O(index entries), no
-  /// rehashing — the cheap half of what Rebuild used to redo.
+  /// already Remove()d) were deleted from the table, and compacts the
+  /// encoding to match: every surviving id drops by the number of
+  /// erased ids below it. O(index entries), no rehashing.
   void CompactAfterErase(const std::vector<int>& erased);
 
-  /// Drops all indexed rows and re-adds the table's current rows.
-  /// Last-resort bulk rebuild; the write paths maintain the index
+  /// Drops all state and re-encodes the table's current rows.
+  /// Last-resort bulk rebuild; the write paths maintain everything
   /// incrementally via Add/Remove/CompactAfterErase.
   void Rebuild(const Table& table);
 
@@ -64,6 +78,11 @@ class IncrementalEnforcer {
   /// rebuild.
   int rebuilds() const { return rebuilds_; }
 
+  /// The maintained columnar view of the Add()ed rows — the same
+  /// representation engine/validate.h and discovery consume, so batch
+  /// re-validation and mining skip the encode step.
+  const EncodedTable& encoding() const { return encoded_; }
+
  private:
   struct ConstraintIndex {
     Constraint constraint;
@@ -71,12 +90,21 @@ class IncrementalEnforcer {
     AttributeSet rhs;               // empty for keys
     bool strong = false;            // possible (strong) vs certain (weak)
     AttributeSet stable;            // similarity_attrs ∩ schema NFS
-    std::unordered_map<size_t, std::vector<int>> buckets;
+    std::unordered_map<uint64_t, std::vector<int>> buckets;
   };
 
-  static size_t HashOn(const Tuple& row, const AttributeSet& attrs);
+  /// FNV mix of the row's codes on `attrs`; `codes` is one code per
+  /// schema column (a candidate's LookupCode vector or a stored row's
+  /// encoded codes).
+  static uint64_t HashCodes(const std::vector<uint32_t>& codes,
+                            const AttributeSet& attrs);
+  uint64_t HashStoredRow(int row_id, const AttributeSet& attrs) const;
+
+  /// True when the encoded row has no ⊥ on `attrs`.
+  bool RowTotal(int row_id, const AttributeSet& attrs) const;
 
   TableSchema schema_;
+  EncodedTable encoded_;
   std::vector<ConstraintIndex> indexes_;
   int rebuilds_ = 0;
 };

@@ -1,12 +1,14 @@
 #include "sqlnf/engine/validate.h"
 
 #include <atomic>
+#include <cassert>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "sqlnf/core/similarity.h"
+#include "sqlnf/discovery/partition.h"
 #include "sqlnf/util/fnv.h"
 #include "sqlnf/util/parallel.h"
 
@@ -18,105 +20,86 @@ namespace {
 // caller asks for threads: the pool + merge overhead dwarfs the scan.
 constexpr int kParallelRowThreshold = 2048;
 
-// LHS columns that contain no ⊥ anywhere in the instance. Weakly
-// similar rows agree exactly on these, so they partition the pair
-// space. Served from the Table's incrementally maintained cache — no
-// per-call instance rescan.
-AttributeSet InstanceNullFree(const Table& table, const AttributeSet& x) {
-  return x.Intersect(table.NullFreeColumns());
+// True when parallelism is requested and the table is big enough to
+// amortize a pool.
+bool WantPool(int num_rows, const ParallelOptions& par) {
+  return par.threads > 1 && num_rows >= kParallelRowThreshold;
 }
 
-size_t HashOn(const Tuple& t, const AttributeSet& x) {
-  uint64_t h = kFnv64OffsetBasis;
-  for (AttributeId a : x) h = FnvMix(h, t[a].Hash());
-  return h;
-}
-
-using BucketMap = std::unordered_map<size_t, std::vector<int>>;
-
-// Buckets row indices by exact values on `group_by` (must be total on
-// those columns for all listed rows). With a pool, each thread buckets
-// a contiguous slice of `rows`, and the slices merge in slice order —
-// bucket contents come out in ascending row order either way.
-BucketMap BucketRows(const Table& table, const AttributeSet& group_by,
-                     const std::vector<int>& rows, ThreadPool* pool) {
-  if (pool == nullptr) {
-    BucketMap buckets;
-    buckets.reserve(rows.size());
-    for (int i : rows) {
-      buckets[HashOn(table.row(i), group_by)].push_back(i);
-    }
-    return buckets;
-  }
-  return ParallelReduce<BucketMap>(
-      *pool, 0, static_cast<int64_t>(rows.size()), BucketMap{},
-      [&](int64_t b, int64_t e) {
-        BucketMap local;
-        local.reserve(e - b);
-        for (int64_t k = b; k < e; ++k) {
-          local[HashOn(table.row(rows[k]), group_by)].push_back(rows[k]);
-        }
-        return local;
-      },
-      [](BucketMap acc, BucketMap part) {
-        if (acc.empty()) return part;
-        for (auto& [hash, ids] : part) {
-          auto& dst = acc[hash];
-          dst.insert(dst.end(), ids.begin(), ids.end());
-        }
-        return acc;
-      });
-}
-
-std::vector<int> AllRows(const Table& table) {
-  std::vector<int> rows(table.num_rows());
-  for (int i = 0; i < table.num_rows(); ++i) rows[i] = i;
+std::vector<int> AllRows(int n) {
+  std::vector<int> rows(n);
+  for (int i = 0; i < n; ++i) rows[i] = i;
   return rows;
 }
 
-// Pairwise check within one bucket: LHS-similarity minus the already
-// grouped columns, then the RHS condition. `rest` is LHS − group
-// columns. Returns the violating pair if any.
-template <typename SimilarFn, typename BadFn>
-std::optional<Violation> ScanBucket(const Table& table,
-                                    const std::vector<int>& bucket,
-                                    const AttributeSet& group_by,
-                                    SimilarFn&& similar, BadFn&& bad) {
-  for (size_t i = 0; i < bucket.size(); ++i) {
-    for (size_t j = i + 1; j < bucket.size(); ++j) {
-      const Tuple& t = table.row(bucket[i]);
-      const Tuple& u = table.row(bucket[j]);
-      // Hash collisions: confirm the grouped columns really match.
-      if (!t.EqualOn(u, group_by)) continue;
-      if (similar(t, u) && bad(t, u)) {
-        return Violation{bucket[i], bucket[j], std::nullopt, std::nullopt};
-      }
-    }
+using BucketList = std::vector<std::vector<int>>;
+using BucketMap = std::unordered_map<uint64_t, std::vector<int>>;
+
+// Buckets row ids by an integer key. With a pool, each thread buckets a
+// contiguous slice of `rows`, and the slices merge in slice order —
+// bucket contents come out in ascending row order either way.
+template <typename KeyFn>
+BucketList HashBuckets(const std::vector<int>& rows, KeyFn&& key,
+                       ThreadPool* pool) {
+  BucketMap map;
+  if (pool == nullptr) {
+    map.reserve(rows.size());
+    for (int i : rows) map[key(i)].push_back(i);
+  } else {
+    map = ParallelReduce<BucketMap>(
+        *pool, 0, static_cast<int64_t>(rows.size()), BucketMap{},
+        [&](int64_t b, int64_t e) {
+          BucketMap local;
+          local.reserve(e - b);
+          for (int64_t k = b; k < e; ++k) {
+            local[key(rows[k])].push_back(rows[k]);
+          }
+          return local;
+        },
+        [](BucketMap acc, BucketMap part) {
+          if (acc.empty()) return part;
+          for (auto& [hash, ids] : part) {
+            auto& dst = acc[hash];
+            dst.insert(dst.end(), ids.begin(), ids.end());
+          }
+          return acc;
+        });
   }
-  return std::nullopt;
+  BucketList out;
+  out.reserve(map.size());
+  for (auto& [hash, ids] : map) out.push_back(std::move(ids));
+  return out;
 }
 
-// Scans every bucket for a violation, short-circuiting on the first
-// one. With a pool, buckets are claimed dynamically (one task per
+// Scans every bucket for a pair with bad(i, j), short-circuiting on the
+// first one. With a pool, buckets are claimed dynamically (one task per
 // multi-row bucket) and a found-flag stops the remaining scans early;
 // any violating pair is a correct witness, so the parallel pick may
 // differ from the serial one.
-template <typename SimilarFn, typename BadFn>
-std::optional<Violation> ScanBuckets(const Table& table,
-                                     const BucketMap& buckets,
-                                     const AttributeSet& group_by,
-                                     SimilarFn&& similar, BadFn&& bad,
+template <typename BadFn>
+std::optional<Violation> ScanBuckets(const BucketList& buckets, BadFn&& bad,
                                      ThreadPool* pool) {
+  auto scan_one =
+      [&](const std::vector<int>& bucket) -> std::optional<Violation> {
+    for (size_t i = 0; i < bucket.size(); ++i) {
+      for (size_t j = i + 1; j < bucket.size(); ++j) {
+        if (bad(bucket[i], bucket[j])) {
+          return Violation{bucket[i], bucket[j], std::nullopt,
+                           std::nullopt};
+        }
+      }
+    }
+    return std::nullopt;
+  };
   if (pool == nullptr) {
-    for (const auto& [hash, bucket] : buckets) {
-      auto violation = ScanBucket(table, bucket, group_by, similar, bad);
-      if (violation) return violation;
+    for (const auto& bucket : buckets) {
+      if (auto violation = scan_one(bucket)) return violation;
     }
     return std::nullopt;
   }
   std::vector<const std::vector<int>*> work;
   work.reserve(buckets.size());
-  for (const auto& [hash, bucket] : buckets) {
+  for (const auto& bucket : buckets) {
     if (bucket.size() > 1) work.push_back(&bucket);
   }
   std::atomic<bool> found{false};
@@ -124,8 +107,7 @@ std::optional<Violation> ScanBuckets(const Table& table,
   std::optional<Violation> result;
   pool->RunTasks(static_cast<int>(work.size()), [&](int k) {
     if (found.load(std::memory_order_relaxed)) return;
-    auto violation = ScanBucket(table, *work[k], group_by, similar, bad);
-    if (violation) {
+    if (auto violation = scan_one(*work[k])) {
       std::lock_guard<std::mutex> lock(mu);
       if (!result) result = violation;
       found.store(true, std::memory_order_relaxed);
@@ -134,47 +116,101 @@ std::optional<Violation> ScanBuckets(const Table& table,
   return result;
 }
 
-// True when parallelism is requested and the table is big enough to
-// amortize a pool.
-bool WantPool(const Table& table, const ParallelOptions& par) {
-  return par.threads > 1 && table.num_rows() >= kParallelRowThreshold;
+// ---- code kernels ----------------------------------------------------
+
+uint64_t HashCodesOn(const EncodedTable& enc, int row,
+                     const AttributeSet& attrs) {
+  uint64_t h = kFnv64OffsetBasis;
+  for (AttributeId a : attrs) h = FnvMix(h, enc.code(a, row));
+  return h;
+}
+
+bool CodesEqualOn(const EncodedTable& enc, int r1, int r2,
+                  const AttributeSet& attrs) {
+  for (AttributeId a : attrs) {
+    if (enc.code(a, r1) != enc.code(a, r2)) return false;
+  }
+  return true;
+}
+
+bool CodesWeaklySimilarOn(const EncodedTable& enc, int r1, int r2,
+                          const AttributeSet& attrs) {
+  for (AttributeId a : attrs) {
+    if (!CodesWeaklySimilar(enc.code(a, r1), enc.code(a, r2))) return false;
+  }
+  return true;
+}
+
+bool RowTotalOn(const EncodedTable& enc, int row,
+                const AttributeSet& attrs) {
+  for (AttributeId a : attrs) {
+    if (enc.code(a, row) == EncodedTable::kNullCode) return false;
+  }
+  return true;
+}
+
+// Buckets `rows` by their codes on `group`. Rows must be total on
+// `group` (both call sites guarantee it). Single-column groups
+// radix-bucket directly on the dense code value — no hashing and no
+// collisions; wider groups hash-mix the codes, and *exact is cleared so
+// the scan re-confirms group equality per pair.
+BucketList BucketByCodes(const EncodedTable& enc, const AttributeSet& group,
+                         const std::vector<int>& rows, ThreadPool* pool,
+                         bool* exact) {
+  *exact = true;
+  if (group.empty()) {
+    BucketList out;
+    if (!rows.empty()) out.push_back(rows);
+    return out;
+  }
+  if (group.size() == 1) {
+    const AttributeId a = *group.begin();
+    BucketList out(enc.dictionary_size(a));
+    for (int i : rows) out[enc.code(a, i)].push_back(i);
+    return out;
+  }
+  *exact = false;
+  return HashBuckets(
+      rows, [&](int i) { return HashCodesOn(enc, i, group); }, pool);
 }
 
 }  // namespace
 
-std::optional<Violation> FindFdViolationFast(const Table& table,
-                                             const FunctionalDependency& fd,
-                                             const ParallelOptions& par) {
+std::optional<Violation> FindFdViolationEncoded(
+    const EncodedTable& enc, const FunctionalDependency& fd,
+    const ParallelOptions& par) {
+  assert(fd.lhs.Union(fd.rhs).IsSubsetOf(enc.encoded_columns()));
   std::optional<ThreadPool> pool;
-  if (WantPool(table, par)) pool.emplace(par.threads);
+  if (WantPool(enc.num_rows(), par)) pool.emplace(par.threads);
   ThreadPool* p = pool ? &*pool : nullptr;
   std::optional<Violation> violation;
+  bool exact = false;
   if (fd.is_possible()) {
-    // Only rows total on the LHS participate; strong similarity within a
-    // full-LHS bucket is automatic.
+    // Only rows total on the LHS participate; strong similarity within
+    // a full-LHS bucket is automatic.
     std::vector<int> rows;
-    for (int i = 0; i < table.num_rows(); ++i) {
-      if (table.row(i).IsTotal(fd.lhs)) rows.push_back(i);
+    for (int i = 0; i < enc.num_rows(); ++i) {
+      if (RowTotalOn(enc, i, fd.lhs)) rows.push_back(i);
     }
+    BucketList buckets = BucketByCodes(enc, fd.lhs, rows, p, &exact);
     violation = ScanBuckets(
-        table, BucketRows(table, fd.lhs, rows, p), fd.lhs,
-        [&](const Tuple& t, const Tuple& u) {
-          return StronglySimilar(t, u, fd.lhs);
-        },
-        [&](const Tuple& t, const Tuple& u) {
-          return !t.EqualOn(u, fd.rhs);
+        buckets,
+        [&](int i, int j) {
+          return (exact || CodesEqualOn(enc, i, j, fd.lhs)) &&
+                 !CodesEqualOn(enc, i, j, fd.rhs);
         },
         p);
   } else {
-    const AttributeSet group = InstanceNullFree(table, fd.lhs);
+    const AttributeSet group = fd.lhs.Intersect(enc.NullFreeColumns());
     const AttributeSet rest = fd.lhs.Difference(group);
+    BucketList buckets =
+        BucketByCodes(enc, group, AllRows(enc.num_rows()), p, &exact);
     violation = ScanBuckets(
-        table, BucketRows(table, group, AllRows(table), p), group,
-        [&](const Tuple& t, const Tuple& u) {
-          return WeaklySimilar(t, u, rest);
-        },
-        [&](const Tuple& t, const Tuple& u) {
-          return !t.EqualOn(u, fd.rhs);
+        buckets,
+        [&](int i, int j) {
+          return (exact || CodesEqualOn(enc, i, j, group)) &&
+                 CodesWeaklySimilarOn(enc, i, j, rest) &&
+                 !CodesEqualOn(enc, i, j, fd.rhs);
         },
         p);
   }
@@ -182,11 +218,181 @@ std::optional<Violation> FindFdViolationFast(const Table& table,
   return violation;
 }
 
-std::optional<Violation> FindKeyViolationFast(const Table& table,
-                                              const KeyConstraint& key,
+std::optional<Violation> FindKeyViolationEncoded(const EncodedTable& enc,
+                                                 const KeyConstraint& key,
+                                                 const ParallelOptions& par) {
+  assert(key.attrs.IsSubsetOf(enc.encoded_columns()));
+  std::optional<ThreadPool> pool;
+  if (WantPool(enc.num_rows(), par)) pool.emplace(par.threads);
+  ThreadPool* p = pool ? &*pool : nullptr;
+  std::optional<Violation> violation;
+  bool exact = false;
+  if (key.is_possible()) {
+    std::vector<int> rows;
+    for (int i = 0; i < enc.num_rows(); ++i) {
+      if (RowTotalOn(enc, i, key.attrs)) rows.push_back(i);
+    }
+    BucketList buckets = BucketByCodes(enc, key.attrs, rows, p, &exact);
+    violation = ScanBuckets(
+        buckets,
+        [&](int i, int j) {
+          return exact || CodesEqualOn(enc, i, j, key.attrs);
+        },
+        p);
+  } else {
+    const AttributeSet group = key.attrs.Intersect(enc.NullFreeColumns());
+    const AttributeSet rest = key.attrs.Difference(group);
+    BucketList buckets =
+        BucketByCodes(enc, group, AllRows(enc.num_rows()), p, &exact);
+    violation = ScanBuckets(
+        buckets,
+        [&](int i, int j) {
+          return (exact || CodesEqualOn(enc, i, j, group)) &&
+                 CodesWeaklySimilarOn(enc, i, j, rest);
+        },
+        p);
+  }
+  if (violation) violation->constraint = Constraint(key);
+  return violation;
+}
+
+bool ValidateFdEncoded(const EncodedTable& enc,
+                       const FunctionalDependency& fd,
+                       const ParallelOptions& par) {
+  return !FindFdViolationEncoded(enc, fd, par).has_value();
+}
+
+bool ValidateKeyEncoded(const EncodedTable& enc, const KeyConstraint& key,
+                        const ParallelOptions& par) {
+  return !FindKeyViolationEncoded(enc, key, par).has_value();
+}
+
+bool ValidateAllEncoded(const EncodedTable& enc, const AttributeSet& nfs,
+                        const ConstraintSet& sigma,
+                        const ParallelOptions& par) {
+  assert(nfs.IsSubsetOf(enc.encoded_columns()));
+  if (!nfs.IsSubsetOf(enc.NullFreeColumns())) return false;
+  for (const auto& fd : sigma.fds()) {
+    if (!ValidateFdEncoded(enc, fd, par)) return false;
+  }
+  for (const auto& key : sigma.keys()) {
+    if (!ValidateKeyEncoded(enc, key, par)) return false;
+  }
+  return true;
+}
+
+// ---- stripped-partition path -----------------------------------------
+
+namespace {
+
+// π_X as the product of the single-column partitions (⊥ an ordinary
+// value, so classes are EXACT-equality groups on X).
+StrippedPartition PartitionOn(const EncodedTable& enc,
+                              const AttributeSet& x) {
+  StrippedPartition p = StrippedPartition::Universe(enc.num_rows());
+  for (AttributeId a : x) {
+    p = p.Intersect(StrippedPartition::ForColumn(enc, a), enc.num_rows());
+  }
+  return p;
+}
+
+// e over the classes total on `x`. Class members share their X codes,
+// so the representative decides totality for the whole class; the
+// non-total classes are exactly the ones strong similarity ignores.
+int TotalClassError(const StrippedPartition& p, const EncodedTable& enc,
+                    const AttributeSet& x) {
+  int error = 0;
+  for (const auto& cls : p.classes()) {
+    if (RowTotalOn(enc, cls.front(), x)) {
+      error += static_cast<int>(cls.size()) - 1;
+    }
+  }
+  return error;
+}
+
+}  // namespace
+
+bool ValidateFdPartition(const EncodedTable& enc,
+                         const FunctionalDependency& fd) {
+  assert(fd.is_possible());
+  const StrippedPartition px = PartitionOn(enc, fd.lhs);
+  StrippedPartition pxy = px;
+  for (AttributeId a : fd.rhs.Difference(fd.lhs)) {
+    pxy = pxy.Intersect(StrippedPartition::ForColumn(enc, a),
+                        enc.num_rows());
+  }
+  return TotalClassError(px, enc, fd.lhs) ==
+         TotalClassError(pxy, enc, fd.lhs);
+}
+
+bool ValidateKeyPartition(const EncodedTable& enc,
+                          const KeyConstraint& key) {
+  assert(key.is_possible());
+  return TotalClassError(PartitionOn(enc, key.attrs), enc, key.attrs) == 0;
+}
+
+// ---- legacy tuple-hashing path ---------------------------------------
+
+namespace {
+
+size_t HashOn(const Tuple& t, const AttributeSet& x) {
+  uint64_t h = kFnv64OffsetBasis;
+  for (AttributeId a : x) h = FnvMix(h, t[a].Hash());
+  return h;
+}
+
+BucketList BucketRows(const Table& table, const AttributeSet& group_by,
+                      const std::vector<int>& rows, ThreadPool* pool) {
+  return HashBuckets(
+      rows, [&](int i) { return HashOn(table.row(i), group_by); }, pool);
+}
+
+}  // namespace
+
+std::optional<Violation> FindFdViolationTuple(const Table& table,
+                                              const FunctionalDependency& fd,
                                               const ParallelOptions& par) {
   std::optional<ThreadPool> pool;
-  if (WantPool(table, par)) pool.emplace(par.threads);
+  if (WantPool(table.num_rows(), par)) pool.emplace(par.threads);
+  ThreadPool* p = pool ? &*pool : nullptr;
+  std::optional<Violation> violation;
+  if (fd.is_possible()) {
+    std::vector<int> rows;
+    for (int i = 0; i < table.num_rows(); ++i) {
+      if (table.row(i).IsTotal(fd.lhs)) rows.push_back(i);
+    }
+    violation = ScanBuckets(
+        BucketRows(table, fd.lhs, rows, p),
+        [&](int i, int j) {
+          const Tuple& t = table.row(i);
+          const Tuple& u = table.row(j);
+          // Hash collisions: confirm the grouped columns really match.
+          return t.EqualOn(u, fd.lhs) && StronglySimilar(t, u, fd.lhs) &&
+                 !t.EqualOn(u, fd.rhs);
+        },
+        p);
+  } else {
+    const AttributeSet group = fd.lhs.Intersect(table.NullFreeColumns());
+    const AttributeSet rest = fd.lhs.Difference(group);
+    violation = ScanBuckets(
+        BucketRows(table, group, AllRows(table.num_rows()), p),
+        [&](int i, int j) {
+          const Tuple& t = table.row(i);
+          const Tuple& u = table.row(j);
+          return t.EqualOn(u, group) && WeaklySimilar(t, u, rest) &&
+                 !t.EqualOn(u, fd.rhs);
+        },
+        p);
+  }
+  if (violation) violation->constraint = Constraint(fd);
+  return violation;
+}
+
+std::optional<Violation> FindKeyViolationTuple(const Table& table,
+                                               const KeyConstraint& key,
+                                               const ParallelOptions& par) {
+  std::optional<ThreadPool> pool;
+  if (WantPool(table.num_rows(), par)) pool.emplace(par.threads);
   ThreadPool* p = pool ? &*pool : nullptr;
   std::optional<Violation> violation;
   if (key.is_possible()) {
@@ -195,23 +401,41 @@ std::optional<Violation> FindKeyViolationFast(const Table& table,
       if (table.row(i).IsTotal(key.attrs)) rows.push_back(i);
     }
     violation = ScanBuckets(
-        table, BucketRows(table, key.attrs, rows, p), key.attrs,
-        [&](const Tuple& t, const Tuple& u) {
-          return StronglySimilar(t, u, key.attrs);
+        BucketRows(table, key.attrs, rows, p),
+        [&](int i, int j) {
+          return table.row(i).EqualOn(table.row(j), key.attrs);
         },
-        [](const Tuple&, const Tuple&) { return true; }, p);
+        p);
   } else {
-    const AttributeSet group = InstanceNullFree(table, key.attrs);
+    const AttributeSet group = key.attrs.Intersect(table.NullFreeColumns());
     const AttributeSet rest = key.attrs.Difference(group);
     violation = ScanBuckets(
-        table, BucketRows(table, group, AllRows(table), p), group,
-        [&](const Tuple& t, const Tuple& u) {
-          return WeaklySimilar(t, u, rest);
+        BucketRows(table, group, AllRows(table.num_rows()), p),
+        [&](int i, int j) {
+          const Tuple& t = table.row(i);
+          const Tuple& u = table.row(j);
+          return t.EqualOn(u, group) && WeaklySimilar(t, u, rest);
         },
-        [](const Tuple&, const Tuple&) { return true; }, p);
+        p);
   }
   if (violation) violation->constraint = Constraint(key);
   return violation;
+}
+
+// ---- Table entry points (encode-and-forward) -------------------------
+
+std::optional<Violation> FindFdViolationFast(const Table& table,
+                                             const FunctionalDependency& fd,
+                                             const ParallelOptions& par) {
+  const EncodedTable enc(table, fd.lhs.Union(fd.rhs));
+  return FindFdViolationEncoded(enc, fd, par);
+}
+
+std::optional<Violation> FindKeyViolationFast(const Table& table,
+                                              const KeyConstraint& key,
+                                              const ParallelOptions& par) {
+  const EncodedTable enc(table, key.attrs);
+  return FindKeyViolationEncoded(enc, key, par);
 }
 
 bool ValidateFd(const Table& table, const FunctionalDependency& fd,
@@ -227,11 +451,15 @@ bool ValidateKey(const Table& table, const KeyConstraint& key,
 bool ValidateAll(const Table& table, const ConstraintSet& sigma,
                  const ParallelOptions& par) {
   if (!table.CheckNfs().ok()) return false;
+  AttributeSet needed;
+  for (const auto& fd : sigma.fds()) needed = needed | fd.lhs | fd.rhs;
+  for (const auto& key : sigma.keys()) needed = needed | key.attrs;
+  const EncodedTable enc(table, needed);
   for (const auto& fd : sigma.fds()) {
-    if (!ValidateFd(table, fd, par)) return false;
+    if (!ValidateFdEncoded(enc, fd, par)) return false;
   }
   for (const auto& key : sigma.keys()) {
-    if (!ValidateKey(table, key, par)) return false;
+    if (!ValidateKeyEncoded(enc, key, par)) return false;
   }
   return true;
 }

@@ -3,15 +3,26 @@
 // The reference checkers in constraints/satisfies.h are O(n²) over all
 // row pairs. For large instances we exploit that weakly similar tuples
 // must agree EXACTLY on every LHS column that contains no ⊥ anywhere in
-// the instance: hash-partition rows on those columns, then compare pairs
+// the instance: partition rows on those columns, then compare pairs
 // only within partitions. For possible (strong) semantics, only rows
 // total on the LHS can participate, and strong similarity within the
 // partition is plain equality — no pair loop at all.
 //
-// Property tests cross-check every validator against the reference.
+// Since PR 2 the kernels run on the shared columnar representation
+// (core/encoded_table.h): rows are bucketed by their dictionary CODES
+// (radix on the code value for single-column groups, FNV-mixed hashing
+// for wider ones) and all within-bucket predicates are integer
+// compares. The Table entry points encode just the columns a constraint
+// mentions and forward to the EncodedTable kernels; callers that
+// already hold an encoding (the catalog's enforcer, discovery, batch
+// validation) skip the encode entirely. The pre-columnar tuple-hashing
+// path is kept as *Tuple for differential testing and bench ablations.
+//
+// Property tests cross-check every validator against the reference and
+// a literal Definition-1/2 oracle (tests/reference_oracle.h).
 //
 // Every entry point takes an optional ParallelOptions: with threads > 1
-// the hash buckets are scanned by a thread pool with first-violation
+// the buckets are scanned by a thread pool with first-violation
 // short-circuit. Satisfaction verdicts are identical to serial; when a
 // constraint is violated, WHICH violating pair is reported may differ
 // (any violating pair is a correct witness).
@@ -23,6 +34,7 @@
 
 #include "sqlnf/constraints/constraint.h"
 #include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/util/parallel.h"
 
@@ -36,7 +48,8 @@ bool ValidateFd(const Table& table, const FunctionalDependency& fd,
 bool ValidateKey(const Table& table, const KeyConstraint& key,
                  const ParallelOptions& par = {});
 
-/// Fast validation of a whole constraint set (plus the NFS).
+/// Fast validation of a whole constraint set (plus the NFS). Encodes
+/// the union of all mentioned columns once and reuses it.
 bool ValidateAll(const Table& table, const ConstraintSet& sigma,
                  const ParallelOptions& par = {});
 
@@ -47,6 +60,58 @@ std::optional<Violation> FindFdViolationFast(
 
 /// Like ValidateKey but returns the first violating row pair.
 std::optional<Violation> FindKeyViolationFast(
+    const Table& table, const KeyConstraint& key,
+    const ParallelOptions& par = {});
+
+// ---- Columnar kernels ------------------------------------------------
+// `enc` must cover every column the constraint mentions
+// (enc.encoded_columns() ⊇ lhs ∪ rhs / attrs).
+
+std::optional<Violation> FindFdViolationEncoded(
+    const EncodedTable& enc, const FunctionalDependency& fd,
+    const ParallelOptions& par = {});
+
+std::optional<Violation> FindKeyViolationEncoded(
+    const EncodedTable& enc, const KeyConstraint& key,
+    const ParallelOptions& par = {});
+
+bool ValidateFdEncoded(const EncodedTable& enc,
+                       const FunctionalDependency& fd,
+                       const ParallelOptions& par = {});
+
+bool ValidateKeyEncoded(const EncodedTable& enc, const KeyConstraint& key,
+                        const ParallelOptions& par = {});
+
+/// Whole-Σ validation on a shared encoding; `nfs` is the schema's NOT
+/// NULL set (the NFS holds iff those columns are null-free here).
+bool ValidateAllEncoded(const EncodedTable& enc, const AttributeSet& nfs,
+                        const ConstraintSet& sigma,
+                        const ParallelOptions& par = {});
+
+// ---- Stripped-partition path (world semantics) -----------------------
+// Possible constraints quantify over some completion of the ⊥ cells;
+// syntactically they trigger on strong similarity, i.e. exact equality
+// of total rows. That makes them expressible over stripped partitions
+// (discovery/partition.h) with ⊥ as an ordinary value, restricted to
+// classes total on the LHS:  X →s Y  ⟺  e(X) = e(XY)  and
+// p⟨X⟩  ⟺  e(X) = 0  over the X-total classes. Requires is_possible().
+
+bool ValidateFdPartition(const EncodedTable& enc,
+                         const FunctionalDependency& fd);
+
+bool ValidateKeyPartition(const EncodedTable& enc,
+                          const KeyConstraint& key);
+
+// ---- Legacy tuple-hashing path ---------------------------------------
+// The pre-columnar implementation (HashOn(Tuple) buckets + Value
+// compares). Verdict-equivalent to the encoded kernels; kept as the
+// differential-testing baseline and for the encoded-vs-tuple bench.
+
+std::optional<Violation> FindFdViolationTuple(
+    const Table& table, const FunctionalDependency& fd,
+    const ParallelOptions& par = {});
+
+std::optional<Violation> FindKeyViolationTuple(
     const Table& table, const KeyConstraint& key,
     const ParallelOptions& par = {});
 

@@ -1,0 +1,376 @@
+// Differential test harness: every validation path in the repo must
+// agree with the literal Definition-1/2 oracle (reference_oracle.h) on
+// hundreds of seeded-random tables.
+//
+// Paths crossed per (table, constraint):
+//   * the oracle (all-pairs, similarity inlined),
+//   * constraints/satisfies.h (the reference checker),
+//   * the legacy tuple-hashing path (FindFdViolationTuple / ...KeyTuple),
+//   * the columnar kernels on a full EncodedTable at threads ∈ {1, 4},
+//   * the stripped-partition path for possible constraints,
+//   * the Table entry points (ValidateFd / ValidateKey / Find*Fast),
+//   * the possible-world enumeration for keys on small tables.
+//
+// Verdicts must be identical everywhere. Witnesses may differ between
+// paths (any violating pair is correct), so when a path reports a
+// violation we re-check the reported pair against the oracle's
+// similarity predicates instead of comparing pair indices.
+//
+// SQLNF_DIFF_ITERS (integer ≥ 1, default 1) multiplies every sweep —
+// the nightly CI job runs the suite with a larger multiplier.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/encoded_table.h"
+#include "sqlnf/datagen/generator.h"
+#include "sqlnf/engine/validate.h"
+#include "sqlnf/util/rng.h"
+#include "reference_oracle.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Attrs;
+using testing::OracleEqualOn;
+using testing::OracleSatisfiesFd;
+using testing::OracleSatisfiesKey;
+using testing::OracleSatisfiesKeyByWorlds;
+using testing::OracleStronglySimilar;
+using testing::OracleWeaklySimilar;
+using testing::RandomInstance;
+using testing::RandomSchema;
+using testing::RandomSubset;
+
+int IterMultiplier() {
+  const char* env = std::getenv("SQLNF_DIFF_ITERS");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v >= 1 ? v : 1;
+}
+
+int ScaledIters(int base) { return base * IterMultiplier(); }
+
+// The witness a path returned must itself be a violating pair under the
+// oracle's definitions — verdict equality alone would let a path return
+// "violated" with a bogus pair.
+void ExpectGenuineFdWitness(const Table& table, const FunctionalDependency& fd,
+                            const Violation& v, const std::string& context) {
+  ASSERT_GE(v.row1, 0) << context;
+  ASSERT_LT(v.row1, table.num_rows()) << context;
+  ASSERT_GE(v.row2, 0) << context;
+  ASSERT_LT(v.row2, table.num_rows()) << context;
+  const Tuple& t = table.row(v.row1);
+  const Tuple& u = table.row(v.row2);
+  const bool similar = fd.is_possible() ? OracleStronglySimilar(t, u, fd.lhs)
+                                        : OracleWeaklySimilar(t, u, fd.lhs);
+  EXPECT_TRUE(similar && !OracleEqualOn(t, u, fd.rhs))
+      << context << ": reported pair (" << v.row1 << "," << v.row2
+      << ") is not a violation of " << fd.ToString(table.schema());
+}
+
+void ExpectGenuineKeyWitness(const Table& table, const KeyConstraint& key,
+                             const Violation& v, const std::string& context) {
+  ASSERT_GE(v.row1, 0) << context;
+  ASSERT_LT(v.row1, table.num_rows()) << context;
+  ASSERT_GE(v.row2, 0) << context;
+  ASSERT_LT(v.row2, table.num_rows()) << context;
+  ASSERT_NE(v.row1, v.row2) << context;
+  const Tuple& t = table.row(v.row1);
+  const Tuple& u = table.row(v.row2);
+  EXPECT_TRUE(key.is_possible() ? OracleStronglySimilar(t, u, key.attrs)
+                                : OracleWeaklySimilar(t, u, key.attrs))
+      << context << ": reported pair (" << v.row1 << "," << v.row2
+      << ") is not a violation of " << key.ToString(table.schema());
+}
+
+void CheckFdAllPaths(const Table& table, const EncodedTable& enc,
+                     const FunctionalDependency& fd,
+                     const std::string& context) {
+  const bool expect = OracleSatisfiesFd(table, fd);
+  const std::string what = context + " fd=" + fd.ToString(table.schema());
+
+  EXPECT_EQ(Satisfies(table, fd), expect) << what << " [satisfies.h]";
+  EXPECT_EQ(ValidateFd(table, fd), expect) << what << " [ValidateFd]";
+
+  auto tuple = FindFdViolationTuple(table, fd);
+  EXPECT_EQ(!tuple.has_value(), expect) << what << " [tuple]";
+  if (tuple) ExpectGenuineFdWitness(table, fd, *tuple, what + " [tuple]");
+
+  for (int threads : {1, 4}) {
+    const ParallelOptions par{threads};
+    const std::string tag = what + " [encoded t=" + std::to_string(threads) +
+                            "]";
+    auto encoded = FindFdViolationEncoded(enc, fd, par);
+    EXPECT_EQ(!encoded.has_value(), expect) << tag;
+    if (encoded) ExpectGenuineFdWitness(table, fd, *encoded, tag);
+    EXPECT_EQ(ValidateFdEncoded(enc, fd, par), expect) << tag;
+  }
+
+  auto fast = FindFdViolationFast(table, fd);
+  EXPECT_EQ(!fast.has_value(), expect) << what << " [fast]";
+  if (fast) ExpectGenuineFdWitness(table, fd, *fast, what + " [fast]");
+
+  if (fd.is_possible()) {
+    EXPECT_EQ(ValidateFdPartition(enc, fd), expect) << what << " [partition]";
+  }
+}
+
+void CheckKeyAllPaths(const Table& table, const EncodedTable& enc,
+                      const KeyConstraint& key, const std::string& context) {
+  const bool expect = OracleSatisfiesKey(table, key);
+  const std::string what = context + " key=" + key.ToString(table.schema());
+
+  EXPECT_EQ(Satisfies(table, key), expect) << what << " [satisfies.h]";
+  EXPECT_EQ(ValidateKey(table, key), expect) << what << " [ValidateKey]";
+
+  auto tuple = FindKeyViolationTuple(table, key);
+  EXPECT_EQ(!tuple.has_value(), expect) << what << " [tuple]";
+  if (tuple) ExpectGenuineKeyWitness(table, key, *tuple, what + " [tuple]");
+
+  for (int threads : {1, 4}) {
+    const ParallelOptions par{threads};
+    const std::string tag = what + " [encoded t=" + std::to_string(threads) +
+                            "]";
+    auto encoded = FindKeyViolationEncoded(enc, key, par);
+    EXPECT_EQ(!encoded.has_value(), expect) << tag;
+    if (encoded) ExpectGenuineKeyWitness(table, key, *encoded, tag);
+    EXPECT_EQ(ValidateKeyEncoded(enc, key, par), expect) << tag;
+  }
+
+  auto fast = FindKeyViolationFast(table, key);
+  EXPECT_EQ(!fast.has_value(), expect) << what << " [fast]";
+  if (fast) ExpectGenuineKeyWitness(table, key, *fast, what + " [fast]");
+
+  if (key.is_possible()) {
+    EXPECT_EQ(ValidateKeyPartition(enc, key), expect) << what
+                                                      << " [partition]";
+  }
+}
+
+// All four constraint classes (p-/c-FD, p-/c-key) over random column
+// subsets of one table, through every path.
+void CheckTableAllClasses(const Table& table, Rng* rng,
+                          const std::string& context,
+                          int constraints_per_class = 3) {
+  const int n = table.schema().num_attributes();
+  const EncodedTable enc(table);
+  for (int i = 0; i < constraints_per_class; ++i) {
+    FunctionalDependency fd;
+    fd.lhs = RandomSubset(rng, n);
+    fd.rhs = RandomSubset(rng, n);
+    if (fd.rhs.empty()) {
+      fd.rhs = AttributeSet::Single(static_cast<AttributeId>(rng->Index(n)));
+    }
+    for (Mode mode : {Mode::kPossible, Mode::kCertain}) {
+      fd.mode = mode;
+      CheckFdAllPaths(table, enc, fd, context);
+    }
+    KeyConstraint key;
+    key.attrs = RandomSubset(rng, n, 0.5);
+    if (key.attrs.empty()) {
+      key.attrs =
+          AttributeSet::Single(static_cast<AttributeId>(rng->Index(n)));
+    }
+    for (Mode mode : {Mode::kPossible, Mode::kCertain}) {
+      key.mode = mode;
+      CheckKeyAllPaths(table, enc, key, context);
+    }
+  }
+}
+
+// --- Sweep 1: hand-rolled random instances with random NOT NULL sets.
+// RandomInstance draws from a 3-value domain, so agreements, weak
+// similarity through ⊥, and genuine violations all occur frequently.
+TEST(DifferentialTest, RandomInstancesAllPaths) {
+  Rng rng(20260806);
+  const int tables = ScaledIters(120);
+  for (int iter = 0; iter < tables; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(2, 6));
+    const TableSchema schema = RandomSchema(&rng, cols);
+    const int rows = static_cast<int>(rng.Uniform(1, 60));
+    const double null_rate = rng.NextDouble() * 0.5;
+    const Table table = RandomInstance(&rng, schema, rows, /*domain=*/3,
+                                       null_rate);
+    CheckTableAllClasses(table, &rng,
+                         "random iter=" + std::to_string(iter));
+  }
+}
+
+// --- Sweep 2: datagen/generator tables — planted FDs, duplicate rows,
+// dirty perturbations, per-column null rates. Exercises the string-typed
+// value path and realistic (FD-respecting) data shapes.
+TEST(DifferentialTest, GeneratorTablesAllPaths) {
+  Rng rng(777);
+  const int tables = ScaledIters(80);
+  for (int iter = 0; iter < tables; ++iter) {
+    TableSpec spec;
+    spec.num_columns = static_cast<int>(rng.Uniform(3, 7));
+    spec.num_rows = static_cast<int>(rng.Uniform(10, 120));
+    spec.seed = 1000 + static_cast<uint64_t>(iter);
+    for (int c = 0; c < spec.num_columns; ++c) {
+      spec.domain_sizes.push_back(static_cast<int>(rng.Uniform(2, 8)));
+      spec.null_rates.push_back(rng.Chance(0.5) ? rng.NextDouble() * 0.4
+                                                : 0.0);
+    }
+    if (rng.Chance(0.7) && spec.num_columns >= 2) {
+      PlantedFd fd;
+      fd.lhs.push_back(static_cast<int>(rng.Index(spec.num_columns)));
+      int rhs = static_cast<int>(rng.Index(spec.num_columns));
+      if (rhs == fd.lhs[0]) rhs = (rhs + 1) % spec.num_columns;
+      fd.rhs.push_back(rhs);
+      spec.fds.push_back(fd);
+    }
+    spec.duplicate_rate = rng.Chance(0.5) ? rng.NextDouble() * 0.3 : 0.0;
+    spec.dirty_rate = rng.Chance(0.5) ? rng.NextDouble() * 0.2 : 0.0;
+
+    auto table = GenerateTable(spec);
+    ASSERT_OK(table.status());
+    CheckTableAllClasses(table.value(), &rng,
+                         "generated iter=" + std::to_string(iter));
+  }
+}
+
+// --- Sweep 3: whole-Σ validation. ValidateAll / ValidateAllEncoded
+// must agree with SatisfiesAll (which includes the schema NFS).
+TEST(DifferentialTest, WholeSigmaValidation) {
+  Rng rng(4242);
+  const int tables = ScaledIters(60);
+  for (int iter = 0; iter < tables; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(2, 6));
+    const TableSchema schema = RandomSchema(&rng, cols);
+    const Table table =
+        RandomInstance(&rng, schema, static_cast<int>(rng.Uniform(0, 40)),
+                       /*domain=*/3, rng.NextDouble() * 0.4);
+    const ConstraintSet sigma = testing::RandomSigma(
+        &rng, cols, /*fds=*/static_cast<int>(rng.Uniform(0, 3)),
+        /*keys=*/static_cast<int>(rng.Uniform(0, 2)));
+
+    bool expect = true;
+    for (AttributeId a : schema.nfs()) {
+      for (int r = 0; r < table.num_rows(); ++r) {
+        if (table.row(r)[a].is_null()) expect = false;
+      }
+    }
+    for (const auto& fd : sigma.fds()) {
+      if (!OracleSatisfiesFd(table, fd)) expect = false;
+    }
+    for (const auto& key : sigma.keys()) {
+      if (!OracleSatisfiesKey(table, key)) expect = false;
+    }
+
+    EXPECT_EQ(SatisfiesAll(table, sigma), expect) << "iter=" << iter;
+    const EncodedTable enc(table);
+    for (int threads : {1, 4}) {
+      const ParallelOptions par{threads};
+      EXPECT_EQ(ValidateAll(table, sigma, par), expect)
+          << "iter=" << iter << " t=" << threads;
+      EXPECT_EQ(ValidateAllEncoded(enc, schema.nfs(), sigma, par), expect)
+          << "iter=" << iter << " t=" << threads;
+    }
+  }
+}
+
+// --- Sweep 4: the possible-world semantics itself. On small tables the
+// key definitions must coincide with their world characterization:
+// p⟨X⟩ ⟺ some completion duplicate-free on X, c⟨X⟩ ⟺ every one.
+TEST(DifferentialTest, KeyWorldSemanticsOnSmallTables) {
+  Rng rng(9001);
+  const int tables = ScaledIters(40);
+  int enumerated = 0;
+  for (int iter = 0; iter < tables; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(2, 4));
+    const TableSchema schema = RandomSchema(&rng, cols);
+    const Table table =
+        RandomInstance(&rng, schema, static_cast<int>(rng.Uniform(1, 5)),
+                       /*domain=*/2, 0.4);
+    const EncodedTable enc(table);
+    KeyConstraint key;
+    key.attrs = RandomSubset(&rng, cols, 0.6);
+    if (key.attrs.empty()) {
+      key.attrs =
+          AttributeSet::Single(static_cast<AttributeId>(rng.Index(cols)));
+    }
+    for (Mode mode : {Mode::kPossible, Mode::kCertain}) {
+      key.mode = mode;
+      WorldLimits limits;
+      limits.max_worlds = 50'000;
+      auto worlds = OracleSatisfiesKeyByWorlds(table, key, limits);
+      if (!worlds.ok()) continue;  // enumeration too large for this draw
+      ++enumerated;
+      const bool expect = worlds.value();
+      EXPECT_EQ(OracleSatisfiesKey(table, key), expect)
+          << "iter=" << iter << " key=" << key.ToString(schema);
+      EXPECT_EQ(ValidateKeyEncoded(enc, key), expect)
+          << "iter=" << iter << " key=" << key.ToString(schema);
+      if (key.is_possible()) {
+        EXPECT_EQ(ValidateKeyPartition(enc, key), expect)
+            << "iter=" << iter << " key=" << key.ToString(schema);
+      }
+    }
+  }
+  // The sweep must actually exercise the enumeration, not skip it all.
+  EXPECT_GE(enumerated, tables / 2);
+}
+
+// --- Pinned regressions: hand-written corners every path must agree on.
+TEST(DifferentialTest, PinnedCorners) {
+  using testing::Fd;
+  using testing::Key;
+  using testing::Rows;
+  using testing::Schema;
+
+  struct Case {
+    const char* schema;
+    std::vector<std::string> rows;
+  };
+  const std::vector<Case> cases = {
+      {"ab", {}},                              // empty instance
+      {"ab", {"1x"}},                          // single row
+      {"ab", {"1x", "1x"}},                    // exact duplicates
+      {"ab", {"1x", "1y"}},                    // FD violation, total
+      {"ab", {"_x", "_y"}},                    // all-⊥ LHS
+      {"ab", {"1x", "_y"}},                    // ⊥ meets value
+      {"abc", {"1_x", "_2x", "12y"}},          // transitive weak links
+      {"abc", {"11a", "11a", "1_b", "_1c"}},   // duplicates + nulls
+      {"ab", {"__", "__"}},                    // fully null rows
+  };
+  Rng rng(5);
+  int idx = 0;
+  for (const Case& c : cases) {
+    const TableSchema schema = Schema(c.schema);
+    const Table table = Rows(schema, c.rows);
+    const EncodedTable enc(table);
+    const int n = schema.num_attributes();
+    // Exhaustive over all non-empty attr subsets in both modes.
+    for (uint64_t bits = 1; bits < (1ull << n); ++bits) {
+      AttributeSet x;
+      for (int a = 0; a < n; ++a) {
+        if (bits & (1ull << a)) x.Add(a);
+      }
+      for (Mode mode : {Mode::kPossible, Mode::kCertain}) {
+        KeyConstraint key;
+        key.attrs = x;
+        key.mode = mode;
+        CheckKeyAllPaths(table, enc, key, "pinned case " +
+                                              std::to_string(idx));
+        FunctionalDependency fd;
+        fd.lhs = x;
+        fd.rhs = AttributeSet::Single(
+            static_cast<AttributeId>(rng.Index(n)));
+        fd.mode = mode;
+        CheckFdAllPaths(table, enc, fd, "pinned case " +
+                                            std::to_string(idx));
+      }
+    }
+    ++idx;
+  }
+}
+
+}  // namespace
+}  // namespace sqlnf

@@ -27,7 +27,7 @@ TEST(AgreeSetsTest, EncodedTableCodes) {
   Table t = Rows(schema, {"1x", "1y", "_x"});
   EncodedTable enc(t);
   EXPECT_EQ(enc.code(0, 0), enc.code(0, 1));
-  EXPECT_EQ(enc.code(0, 2), -1);
+  EXPECT_EQ(enc.code(0, 2), EncodedTable::kNullCode);
   EXPECT_EQ(enc.code(1, 0), enc.code(1, 2));
   EXPECT_NE(enc.code(1, 0), enc.code(1, 1));
   EXPECT_EQ(enc.NullFreeColumns(), AttributeSet{1});

@@ -1,0 +1,189 @@
+// Unit tests for the shared columnar representation
+// (core/encoded_table.h): encoding invariants, incremental maintenance
+// (AppendRow / UpdateCell / EraseRows), dictionary probing, and the
+// code-bijection equivalence used by the enforcer consistency tests.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/core/encoded_table.h"
+#include "sqlnf/util/rng.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Rows;
+using testing::Schema;
+
+TEST(EncodedTableTest, CodesAreFirstOccurrenceDense) {
+  const TableSchema schema = Schema("ab");
+  const Table table = Rows(schema, {"1x", "2x", "1y", "_x"});
+  const EncodedTable enc(table);
+  ASSERT_EQ(enc.num_rows(), 4);
+  ASSERT_EQ(enc.num_columns(), 2);
+  // Column a: "1"→0, "2"→1, "1"→0, ⊥.
+  EXPECT_EQ(enc.code(0, 0), 0u);
+  EXPECT_EQ(enc.code(0, 1), 1u);
+  EXPECT_EQ(enc.code(0, 2), 0u);
+  EXPECT_EQ(enc.code(0, 3), EncodedTable::kNullCode);
+  // Column b: "x"→0, "y"→1.
+  EXPECT_EQ(enc.code(1, 0), 0u);
+  EXPECT_EQ(enc.code(1, 2), 1u);
+  EXPECT_EQ(enc.dictionary_size(0), 2);
+  EXPECT_EQ(enc.dictionary_size(1), 2);
+}
+
+TEST(EncodedTableTest, SimilarityPredicatesOnCodes) {
+  const uint32_t kNull = EncodedTable::kNullCode;
+  EXPECT_TRUE(CodesEqual(3, 3));
+  EXPECT_FALSE(CodesEqual(3, 4));
+  EXPECT_TRUE(CodesEqual(kNull, kNull));  // syntactic: ⊥ = ⊥
+  EXPECT_TRUE(CodesStronglySimilar(3, 3));
+  EXPECT_FALSE(CodesStronglySimilar(kNull, kNull));
+  EXPECT_TRUE(CodesWeaklySimilar(3, 3));
+  EXPECT_TRUE(CodesWeaklySimilar(kNull, 7));
+  EXPECT_TRUE(CodesWeaklySimilar(7, kNull));
+  EXPECT_FALSE(CodesWeaklySimilar(3, 4));
+}
+
+TEST(EncodedTableTest, PartialEncodingCoversOnlyRequestedColumns) {
+  const TableSchema schema = Schema("abc");
+  const Table table = Rows(schema, {"1x9", "2y8"});
+  const AttributeSet cols = testing::Attrs(schema, "ac");
+  const EncodedTable enc(table, cols);
+  EXPECT_TRUE(enc.encoded_columns().Contains(0));
+  EXPECT_FALSE(enc.encoded_columns().Contains(1));
+  EXPECT_TRUE(enc.encoded_columns().Contains(2));
+  EXPECT_EQ(enc.code(0, 1), 1u);
+  EXPECT_EQ(enc.code(2, 1), 1u);
+}
+
+TEST(EncodedTableTest, LookupCodeProbesWithoutMutating) {
+  const TableSchema schema = Schema("a");
+  const Table table = Rows(schema, {"1", "2"});
+  const EncodedTable enc(table);
+  EXPECT_EQ(enc.LookupCode(0, Value::Str("1")), 0u);
+  EXPECT_EQ(enc.LookupCode(0, Value::Str("2")), 1u);
+  EXPECT_EQ(enc.LookupCode(0, Value::Null()), EncodedTable::kNullCode);
+  // A never-seen value maps to the reserved miss code...
+  EXPECT_EQ(enc.LookupCode(0, Value::Str("3")), EncodedTable::kMissingCode);
+  // ...and the dictionary did not grow.
+  EXPECT_EQ(enc.dictionary_size(0), 2);
+  // The miss code equals no stored code, is non-null, and is weakly
+  // similar only through ⊥ — mirroring the value semantics.
+  EXPECT_FALSE(CodesStronglySimilar(EncodedTable::kMissingCode,
+                                    EncodedTable::kNullCode));
+  EXPECT_TRUE(CodesWeaklySimilar(EncodedTable::kMissingCode,
+                                 EncodedTable::kNullCode));
+  EXPECT_FALSE(CodesWeaklySimilar(EncodedTable::kMissingCode, 0));
+}
+
+TEST(EncodedTableTest, AppendRowGrowsDictionaries) {
+  const TableSchema schema = Schema("ab");
+  EncodedTable enc(schema.num_attributes());
+  EXPECT_EQ(enc.num_rows(), 0);
+  enc.AppendRow(Tuple({Value::Int(1), Value::Null()}));
+  enc.AppendRow(Tuple({Value::Int(2), Value::Int(7)}));
+  enc.AppendRow(Tuple({Value::Int(1), Value::Int(7)}));
+  EXPECT_EQ(enc.num_rows(), 3);
+  EXPECT_EQ(enc.code(0, 2), 0u);
+  EXPECT_EQ(enc.code(1, 0), EncodedTable::kNullCode);
+  EXPECT_EQ(enc.code(1, 2), enc.code(1, 1));
+  EXPECT_EQ(enc.dictionary_size(0), 2);
+  EXPECT_EQ(enc.dictionary_size(1), 1);
+}
+
+TEST(EncodedTableTest, UpdateCellAndNullFreeColumns) {
+  const TableSchema schema = Schema("ab");
+  const Table table = Rows(schema, {"1x", "2_"});
+  EncodedTable enc(table);
+  EXPECT_TRUE(enc.NullFreeColumns().Contains(0));
+  EXPECT_FALSE(enc.NullFreeColumns().Contains(1));
+  // Filling the ⊥ makes the column instance-null-free again.
+  enc.UpdateCell(1, 1, Value::Str("y"));
+  EXPECT_TRUE(enc.NullFreeColumns().Contains(1));
+  EXPECT_EQ(enc.DecodeCode(1, enc.code(1, 1)), Value::Str("y"));
+  // And nulling a cell removes it.
+  enc.UpdateCell(0, 0, Value::Null());
+  EXPECT_FALSE(enc.NullFreeColumns().Contains(0));
+}
+
+TEST(EncodedTableTest, EraseRowsCompactsAndKeepsNullCounts) {
+  const TableSchema schema = Schema("ab");
+  const Table table = Rows(schema, {"1x", "2_", "3y", "4_", "5z"});
+  EncodedTable enc(table);
+  enc.EraseRows({1, 3});  // drop both ⊥ rows
+  ASSERT_EQ(enc.num_rows(), 3);
+  EXPECT_EQ(enc.DecodeCode(0, enc.code(0, 0)), Value::Str("1"));
+  EXPECT_EQ(enc.DecodeCode(0, enc.code(0, 1)), Value::Str("3"));
+  EXPECT_EQ(enc.DecodeCode(0, enc.code(0, 2)), Value::Str("5"));
+  EXPECT_TRUE(enc.NullFreeColumns().Contains(1));
+}
+
+TEST(EncodedTableTest, EquivalentToIsCodeBijectionNotIdentity) {
+  const TableSchema schema = Schema("ab");
+  // Same rows, different insertion order → different code assignment.
+  const Table t1 = Rows(schema, {"1x", "2y", "_z"});
+  const Table t2 = Rows(schema, {"2y", "1x", "_z"});
+  const EncodedTable e1(t1);
+  // Seed e2's dictionaries with t2's order, then rebuild t1's rows:
+  // the same cells end up under DIFFERENT codes.
+  EncodedTable e2(t2);
+  e2.EraseRows({0, 1, 2});
+  for (int r = 0; r < t1.num_rows(); ++r) e2.AppendRow(t1.row(r));
+  EXPECT_NE(e1.code(0, 0), e2.code(0, 0));  // codes differ...
+  EXPECT_TRUE(e1.EquivalentTo(e2));         // ...values must not
+
+  // A different value in any cell breaks equivalence.
+  e2.UpdateCell(2, 0, Value::Str("9"));
+  EXPECT_FALSE(e1.EquivalentTo(e2));
+  // So does a ⊥ mismatch.
+  EncodedTable e3(t1);
+  e3.UpdateCell(0, 1, Value::Null());
+  EXPECT_FALSE(e1.EquivalentTo(e3));
+}
+
+TEST(EncodedTableTest, RandomizedMaintenanceMatchesReEncode) {
+  Rng rng(99);
+  const TableSchema schema = Schema("abc");
+  for (int iter = 0; iter < 20; ++iter) {
+    Table table(schema);
+    EncodedTable enc(schema.num_attributes());
+    for (int step = 0; step < 60; ++step) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.5 || table.num_rows() == 0) {
+        std::vector<Value> values;
+        for (int a = 0; a < 3; ++a) {
+          values.push_back(rng.Chance(0.2)
+                               ? Value::Null()
+                               : Value::Int(rng.Uniform(0, 4)));
+        }
+        Tuple row(std::move(values));
+        ASSERT_TRUE(table.AddRow(row).ok());
+        enc.AppendRow(row);
+      } else if (roll < 0.8) {
+        const int r = static_cast<int>(rng.Index(table.num_rows()));
+        const AttributeId a = static_cast<AttributeId>(rng.Index(3));
+        const Value v = rng.Chance(0.2) ? Value::Null()
+                                        : Value::Int(rng.Uniform(0, 4));
+        (*table.mutable_row(r))[a] = v;
+        enc.UpdateCell(r, a, v);
+      } else {
+        const int r = static_cast<int>(rng.Index(table.num_rows()));
+        Table next(schema);
+        for (int i = 0; i < table.num_rows(); ++i) {
+          if (i != r) ASSERT_TRUE(next.AddRow(table.row(i)).ok());
+        }
+        table = std::move(next);
+        enc.EraseRows({r});
+      }
+      ASSERT_TRUE(enc.EquivalentTo(EncodedTable(table)))
+          << "iter=" << iter << " step=" << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqlnf

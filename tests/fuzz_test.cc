@@ -7,8 +7,11 @@
 #include <gtest/gtest.h>
 
 #include "sqlnf/constraints/parser.h"
+#include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/constraints/serialize.h"
+#include "sqlnf/core/encoded_table.h"
 #include "sqlnf/engine/csv.h"
+#include "sqlnf/engine/validate.h"
 #include "test_util.h"
 
 namespace sqlnf {
@@ -112,6 +115,46 @@ TEST(FuzzTest, CsvRoundTripsRandomTables) {
       }
     }
   }
+}
+
+// Any table the CSV reader accepts — including ones parsed from random
+// garbage — must flow through the encoded validators without crashing,
+// and their verdicts must match the all-pairs reference checker.
+TEST(FuzzTest, CsvTablesThroughEncodedValidators) {
+  Rng rng(808);
+  int validated = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto table = ReadCsvString(RandomText(&rng, 80));
+    if (!table.ok() || table->num_columns() == 0) continue;
+    ++validated;
+    const int n = table->num_columns();
+    const EncodedTable enc(*table);
+    for (int c = 0; c < 2; ++c) {
+      FunctionalDependency fd;
+      fd.lhs = testing::RandomSubset(&rng, n);
+      fd.rhs = AttributeSet::Single(
+          static_cast<AttributeId>(rng.Index(n)));
+      KeyConstraint key;
+      key.attrs = testing::RandomSubset(&rng, n, 0.5);
+      if (key.attrs.empty()) key.attrs = fd.rhs;
+      for (Mode mode : {Mode::kPossible, Mode::kCertain}) {
+        fd.mode = mode;
+        key.mode = mode;
+        EXPECT_EQ(ValidateFdEncoded(enc, fd), Satisfies(*table, fd))
+            << "iter=" << i;
+        EXPECT_EQ(ValidateKeyEncoded(enc, key), Satisfies(*table, key))
+            << "iter=" << i;
+        if (mode == Mode::kPossible) {
+          EXPECT_EQ(ValidateFdPartition(enc, fd), Satisfies(*table, fd))
+              << "iter=" << i;
+          EXPECT_EQ(ValidateKeyPartition(enc, key), Satisfies(*table, key))
+              << "iter=" << i;
+        }
+      }
+    }
+  }
+  // The garbage alphabet parses often enough for this to bite.
+  EXPECT_GT(validated, 50);
 }
 
 }  // namespace

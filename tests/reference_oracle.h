@@ -1,0 +1,135 @@
+// The differential-testing oracle: Definition 1 (possible/certain FDs)
+// and the possible/certain key definitions, transcribed LITERALLY from
+// the paper — a quantifier over all tuple pairs with the similarity
+// notions inlined as per-attribute value comparisons. Deliberately
+// independent of core/similarity.h, constraints/satisfies.h and the
+// engine kernels: the only shared vocabulary is Value equality. Slow
+// (O(n²·|T|)) and proud of it.
+//
+// For keys, the possible-world characterization [Köhler/Link/Zhou] is
+// also provided via related/possible_worlds.h enumeration:
+//   p⟨X⟩ holds  ⟺  SOME completion has no two rows equal on X,
+//   c⟨X⟩ holds  ⟺  EVERY completion has no two rows equal on X.
+// Differential tests run it on small tables only (world counts explode).
+
+#ifndef SQLNF_TESTS_REFERENCE_ORACLE_H_
+#define SQLNF_TESTS_REFERENCE_ORACLE_H_
+
+#include "sqlnf/constraints/constraint.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/related/possible_worlds.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf::testing {
+
+/// t[A] = t'[A] for all A ∈ X; ⊥ matches only ⊥ (syntactic equality).
+inline bool OracleEqualOn(const Tuple& t, const Tuple& u,
+                          const AttributeSet& x) {
+  for (AttributeId a : x) {
+    if (!(t[a] == u[a])) return false;
+  }
+  return true;
+}
+
+/// t[X] ~s t'[X]: every A ∈ X non-null on both sides and equal.
+inline bool OracleStronglySimilar(const Tuple& t, const Tuple& u,
+                                  const AttributeSet& x) {
+  for (AttributeId a : x) {
+    if (t[a].is_null() || u[a].is_null() || !(t[a] == u[a])) return false;
+  }
+  return true;
+}
+
+/// t[X] ~w t'[X]: every A ∈ X equal or ⊥ on either side.
+inline bool OracleWeaklySimilar(const Tuple& t, const Tuple& u,
+                                const AttributeSet& x) {
+  for (AttributeId a : x) {
+    if (t[a].is_null() || u[a].is_null()) continue;
+    if (!(t[a] == u[a])) return false;
+  }
+  return true;
+}
+
+/// Definition 1: I ⊢ X →s Y (possible) / X →w Y (certain) — for ALL
+/// pairs t ≠ t' (by position; duplicates form pairs too): LHS
+/// similarity implies exact equality on Y.
+inline bool OracleSatisfiesFd(const Table& table,
+                              const FunctionalDependency& fd) {
+  const int n = table.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const Tuple& t = table.row(i);
+      const Tuple& u = table.row(j);
+      const bool similar = fd.is_possible()
+                               ? OracleStronglySimilar(t, u, fd.lhs)
+                               : OracleWeaklySimilar(t, u, fd.lhs);
+      if (similar && !OracleEqualOn(t, u, fd.rhs)) return false;
+    }
+  }
+  return true;
+}
+
+/// p⟨X⟩ / c⟨X⟩: no two rows with distinct identities strongly / weakly
+/// similar on X (duplicate rows violate every key — paper, Fig. 3).
+inline bool OracleSatisfiesKey(const Table& table,
+                               const KeyConstraint& key) {
+  const int n = table.num_rows();
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const Tuple& t = table.row(i);
+      const Tuple& u = table.row(j);
+      const bool similar = key.is_possible()
+                               ? OracleStronglySimilar(t, u, key.attrs)
+                               : OracleWeaklySimilar(t, u, key.attrs);
+      if (similar) return false;
+    }
+  }
+  return true;
+}
+
+inline bool OracleSatisfies(const Table& table, const Constraint& c) {
+  if (const auto* fd = std::get_if<FunctionalDependency>(&c)) {
+    return OracleSatisfiesFd(table, *fd);
+  }
+  return OracleSatisfiesKey(table, std::get<KeyConstraint>(c));
+}
+
+/// The possible-world key oracle: enumerates the canonical completions
+/// of the ⊥ cells in `key.attrs` and asks whether X is duplicate-free.
+/// p⟨X⟩ quantifies existentially over worlds, c⟨X⟩ universally.
+/// Returns OutOfRange when the enumeration exceeds `limits`.
+inline Result<bool> OracleSatisfiesKeyByWorlds(const Table& table,
+                                               const KeyConstraint& key,
+                                               const WorldLimits& limits = {}) {
+  bool some_world_duplicate_free = false;
+  bool every_world_duplicate_free = true;
+  auto duplicate_free = [&](const Table& world) {
+    for (int i = 0; i < world.num_rows(); ++i) {
+      for (int j = i + 1; j < world.num_rows(); ++j) {
+        if (OracleEqualOn(world.row(i), world.row(j), key.attrs)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  auto visited = ForEachCompletion(
+      table, key.attrs,
+      [&](const Table& world) {
+        if (duplicate_free(world)) {
+          some_world_duplicate_free = true;
+        } else {
+          every_world_duplicate_free = false;
+        }
+        // Stop once both quantifiers are decided.
+        return !(some_world_duplicate_free && !every_world_duplicate_free);
+      },
+      limits);
+  if (!visited.ok()) return visited.status();
+  return key.is_possible() ? some_world_duplicate_free
+                           : every_world_duplicate_free;
+}
+
+}  // namespace sqlnf::testing
+
+#endif  // SQLNF_TESTS_REFERENCE_ORACLE_H_
