@@ -98,8 +98,8 @@ int Run() {
   std::string status_table;
   for (const std::string& name : part_names) {
     auto stored = norm.Find(name);
-    if ((*stored)->data.schema().FindAttribute("status").ok() &&
-        (*stored)->data.num_columns() == 5) {
+    if ((*stored)->schema().FindAttribute("status").ok() &&
+        (*stored)->num_columns() == 5) {
       status_table = name;
     }
   }
@@ -119,24 +119,20 @@ int Run() {
     for (int round = 0; round < 30; ++round) {
       Value v = Value::Str(round % 2 ? "active" : "suspended");
       auto changed = denorm.Update(
-          big.schema().name(),
-          [&](const Tuple& t) { return t[big_city] == city_value(3); },
-          big_status, v);
+          big.schema().name(), {{big_city, city_value(3)}}, big_status, v);
       bench::CheckOk(changed.status(), "denorm update");
     }
   });
   auto stored_status = norm.Find(status_table);
   const AttributeId part_city = ValueOrDie(
-      (*stored_status)->data.schema().FindAttribute("city"), "pc");
+      (*stored_status)->schema().FindAttribute("city"), "pc");
   const AttributeId part_status = ValueOrDie(
-      (*stored_status)->data.schema().FindAttribute("status"), "ps");
+      (*stored_status)->schema().FindAttribute("status"), "ps");
   norm_lat.update_ms = TimeMs([&] {
     for (int round = 0; round < 30; ++round) {
       Value v = Value::Str(round % 2 ? "active" : "suspended");
-      auto changed = norm.Update(
-          status_table,
-          [&](const Tuple& t) { return t[part_city] == city_value(3); },
-          part_status, v);
+      auto changed = norm.Update(status_table, {{part_city, city_value(3)}},
+                                 part_status, v);
       bench::CheckOk(changed.status(), "norm update");
     }
   });
@@ -144,20 +140,18 @@ int Run() {
   // --- workload 2: 300 point lookups by city.
   denorm_lat.select_ms = TimeMs([&] {
     for (int i = 0; i < 300; ++i) {
-      auto stored = denorm.Find(big.schema().name());
-      Table hit = SelectWhere((*stored)->data, [&](const Tuple& t) {
-        return t[big_city] == city_value(i % 38);
-      });
-      sink += hit.num_rows();
+      auto hit = denorm.Select(big.schema().name(),
+                               {{big_city, city_value(i % 38)}});
+      bench::CheckOk(hit.status(), "denorm select");
+      sink += hit.value().num_rows();
     }
   });
   norm_lat.select_ms = TimeMs([&] {
     for (int i = 0; i < 300; ++i) {
-      auto stored = norm.Find(status_table);
-      Table hit = SelectWhere((*stored)->data, [&](const Tuple& t) {
-        return t[part_city] == city_value(i % 38);
-      });
-      sink += hit.num_rows();
+      auto hit = norm.Select(status_table,
+                             {{part_city, city_value(i % 38)}});
+      bench::CheckOk(hit.status(), "norm select");
+      sink += hit.value().num_rows();
     }
   });
 

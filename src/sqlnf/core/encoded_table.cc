@@ -107,6 +107,107 @@ Table EncodedTable::Decode(const TableSchema& schema) const {
   return out;
 }
 
+EncodedTable EncodedTable::GatherRows(const std::vector<int>& rows) const {
+  EncodedTable out(0);
+  out.encoded_ = encoded_;
+  out.columns_.resize(columns_.size());
+  out.num_rows_ = static_cast<int>(rows.size());
+  for (AttributeId col : encoded_) {
+    const Column& src = columns_[col];
+    Column& dst = out.columns_[col];
+    dst.values = src.values;
+    dst.dict = src.dict;
+    dst.codes.reserve(rows.size());
+    for (int row : rows) {
+      const uint32_t code = src.codes[row];
+      if (code == kNullCode) ++dst.null_count;
+      dst.codes.push_back(code);
+    }
+  }
+  return out;
+}
+
+EncodedTable EncodedTable::GatherColumns(
+    const std::vector<AttributeId>& cols) const {
+  EncodedTable out(static_cast<int>(cols.size()));
+  out.num_rows_ = num_rows_;
+  for (size_t j = 0; j < cols.size(); ++j) {
+    assert(encoded_.Contains(cols[j]));
+    out.columns_[j] = columns_[cols[j]];
+  }
+  return out;
+}
+
+EncodedTable EncodedTable::Concat(const EncodedTable& left,
+                                  const EncodedTable& right) {
+  assert(left.num_rows_ == right.num_rows_);
+  assert(left.encoded_ == AttributeSet::FullSet(left.num_columns()));
+  assert(right.encoded_ == AttributeSet::FullSet(right.num_columns()));
+  EncodedTable out(left.num_columns() + right.num_columns());
+  out.num_rows_ = left.num_rows_;
+  for (int j = 0; j < left.num_columns(); ++j) {
+    out.columns_[j] = left.columns_[j];
+  }
+  for (int j = 0; j < right.num_columns(); ++j) {
+    out.columns_[left.num_columns() + j] = right.columns_[j];
+  }
+  return out;
+}
+
+namespace {
+// FNV-1a over one row's codes; the same mix the grouped validators use.
+inline uint64_t HashCodeRow(const std::vector<const std::vector<uint32_t>*>&
+                                cols,
+                            int row) {
+  uint64_t h = 1469598103934665603ull;
+  for (const std::vector<uint32_t>* codes : cols) {
+    h ^= (*codes)[row];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+std::vector<int> EncodedTable::DistinctRows() const {
+  std::vector<const std::vector<uint32_t>*> cols;
+  cols.reserve(encoded_.size());
+  for (AttributeId col : encoded_) cols.push_back(&columns_[col].codes);
+  std::vector<int> out;
+  std::unordered_map<uint64_t, std::vector<int>> buckets;
+  buckets.reserve(static_cast<size_t>(num_rows_));
+  for (int row = 0; row < num_rows_; ++row) {
+    std::vector<int>& bucket = buckets[HashCodeRow(cols, row)];
+    bool seen = false;
+    for (int prior : bucket) {
+      bool same = true;
+      for (const std::vector<uint32_t>* codes : cols) {
+        if ((*codes)[row] != (*codes)[prior]) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    bucket.push_back(row);
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<uint32_t> EncodedTable::TranslationTo(
+    AttributeId col, const EncodedTable& other, AttributeId other_col) const {
+  const Column& c = columns_[col];
+  std::vector<uint32_t> map(c.values.size());
+  for (size_t code = 0; code < c.values.size(); ++code) {
+    map[code] = other.LookupCode(other_col, c.values[code]);
+  }
+  return map;
+}
+
 bool EncodedTable::EquivalentTo(const EncodedTable& other) const {
   if (num_rows_ != other.num_rows_ ||
       num_columns() != other.num_columns() || encoded_ != other.encoded_) {

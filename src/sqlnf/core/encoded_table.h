@@ -101,6 +101,41 @@ class EncodedTable {
   /// encoding and a schema of matching arity.
   Table Decode(const TableSchema& schema) const;
 
+  // ---- Columnar executor support. The relational operators of
+  // decomposition/encoded_ops.h and engine/relops.h are compositions of
+  // these four primitives; none of them touches a Value — dictionaries
+  // are copied or probed, never rebuilt.
+
+  /// The listed rows (any order, duplicates allowed) gathered into a new
+  /// encoding. Dictionaries are copied unchanged, so codes keep their
+  /// meaning — this is how a selection vector materializes.
+  EncodedTable GatherRows(const std::vector<int>& rows) const;
+
+  /// The listed columns (any order, duplicates allowed) as a new, fully
+  /// encoded table: column j of the result is column cols[j] here. Every
+  /// listed column must be encoded.
+  EncodedTable GatherColumns(const std::vector<AttributeId>& cols) const;
+
+  /// Side-by-side concatenation of two fully encoded tables with equal
+  /// row counts: left's columns, then right's.
+  static EncodedTable Concat(const EncodedTable& left,
+                             const EncodedTable& right);
+
+  /// Ascending row ids of the first occurrence of each distinct row
+  /// (codes compared across all encoded columns) — the dedup behind set
+  /// projection I[X]. Code equality is value equality per column, so no
+  /// Value is ever compared.
+  std::vector<int> DistinctRows() const;
+
+  /// The dictionary translation map from this encoding's codes in `col`
+  /// into `other`'s code space for `other_col`: result[c] is the code
+  /// `other` assigns to DecodeCode(col, c), or kMissingCode when the
+  /// value is absent there. ⊥ needs no entry — kNullCode is shared by
+  /// every encoding. O(dictionary size), independent of the row count.
+  std::vector<uint32_t> TranslationTo(AttributeId col,
+                                      const EncodedTable& other,
+                                      AttributeId other_col) const;
+
   /// True when both encodings describe the same cell contents: same
   /// shape, same encoded columns, ⊥ in the same cells, and per column a
   /// bijection between live codes. Incremental maintenance and a

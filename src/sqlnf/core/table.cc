@@ -48,13 +48,21 @@ Status Table::AddRow(Tuple row) {
                            " does not match schema arity " +
                            std::to_string(num_columns()));
   }
-  if (null_free_valid_) {
-    for (AttributeId a : null_free_) {
-      if (row[a].is_null()) null_free_.Remove(a);
+  if (null_counts_valid_) {
+    for (AttributeId a = 0; a < num_columns(); ++a) {
+      if (row[a].is_null()) ++null_counts_[a];
     }
   }
   rows_.push_back(std::move(row));
   return Status::OK();
+}
+
+void Table::SetCell(int row, AttributeId col, Value value) {
+  Value& cell = rows_[row][col];
+  if (null_counts_valid_) {
+    null_counts_[col] += value.is_null() - cell.is_null();
+  }
+  cell = std::move(value);
 }
 
 Status Table::AddRowText(const std::vector<std::string>& cells) {
@@ -90,25 +98,28 @@ std::vector<Value> Table::ColumnValues(AttributeId a) const {
   return out;
 }
 
-AttributeSet Table::NullFreeColumns() const {
-  if (!null_free_valid_) {
-    null_free_ = AttributeSet::FullSet(num_columns());
-    for (const Tuple& t : rows_) {
-      for (AttributeId a : null_free_) {
-        if (t[a].is_null()) null_free_.Remove(a);
-      }
+void Table::RecountNulls() const {
+  null_counts_.assign(num_columns(), 0);
+  for (const Tuple& t : rows_) {
+    for (AttributeId a = 0; a < num_columns(); ++a) {
+      if (t[a].is_null()) ++null_counts_[a];
     }
-    null_free_valid_ = true;
   }
-  return null_free_;
+  null_counts_valid_ = true;
+}
+
+AttributeSet Table::NullFreeColumns() const {
+  if (!null_counts_valid_) RecountNulls();
+  AttributeSet out;
+  for (AttributeId a = 0; a < num_columns(); ++a) {
+    if (null_counts_[a] == 0) out.Add(a);
+  }
+  return out;
 }
 
 int Table::CountNulls(AttributeId a) const {
-  int n = 0;
-  for (const Tuple& t : rows_) {
-    if (t[a].is_null()) ++n;
-  }
-  return n;
+  if (!null_counts_valid_) RecountNulls();
+  return null_counts_[a];
 }
 
 bool Table::SameMultiset(const Table& other) const {

@@ -54,8 +54,7 @@ class Tuple {
 class Table {
  public:
   explicit Table(TableSchema schema)
-      : schema_(std::move(schema)),
-        null_free_(AttributeSet::FullSet(schema_.num_attributes())) {}
+      : schema_(std::move(schema)), null_counts_(schema_.num_attributes(), 0) {}
 
   const TableSchema& schema() const { return schema_; }
   TableSchema* mutable_schema() { return &schema_; }
@@ -68,13 +67,23 @@ class Table {
   }
 
   const Tuple& row(int i) const { return rows_[i]; }
-  /// Mutable access to a row invalidates the null-free-column cache
-  /// (the caller may write or erase ⊥ cells); it is lazily recomputed.
+  /// Mutable access to a row invalidates the per-column ⊥-count cache
+  /// (the caller may write cells we never see); it is lazily recomputed.
+  /// Prefer SetCell, which keeps the cache exact.
   Tuple* mutable_row(int i) {
-    null_free_valid_ = false;
+    null_counts_valid_ = false;
     return &rows_[i];
   }
   const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Writes one cell in place, adjusting the ⊥-count cache from the old
+  /// and new value — the UPDATE write path stays O(1) per cell instead
+  /// of forcing a full-table rescan like mutable_row().
+  void SetCell(int row, AttributeId col, Value value);
+
+  /// Pre-allocates row storage (e.g. a join reserving its output from
+  /// bucket sizes before emitting).
+  void ReserveRows(int n) { rows_.reserve(n); }
 
   /// Appends a row; its arity must equal the schema's. This checks arity
   /// only — use CheckNfs() (or constraints/satisfies.h) to validate
@@ -95,9 +104,10 @@ class Table {
   /// Number of ⊥ cells in column `a`.
   int CountNulls(AttributeId a) const;
 
-  /// Columns with no ⊥ anywhere in the instance. Maintained
-  /// incrementally by AddRow — O(1) for the validators' hot path — and
-  /// recomputed lazily after mutable_row() hands out write access.
+  /// Columns with no ⊥ anywhere in the instance. Backed by per-column ⊥
+  /// counts maintained by AddRow/SetCell — O(columns) for the
+  /// validators' hot path — and recomputed lazily after mutable_row()
+  /// hands out write access.
   AttributeSet NullFreeColumns() const;
 
   /// True when the two tables have the same schema structure and equal
@@ -108,11 +118,13 @@ class Table {
   std::string ToString() const;
 
  private:
+  void RecountNulls() const;
+
   TableSchema schema_;
   std::vector<Tuple> rows_;
-  // Cache for NullFreeColumns(); see there.
-  mutable AttributeSet null_free_;
-  mutable bool null_free_valid_ = true;
+  // Per-column ⊥ counts behind NullFreeColumns()/CountNulls; see there.
+  mutable std::vector<int> null_counts_;
+  mutable bool null_counts_valid_ = true;
 };
 
 }  // namespace sqlnf

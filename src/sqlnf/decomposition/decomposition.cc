@@ -145,9 +145,20 @@ Result<Table> EqualityJoin(const Table& left, const Table& right,
     index[key_hash(right.row(i), false)].push_back(i);
   }
 
+  // Hash each left row once, and reserve the output from the bucket
+  // sizes (an upper bound on emitted rows) before the probe pass.
+  std::vector<size_t> left_hash(left.num_rows());
+  int64_t reserve = 0;
+  for (int i = 0; i < left.num_rows(); ++i) {
+    left_hash[i] = key_hash(left.row(i), true);
+    auto it = index.find(left_hash[i]);
+    if (it != index.end()) reserve += static_cast<int64_t>(it->second.size());
+  }
+  out.ReserveRows(static_cast<int>(reserve));
+
   for (int i = 0; i < left.num_rows(); ++i) {
     const Tuple& lt = left.row(i);
-    auto it = index.find(key_hash(lt, true));
+    auto it = index.find(left_hash[i]);
     if (it == index.end()) continue;
     for (int j : it->second) {
       const Tuple& rt = right.row(j);

@@ -1,0 +1,309 @@
+#include "sqlnf/decomposition/encoded_ops.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace sqlnf {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+std::vector<AttributeId> ToColumnList(const AttributeSet& x) {
+  std::vector<AttributeId> cols;
+  cols.reserve(x.size());
+  for (AttributeId a : x) cols.push_back(a);
+  return cols;
+}
+
+}  // namespace
+
+Result<EncodedRelation> ProjectMultisetEncoded(const TableSchema& schema,
+                                               const EncodedTable& enc,
+                                               const AttributeSet& x,
+                                               const std::string& name) {
+  SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema, schema.Project(x, name));
+  return EncodedRelation{std::move(out_schema),
+                         enc.GatherColumns(ToColumnList(x))};
+}
+
+Result<EncodedRelation> ProjectSetEncoded(const TableSchema& schema,
+                                          const EncodedTable& enc,
+                                          const AttributeSet& x,
+                                          const std::string& name) {
+  SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema, schema.Project(x, name));
+  EncodedTable gathered = enc.GatherColumns(ToColumnList(x));
+  std::vector<int> first = gathered.DistinctRows();
+  return EncodedRelation{std::move(out_schema), gathered.GatherRows(first)};
+}
+
+Result<std::vector<EncodedRelation>> ProjectAllEncoded(
+    const TableSchema& schema, const EncodedTable& enc,
+    const Decomposition& d) {
+  SQLNF_RETURN_NOT_OK(d.Validate(schema));
+  std::vector<EncodedRelation> out;
+  out.reserve(d.components.size());
+  for (size_t i = 0; i < d.components.size(); ++i) {
+    const Component& c = d.components[i];
+    std::string name =
+        c.name.empty() ? schema.name() + "_" + std::to_string(i) : c.name;
+    if (c.multiset) {
+      SQLNF_ASSIGN_OR_RETURN(EncodedRelation r,
+                             ProjectMultisetEncoded(schema, enc, c.attrs,
+                                                    name));
+      out.push_back(std::move(r));
+    } else {
+      SQLNF_ASSIGN_OR_RETURN(EncodedRelation r,
+                             ProjectSetEncoded(schema, enc, c.attrs, name));
+      out.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
+                                            const EncodedTable& left_cols,
+                                            const TableSchema& rs,
+                                            const EncodedTable& right_cols,
+                                            const std::string& name,
+                                            const ParallelOptions& par) {
+
+  // Column plan identical to the row-major EqualityJoin: all left
+  // columns, then right-only; common columns pair up by name.
+  std::vector<std::pair<AttributeId, AttributeId>> common;  // (l, r)
+  std::vector<AttributeId> right_only;
+  std::vector<std::string> out_names;
+  std::vector<std::string> out_not_null;
+  for (AttributeId l = 0; l < ls.num_attributes(); ++l) {
+    out_names.push_back(ls.attribute_name(l));
+    if (ls.nfs().Contains(l)) out_not_null.push_back(ls.attribute_name(l));
+  }
+  for (AttributeId r = 0; r < rs.num_attributes(); ++r) {
+    auto l = ls.FindAttribute(rs.attribute_name(r));
+    if (l.ok()) {
+      common.emplace_back(l.value(), r);
+    } else {
+      right_only.push_back(r);
+      out_names.push_back(rs.attribute_name(r));
+      if (rs.nfs().Contains(r)) {
+        out_not_null.push_back(rs.attribute_name(r));
+      }
+    }
+  }
+  SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema,
+                         TableSchema::Make(name, out_names, out_not_null));
+
+  // Carry the right side's common-column codes into the left side's code
+  // space once per dictionary entry. kNullCode passes through (⊥ matches
+  // only ⊥); a value the left never saw becomes kMissingCode, which
+  // matches no left code — exactly the equality-join semantics.
+  const int right_rows = right_cols.num_rows();
+  std::vector<std::vector<uint32_t>> rkey(common.size());
+  for (size_t k = 0; k < common.size(); ++k) {
+    const std::vector<uint32_t> map = right_cols.TranslationTo(
+        common[k].second, left_cols, common[k].first);
+    std::vector<uint32_t>& col = rkey[k];
+    col.resize(right_rows);
+    const std::vector<uint32_t>& codes =
+        right_cols.column(common[k].second);
+    for (int j = 0; j < right_rows; ++j) {
+      col[j] = codes[j] == EncodedTable::kNullCode ? EncodedTable::kNullCode
+                                                   : map[codes[j]];
+    }
+  }
+
+  auto hash_right = [&](int j) {
+    uint64_t h = kFnvOffset;
+    for (size_t k = 0; k < common.size(); ++k) {
+      h ^= rkey[k][j];
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+  auto hash_left = [&](int i) {
+    uint64_t h = kFnvOffset;
+    for (size_t k = 0; k < common.size(); ++k) {
+      h ^= left_cols.code(common[k].first, i);
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+
+  std::unordered_map<uint64_t, std::vector<int>> index;
+  index.reserve(static_cast<size_t>(right_rows));
+  for (int j = 0; j < right_rows; ++j) index[hash_right(j)].push_back(j);
+
+  // Probe left rows; emitted order is left-major with right buckets in
+  // insertion order — identical at any thread count because chunks fold
+  // left-to-right.
+  using Matches = std::vector<std::pair<int, int>>;
+  auto probe = [&](int64_t begin, int64_t end) {
+    Matches m;
+    for (int64_t i = begin; i < end; ++i) {
+      auto it = index.find(hash_left(static_cast<int>(i)));
+      if (it == index.end()) continue;
+      for (int j : it->second) {
+        bool match = true;
+        for (size_t k = 0; k < common.size(); ++k) {
+          if (left_cols.code(common[k].first, static_cast<int>(i)) !=
+              rkey[k][j]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) m.emplace_back(static_cast<int>(i), j);
+      }
+    }
+    return m;
+  };
+
+  const int left_rows = left_cols.num_rows();
+  Matches matches;
+  if (par.threads > 1 && left_rows > 1) {
+    ThreadPool pool(par.threads);
+    matches = ParallelReduce<Matches>(
+        pool, 0, left_rows, Matches{}, probe,
+        [](Matches acc, Matches part) {
+          acc.insert(acc.end(), part.begin(), part.end());
+          return acc;
+        });
+  } else {
+    matches = probe(0, left_rows);
+  }
+
+  std::vector<int> lrows;
+  std::vector<int> rrows;
+  lrows.reserve(matches.size());
+  rrows.reserve(matches.size());
+  for (const auto& [i, j] : matches) {
+    lrows.push_back(i);
+    rrows.push_back(j);
+  }
+  EncodedTable out_cols =
+      right_only.empty()
+          ? left_cols.GatherRows(lrows)
+          : EncodedTable::Concat(
+                left_cols.GatherRows(lrows),
+                right_cols.GatherColumns(right_only).GatherRows(rrows));
+  return EncodedRelation{std::move(out_schema), std::move(out_cols)};
+}
+
+Result<EncodedRelation> JoinComponentsEncoded(const TableSchema& schema,
+                                              const EncodedTable& enc,
+                                              const Decomposition& d,
+                                              const ParallelOptions& par) {
+  SQLNF_ASSIGN_OR_RETURN(std::vector<EncodedRelation> parts,
+                         ProjectAllEncoded(schema, enc, d));
+  EncodedRelation joined = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    SQLNF_ASSIGN_OR_RETURN(
+        joined, EqualityJoinEncoded(joined, parts[i],
+                                    schema.name() + "_joined", par));
+  }
+  return joined;
+}
+
+bool SameMultisetEncoded(const EncodedTable& a, const EncodedTable& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  const int cols = a.num_columns();
+  const int rows = a.num_rows();
+
+  // b's codes carried into a's code space; a row of b holding a value a
+  // never saw translates to kMissingCode and can match nothing.
+  std::vector<std::vector<uint32_t>> trans(cols);
+  for (AttributeId col = 0; col < cols; ++col) {
+    trans[col] = b.TranslationTo(col, a, col);
+  }
+  auto b_code = [&](AttributeId col, int row) {
+    const uint32_t c = b.code(col, row);
+    return c == EncodedTable::kNullCode ? EncodedTable::kNullCode
+                                        : trans[col][c];
+  };
+
+  // Multiset compare by hash bucket: count a's rows, then drain with b's.
+  struct Entry {
+    int row;    // representative row id in a
+    int count;  // multiplicity not yet matched
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  buckets.reserve(static_cast<size_t>(rows));
+  auto hash_a = [&](int row) {
+    uint64_t h = kFnvOffset;
+    for (AttributeId col = 0; col < cols; ++col) {
+      h ^= a.code(col, row);
+      h *= kFnvPrime;
+    }
+    return h;
+  };
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Entry>& bucket = buckets[hash_a(i)];
+    bool found = false;
+    for (Entry& e : bucket) {
+      bool same = true;
+      for (AttributeId col = 0; col < cols; ++col) {
+        if (a.code(col, i) != a.code(col, e.row)) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        ++e.count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) bucket.push_back({i, 1});
+  }
+  for (int j = 0; j < rows; ++j) {
+    uint64_t h = kFnvOffset;
+    for (AttributeId col = 0; col < cols; ++col) {
+      h ^= b_code(col, j);
+      h *= kFnvPrime;
+    }
+    auto it = buckets.find(h);
+    if (it == buckets.end()) return false;
+    bool matched = false;
+    for (Entry& e : it->second) {
+      bool same = true;
+      for (AttributeId col = 0; col < cols; ++col) {
+        if (a.code(col, e.row) != b_code(col, j)) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        if (e.count == 0) return false;
+        --e.count;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;  // equal row totals ⟹ every count drained to zero
+}
+
+Result<bool> IsLosslessForInstanceEncoded(const TableSchema& schema,
+                                          const EncodedTable& enc,
+                                          const Decomposition& d,
+                                          const ParallelOptions& par) {
+  SQLNF_ASSIGN_OR_RETURN(EncodedRelation joined,
+                         JoinComponentsEncoded(schema, enc, d, par));
+  if (joined.columns.num_rows() != enc.num_rows()) return false;
+  // Align the join's component-ordered columns with the original schema,
+  // then compare multisets on codes.
+  std::vector<AttributeId> mapping;  // original id -> joined id
+  mapping.reserve(schema.num_attributes());
+  for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+    SQLNF_ASSIGN_OR_RETURN(
+        AttributeId j, joined.schema.FindAttribute(schema.attribute_name(a)));
+    mapping.push_back(j);
+  }
+  return SameMultisetEncoded(enc, joined.columns.GatherColumns(mapping));
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,111 @@
+// Columnar relational operators over the dictionary encoding.
+//
+// These are the encoded counterparts of decomposition/decomposition.h
+// and decomposition/lossless.h: set projection I[X] (dedup by code
+// hash), multiset projection I[[X]], the equality join of Theorem 11,
+// and the lossless-join round-trip check — all executing on uint32 code
+// columns, decoding Values only at result boundaries.
+//
+// The one subtlety is cross-table equality. Within one encoding, code
+// equality IS value equality; across two encodings the dictionaries
+// differ, so the join first builds a per-column dictionary TRANSLATION
+// MAP (EncodedTable::TranslationTo) carrying the right side's codes
+// into the left side's code space. kNullCode is shared by construction
+// (⊥ matches only ⊥ — the paper's equality-join semantics), and a right
+// value absent from the left dictionary translates to kMissingCode,
+// which matches no left code. After translation the join is a plain
+// integer hash join. Every operator here is differentially tested
+// against its row-major counterpart (tests/differential_test.cc,
+// executor section), which remains the reference path.
+
+#ifndef SQLNF_DECOMPOSITION_ENCODED_OPS_H_
+#define SQLNF_DECOMPOSITION_ENCODED_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "sqlnf/core/encoded_table.h"
+#include "sqlnf/core/schema.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/parallel.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// A schema paired with a fully encoded instance — what the columnar
+/// operators consume and produce. The row-major Table appears only at
+/// the boundaries (FromTable on ingest, ToTable on decode).
+struct EncodedRelation {
+  TableSchema schema;
+  EncodedTable columns;
+
+  static EncodedRelation FromTable(const Table& table) {
+    return {table.schema(), EncodedTable(table)};
+  }
+  Table ToTable() const { return columns.Decode(schema); }
+};
+
+/// Set projection I[X] on codes: gather the X columns, dedup rows by
+/// code hash (first-occurrence order, matching ProjectSet exactly).
+Result<EncodedRelation> ProjectSetEncoded(const TableSchema& schema,
+                                          const EncodedTable& enc,
+                                          const AttributeSet& x,
+                                          const std::string& name);
+
+/// Multiset projection I[[X]] on codes: a column gather, no row copy.
+Result<EncodedRelation> ProjectMultisetEncoded(const TableSchema& schema,
+                                               const EncodedTable& enc,
+                                               const AttributeSet& x,
+                                               const std::string& name);
+
+/// Projects onto every component of `d` (the encoded ProjectAll).
+Result<std::vector<EncodedRelation>> ProjectAllEncoded(
+    const TableSchema& schema, const EncodedTable& enc,
+    const Decomposition& d);
+
+/// Natural equality join on codes (common columns by name; identical
+/// values, ⊥ = ⊥ included — Theorem 11 semantics). The right side's
+/// common-column codes are translated into the left side's code space,
+/// then the join is a hash join over integer keys; the output gathers
+/// matching rows from both sides' untouched dictionaries. With
+/// `par.threads > 1` the probe phase is parallel over left-row chunks;
+/// the emitted row order is identical to serial.
+Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& left_schema,
+                                            const EncodedTable& left,
+                                            const TableSchema& right_schema,
+                                            const EncodedTable& right,
+                                            const std::string& name,
+                                            const ParallelOptions& par = {});
+
+inline Result<EncodedRelation> EqualityJoinEncoded(
+    const EncodedRelation& left, const EncodedRelation& right,
+    const std::string& name, const ParallelOptions& par = {}) {
+  return EqualityJoinEncoded(left.schema, left.columns, right.schema,
+                             right.columns, name, par);
+}
+
+/// Reconstructs the instance from the projections of `d` by folding the
+/// encoded equality join left-to-right (the encoded JoinComponents).
+Result<EncodedRelation> JoinComponentsEncoded(const TableSchema& schema,
+                                              const EncodedTable& enc,
+                                              const Decomposition& d,
+                                              const ParallelOptions& par = {});
+
+/// True when the two fully encoded tables hold identical row multisets
+/// under VALUE semantics (columns paired positionally; the dictionaries
+/// may differ — b's codes are carried through a translation map into
+/// a's code space before comparing).
+bool SameMultisetEncoded(const EncodedTable& a, const EncodedTable& b);
+
+/// The encoded IsLosslessForInstance: joins the projections of `d` and
+/// compares against `enc` as a multiset, entirely on codes. `enc` must
+/// be a full encoding of the instance over `schema`.
+Result<bool> IsLosslessForInstanceEncoded(const TableSchema& schema,
+                                          const EncodedTable& enc,
+                                          const Decomposition& d,
+                                          const ParallelOptions& par = {});
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_DECOMPOSITION_ENCODED_OPS_H_

@@ -42,13 +42,52 @@ std::optional<Violation> ValidateRowAgainst(const Table& table,
   return std::nullopt;
 }
 
+namespace {
+
+/// First violation in the encoded instance, if any — the whole-statement
+/// post-image check of the UPDATE path, running entirely on codes.
+std::optional<Violation> FindViolationEncoded(const EncodedTable& enc,
+                                              const ConstraintSet& sigma) {
+  for (const auto& fd : sigma.fds()) {
+    if (auto v = FindFdViolationEncoded(enc, fd)) return v;
+  }
+  for (const auto& key : sigma.keys()) {
+    if (auto v = FindKeyViolationEncoded(enc, key)) return v;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Tuple StoredTable::DecodeRow(int row) const {
+  const EncodedTable& enc = columns();
+  std::vector<Value> values;
+  values.reserve(num_columns());
+  for (AttributeId a = 0; a < num_columns(); ++a) {
+    values.push_back(enc.DecodeCode(a, enc.code(a, row)));
+  }
+  return Tuple(std::move(values));
+}
+
 Status Database::CreateTable(const TableSchema& schema,
                              ConstraintSet sigma) {
   if (tables_.count(schema.name())) {
     return Status::Invalid("table '" + schema.name() + "' already exists");
   }
-  tables_.emplace(schema.name(),
-                  StoredTable(Table(schema), std::move(sigma)));
+  tables_.emplace(schema.name(), StoredTable(schema, std::move(sigma)));
+  return Status::OK();
+}
+
+Status Database::IngestTable(const Table& data, ConstraintSet sigma) {
+  const std::string& name = data.schema().name();
+  SQLNF_RETURN_NOT_OK(CreateTable(data.schema(), std::move(sigma)));
+  for (const Tuple& row : data.rows()) {
+    Status st = Insert(name, row);
+    if (!st.ok()) {
+      (void)DropTable(name);
+      return st;
+    }
+  }
   return Status::OK();
 }
 
@@ -88,18 +127,84 @@ Result<StoredTable*> Database::FindMutable(const std::string& name) {
 
 Status Database::Insert(const std::string& name, Tuple row) {
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
-  if (row.size() != stored->data.num_columns()) {
+  if (row.size() != stored->num_columns()) {
     return Status::Invalid("INSERT arity mismatch: got " +
                            std::to_string(row.size()) + ", expected " +
-                           std::to_string(stored->data.num_columns()));
+                           std::to_string(stored->num_columns()));
   }
-  if (auto violation = stored->enforcer.Check(stored->data, row)) {
+  if (auto violation = stored->enforcer().Check(row)) {
     return Status::FailedPrecondition(
-        "INSERT rejected: " +
-        violation->ToString(stored->data.schema()));
+        "INSERT rejected: " + violation->ToString(stored->schema()));
   }
-  stored->enforcer.Add(row, stored->data.num_rows());
-  return stored->data.AddRow(std::move(row));
+  stored->enforcer().Add(row, stored->num_rows());
+  return Status::OK();
+}
+
+Result<Table> Database::Select(
+    const std::string& name,
+    const std::vector<ColumnCondition>& where) const {
+  SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, Find(name));
+  Table out(stored->schema());
+  const std::vector<int> sel = SelectRowsEncoded(stored->columns(), where);
+  out.ReserveRows(static_cast<int>(sel.size()));
+  for (int i : sel) {
+    SQLNF_RETURN_NOT_OK(out.AddRow(stored->DecodeRow(i)));
+  }
+  return out;
+}
+
+Result<int> Database::UpdateMatched(StoredTable* stored,
+                                    const std::vector<int>& matches,
+                                    AttributeId column, const Value& value) {
+  const EncodedTable& enc = stored->columns();
+  // A value the dictionary has never seen is kMissingCode, which equals
+  // no stored code — every matched row then counts as changed.
+  const uint32_t want = enc.LookupCode(column, value);
+  std::vector<int> changed;
+  for (int i : matches) {
+    if (enc.code(column, i) != want) changed.push_back(i);
+  }
+  if (changed.empty()) return 0;
+  if (value.is_null() && stored->schema().nfs().Contains(column)) {
+    return Status::FailedPrecondition(
+        "UPDATE rejected: NOT NULL column cannot hold NULL");
+  }
+  // Flip the changed slots in place: unindex each row under its
+  // PRE-image codes, then re-add the post-image (which re-encodes the
+  // slot). Untouched rows keep their ids — no rebuild, no copy.
+  IncrementalEnforcer& enforcer = stored->enforcer();
+  std::vector<Tuple> pre;
+  pre.reserve(changed.size());
+  for (int i : changed) pre.push_back(stored->DecodeRow(i));
+  for (size_t k = 0; k < changed.size(); ++k) {
+    Tuple post = pre[k];
+    post[column] = value;
+    enforcer.Remove(changed[k]);
+    enforcer.Add(post, changed[k]);
+  }
+  // Whole-statement post-image validation on the maintained encoding.
+  // The NFS cannot newly fail (only `column` changed, checked above).
+  if (auto violation = FindViolationEncoded(stored->columns(),
+                                            stored->sigma())) {
+    for (size_t k = 0; k < changed.size(); ++k) {
+      enforcer.Remove(changed[k]);
+      enforcer.Add(pre[k], changed[k]);
+    }
+    return Status::FailedPrecondition(
+        "UPDATE rejected: " + violation->ToString(stored->schema()));
+  }
+  return static_cast<int>(changed.size());
+}
+
+Result<int> Database::Update(const std::string& name,
+                             const std::vector<ColumnCondition>& where,
+                             AttributeId column, const Value& value) {
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  if (column < 0 || column >= stored->num_columns()) {
+    return Status::Invalid("UPDATE column out of range");
+  }
+  return UpdateMatched(stored, SelectRowsEncoded(stored->columns(), where),
+                       column, value);
 }
 
 Result<int> Database::Update(
@@ -107,61 +212,40 @@ Result<int> Database::Update(
     const std::function<bool(const Tuple&)>& predicate, AttributeId column,
     const Value& value) {
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
-  if (column < 0 || column >= stored->data.num_columns()) {
+  if (column < 0 || column >= stored->num_columns()) {
     return Status::Invalid("UPDATE column out of range");
   }
-  // Post-image validation on a copy; swap in on success.
-  Table candidate = stored->data;
-  std::vector<int> changed_rows;
-  for (int i = 0; i < candidate.num_rows(); ++i) {
-    if (!predicate(candidate.row(i))) continue;
-    if (!((*candidate.mutable_row(i))[column] == value)) {
-      (*candidate.mutable_row(i))[column] = value;
-      changed_rows.push_back(i);
-    }
+  std::vector<int> matches;
+  for (int i = 0; i < stored->num_rows(); ++i) {
+    if (predicate(stored->DecodeRow(i))) matches.push_back(i);
   }
-  if (changed_rows.empty()) return 0;
-  if (!candidate.CheckNfs().ok()) {
-    return Status::FailedPrecondition(
-        "UPDATE rejected: NOT NULL column cannot hold NULL");
-  }
-  if (!ValidateAll(candidate, stored->sigma)) {
-    auto violation = FindViolation(candidate, stored->sigma);
-    return Status::FailedPrecondition(
-        "UPDATE rejected: " +
-        (violation ? violation->ToString(candidate.schema())
-                   : std::string("constraint violation")));
-  }
-  // Maintain the enforcer incrementally: unindex the changed rows under
-  // their PRE-image values (the hash keys), then re-add the post-images.
-  // Untouched rows keep their ids — no full rebuild.
-  for (int i : changed_rows) stored->enforcer.Remove(stored->data.row(i), i);
-  stored->data = std::move(candidate);
-  for (int i : changed_rows) stored->enforcer.Add(stored->data.row(i), i);
-  return static_cast<int>(changed_rows.size());
+  return UpdateMatched(stored, matches, column, value);
+}
+
+int Database::DeleteMatched(StoredTable* stored,
+                            const std::vector<int>& matches) {
+  // Unindex the erased rows (while their codes still hold them), then
+  // compact the encoding and renumber the survivors in place.
+  for (int i : matches) stored->enforcer().Remove(i);
+  stored->enforcer().CompactAfterErase(matches);
+  return static_cast<int>(matches.size());
+}
+
+Result<int> Database::Delete(const std::string& name,
+                             const std::vector<ColumnCondition>& where) {
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  return DeleteMatched(stored, SelectRowsEncoded(stored->columns(), where));
 }
 
 Result<int> Database::Delete(
     const std::string& name,
     const std::function<bool(const Tuple&)>& predicate) {
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
-  Table kept(stored->data.schema());
-  std::vector<int> erased;
-  for (int i = 0; i < stored->data.num_rows(); ++i) {
-    const Tuple& t = stored->data.row(i);
-    if (predicate(t)) {
-      erased.push_back(i);
-    } else {
-      SQLNF_RETURN_NOT_OK(kept.AddRow(t));
-    }
+  std::vector<int> matches;
+  for (int i = 0; i < stored->num_rows(); ++i) {
+    if (predicate(stored->DecodeRow(i))) matches.push_back(i);
   }
-  // Unindex the erased rows, then renumber the survivors in place —
-  // surviving rows keep their relative order, so each id drops by the
-  // number of erased ids below it. No full rebuild.
-  for (int i : erased) stored->enforcer.Remove(stored->data.row(i), i);
-  stored->data = std::move(kept);
-  stored->enforcer.CompactAfterErase(erased);
-  return static_cast<int>(erased.size());
+  return DeleteMatched(stored, matches);
 }
 
 }  // namespace sqlnf

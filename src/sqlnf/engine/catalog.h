@@ -1,5 +1,5 @@
 // Database: a catalog of tables with NATIVELY ENFORCED paper
-// constraints.
+// constraints, stored columnar.
 //
 // SQL can declare NOT NULL and UNIQUE, but certain keys over nullable
 // columns and (possible/certain) FDs are beyond its declarative reach —
@@ -9,8 +9,17 @@
 // and rejected with a Violation message when it would break one, the
 // way a trigger-based enforcement layer would.
 //
+// PRIMARY STORAGE is the dictionary encoding the incremental enforcer
+// maintains across every write (core/encoded_table.h): one uint32 code
+// column per attribute, kept consistent by AppendRow / UpdateCell /
+// EraseRows — there is no row-major copy of the instance. Queries
+// (engine/sql.h, decomposition/encoded_ops.h) execute on the codes;
+// the row-major Table appears only at the ingest/decode boundary (CSV,
+// SQL literals, ToString, test oracles) via Materialize()/DecodeRow().
+//
 // Writes are atomic per statement: a rejected write leaves the table
-// untouched.
+// untouched (a rejected UPDATE may still grow dictionaries — codes are
+// append-only by design, and retired codes are harmless).
 
 #ifndef SQLNF_ENGINE_CATALOG_H_
 #define SQLNF_ENGINE_CATALOG_H_
@@ -23,30 +32,54 @@
 
 #include "sqlnf/constraints/constraint.h"
 #include "sqlnf/constraints/satisfies.h"
+#include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/engine/enforcer.h"
+#include "sqlnf/engine/relops.h"
 #include "sqlnf/util/status.h"
 
 namespace sqlnf {
 
 /// Checks one candidate row against an existing (assumed-consistent)
 /// instance: NFS, then each constraint against every stored row.
-/// Returns the violation or nullopt. O(rows · |Σ|) — incremental, not
-/// quadratic.
+/// Returns the violation or nullopt. O(rows · |Σ|) — the row-major
+/// reference for the enforcer's differential tests.
 std::optional<Violation> ValidateRowAgainst(const Table& table,
                                             const Tuple& row,
                                             const ConstraintSet& sigma);
 
-/// One stored table: instance + enforced constraints + insert index.
-struct StoredTable {
-  Table data;
-  ConstraintSet sigma;
-  IncrementalEnforcer enforcer;
+/// One stored table. The instance lives as the enforcer's maintained
+/// encoding — columns() IS the data; Materialize() decodes on demand.
+class StoredTable {
+ public:
+  StoredTable(TableSchema schema, ConstraintSet s)
+      : schema_(std::move(schema)),
+        sigma_(std::move(s)),
+        enforcer_(schema_, sigma_) {}
 
-  StoredTable(Table t, ConstraintSet s)
-      : data(std::move(t)),
-        sigma(std::move(s)),
-        enforcer(data.schema(), sigma) {}
+  const TableSchema& schema() const { return schema_; }
+  const ConstraintSet& sigma() const { return sigma_; }
+
+  /// The columnar instance: one code column per attribute, all encoded.
+  const EncodedTable& columns() const { return enforcer_.encoding(); }
+
+  int num_rows() const { return columns().num_rows(); }
+  int num_columns() const { return schema_.num_attributes(); }
+
+  /// Decodes one stored row (the decode boundary for row predicates and
+  /// result sets).
+  Tuple DecodeRow(int row) const;
+
+  /// Decodes the whole instance into a row-major Table.
+  Table Materialize() const { return columns().Decode(schema_); }
+
+  IncrementalEnforcer& enforcer() { return enforcer_; }
+  const IncrementalEnforcer& enforcer() const { return enforcer_; }
+
+ private:
+  TableSchema schema_;
+  ConstraintSet sigma_;
+  IncrementalEnforcer enforcer_;
 };
 
 /// An in-memory multi-table database with constraint enforcement.
@@ -54,6 +87,11 @@ class Database {
  public:
   /// Registers an empty table. Fails when the name exists.
   Status CreateTable(const TableSchema& schema, ConstraintSet sigma);
+
+  /// Bulk-loads a row-major table through the enforcer (the CSV/ingest
+  /// boundary); the table name comes from data.schema(). Fails on the
+  /// first rejected row and drops the partially loaded table.
+  Status IngestTable(const Table& data, ConstraintSet sigma);
 
   /// Removes a table. NotFound when absent.
   Status DropTable(const std::string& name);
@@ -68,21 +106,47 @@ class Database {
   /// FailedPrecondition with the violation text on rejection.
   Status Insert(const std::string& name, Tuple row);
 
-  /// UPDATE ... SET column = value WHERE predicate. The whole statement
-  /// is validated post-image; on violation nothing changes. Returns
-  /// rows changed.
+  /// SELECT: the rows satisfying every condition, matched on codes and
+  /// decoded only for the result.
+  Result<Table> Select(const std::string& name,
+                       const std::vector<ColumnCondition>& where) const;
+
+  /// UPDATE ... SET column = value WHERE conditions, executed on codes
+  /// (the SQL layer's default path). The whole statement is validated
+  /// post-image on the maintained encoding; on violation every changed
+  /// slot is rolled back. Returns rows changed.
+  Result<int> Update(const std::string& name,
+                     const std::vector<ColumnCondition>& where,
+                     AttributeId column, const Value& value);
+
+  /// UPDATE with an arbitrary row predicate: rows are decoded to
+  /// evaluate it, then the write takes the same columnar path.
   Result<int> Update(const std::string& name,
                      const std::function<bool(const Tuple&)>& predicate,
                      AttributeId column, const Value& value);
 
-  /// DELETE FROM ... WHERE predicate. Deletes cannot violate FDs/keys
-  /// (they are anti-monotone), so no validation is needed. Returns rows
-  /// removed.
+  /// DELETE FROM ... WHERE conditions, executed on codes. Deletes
+  /// cannot violate FDs/keys (they are anti-monotone), so no validation
+  /// is needed. Returns rows removed.
+  Result<int> Delete(const std::string& name,
+                     const std::vector<ColumnCondition>& where);
+
+  /// DELETE with an arbitrary row predicate (decodes rows to evaluate
+  /// it).
   Result<int> Delete(const std::string& name,
                      const std::function<bool(const Tuple&)>& predicate);
 
  private:
   Result<StoredTable*> FindMutable(const std::string& name);
+
+  /// Shared columnar write core: flips `column` to `value` on the
+  /// matched rows, validates the post-image, rolls back on violation.
+  Result<int> UpdateMatched(StoredTable* stored,
+                            const std::vector<int>& matches,
+                            AttributeId column, const Value& value);
+
+  /// Shared delete core: `matches` must be ascending.
+  int DeleteMatched(StoredTable* stored, const std::vector<int>& matches);
 
   std::map<std::string, StoredTable> tables_;
 };

@@ -51,12 +51,12 @@ bool IncrementalEnforcer::RowTotal(int row_id,
   return true;
 }
 
-std::optional<Violation> IncrementalEnforcer::Check(
-    const Table& table, const Tuple& row) const {
+std::optional<Violation> IncrementalEnforcer::Check(const Tuple& row) const {
+  const int candidate_id = encoded_.num_rows();
   for (AttributeId a : schema_.nfs()) {
     if (row[a].is_null()) {
       Violation v;
-      v.row1 = v.row2 = table.num_rows();
+      v.row1 = v.row2 = candidate_id;
       v.attribute = a;
       return v;
     }
@@ -101,7 +101,7 @@ std::optional<Violation> IncrementalEnforcer::Check(
         }
       }
       if (index.rhs.empty() || !rhs_equal) {
-        return Violation{other_id, table.num_rows(), index.constraint,
+        return Violation{other_id, candidate_id, index.constraint,
                          std::nullopt};
       }
     }
@@ -131,8 +131,8 @@ void IncrementalEnforcer::Add(const Tuple& row, int row_id) {
   }
 }
 
-void IncrementalEnforcer::Remove(const Tuple& row, int row_id) {
-  (void)row;  // The encoding still holds the pre-image; hash from codes.
+void IncrementalEnforcer::Remove(int row_id) {
+  // The encoding still holds the pre-image; hash from the stored codes.
   for (ConstraintIndex& index : indexes_) {
     // Mirror Add(): rows skipped there were never indexed.
     if (index.strong && !RowTotal(row_id, index.similarity_attrs)) {

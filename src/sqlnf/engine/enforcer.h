@@ -45,11 +45,9 @@ class IncrementalEnforcer {
   IncrementalEnforcer(const TableSchema& schema, const ConstraintSet& sigma);
 
   /// Violation the candidate row would cause against the rows added so
-  /// far, or nullopt when it is safe. `table` must hold exactly the
-  /// rows previously Add()ed (its size names the candidate row id in
-  /// the violation).
-  std::optional<Violation> Check(const Table& table,
-                                 const Tuple& row) const;
+  /// far, or nullopt when it is safe. The candidate is named in the
+  /// violation by the current append position (encoding().num_rows()).
+  std::optional<Violation> Check(const Tuple& row) const;
 
   /// Registers an accepted row (the table's row index `row_id`).
   /// `row_id` must be the append position — encoded rows and table rows
@@ -58,9 +56,11 @@ class IncrementalEnforcer {
   void Add(const Tuple& row, int row_id);
 
   /// Unregisters a previously Add()ed row from the constraint indexes.
-  /// The encoded slot stays (Add() with the same id re-encodes it, and
-  /// CompactAfterErase() drops it for deletes).
-  void Remove(const Tuple& row, int row_id);
+  /// Must run while the encoded slot still holds the pre-image (it is
+  /// hashed from the stored codes). The slot itself stays: Add() with
+  /// the same id re-encodes it, and CompactAfterErase() drops it for
+  /// deletes.
+  void Remove(int row_id);
 
   /// Renumbers the indexed row ids after rows `erased` (ascending,
   /// already Remove()d) were deleted from the table, and compacts the

@@ -2,6 +2,65 @@
 
 namespace sqlnf {
 
+bool MatchesConditions(const Tuple& t,
+                       const std::vector<ColumnCondition>& conditions) {
+  for (const ColumnCondition& c : conditions) {
+    if (!(t[c.column] == c.value)) return false;
+  }
+  return true;
+}
+
+std::vector<int> SelectRowsEncoded(
+    const EncodedTable& enc,
+    const std::vector<ColumnCondition>& conditions) {
+  std::vector<int> sel;
+  if (conditions.empty()) {
+    sel.resize(enc.num_rows());
+    for (int i = 0; i < enc.num_rows(); ++i) sel[i] = i;
+    return sel;
+  }
+  // First condition scans its column; the rest refine the selection.
+  {
+    const ColumnCondition& c = conditions[0];
+    const uint32_t want = enc.LookupCode(c.column, c.value);
+    const std::vector<uint32_t>& codes = enc.column(c.column);
+    for (int i = 0; i < enc.num_rows(); ++i) {
+      if (codes[i] == want) sel.push_back(i);
+    }
+  }
+  for (size_t k = 1; k < conditions.size() && !sel.empty(); ++k) {
+    const ColumnCondition& c = conditions[k];
+    const uint32_t want = enc.LookupCode(c.column, c.value);
+    const std::vector<uint32_t>& codes = enc.column(c.column);
+    size_t write = 0;
+    for (int i : sel) {
+      if (codes[i] == want) sel[write++] = i;
+    }
+    sel.resize(write);
+  }
+  return sel;
+}
+
+int UpdateWhereEncoded(EncodedTable* enc,
+                       const std::vector<ColumnCondition>& conditions,
+                       AttributeId column, const Value& value) {
+  const uint32_t want = enc->LookupCode(column, value);
+  int changed = 0;
+  for (int i : SelectRowsEncoded(*enc, conditions)) {
+    if (enc->code(column, i) == want) continue;
+    enc->UpdateCell(i, column, value);
+    ++changed;
+  }
+  return changed;
+}
+
+int DeleteWhereEncoded(EncodedTable* enc,
+                       const std::vector<ColumnCondition>& conditions) {
+  std::vector<int> sel = SelectRowsEncoded(*enc, conditions);
+  enc->EraseRows(sel);
+  return static_cast<int>(sel.size());
+}
+
 Table SelectWhere(const Table& table,
                   const std::function<bool(const Tuple&)>& predicate) {
   Table out(table.schema());
@@ -49,8 +108,12 @@ Result<Table> CrossWithSequence(const Table& table, int n,
 Result<Table> JoinAll(const std::vector<Table>& tables,
                       const std::string& name) {
   if (tables.empty()) return Status::Invalid("nothing to join");
-  Table joined = tables[0];
-  for (size_t i = 1; i < tables.size(); ++i) {
+  if (tables.size() == 1) return tables[0];
+  // Fold without first deep-copying tables[0] into the accumulator; each
+  // step move-assigns the freshly joined result.
+  SQLNF_ASSIGN_OR_RETURN(Table joined,
+                         EqualityJoin(tables[0], tables[1], name));
+  for (size_t i = 2; i < tables.size(); ++i) {
     SQLNF_ASSIGN_OR_RETURN(joined, EqualityJoin(joined, tables[i], name));
   }
   return joined;
@@ -70,8 +133,8 @@ Result<int> UpdateWhere(Table* table,
   int changed = 0;
   for (int i = 0; i < table->num_rows(); ++i) {
     if (!predicate(table->row(i))) continue;
-    if (!((*table->mutable_row(i))[column] == value)) {
-      (*table->mutable_row(i))[column] = value;
+    if (!(table->row(i)[column] == value)) {
+      table->SetCell(i, column, value);
       ++changed;
     }
   }

@@ -12,11 +12,46 @@
 #include <string>
 #include <vector>
 
+#include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/decomposition/decomposition.h"
 #include "sqlnf/util/status.h"
 
 namespace sqlnf {
+
+/// One conjunct of the engine's WHERE shape: column = value under
+/// MARKER equality — a ⊥ value matches exactly the ⊥ cells (the same
+/// equality the paper's equality join uses), not SQL's three-valued
+/// NULL.
+struct ColumnCondition {
+  AttributeId column;
+  Value value;
+};
+
+/// Evaluates the conjunction on a decoded tuple — the row-major
+/// reference for the columnar selection below.
+bool MatchesConditions(const Tuple& t,
+                       const std::vector<ColumnCondition>& conditions);
+
+/// Selection vector (ascending row ids) of the rows satisfying every
+/// condition, computed on codes: one dictionary probe per condition,
+/// then integer compares column-major. A value absent from a dictionary
+/// (kMissingCode) matches no row. No conditions selects every row.
+std::vector<int> SelectRowsEncoded(
+    const EncodedTable& enc, const std::vector<ColumnCondition>& conditions);
+
+/// In-place columnar "UPDATE ... SET column = value WHERE conditions",
+/// re-encoding only the cells whose code actually changes; returns rows
+/// changed. Constraint/NFS checks live in the Database layer
+/// (engine/catalog.h); this is the bare executor primitive.
+int UpdateWhereEncoded(EncodedTable* enc,
+                       const std::vector<ColumnCondition>& conditions,
+                       AttributeId column, const Value& value);
+
+/// In-place columnar "DELETE FROM ... WHERE conditions"; returns rows
+/// removed.
+int DeleteWhereEncoded(EncodedTable* enc,
+                       const std::vector<ColumnCondition>& conditions);
 
 /// Copies rows satisfying `predicate` into a new table ("SELECT ...
 /// WHERE"). The predicate sees each row.

@@ -2,8 +2,10 @@
 
 #include <cctype>
 #include <functional>
+#include <optional>
 
-#include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/decomposition/encoded_ops.h"
+#include "sqlnf/engine/relops.h"
 #include "sqlnf/util/string_util.h"
 
 namespace sqlnf {
@@ -323,28 +325,21 @@ class Parser {
     return result;
   }
 
-  // WHERE col = lit [AND col = lit]* → predicate over `schema`.
-  Result<std::function<bool(const Tuple&)>> WhereClause(
+  // WHERE col = lit [AND col = lit]* → conjunctive conditions over
+  // `schema`. The executor matches them on codes (engine/relops.h);
+  // a NULL literal matches exactly the ⊥ cells (marker equality).
+  Result<std::vector<ColumnCondition>> WhereClause(
       const TableSchema& schema) {
-    if (!AcceptKeyword("WHERE")) {
-      return std::function<bool(const Tuple&)>(
-          [](const Tuple&) { return true; });
-    }
-    std::vector<std::pair<AttributeId, Value>> conditions;
+    std::vector<ColumnCondition> conditions;
+    if (!AcceptKeyword("WHERE")) return conditions;
     do {
       SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
       SQLNF_RETURN_NOT_OK(ExpectSymbol("="));
       SQLNF_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
       SQLNF_ASSIGN_OR_RETURN(AttributeId id, schema.FindAttribute(col));
-      conditions.emplace_back(id, std::move(v));
+      conditions.push_back({id, std::move(v)});
     } while (AcceptKeyword("AND"));
-    return std::function<bool(const Tuple&)>(
-        [conditions](const Tuple& t) {
-          for (const auto& [id, v] : conditions) {
-            if (!(t[id] == v)) return false;
-          }
-          return true;
-        });
+    return conditions;
   }
 
   Result<QueryResult> Select() {
@@ -362,46 +357,58 @@ class Parser {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("FROM"));
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
-    Table current = stored->data;
+    // Columnar plan: fold joins on codes, filter into a selection
+    // vector, and decode only the selected rows of the projected
+    // columns — the stored encoding is never copied.
+    const TableSchema* cur_schema = &stored->schema();
+    const EncodedTable* cur_cols = &stored->columns();
+    std::optional<EncodedRelation> joined;
     while (AcceptKeyword("NATURAL")) {
       SQLNF_RETURN_NOT_OK(ExpectKeyword("JOIN"));
       SQLNF_ASSIGN_OR_RETURN(std::string other, ExpectIdentifier());
       SQLNF_ASSIGN_OR_RETURN(const StoredTable* right, db_->Find(other));
       SQLNF_ASSIGN_OR_RETURN(
-          current, EqualityJoin(current, right->data, name + "_join"));
+          EncodedRelation next,
+          EqualityJoinEncoded(*cur_schema, *cur_cols, right->schema(),
+                              right->columns(), name + "_join"));
+      joined = std::move(next);
+      cur_schema = &joined->schema;
+      cur_cols = &joined->columns;
     }
-    SQLNF_ASSIGN_OR_RETURN(auto predicate, WhereClause(current.schema()));
+    SQLNF_ASSIGN_OR_RETURN(auto conditions, WhereClause(*cur_schema));
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
 
-    Table filtered(current.schema());
-    for (const Tuple& t : current.rows()) {
-      if (predicate(t)) {
-        SQLNF_RETURN_NOT_OK(filtered.AddRow(t));
-      }
-    }
-    Table output(filtered.schema());
+    const std::vector<int> sel = SelectRowsEncoded(*cur_cols, conditions);
+    std::vector<AttributeId> ids;
+    std::optional<TableSchema> out_schema;
     if (star) {
-      output = std::move(filtered);
+      ids.resize(cur_schema->num_attributes());
+      for (AttributeId a = 0; a < cur_schema->num_attributes(); ++a) {
+        ids[a] = a;
+      }
+      out_schema = *cur_schema;
     } else {
       // Projection preserving the requested column order.
-      std::vector<AttributeId> ids;
       std::vector<std::string> names;
       for (const std::string& col : cols) {
         SQLNF_ASSIGN_OR_RETURN(AttributeId id,
-                               filtered.schema().FindAttribute(col));
+                               cur_schema->FindAttribute(col));
         ids.push_back(id);
         names.push_back(col);
       }
       SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
                              TableSchema::Make("result", names));
-      Table projected(std::move(schema));
-      for (const Tuple& t : filtered.rows()) {
-        std::vector<Value> row;
-        row.reserve(ids.size());
-        for (AttributeId id : ids) row.push_back(t[id]);
-        SQLNF_RETURN_NOT_OK(projected.AddRow(Tuple(std::move(row))));
+      out_schema = std::move(schema);
+    }
+    Table output(std::move(*out_schema));
+    output.ReserveRows(static_cast<int>(sel.size()));
+    for (int i : sel) {
+      std::vector<Value> row;
+      row.reserve(ids.size());
+      for (AttributeId id : ids) {
+        row.push_back(cur_cols->DecodeCode(id, cur_cols->code(id, i)));
       }
-      output = std::move(projected);
+      SQLNF_RETURN_NOT_OK(output.AddRow(Tuple(std::move(row))));
     }
     QueryResult result;
     result.affected = output.num_rows();
@@ -418,12 +425,11 @@ class Parser {
     SQLNF_ASSIGN_OR_RETURN(Value value, ExpectLiteral());
     SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
     SQLNF_ASSIGN_OR_RETURN(AttributeId column,
-                           stored->data.schema().FindAttribute(col));
-    SQLNF_ASSIGN_OR_RETURN(auto predicate,
-                           WhereClause(stored->data.schema()));
+                           stored->schema().FindAttribute(col));
+    SQLNF_ASSIGN_OR_RETURN(auto conditions, WhereClause(stored->schema()));
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_ASSIGN_OR_RETURN(int changed,
-                           db_->Update(name, predicate, column, value));
+                           db_->Update(name, conditions, column, value));
     QueryResult result;
     result.affected = changed;
     result.message = std::to_string(changed) + " row(s) updated";
@@ -434,10 +440,9 @@ class Parser {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("FROM"));
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
-    SQLNF_ASSIGN_OR_RETURN(auto predicate,
-                           WhereClause(stored->data.schema()));
+    SQLNF_ASSIGN_OR_RETURN(auto conditions, WhereClause(stored->schema()));
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
-    SQLNF_ASSIGN_OR_RETURN(int removed, db_->Delete(name, predicate));
+    SQLNF_ASSIGN_OR_RETURN(int removed, db_->Delete(name, conditions));
     QueryResult result;
     result.affected = removed;
     result.message = std::to_string(removed) + " row(s) deleted";
@@ -463,8 +468,7 @@ class Parser {
     for (const std::string& name : db_->TableNames()) {
       auto stored = db_->Find(name);
       SQLNF_RETURN_NOT_OK(listing.AddRow(Tuple(
-          {Value::Str(name),
-           Value::Int((*stored)->data.num_rows())})));
+          {Value::Str(name), Value::Int((*stored)->num_rows())})));
     }
     QueryResult result;
     result.message = std::to_string(listing.num_rows()) + " table(s)";
@@ -476,7 +480,7 @@ class Parser {
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
-    const TableSchema& schema = stored->data.schema();
+    const TableSchema& schema = stored->schema();
     SQLNF_ASSIGN_OR_RETURN(
         TableSchema out_schema,
         TableSchema::Make("columns", {"column", "not_null"}));
@@ -487,7 +491,7 @@ class Parser {
                  Value::Str(schema.nfs().Contains(a) ? "yes" : "no")})));
     }
     QueryResult result;
-    result.message = "constraints: " + stored->sigma.ToString(schema);
+    result.message = "constraints: " + stored->sigma().ToString(schema);
     result.rows = std::move(listing);
     return result;
   }

@@ -63,7 +63,7 @@ TEST(DatabaseTest, InsertEnforcesCertainKeyOverNullableColumns) {
   // Different item: fine.
   EXPECT_OK(db.Insert("T", Row({"Dora", nullptr, "25"})));
   ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
-  EXPECT_EQ(stored->data.num_rows(), 2);
+  EXPECT_EQ(stored->num_rows(), 2);
 }
 
 TEST(DatabaseTest, InsertEnforcesCertainFd) {
@@ -83,8 +83,8 @@ TEST(DatabaseTest, RejectedWritesLeaveTableUntouched) {
   ASSERT_OK(db.Insert("T", Row({"1", "x"})));
   EXPECT_FALSE(db.Insert("T", Row({"1", "y"})).ok());
   ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
-  EXPECT_EQ(stored->data.num_rows(), 1);
-  EXPECT_EQ(stored->data.row(0)[1], Value::Str("x"));
+  EXPECT_EQ(stored->num_rows(), 1);
+  EXPECT_EQ(stored->DecodeRow(0)[1], Value::Str("x"));
 }
 
 TEST(DatabaseTest, UpdateValidatesPostImageAtomically) {
@@ -103,7 +103,7 @@ TEST(DatabaseTest, UpdateValidatesPostImageAtomically) {
   auto rejected = db.Update("T", one_row, 2, Value::Str("y"));
   EXPECT_FALSE(rejected.ok());
   ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
-  EXPECT_EQ(stored->data.row(0)[2], Value::Str("x"));  // untouched
+  EXPECT_EQ(stored->DecodeRow(0)[2], Value::Str("x"));  // untouched
   // Changing both rows together is consistent.
   ASSERT_OK_AND_ASSIGN(
       int changed,
@@ -138,7 +138,7 @@ TEST(DatabaseTest, DeleteNeverViolates) {
       db.Delete("T", [](const Tuple& t) { return t[0] == Value::Str("1"); }));
   EXPECT_EQ(removed, 1);
   ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
-  EXPECT_EQ(stored->data.num_rows(), 1);
+  EXPECT_EQ(stored->num_rows(), 1);
 }
 
 TEST(DatabaseTest, UpdateAndDeleteMaintainIndexWithoutRebuild) {
@@ -175,7 +175,7 @@ TEST(DatabaseTest, UpdateAndDeleteMaintainIndexWithoutRebuild) {
 
   // All of the above ran on the incremental paths only.
   ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
-  EXPECT_EQ(stored->enforcer.rebuilds(), 0);
+  EXPECT_EQ(stored->enforcer().rebuilds(), 0);
 }
 
 TEST(DatabaseTest, MutationsKeepEnforcerConsistentRandomized) {
@@ -216,13 +216,12 @@ TEST(DatabaseTest, MutationsKeepEnforcerConsistentRandomized) {
       // The incrementally maintained index must agree with the
       // from-scratch reference on arbitrary candidate rows.
       ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
-      ASSERT_EQ(stored->enforcer.rebuilds(), 0);
+      ASSERT_EQ(stored->enforcer().rebuilds(), 0);
       for (int k = 0; k < 8; ++k) {
         Tuple candidate = random_row();
-        const auto incremental =
-            stored->enforcer.Check(stored->data, candidate);
+        const auto incremental = stored->enforcer().Check(candidate);
         const auto reference =
-            ValidateRowAgainst(stored->data, candidate, sigma);
+            ValidateRowAgainst(stored->Materialize(), candidate, sigma);
         ASSERT_EQ(incremental.has_value(), reference.has_value())
             << "trial " << trial << " step " << step;
       }

@@ -28,6 +28,10 @@
 #include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/core/encoded_table.h"
 #include "sqlnf/datagen/generator.h"
+#include "sqlnf/decomposition/encoded_ops.h"
+#include "sqlnf/decomposition/lossless.h"
+#include "sqlnf/engine/catalog.h"
+#include "sqlnf/engine/relops.h"
 #include "sqlnf/engine/validate.h"
 #include "sqlnf/util/rng.h"
 #include "reference_oracle.h"
@@ -369,6 +373,252 @@ TEST(DifferentialTest, PinnedCorners) {
       }
     }
     ++idx;
+  }
+}
+
+// ===================== Columnar executor section =====================
+//
+// The encoded operators (decomposition/encoded_ops.h, the encoded DML
+// of engine/relops.h, and the Database columnar paths) must produce
+// multiset-identical results to their row-major reference counterparts
+// on the same instance. Joins run at threads ∈ {1, 4}; Theorem-11
+// lossless verdicts must agree between the two executors.
+
+// Decoded result of an encoded operator vs its row-major reference:
+// multiset-equal under Table semantics AND code-level multiset-equal
+// after re-encoding the reference (so SameMultisetEncoded's dictionary
+// translation is crossed against Table::SameMultiset on every draw).
+void ExpectSameRelation(const Table& ref, const EncodedRelation& got,
+                        const std::string& what) {
+  const Table decoded = got.ToTable();
+  EXPECT_EQ(ref.num_rows(), decoded.num_rows()) << what;
+  EXPECT_TRUE(ref.SameMultiset(decoded)) << what;
+  EXPECT_TRUE(SameMultisetEncoded(EncodedTable(ref), got.columns)) << what;
+}
+
+// Random WHERE clause over `table`: 1–2 column=value conditions, values
+// mostly drawn from stored rows (hits), sometimes ⊥ (matches exactly
+// the ⊥ cells) or a constant no dictionary has seen (matches nothing).
+std::vector<ColumnCondition> RandomConditions(Rng* rng, const Table& table) {
+  std::vector<ColumnCondition> conds;
+  const int k = 1 + static_cast<int>(rng->Index(2));
+  for (int i = 0; i < k; ++i) {
+    const AttributeId col =
+        static_cast<AttributeId>(rng->Index(table.num_columns()));
+    Value v;
+    if (table.num_rows() > 0 && rng->Chance(0.7)) {
+      v = table.row(static_cast<int>(rng->Index(table.num_rows())))[col];
+    } else if (rng->Chance(0.4)) {
+      v = Value::Null();
+    } else {
+      v = Value::Str("never-stored");
+    }
+    conds.push_back({col, std::move(v)});
+  }
+  return conds;
+}
+
+// --- Executor sweep 1: projections, joins, and the Theorem-11 lossless
+// round trip, encoded vs row-major, on ~100 seeded random tables.
+TEST(DifferentialTest, ExecutorProjectionsAndJoins) {
+  Rng rng(20260807);
+  const int tables = ScaledIters(100);
+  for (int iter = 0; iter < tables; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(2, 6));
+    const TableSchema schema = RandomSchema(&rng, cols);
+    const Table table =
+        RandomInstance(&rng, schema, static_cast<int>(rng.Uniform(0, 60)),
+                       /*domain=*/3, rng.NextDouble() * 0.5);
+    const EncodedTable enc(table);
+    const std::string what = "executor iter=" + std::to_string(iter);
+
+    // Projections I[X] and I[[X]] on a random non-empty X.
+    AttributeSet x = RandomSubset(&rng, cols);
+    if (x.empty()) {
+      x = AttributeSet::Single(static_cast<AttributeId>(rng.Index(cols)));
+    }
+    auto set_ref = ProjectSet(table, x, "p");
+    auto set_enc = ProjectSetEncoded(schema, enc, x, "p");
+    ASSERT_OK(set_ref.status()) << what;
+    ASSERT_OK(set_enc.status()) << what;
+    ExpectSameRelation(set_ref.value(), set_enc.value(), what + " [set]");
+
+    auto multi_ref = ProjectMultiset(table, x, "m");
+    auto multi_enc = ProjectMultisetEncoded(schema, enc, x, "m");
+    ASSERT_OK(multi_ref.status()) << what;
+    ASSERT_OK(multi_enc.status()) << what;
+    ExpectSameRelation(multi_ref.value(), multi_enc.value(),
+                       what + " [multiset]");
+
+    // Theorem 11 decomposition by a random FD: the encoded join of the
+    // encoded projections must reproduce the row-major join, and the
+    // lossless-for-instance verdicts must agree — at both thread counts.
+    // LHS must be non-empty: an empty X with XY = T makes the first
+    // component X(T−XY) empty, which both executors reject.
+    FunctionalDependency fd;
+    fd.lhs = RandomSubset(&rng, cols);
+    fd.rhs = RandomSubset(&rng, cols);
+    if (fd.lhs.empty()) {
+      fd.lhs = AttributeSet::Single(static_cast<AttributeId>(rng.Index(cols)));
+    }
+    if (fd.rhs.empty()) {
+      fd.rhs = AttributeSet::Single(static_cast<AttributeId>(rng.Index(cols)));
+    }
+    const Decomposition d = DecomposeByFd(schema, fd);
+    auto join_ref = JoinComponents(table, d);
+    ASSERT_OK(join_ref.status()) << what;
+    auto lossless_ref = IsLosslessForInstance(table, d);
+    ASSERT_OK(lossless_ref.status()) << what;
+    for (int threads : {1, 4}) {
+      const ParallelOptions par{threads};
+      const std::string tag = what + " t=" + std::to_string(threads);
+      auto join_enc = JoinComponentsEncoded(schema, enc, d, par);
+      ASSERT_OK(join_enc.status()) << tag;
+      // Align the join's component-ordered columns with the reference.
+      std::vector<AttributeId> mapping;
+      for (AttributeId a = 0; a < join_ref.value().num_columns(); ++a) {
+        auto j = join_enc.value().schema.FindAttribute(
+            join_ref.value().schema().attribute_name(a));
+        ASSERT_OK(j.status()) << tag;
+        mapping.push_back(j.value());
+      }
+      const EncodedRelation aligned{
+          join_ref.value().schema(),
+          join_enc.value().columns.GatherColumns(mapping)};
+      ExpectSameRelation(join_ref.value(), aligned, tag + " [join]");
+
+      auto lossless_enc = IsLosslessForInstanceEncoded(schema, enc, d, par);
+      ASSERT_OK(lossless_enc.status()) << tag;
+      EXPECT_EQ(lossless_enc.value(), lossless_ref.value()) << tag;
+    }
+    // Theorem 11 itself: when the instance satisfies the c-FD, the
+    // decomposition must be lossless for it.
+    fd.mode = Mode::kCertain;
+    if (Satisfies(table, fd)) {
+      EXPECT_TRUE(lossless_ref.value()) << what << " [thm11]";
+    }
+  }
+}
+
+// --- Executor sweep 2: DML on codes vs DML on rows. SelectRowsEncoded,
+// UpdateWhereEncoded and DeleteWhereEncoded against the predicate-based
+// reference operators with the equivalent ColumnCondition predicate.
+TEST(DifferentialTest, ExecutorDmlOnCodes) {
+  Rng rng(31337);
+  const int tables = ScaledIters(100);
+  for (int iter = 0; iter < tables; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(2, 6));
+    const TableSchema schema = RandomSchema(&rng, cols);
+    const Table table =
+        RandomInstance(&rng, schema, static_cast<int>(rng.Uniform(0, 50)),
+                       /*domain=*/3, rng.NextDouble() * 0.5);
+    const std::string what = "dml iter=" + std::to_string(iter);
+    const std::vector<ColumnCondition> conds = RandomConditions(&rng, table);
+    auto pred = [&](const Tuple& t) { return MatchesConditions(t, conds); };
+
+    // Selection: same rows, in the same (ascending) scan order.
+    const EncodedTable enc(table);
+    const Table sel_ref = SelectWhere(table, pred);
+    const std::vector<int> sel = SelectRowsEncoded(enc, conds);
+    const Table sel_enc = enc.GatherRows(sel).Decode(schema);
+    EXPECT_EQ(sel_ref.num_rows(), sel_enc.num_rows()) << what;
+    for (int i = 0; i < sel_ref.num_rows() && i < sel_enc.num_rows(); ++i) {
+      EXPECT_EQ(sel_ref.row(i), sel_enc.row(i)) << what << " row " << i;
+    }
+
+    // Update: a fresh non-⊥ value into a random column (⊥ would trip
+    // the reference path's NFS guard, which the raw encoded op — used
+    // below the Database layer, where the enforcer owns that check —
+    // deliberately lacks).
+    const AttributeId target =
+        static_cast<AttributeId>(rng.Index(cols));
+    const Value new_value =
+        rng.Chance(0.5)
+            ? Value::Str("updated-" + std::to_string(iter))
+            : (table.num_rows() > 0
+                   ? table.row(static_cast<int>(
+                         rng.Index(table.num_rows())))[target]
+                   : Value::Str("updated"));
+    if (!new_value.is_null()) {
+      Table upd_ref = table;
+      EncodedTable upd_enc(table);
+      auto changed_ref = UpdateWhere(&upd_ref, pred, target, new_value);
+      ASSERT_OK(changed_ref.status()) << what;
+      const int changed_enc =
+          UpdateWhereEncoded(&upd_enc, conds, target, new_value);
+      EXPECT_EQ(changed_ref.value(), changed_enc) << what;
+      EXPECT_TRUE(upd_ref.SameMultiset(upd_enc.Decode(schema))) << what;
+    }
+
+    // Delete: same removed count, identical survivors.
+    Table del_ref = table;
+    EncodedTable del_enc(table);
+    const int removed_ref = DeleteWhere(&del_ref, pred);
+    const int removed_enc = DeleteWhereEncoded(&del_enc, conds);
+    EXPECT_EQ(removed_ref, removed_enc) << what;
+    EXPECT_TRUE(del_ref.SameMultiset(del_enc.Decode(schema))) << what;
+  }
+}
+
+// --- Executor sweep 3: the Database columnar DML end to end. With an
+// empty Σ (and an empty NFS, so no rejections) every Insert / Select /
+// Update / Delete through the catalog must track a shadow row-major
+// Table driven by the reference operators.
+TEST(DifferentialTest, DatabaseColumnarDmlMatchesShadowTable) {
+  Rng rng(60606);
+  const int runs = ScaledIters(40);
+  for (int iter = 0; iter < runs; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(2, 5));
+    std::string attrs;
+    for (int i = 0; i < cols; ++i) attrs.push_back(static_cast<char>('a' + i));
+    const TableSchema schema = testing::Schema(attrs, /*not_null=*/"");
+    Table shadow =
+        RandomInstance(&rng, schema, static_cast<int>(rng.Uniform(0, 40)),
+                       /*domain=*/3, rng.NextDouble() * 0.4);
+    const std::string what = "db iter=" + std::to_string(iter);
+
+    Database db;
+    ASSERT_OK(db.IngestTable(shadow, ConstraintSet{})) << what;
+    auto stored = db.Find(schema.name());
+    ASSERT_OK(stored.status()) << what;
+
+    const int ops = static_cast<int>(rng.Uniform(3, 8));
+    for (int op = 0; op < ops; ++op) {
+      const std::vector<ColumnCondition> conds =
+          RandomConditions(&rng, shadow);
+      auto pred = [&](const Tuple& t) { return MatchesConditions(t, conds); };
+      const int kind = static_cast<int>(rng.Index(4));
+      if (kind == 0) {  // INSERT
+        std::vector<Value> row;
+        for (int c = 0; c < cols; ++c) {
+          row.push_back(rng.Chance(0.2)
+                            ? Value::Null()
+                            : Value::Int(rng.Uniform(0, 2)));
+        }
+        Tuple t{std::move(row)};
+        ASSERT_OK(db.Insert(schema.name(), t)) << what;
+        ASSERT_OK(shadow.AddRow(t)) << what;
+      } else if (kind == 1) {  // SELECT
+        auto got = db.Select(schema.name(), conds);
+        ASSERT_OK(got.status()) << what;
+        EXPECT_TRUE(SelectWhere(shadow, pred).SameMultiset(got.value()))
+            << what;
+      } else if (kind == 2) {  // UPDATE (non-⊥ value: Σ empty, NFS empty)
+        const AttributeId target = static_cast<AttributeId>(rng.Index(cols));
+        const Value v = Value::Int(rng.Uniform(0, 2));
+        auto changed = db.Update(schema.name(), conds, target, v);
+        ASSERT_OK(changed.status()) << what;
+        auto changed_ref = UpdateWhere(&shadow, pred, target, v);
+        ASSERT_OK(changed_ref.status()) << what;
+        EXPECT_EQ(changed.value(), changed_ref.value()) << what;
+      } else {  // DELETE
+        auto removed = db.Delete(schema.name(), conds);
+        ASSERT_OK(removed.status()) << what;
+        EXPECT_EQ(removed.value(), DeleteWhere(&shadow, pred)) << what;
+      }
+      EXPECT_TRUE((*stored)->Materialize().SameMultiset(shadow))
+          << what << " after op " << op;
+    }
   }
 }
 

@@ -23,18 +23,18 @@ TEST(EnforcerTest, BasicConflicts) {
   IncrementalEnforcer enforcer(schema, sigma);
 
   Tuple first({Value::Str("F"), Value::Str("A"), Value::Str("1")});
-  EXPECT_FALSE(enforcer.Check(table, first).has_value());
+  EXPECT_FALSE(enforcer.Check(first).has_value());
   enforcer.Add(first, 0);
   ASSERT_OK(table.AddRow(first));
 
   // Weak key collision through ⊥.
   Tuple collide({Value::Str("F"), Value::Null(), Value::Str("1")});
-  auto v = enforcer.Check(table, collide);
+  auto v = enforcer.Check(collide);
   ASSERT_TRUE(v.has_value());
   EXPECT_EQ(v->row1, 0);
 
   Tuple fine({Value::Str("G"), Value::Null(), Value::Str("2")});
-  EXPECT_FALSE(enforcer.Check(table, fine).has_value());
+  EXPECT_FALSE(enforcer.Check(fine).has_value());
 }
 
 TEST(EnforcerTest, RebuildAfterMutation) {
@@ -45,11 +45,11 @@ TEST(EnforcerTest, RebuildAfterMutation) {
   Tuple row({Value::Str("1"), Value::Str("x")});
   enforcer.Add(row, 0);
   ASSERT_OK(table.AddRow(row));
-  EXPECT_TRUE(enforcer.Check(table, row).has_value());
+  EXPECT_TRUE(enforcer.Check(row).has_value());
   // Simulate a delete + rebuild: the conflict disappears.
   Table empty(schema);
   enforcer.Rebuild(empty);
-  EXPECT_FALSE(enforcer.Check(empty, row).has_value());
+  EXPECT_FALSE(enforcer.Check(row).has_value());
 }
 
 class EnforcerPropertyTest : public ::testing::TestWithParam<int> {};
@@ -73,7 +73,7 @@ TEST_P(EnforcerPropertyTest, MatchesReferenceRowValidation) {
                              : Value::Int(rng.Uniform(0, 2)));
       }
       Tuple row(std::move(values));
-      auto fast = enforcer.Check(table, row);
+      auto fast = enforcer.Check(row);
       auto reference = ValidateRowAgainst(table, row, sigma);
       EXPECT_EQ(fast.has_value(), reference.has_value())
           << "step " << step << " sigma " << sigma.ToString(schema)
@@ -135,11 +135,12 @@ TEST(EnforcerTest, EncodingStaysConsistentAcrossWriteWorkload) {
       }
       ASSERT_OK_AND_ASSIGN(const StoredTable* stored, db.Find("T"));
       ASSERT_TRUE(
-          stored->enforcer.encoding().EquivalentTo(EncodedTable(stored->data)))
+          stored->enforcer().encoding().EquivalentTo(
+              EncodedTable(stored->Materialize())))
           << "trial=" << trial << " step=" << step << "\n"
-          << stored->data.ToString();
-      EXPECT_EQ(stored->enforcer.rebuilds(), 0);
-      EXPECT_TRUE(SatisfiesAll(stored->data, sigma));
+          << stored->Materialize().ToString();
+      EXPECT_EQ(stored->enforcer().rebuilds(), 0);
+      EXPECT_TRUE(SatisfiesAll(stored->Materialize(), sigma));
     }
     EXPECT_GT(accepted, 0) << "trial=" << trial;
   }

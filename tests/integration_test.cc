@@ -178,8 +178,8 @@ TEST(IntegrationTest, DdlRoundTripsThroughSqlEngine) {
                        db.Find(parts[0].schema().name()));
   ASSERT_OK_AND_ASSIGN(const StoredTable* set_part,
                        db.Find(parts[1].schema().name()));
-  EXPECT_EQ(rest->data.num_rows(), 4);
-  EXPECT_EQ(set_part->data.num_rows(), 2);
+  EXPECT_EQ(rest->num_rows(), 4);
+  EXPECT_EQ(set_part->num_rows(), 2);
 }
 
 // The full LMRP contractor pipeline with validators instead of the

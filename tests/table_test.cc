@@ -147,6 +147,36 @@ TEST(TableTest, NullFreeColumnsCacheTracksMutations) {
   EXPECT_EQ(t.NullFreeColumns(), (AttributeSet{0, 1}));
 }
 
+TEST(TableTest, SetCellMaintainsNullCounts) {
+  TableSchema schema = Schema("abc");
+  Table t(schema);
+  ASSERT_OK(t.AddRowText({"1", "NULL", "2"}));
+  ASSERT_OK(t.AddRowText({"3", "4", "5"}));
+  EXPECT_EQ(t.CountNulls(1), 1);
+  EXPECT_EQ(t.NullFreeColumns(), (AttributeSet{0, 2}));
+
+  // Writes through SetCell keep the counts exact — no invalidation.
+  t.SetCell(0, 1, Value::Str("x"));
+  EXPECT_EQ(t.CountNulls(1), 0);
+  EXPECT_EQ(t.NullFreeColumns(), AttributeSet::FullSet(3));
+  t.SetCell(1, 0, Value::Null());
+  EXPECT_EQ(t.CountNulls(0), 1);
+  EXPECT_EQ(t.NullFreeColumns(), (AttributeSet{1, 2}));
+  // ⊥ over ⊥ and value over value leave the counts unchanged.
+  t.SetCell(1, 0, Value::Null());
+  EXPECT_EQ(t.CountNulls(0), 1);
+  t.SetCell(0, 2, Value::Str("7"));
+  EXPECT_EQ(t.CountNulls(2), 0);
+
+  // SetCell composes with an invalidating mutable_row write: the next
+  // query recounts, and subsequent SetCell updates stay exact.
+  (*t.mutable_row(0))[0] = Value::Null();
+  t.SetCell(1, 1, Value::Null());
+  EXPECT_EQ(t.CountNulls(0), 2);
+  EXPECT_EQ(t.CountNulls(1), 1);
+  EXPECT_EQ(t.NullFreeColumns(), AttributeSet{2});
+}
+
 TEST(SimilarityTest, EmptySetAlwaysSimilar) {
   TableSchema schema = Schema("a");
   Table t = Rows(schema, {"1", "2"});

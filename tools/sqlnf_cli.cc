@@ -16,6 +16,9 @@
 //   sqlnf validate <csv-file> '<constraints>' [--threads N]
 //       Validate a constraint set against the data with the columnar
 //       dictionary-encoded kernels; prints a witness per violation.
+//   sqlnf query <csv-file> '<sql>'
+//       Load a CSV into a table named after the file stem and run SQL
+//       against it on the columnar executor.
 //   sqlnf shell [script.sql]
 //       Run SQL (with the CERTAIN KEY / CERTAIN FD extensions, enforced
 //       on every write) from a script file or interactively from stdin.
@@ -67,6 +70,7 @@ int Usage() {
       "  advise <csv-file>                  mine + normalize + DDL\n"
       "  validate <csv-file> <constraints> [--threads N]\n"
       "                                     columnar constraint check\n"
+      "  query <csv-file> <sql>             run SQL against a CSV\n"
       "  shell [script.sql]                 SQL with enforced c-keys/FDs\n");
   return 2;
 }
@@ -277,6 +281,34 @@ int CmdValidate(const std::string& path, const std::string& sigma_text,
   return violated == 0 ? 0 : 1;
 }
 
+int CmdQuery(const std::string& path, const std::string& sql) {
+  // The table is named after the file stem: data/contractor.csv is
+  // queried as `contractor`.
+  std::string stem = path;
+  const size_t slash = stem.find_last_of("/\\");
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  const size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  CsvOptions options;
+  options.table_name = stem;
+  auto table = ReadCsvFile(path, options);
+  if (!table.ok()) return Fail(table.status());
+
+  Database db;
+  Status ingested = db.IngestTable(*table, ConstraintSet{});
+  if (!ingested.ok()) return Fail(ingested);
+  std::printf("loaded '%s': %d rows x %d columns\n\n", stem.c_str(),
+              table->num_rows(), table->num_columns());
+
+  SqlSession session(&db);
+  auto results = session.ExecuteScript(sql);
+  if (!results.ok()) return Fail(results.status());
+  for (const QueryResult& result : *results) {
+    std::printf("%s\n", result.ToString().c_str());
+  }
+  return 0;
+}
+
 int CmdAdvise(const std::string& path) {
   auto table = ReadCsvFile(path);
   if (!table.ok()) return Fail(table.status());
@@ -331,6 +363,10 @@ int main(int argc, char** argv) {
   }
   if (command == "mine") return sqlnf::CmdMine(arg);
   if (command == "advise") return sqlnf::CmdAdvise(arg);
+  if (command == "query") {
+    if (argc < 4) return sqlnf::Usage();
+    return sqlnf::CmdQuery(arg, argv[3]);
+  }
   if (command == "validate") {
     if (argc < 4) return sqlnf::Usage();
     int threads = 1;
