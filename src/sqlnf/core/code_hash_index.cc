@@ -1,0 +1,82 @@
+#include "sqlnf/core/code_hash_index.h"
+
+#include <algorithm>
+
+#include "sqlnf/util/fnv.h"
+#include "sqlnf/util/parallel.h"
+
+namespace sqlnf {
+
+uint64_t CodeHashIndex::HashKey(
+    const std::vector<const std::vector<uint32_t>*>& keys, int row) {
+  uint64_t h = kFnv64OffsetBasis;
+  for (const std::vector<uint32_t>* col : keys) {
+    h = FnvMix(h, (*col)[row]);
+  }
+  return h;
+}
+
+CodeHashIndex::CodeHashIndex(
+    const std::vector<const std::vector<uint32_t>*>& keys, int rows,
+    ThreadPool* pool) {
+  uint64_t buckets = 1;
+  while (buckets < static_cast<uint64_t>(rows)) buckets <<= 1;
+  mask_ = buckets - 1;
+  hashes_.resize(rows);
+  starts_.assign(buckets + 1, 0);
+  row_ids_.resize(rows);
+  if (rows == 0) return;
+
+  // One histogram per chunk keeps the fill pass synchronization-free;
+  // chunks = threads bounds the transient memory at threads × buckets.
+  const int chunks = pool == nullptr ? 1 : pool->num_threads();
+  const int per_chunk = (rows + chunks - 1) / chunks;
+  std::vector<uint32_t> cursors(static_cast<size_t>(chunks) * buckets, 0);
+  auto run = [&](const std::function<void(int)>& task) {
+    if (pool == nullptr) {
+      task(0);
+    } else {
+      pool->RunTasks(chunks, task);
+    }
+  };
+
+  // Count: hash every row once, histogram per (chunk, bucket).
+  run([&](int c) {
+    uint32_t* counts = cursors.data() + static_cast<size_t>(c) * buckets;
+    const int b = c * per_chunk;
+    const int e = std::min(rows, b + per_chunk);
+    for (int row = b; row < e; ++row) {
+      const uint64_t h = HashKey(keys, row);
+      hashes_[row] = h;
+      ++counts[Fold(h) & mask_];
+    }
+  });
+
+  // Exclusive prefix sum, bucket-major with chunks in order inside each
+  // bucket: chunk c's cursor for bucket b starts where chunk c−1's rows
+  // for b end, so ascending chunks (= ascending row ranges) land in
+  // ascending slots and every bucket lists its rows in ascending order.
+  uint32_t total = 0;
+  for (uint64_t b = 0; b < buckets; ++b) {
+    starts_[b] = total;
+    for (int c = 0; c < chunks; ++c) {
+      uint32_t* cursor = cursors.data() + static_cast<size_t>(c) * buckets + b;
+      const uint32_t count = *cursor;
+      *cursor = total;
+      total += count;
+    }
+  }
+  starts_[buckets] = total;
+
+  // Fill: scatter row ids through the per-chunk cursors.
+  run([&](int c) {
+    uint32_t* cursor = cursors.data() + static_cast<size_t>(c) * buckets;
+    const int b = c * per_chunk;
+    const int e = std::min(rows, b + per_chunk);
+    for (int row = b; row < e; ++row) {
+      row_ids_[cursor[Fold(hashes_[row]) & mask_]++] = row;
+    }
+  });
+}
+
+}  // namespace sqlnf

@@ -1,6 +1,10 @@
 #include "sqlnf/core/encoded_table.h"
 
 #include <cassert>
+#include <utility>
+
+#include "sqlnf/core/code_hash_index.h"
+#include "sqlnf/util/parallel.h"
 
 namespace sqlnf {
 
@@ -107,12 +111,16 @@ Table EncodedTable::Decode(const TableSchema& schema) const {
   return out;
 }
 
-EncodedTable EncodedTable::GatherRows(const std::vector<int>& rows) const {
+EncodedTable EncodedTable::GatherRows(const std::vector<int>& rows,
+                                      ThreadPool* pool) const {
   EncodedTable out(0);
   out.encoded_ = encoded_;
   out.columns_.resize(columns_.size());
   out.num_rows_ = static_cast<int>(rows.size());
-  for (AttributeId col : encoded_) {
+  std::vector<AttributeId> cols;
+  cols.reserve(encoded_.size());
+  for (AttributeId col : encoded_) cols.push_back(col);
+  auto gather_one = [&](AttributeId col) {
     const Column& src = columns_[col];
     Column& dst = out.columns_[col];
     dst.values = src.values;
@@ -123,19 +131,67 @@ EncodedTable EncodedTable::GatherRows(const std::vector<int>& rows) const {
       if (code == kNullCode) ++dst.null_count;
       dst.codes.push_back(code);
     }
+  };
+  if (pool != nullptr && cols.size() > 1) {
+    pool->RunTasks(static_cast<int>(cols.size()),
+                   [&](int j) { gather_one(cols[j]); });
+  } else {
+    for (AttributeId col : cols) gather_one(col);
   }
   return out;
 }
 
-EncodedTable EncodedTable::GatherColumns(
-    const std::vector<AttributeId>& cols) const {
+EncodedTable EncodedTable::GatherColumns(const std::vector<AttributeId>& cols,
+                                         ThreadPool* pool) const {
   EncodedTable out(static_cast<int>(cols.size()));
   out.num_rows_ = num_rows_;
-  for (size_t j = 0; j < cols.size(); ++j) {
+  auto copy_one = [&](size_t j) {
     assert(encoded_.Contains(cols[j]));
     out.columns_[j] = columns_[cols[j]];
+  };
+  if (pool != nullptr && cols.size() > 1) {
+    pool->RunTasks(static_cast<int>(cols.size()),
+                   [&](int j) { copy_one(static_cast<size_t>(j)); });
+  } else {
+    for (size_t j = 0; j < cols.size(); ++j) copy_one(j);
   }
   return out;
+}
+
+EncodedTable EncodedTable::AllocateTarget(
+    const std::vector<std::pair<const EncodedTable*, AttributeId>>& sources,
+    int num_rows) {
+  EncodedTable out(static_cast<int>(sources.size()));
+  out.num_rows_ = num_rows;
+  for (size_t j = 0; j < sources.size(); ++j) {
+    const auto& [src, col] = sources[j];
+    assert(src->encoded_.Contains(col));
+    Column& dst = out.columns_[j];
+    dst.values = src->columns_[col].values;
+    dst.dict = src->columns_[col].dict;
+    dst.codes.resize(num_rows);
+  }
+  return out;
+}
+
+void EncodedTable::RecountNulls(ThreadPool* pool) {
+  auto recount_one = [&](AttributeId col) {
+    Column& c = columns_[col];
+    int nulls = 0;
+    for (uint32_t code : c.codes) {
+      if (code == kNullCode) ++nulls;
+    }
+    c.null_count = nulls;
+  };
+  std::vector<AttributeId> cols;
+  cols.reserve(encoded_.size());
+  for (AttributeId col : encoded_) cols.push_back(col);
+  if (pool != nullptr && cols.size() > 1) {
+    pool->RunTasks(static_cast<int>(cols.size()),
+                   [&](int j) { recount_one(cols[j]); });
+  } else {
+    for (AttributeId col : cols) recount_one(col);
+  }
 }
 
 EncodedTable EncodedTable::Concat(const EncodedTable& left,
@@ -154,31 +210,21 @@ EncodedTable EncodedTable::Concat(const EncodedTable& left,
   return out;
 }
 
-namespace {
-// FNV-1a over one row's codes; the same mix the grouped validators use.
-inline uint64_t HashCodeRow(const std::vector<const std::vector<uint32_t>*>&
-                                cols,
-                            int row) {
-  uint64_t h = 1469598103934665603ull;
-  for (const std::vector<uint32_t>* codes : cols) {
-    h ^= (*codes)[row];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-}  // namespace
-
-std::vector<int> EncodedTable::DistinctRows() const {
+std::vector<int> EncodedTable::DistinctRows(ThreadPool* pool) const {
   std::vector<const std::vector<uint32_t>*> cols;
   cols.reserve(encoded_.size());
   for (AttributeId col : encoded_) cols.push_back(&columns_[col].codes);
-  std::vector<int> out;
-  std::unordered_map<uint64_t, std::vector<int>> buckets;
-  buckets.reserve(static_cast<size_t>(num_rows_));
-  for (int row = 0; row < num_rows_; ++row) {
-    std::vector<int>& bucket = buckets[HashCodeRow(cols, row)];
-    bool seen = false;
-    for (int prior : bucket) {
+
+  // CSR hash index over all row codes; a row is a first occurrence iff
+  // the bucket walk (ascending) reaches the row itself before any equal
+  // row. Duplicates stop at their group's first row, so the walk is
+  // O(1) for them; only hash collisions scan further.
+  const CodeHashIndex index(cols, num_rows_, pool);
+  auto is_first = [&](int row) {
+    const CodeHashIndex::Range bucket = index.Bucket(index.row_hash(row));
+    for (const int* p = bucket.begin; p != bucket.end; ++p) {
+      const int prior = *p;
+      if (prior == row) return true;
       bool same = true;
       for (const std::vector<uint32_t>* codes : cols) {
         if ((*codes)[row] != (*codes)[prior]) {
@@ -186,15 +232,29 @@ std::vector<int> EncodedTable::DistinctRows() const {
           break;
         }
       }
-      if (same) {
-        seen = true;
-        break;
-      }
+      if (same) return false;
     }
-    if (seen) continue;
-    bucket.push_back(row);
-    out.push_back(row);
-  }
+    return true;
+  };
+
+  std::vector<int> out;
+  ParallelEmit(
+      pool, 0, num_rows_,
+      [&](int64_t b, int64_t e) {
+        int64_t n = 0;
+        for (int64_t row = b; row < e; ++row) {
+          if (is_first(static_cast<int>(row))) ++n;
+        }
+        return n;
+      },
+      [&](int64_t total) { out.resize(total); },
+      [&](int64_t b, int64_t e, int64_t offset) {
+        for (int64_t row = b; row < e; ++row) {
+          if (is_first(static_cast<int>(row))) {
+            out[offset++] = static_cast<int>(row);
+          }
+        }
+      });
   return out;
 }
 

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sqlnf/core/attribute_set.h"
@@ -34,6 +35,8 @@
 #include "sqlnf/core/value.h"
 
 namespace sqlnf {
+
+class ThreadPool;
 
 /// Column-coded view of a table: per column, one uint32 code per row.
 class EncodedTable {
@@ -108,13 +111,39 @@ class EncodedTable {
 
   /// The listed rows (any order, duplicates allowed) gathered into a new
   /// encoding. Dictionaries are copied unchanged, so codes keep their
-  /// meaning — this is how a selection vector materializes.
-  EncodedTable GatherRows(const std::vector<int>& rows) const;
+  /// meaning — this is how a selection vector materializes. With a pool
+  /// the per-column gathers run as parallel tasks (identical result).
+  EncodedTable GatherRows(const std::vector<int>& rows,
+                          ThreadPool* pool = nullptr) const;
 
   /// The listed columns (any order, duplicates allowed) as a new, fully
   /// encoded table: column j of the result is column cols[j] here. Every
-  /// listed column must be encoded.
-  EncodedTable GatherColumns(const std::vector<AttributeId>& cols) const;
+  /// listed column must be encoded. With a pool the column copies run as
+  /// parallel tasks (identical result).
+  EncodedTable GatherColumns(const std::vector<AttributeId>& cols,
+                             ThreadPool* pool = nullptr) const;
+
+  /// An allocated-but-unfilled gather target for two-phase (count/fill)
+  /// writers: column j copies the dictionary of column sources[j].second
+  /// of *sources[j].first and gets a code vector sized to `num_rows`
+  /// with unspecified contents. The writer must store a code into every
+  /// slot through mutable_codes() and then call RecountNulls() — until
+  /// then row queries and null counts are meaningless.
+  static EncodedTable AllocateTarget(
+      const std::vector<std::pair<const EncodedTable*, AttributeId>>&
+          sources,
+      int num_rows);
+
+  /// Raw writable code slots of one column, for AllocateTarget fill
+  /// passes (distinct output windows may be written concurrently).
+  uint32_t* mutable_codes(AttributeId col) {
+    return columns_[col].codes.data();
+  }
+
+  /// Recomputes every column's ⊥ count from its codes — the seal step
+  /// after direct mutable_codes() writes. Parallel over columns with a
+  /// pool.
+  void RecountNulls(ThreadPool* pool = nullptr);
 
   /// Side-by-side concatenation of two fully encoded tables with equal
   /// row counts: left's columns, then right's.
@@ -124,8 +153,11 @@ class EncodedTable {
   /// Ascending row ids of the first occurrence of each distinct row
   /// (codes compared across all encoded columns) — the dedup behind set
   /// projection I[X]. Code equality is value equality per column, so no
-  /// Value is ever compared.
-  std::vector<int> DistinctRows() const;
+  /// Value is ever compared. Runs on a CSR hash index over the row
+  /// codes: a row is emitted iff no smaller row in its bucket carries
+  /// the same codes, a per-row test that parallelizes over morsels with
+  /// a pool; the emitted ids are identical at every thread count.
+  std::vector<int> DistinctRows(ThreadPool* pool = nullptr) const;
 
   /// The dictionary translation map from this encoding's codes in `col`
   /// into `other`'s code space for `other_col`: result[c] is the code

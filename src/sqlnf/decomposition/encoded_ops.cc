@@ -1,8 +1,14 @@
 #include "sqlnf/decomposition/encoded_ops.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
+#include <numeric>
+#include <optional>
 #include <unordered_map>
 #include <utility>
+
+#include "sqlnf/core/code_hash_index.h"
 
 namespace sqlnf {
 
@@ -23,25 +29,28 @@ std::vector<AttributeId> ToColumnList(const AttributeSet& x) {
 Result<EncodedRelation> ProjectMultisetEncoded(const TableSchema& schema,
                                                const EncodedTable& enc,
                                                const AttributeSet& x,
-                                               const std::string& name) {
+                                               const std::string& name,
+                                               ThreadPool* pool) {
   SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema, schema.Project(x, name));
   return EncodedRelation{std::move(out_schema),
-                         enc.GatherColumns(ToColumnList(x))};
+                         enc.GatherColumns(ToColumnList(x), pool)};
 }
 
 Result<EncodedRelation> ProjectSetEncoded(const TableSchema& schema,
                                           const EncodedTable& enc,
                                           const AttributeSet& x,
-                                          const std::string& name) {
+                                          const std::string& name,
+                                          ThreadPool* pool) {
   SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema, schema.Project(x, name));
-  EncodedTable gathered = enc.GatherColumns(ToColumnList(x));
-  std::vector<int> first = gathered.DistinctRows();
-  return EncodedRelation{std::move(out_schema), gathered.GatherRows(first)};
+  EncodedTable gathered = enc.GatherColumns(ToColumnList(x), pool);
+  std::vector<int> first = gathered.DistinctRows(pool);
+  return EncodedRelation{std::move(out_schema),
+                         gathered.GatherRows(first, pool)};
 }
 
 Result<std::vector<EncodedRelation>> ProjectAllEncoded(
     const TableSchema& schema, const EncodedTable& enc,
-    const Decomposition& d) {
+    const Decomposition& d, ThreadPool* pool) {
   SQLNF_RETURN_NOT_OK(d.Validate(schema));
   std::vector<EncodedRelation> out;
   out.reserve(d.components.size());
@@ -52,11 +61,12 @@ Result<std::vector<EncodedRelation>> ProjectAllEncoded(
     if (c.multiset) {
       SQLNF_ASSIGN_OR_RETURN(EncodedRelation r,
                              ProjectMultisetEncoded(schema, enc, c.attrs,
-                                                    name));
+                                                    name, pool));
       out.push_back(std::move(r));
     } else {
       SQLNF_ASSIGN_OR_RETURN(EncodedRelation r,
-                             ProjectSetEncoded(schema, enc, c.attrs, name));
+                             ProjectSetEncoded(schema, enc, c.attrs, name,
+                                               pool));
       out.push_back(std::move(r));
     }
   }
@@ -68,8 +78,7 @@ Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
                                             const TableSchema& rs,
                                             const EncodedTable& right_cols,
                                             const std::string& name,
-                                            const ParallelOptions& par) {
-
+                                            ThreadPool* pool) {
   // Column plan identical to the row-major EqualityJoin: all left
   // columns, then right-only; common columns pair up by name.
   std::vector<std::pair<AttributeId, AttributeId>> common;  // (l, r)
@@ -95,11 +104,77 @@ Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
   SQLNF_ASSIGN_OR_RETURN(TableSchema out_schema,
                          TableSchema::Make(name, out_names, out_not_null));
 
+  const int left_rows = left_cols.num_rows();
+  const int right_rows = right_cols.num_rows();
+  const int num_left_out = ls.num_attributes();
+
+  // Output layout: every left column, then the right-only columns, each
+  // keeping its source dictionary. AllocateTarget pre-sizes the code
+  // vectors once the count pass has fixed the row total; the fill pass
+  // writes codes straight into them.
+  std::vector<std::pair<const EncodedTable*, AttributeId>> sources;
+  sources.reserve(num_left_out + right_only.size());
+  for (AttributeId l = 0; l < num_left_out; ++l) {
+    sources.emplace_back(&left_cols, l);
+  }
+  for (AttributeId r : right_only) sources.emplace_back(&right_cols, r);
+  const size_t num_out = sources.size();
+
+  std::optional<EncodedTable> out;
+  std::vector<uint32_t*> dst(num_out, nullptr);
+  std::vector<const uint32_t*> src(num_out, nullptr);
+  for (size_t c = 0; c < num_out; ++c) {
+    src[c] = sources[c].first->column(sources[c].second).data();
+  }
+  auto allocate_out = [&](int64_t total) -> Status {
+    if (total > std::numeric_limits<int>::max()) {
+      return Status::Invalid("join result exceeds 2^31 rows");
+    }
+    out.emplace(EncodedTable::AllocateTarget(sources,
+                                             static_cast<int>(total)));
+    for (size_t c = 0; c < num_out; ++c) {
+      dst[c] = out->mutable_codes(static_cast<AttributeId>(c));
+    }
+    return Status::OK();
+  };
+  Status alloc_status = Status::OK();
+
+  if (common.empty()) {
+    // No shared columns: the join is the full cartesian product. The
+    // hash path would send every row through a single bucket; instead
+    // the output shape is known up front — left-major, right rows
+    // ascending, exactly the order the degenerate hash probe emitted —
+    // and each left morsel fills its own window with sequential copies.
+    const int64_t total =
+        static_cast<int64_t>(left_rows) * static_cast<int64_t>(right_rows);
+    SQLNF_RETURN_NOT_OK(allocate_out(total));
+    auto fill = [&](int64_t begin, int64_t end) {
+      for (int64_t i = begin; i < end; ++i) {
+        const int64_t base = i * right_rows;
+        for (size_t c = 0; c < static_cast<size_t>(num_left_out); ++c) {
+          // One left code replicated across the row's whole window.
+          std::fill(dst[c] + base, dst[c] + base + right_rows, src[c][i]);
+        }
+        for (size_t c = num_left_out; c < num_out; ++c) {
+          std::copy(src[c], src[c] + right_rows, dst[c] + base);
+        }
+      }
+    };
+    if (pool != nullptr && left_rows > 1) {
+      ParallelFor(*pool, 0, left_rows, fill);
+    } else {
+      fill(0, left_rows);
+    }
+    out->RecountNulls(pool);
+    return EncodedRelation{std::move(out_schema), std::move(*out)};
+  }
+
   // Carry the right side's common-column codes into the left side's code
   // space once per dictionary entry. kNullCode passes through (⊥ matches
   // only ⊥); a value the left never saw becomes kMissingCode, which
-  // matches no left code — exactly the equality-join semantics.
-  const int right_rows = right_cols.num_rows();
+  // matches no left code — exactly the equality-join semantics. The
+  // translation map is O(dictionary); the per-row carry loop is the
+  // rows-sized part and runs chunk-parallel.
   std::vector<std::vector<uint32_t>> rkey(common.size());
   for (size_t k = 0; k < common.size(); ++k) {
     const std::vector<uint32_t> map = right_cols.TranslationTo(
@@ -108,101 +183,164 @@ Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
     col.resize(right_rows);
     const std::vector<uint32_t>& codes =
         right_cols.column(common[k].second);
-    for (int j = 0; j < right_rows; ++j) {
-      col[j] = codes[j] == EncodedTable::kNullCode ? EncodedTable::kNullCode
-                                                   : map[codes[j]];
-    }
-  }
-
-  auto hash_right = [&](int j) {
-    uint64_t h = kFnvOffset;
-    for (size_t k = 0; k < common.size(); ++k) {
-      h ^= rkey[k][j];
-      h *= kFnvPrime;
-    }
-    return h;
-  };
-  auto hash_left = [&](int i) {
-    uint64_t h = kFnvOffset;
-    for (size_t k = 0; k < common.size(); ++k) {
-      h ^= left_cols.code(common[k].first, i);
-      h *= kFnvPrime;
-    }
-    return h;
-  };
-
-  std::unordered_map<uint64_t, std::vector<int>> index;
-  index.reserve(static_cast<size_t>(right_rows));
-  for (int j = 0; j < right_rows; ++j) index[hash_right(j)].push_back(j);
-
-  // Probe left rows; emitted order is left-major with right buckets in
-  // insertion order — identical at any thread count because chunks fold
-  // left-to-right.
-  using Matches = std::vector<std::pair<int, int>>;
-  auto probe = [&](int64_t begin, int64_t end) {
-    Matches m;
-    for (int64_t i = begin; i < end; ++i) {
-      auto it = index.find(hash_left(static_cast<int>(i)));
-      if (it == index.end()) continue;
-      for (int j : it->second) {
-        bool match = true;
-        for (size_t k = 0; k < common.size(); ++k) {
-          if (left_cols.code(common[k].first, static_cast<int>(i)) !=
-              rkey[k][j]) {
-            match = false;
-            break;
-          }
-        }
-        if (match) m.emplace_back(static_cast<int>(i), j);
+    auto carry = [&](int64_t begin, int64_t end) {
+      for (int64_t j = begin; j < end; ++j) {
+        col[j] = codes[j] == EncodedTable::kNullCode
+                     ? EncodedTable::kNullCode
+                     : map[codes[j]];
       }
+    };
+    if (pool != nullptr && right_rows > 1) {
+      ParallelFor(*pool, 0, right_rows, carry);
+    } else {
+      carry(0, right_rows);
     }
-    return m;
+  }
+
+  // CSR hash index over the carried right keys (count → prefix → fill,
+  // chunk-parallel; buckets list rows ascending at any thread count).
+  std::vector<const std::vector<uint32_t>*> right_keys;
+  right_keys.reserve(common.size());
+  for (const std::vector<uint32_t>& col : rkey) right_keys.push_back(&col);
+  const CodeHashIndex index(right_keys, right_rows, pool);
+
+  std::vector<const std::vector<uint32_t>*> left_keys;
+  left_keys.reserve(common.size());
+  for (size_t k = 0; k < common.size(); ++k) {
+    left_keys.push_back(&left_cols.column(common[k].first));
+  }
+
+  // The probe kernel both passes share: visit row i's matches in bucket
+  // (= ascending right-row) order.
+  auto for_matches = [&](int i, auto&& body) {
+    const CodeHashIndex::Range bucket =
+        index.Bucket(CodeHashIndex::HashKey(left_keys, i));
+    for (const int* p = bucket.begin; p != bucket.end; ++p) {
+      const int j = *p;
+      bool match = true;
+      for (size_t k = 0; k < common.size(); ++k) {
+        if ((*left_keys[k])[i] != rkey[k][j]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) body(j);
+    }
   };
 
-  const int left_rows = left_cols.num_rows();
-  Matches matches;
-  if (par.threads > 1 && left_rows > 1) {
-    ThreadPool pool(par.threads);
-    matches = ParallelReduce<Matches>(
-        pool, 0, left_rows, Matches{}, probe,
-        [](Matches acc, Matches part) {
-          acc.insert(acc.end(), part.begin(), part.end());
-          return acc;
-        });
-  } else {
-    matches = probe(0, left_rows);
-  }
+  // Two-phase morsel probe: count sizes each chunk's output window, the
+  // prefix sum inside ParallelEmit fixes deterministic chunk-ordered
+  // offsets, and fill writes the joined code columns directly into the
+  // pre-sized output — left-major, ascending right rows within a left
+  // row, so the emitted order is identical at every thread count.
+  ParallelEmit(
+      pool, 0, left_rows,
+      [&](int64_t begin, int64_t end) {
+        int64_t n = 0;
+        for (int64_t i = begin; i < end; ++i) {
+          for_matches(static_cast<int>(i), [&](int) { ++n; });
+        }
+        return n;
+      },
+      [&](int64_t total) { alloc_status = allocate_out(total); },
+      [&](int64_t begin, int64_t end, int64_t offset) {
+        if (!alloc_status.ok()) return;
+        for (int64_t i = begin; i < end; ++i) {
+          for_matches(static_cast<int>(i), [&](int j) {
+            for (size_t c = 0; c < static_cast<size_t>(num_left_out); ++c) {
+              dst[c][offset] = src[c][i];
+            }
+            for (size_t c = num_left_out; c < num_out; ++c) {
+              dst[c][offset] = src[c][j];
+            }
+            ++offset;
+          });
+        }
+      });
+  SQLNF_RETURN_NOT_OK(alloc_status);
+  out->RecountNulls(pool);
+  return EncodedRelation{std::move(out_schema), std::move(*out)};
+}
 
-  std::vector<int> lrows;
-  std::vector<int> rrows;
-  lrows.reserve(matches.size());
-  rrows.reserve(matches.size());
-  for (const auto& [i, j] : matches) {
-    lrows.push_back(i);
-    rrows.push_back(j);
+Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
+                                            const EncodedTable& left_cols,
+                                            const TableSchema& rs,
+                                            const EncodedTable& right_cols,
+                                            const std::string& name,
+                                            const ParallelOptions& par) {
+  if (par.threads > 1) {
+    ThreadPool pool(par.threads);
+    return EqualityJoinEncoded(ls, left_cols, rs, right_cols, name, &pool);
   }
-  EncodedTable out_cols =
-      right_only.empty()
-          ? left_cols.GatherRows(lrows)
-          : EncodedTable::Concat(
-                left_cols.GatherRows(lrows),
-                right_cols.GatherColumns(right_only).GatherRows(rrows));
-  return EncodedRelation{std::move(out_schema), std::move(out_cols)};
+  return EqualityJoinEncoded(ls, left_cols, rs, right_cols, name,
+                             static_cast<ThreadPool*>(nullptr));
 }
 
 Result<EncodedRelation> JoinComponentsEncoded(const TableSchema& schema,
                                               const EncodedTable& enc,
                                               const Decomposition& d,
                                               const ParallelOptions& par) {
-  SQLNF_ASSIGN_OR_RETURN(std::vector<EncodedRelation> parts,
-                         ProjectAllEncoded(schema, enc, d));
-  EncodedRelation joined = std::move(parts[0]);
-  for (size_t i = 1; i < parts.size(); ++i) {
-    SQLNF_ASSIGN_OR_RETURN(
-        joined, EqualityJoinEncoded(joined, parts[i],
-                                    schema.name() + "_joined", par));
+  std::optional<ThreadPool> pool_storage;
+  ThreadPool* pool = nullptr;
+  if (par.threads > 1) {
+    pool_storage.emplace(par.threads);
+    pool = &*pool_storage;
   }
-  return joined;
+  SQLNF_ASSIGN_OR_RETURN(std::vector<EncodedRelation> parts,
+                         ProjectAllEncoded(schema, enc, d, pool));
+  if (parts.size() == 1) return std::move(parts[0]);
+
+  // The declaration-order fold's output layout (first occurrence of
+  // each attribute across components, NOT NULL taken from the first
+  // component carrying it) is the contract callers align against —
+  // record it before reordering the fold.
+  std::vector<std::string> canon_names;
+  std::vector<std::string> canon_not_null;
+  for (const EncodedRelation& part : parts) {
+    for (AttributeId a = 0; a < part.schema.num_attributes(); ++a) {
+      const std::string& attr = part.schema.attribute_name(a);
+      if (std::find(canon_names.begin(), canon_names.end(), attr) !=
+          canon_names.end()) {
+        continue;
+      }
+      canon_names.push_back(attr);
+      if (part.schema.nfs().Contains(a)) canon_not_null.push_back(attr);
+    }
+  }
+
+  // Fold smallest-output-schema-first (stable tie-break by declaration
+  // index): narrow components join early, so the Algorithm-3
+  // recombination carries thin intermediates instead of dragging the
+  // widest component through every step.
+  std::vector<size_t> order(parts.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return parts[a].schema.num_attributes() < parts[b].schema.num_attributes();
+  });
+
+  EncodedRelation joined = std::move(parts[order[0]]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    SQLNF_ASSIGN_OR_RETURN(
+        joined, EqualityJoinEncoded(joined.schema, joined.columns,
+                                    parts[order[i]].schema,
+                                    parts[order[i]].columns,
+                                    schema.name() + "_joined", pool));
+  }
+
+  // Restore the declaration-order column layout.
+  SQLNF_ASSIGN_OR_RETURN(
+      TableSchema canon_schema,
+      TableSchema::Make(schema.name() + "_joined", canon_names,
+                        canon_not_null));
+  std::vector<AttributeId> mapping;
+  mapping.reserve(canon_names.size());
+  for (const std::string& attr : canon_names) {
+    SQLNF_ASSIGN_OR_RETURN(AttributeId id,
+                           joined.schema.FindAttribute(attr));
+    mapping.push_back(id);
+  }
+  return EncodedRelation{std::move(canon_schema),
+                         joined.columns.GatherColumns(mapping, pool)};
 }
 
 bool SameMultisetEncoded(const EncodedTable& a, const EncodedTable& b) {

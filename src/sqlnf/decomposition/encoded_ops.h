@@ -48,35 +48,56 @@ struct EncodedRelation {
 
 /// Set projection I[X] on codes: gather the X columns, dedup rows by
 /// code hash (first-occurrence order, matching ProjectSet exactly).
+/// With a pool the column gather, the distinct-row emission, and the
+/// row gather run chunk-parallel (identical result).
 Result<EncodedRelation> ProjectSetEncoded(const TableSchema& schema,
                                           const EncodedTable& enc,
                                           const AttributeSet& x,
-                                          const std::string& name);
+                                          const std::string& name,
+                                          ThreadPool* pool = nullptr);
 
-/// Multiset projection I[[X]] on codes: a column gather, no row copy.
+/// Multiset projection I[[X]] on codes: a column gather, no row copy
+/// (parallel over columns with a pool).
 Result<EncodedRelation> ProjectMultisetEncoded(const TableSchema& schema,
                                                const EncodedTable& enc,
                                                const AttributeSet& x,
-                                               const std::string& name);
+                                               const std::string& name,
+                                               ThreadPool* pool = nullptr);
 
 /// Projects onto every component of `d` (the encoded ProjectAll).
 Result<std::vector<EncodedRelation>> ProjectAllEncoded(
     const TableSchema& schema, const EncodedTable& enc,
-    const Decomposition& d);
+    const Decomposition& d, ThreadPool* pool = nullptr);
 
 /// Natural equality join on codes (common columns by name; identical
 /// values, ⊥ = ⊥ included — Theorem 11 semantics). The right side's
 /// common-column codes are translated into the left side's code space,
-/// then the join is a hash join over integer keys; the output gathers
-/// matching rows from both sides' untouched dictionaries. With
-/// `par.threads > 1` the probe phase is parallel over left-row chunks;
-/// the emitted row order is identical to serial.
+/// then the join runs as a morsel-driven pipeline: a flat CSR hash
+/// index over the right rows (core/code_hash_index.h, built with a
+/// parallel count/prefix/fill pass), and a two-phase probe
+/// (util/parallel.h ParallelEmit) whose count pass sizes each left-row
+/// morsel's output window and whose fill pass writes the joined code
+/// columns directly into a pre-sized EncodedTable — no intermediate
+/// match-pair list is ever materialized. A join with no common columns
+/// takes a dedicated cartesian path (row-count products, sequential
+/// fills) instead of funnelling every row through one hash bucket.
+/// The emitted row order — left-major, right rows ascending within a
+/// left row — is identical at every thread count.
 Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& left_schema,
                                             const EncodedTable& left,
                                             const TableSchema& right_schema,
                                             const EncodedTable& right,
                                             const std::string& name,
                                             const ParallelOptions& par = {});
+
+/// Shared-pool variant for callers composing several joins/projections
+/// (`nullptr` runs serial). Same result, pool construction amortized.
+Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& left_schema,
+                                            const EncodedTable& left,
+                                            const TableSchema& right_schema,
+                                            const EncodedTable& right,
+                                            const std::string& name,
+                                            ThreadPool* pool);
 
 inline Result<EncodedRelation> EqualityJoinEncoded(
     const EncodedRelation& left, const EncodedRelation& right,
@@ -85,8 +106,12 @@ inline Result<EncodedRelation> EqualityJoinEncoded(
                              right.columns, name, par);
 }
 
-/// Reconstructs the instance from the projections of `d` by folding the
-/// encoded equality join left-to-right (the encoded JoinComponents).
+/// Reconstructs the instance from the projections of `d` with the
+/// encoded equality join (the encoded JoinComponents). Components are
+/// folded smallest-output-schema-first (stable tie-break by declaration
+/// index) to keep intermediate join widths small; the result's column
+/// order and schema still match the declaration-order fold exactly (the
+/// Algorithm-3 recombination contract), only the row order may differ.
 Result<EncodedRelation> JoinComponentsEncoded(const TableSchema& schema,
                                               const EncodedTable& enc,
                                               const Decomposition& d,

@@ -1,5 +1,7 @@
 #include "sqlnf/engine/relops.h"
 
+#include <optional>
+
 namespace sqlnf {
 
 bool MatchesConditions(const Tuple& t,
@@ -12,32 +14,49 @@ bool MatchesConditions(const Tuple& t,
 
 std::vector<int> SelectRowsEncoded(
     const EncodedTable& enc,
-    const std::vector<ColumnCondition>& conditions) {
+    const std::vector<ColumnCondition>& conditions,
+    const ParallelOptions& par) {
   std::vector<int> sel;
   if (conditions.empty()) {
     sel.resize(enc.num_rows());
     for (int i = 0; i < enc.num_rows(); ++i) sel[i] = i;
     return sel;
   }
-  // First condition scans its column; the rest refine the selection.
-  {
-    const ColumnCondition& c = conditions[0];
-    const uint32_t want = enc.LookupCode(c.column, c.value);
-    const std::vector<uint32_t>& codes = enc.column(c.column);
-    for (int i = 0; i < enc.num_rows(); ++i) {
-      if (codes[i] == want) sel.push_back(i);
-    }
+  // One dictionary probe per condition up front; the scan itself is a
+  // fused conjunction of integer compares per row — no per-condition
+  // intermediate selection vectors.
+  std::vector<const uint32_t*> codes(conditions.size());
+  std::vector<uint32_t> want(conditions.size());
+  for (size_t k = 0; k < conditions.size(); ++k) {
+    codes[k] = enc.column(conditions[k].column).data();
+    want[k] = enc.LookupCode(conditions[k].column, conditions[k].value);
   }
-  for (size_t k = 1; k < conditions.size() && !sel.empty(); ++k) {
-    const ColumnCondition& c = conditions[k];
-    const uint32_t want = enc.LookupCode(c.column, c.value);
-    const std::vector<uint32_t>& codes = enc.column(c.column);
-    size_t write = 0;
-    for (int i : sel) {
-      if (codes[i] == want) sel[write++] = i;
+  auto matches = [&](int64_t i) {
+    for (size_t k = 0; k < conditions.size(); ++k) {
+      if (codes[k][i] != want[k]) return false;
     }
-    sel.resize(write);
+    return true;
+  };
+
+  std::optional<ThreadPool> pool_storage;
+  if (par.threads > 1 && enc.num_rows() > 1) {
+    pool_storage.emplace(par.threads);
   }
+  ParallelEmit(
+      pool_storage ? &*pool_storage : nullptr, 0, enc.num_rows(),
+      [&](int64_t b, int64_t e) {
+        int64_t n = 0;
+        for (int64_t i = b; i < e; ++i) {
+          if (matches(i)) ++n;
+        }
+        return n;
+      },
+      [&](int64_t total) { sel.resize(total); },
+      [&](int64_t b, int64_t e, int64_t offset) {
+        for (int64_t i = b; i < e; ++i) {
+          if (matches(i)) sel[offset++] = static_cast<int>(i);
+        }
+      });
   return sel;
 }
 

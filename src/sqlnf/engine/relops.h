@@ -15,6 +15,7 @@
 #include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/util/parallel.h"
 #include "sqlnf/util/status.h"
 
 namespace sqlnf {
@@ -34,11 +35,16 @@ bool MatchesConditions(const Tuple& t,
                        const std::vector<ColumnCondition>& conditions);
 
 /// Selection vector (ascending row ids) of the rows satisfying every
-/// condition, computed on codes: one dictionary probe per condition,
-/// then integer compares column-major. A value absent from a dictionary
-/// (kMissingCode) matches no row. No conditions selects every row.
+/// condition, computed on codes: one dictionary probe per condition up
+/// front, then one fused pass of integer compares per row. A value
+/// absent from a dictionary (kMissingCode) matches no row. No
+/// conditions selects every row. With `par.threads > 1` the scan runs
+/// as a two-phase count/fill emission over row morsels
+/// (util/parallel.h ParallelEmit) — the returned vector is identical
+/// at every thread count.
 std::vector<int> SelectRowsEncoded(
-    const EncodedTable& enc, const std::vector<ColumnCondition>& conditions);
+    const EncodedTable& enc, const std::vector<ColumnCondition>& conditions,
+    const ParallelOptions& par = {});
 
 /// In-place columnar "UPDATE ... SET column = value WHERE conditions",
 /// re-encoding only the cells whose code actually changes; returns rows

@@ -31,17 +31,26 @@ void ThreadPool::WorkerLoop() {
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
+      // A batch that already retired (job_ reset) leaves nothing to
+      // claim; waking for it must not touch the task counters.
+      if (job == nullptr) continue;
+      // Registering under the lock is what lets RunTasks know a worker
+      // is inside the claiming loop: the batch cannot retire — and the
+      // counters cannot be reused for the next batch — until every
+      // registered worker has deregistered below.
+      ++active_;
     }
     for (;;) {
       const int i = next_.fetch_add(1, std::memory_order_relaxed);
       if (i >= total_) break;
       (*job)(i);
-      if (completed_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
-          total_) {
-        std::lock_guard<std::mutex> lock(mu_);
-        done_cv_.notify_all();
-      }
+      completed_.fetch_add(1, std::memory_order_acq_rel);
     }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_cv_.notify_all();
   }
 }
 
@@ -68,11 +77,54 @@ void ThreadPool::RunTasks(int num_tasks,
     task(i);
     completed_.fetch_add(1, std::memory_order_acq_rel);
   }
+  // Retire the batch only once every task ran AND every registered
+  // worker has left its claiming loop. Without the second condition a
+  // worker still probing next_ after the final task could observe the
+  // counters reset by the NEXT batch and re-claim index 0 against this
+  // batch's (by then dangling) job pointer.
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] {
-    return completed_.load(std::memory_order_acquire) == total_;
+    return completed_.load(std::memory_order_acquire) == total_ &&
+           active_ == 0;
   });
   job_ = nullptr;
+}
+
+int64_t ParallelEmit(ThreadPool* pool, int64_t begin, int64_t end,
+                     const std::function<int64_t(int64_t, int64_t)>& count,
+                     const std::function<void(int64_t)>& reserve,
+                     const std::function<void(int64_t, int64_t, int64_t)>&
+                         fill) {
+  const int64_t n = end - begin;
+  if (n <= 0) {
+    reserve(0);
+    return 0;
+  }
+  const int chunks = pool == nullptr ? 1 : ParallelChunks(*pool, n);
+  const int64_t per_chunk = (n + chunks - 1) / chunks;
+  auto run = [&](const std::function<void(int)>& task) {
+    if (pool == nullptr) {
+      task(0);
+    } else {
+      pool->RunTasks(chunks, task);
+    }
+  };
+  // offsets[c + 1] holds chunk c's count, then (after the prefix sum)
+  // the exclusive offset of chunk c + 1.
+  std::vector<int64_t> offsets(chunks + 1, 0);
+  run([&](int c) {
+    const int64_t b = begin + c * per_chunk;
+    const int64_t e = std::min(end, b + per_chunk);
+    if (b < e) offsets[c + 1] = count(b, e);
+  });
+  for (int c = 0; c < chunks; ++c) offsets[c + 1] += offsets[c];
+  reserve(offsets[chunks]);
+  run([&](int c) {
+    const int64_t b = begin + c * per_chunk;
+    const int64_t e = std::min(end, b + per_chunk);
+    if (b < e) fill(b, e, offsets[c]);
+  });
+  return offsets[chunks];
 }
 
 int ParallelChunks(const ThreadPool& pool, int64_t n) {

@@ -66,6 +66,7 @@ class ThreadPool {
   int total_ = 0;
   std::atomic<int> next_{0};
   std::atomic<int> completed_{0};
+  int active_ = 0;  // workers currently claiming from the batch
   uint64_t generation_ = 0;
   bool stop_ = false;
 };
@@ -79,6 +80,31 @@ int ParallelChunks(const ThreadPool& pool, int64_t n);
 /// the range and the pool size.
 void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
                  const std::function<void(int64_t, int64_t)>& body);
+
+/// Two-phase count/fill emission — the deterministic parallel
+/// compaction behind the morsel-driven operators (hash-join probe,
+/// encoded selection, distinct-row emission). Each output item is
+/// produced by exactly one input chunk, and a chunk's output lands in
+/// one contiguous window whose offset is fixed by an exclusive prefix
+/// sum over the chunk counts — so the concatenated output order depends
+/// only on the input order, never on thread scheduling, and no per-chunk
+/// intermediate vectors are ever materialized.
+///
+///   1. `count(chunk_begin, chunk_end)` returns how many items the
+///      chunk will emit (it must be a pure function of the range);
+///   2. the exclusive prefix sum of the chunk counts fixes each chunk's
+///      output offset, and `reserve(total)` sizes the output once;
+///   3. `fill(chunk_begin, chunk_end, offset)` re-runs the chunk and
+///      writes its items at `offset`, `offset + 1`, ... — exactly
+///      `count` of them.
+///
+/// `pool == nullptr` runs the same two passes inline as one chunk.
+/// Returns the total number of items emitted.
+int64_t ParallelEmit(ThreadPool* pool, int64_t begin, int64_t end,
+                     const std::function<int64_t(int64_t, int64_t)>& count,
+                     const std::function<void(int64_t)>& reserve,
+                     const std::function<void(int64_t, int64_t, int64_t)>&
+                         fill);
 
 /// Maps [begin, end) in chunks and folds the per-chunk results
 /// LEFT-TO-RIGHT in chunk order — deterministic for non-commutative

@@ -20,6 +20,7 @@
 // the nightly CI job runs the suite with a larger multiplier.
 
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -396,6 +397,28 @@ void ExpectSameRelation(const Table& ref, const EncodedRelation& got,
   EXPECT_TRUE(SameMultisetEncoded(EncodedTable(ref), got.columns)) << what;
 }
 
+// Bit-identity between two runs of the same encoded operator: same
+// schema, same row count, and code-for-code equal column vectors — the
+// determinism contract of the morsel pipeline (multiset equality would
+// let a thread-count-dependent row order slip through).
+void ExpectBitIdentical(const EncodedRelation& serial,
+                        const EncodedRelation& parallel,
+                        const std::string& what) {
+  ASSERT_EQ(serial.schema.num_attributes(),
+            parallel.schema.num_attributes())
+      << what;
+  for (AttributeId a = 0; a < serial.schema.num_attributes(); ++a) {
+    EXPECT_EQ(serial.schema.attribute_name(a),
+              parallel.schema.attribute_name(a))
+        << what;
+  }
+  ASSERT_EQ(serial.columns.num_rows(), parallel.columns.num_rows()) << what;
+  for (AttributeId a = 0; a < serial.schema.num_attributes(); ++a) {
+    EXPECT_EQ(serial.columns.column(a), parallel.columns.column(a))
+        << what << " col " << a;
+  }
+}
+
 // Random WHERE clause over `table`: 1–2 column=value conditions, values
 // mostly drawn from stored rows (hits), sometimes ⊥ (matches exactly
 // the ⊥ cells) or a constant no dictionary has seen (matches nothing).
@@ -469,7 +492,8 @@ TEST(DifferentialTest, ExecutorProjectionsAndJoins) {
     ASSERT_OK(join_ref.status()) << what;
     auto lossless_ref = IsLosslessForInstance(table, d);
     ASSERT_OK(lossless_ref.status()) << what;
-    for (int threads : {1, 4}) {
+    std::optional<EncodedRelation> serial_join;
+    for (int threads : {1, 2, 3, 8}) {
       const ParallelOptions par{threads};
       const std::string tag = what + " t=" + std::to_string(threads);
       auto join_enc = JoinComponentsEncoded(schema, enc, d, par);
@@ -490,6 +514,14 @@ TEST(DifferentialTest, ExecutorProjectionsAndJoins) {
       auto lossless_enc = IsLosslessForInstanceEncoded(schema, enc, d, par);
       ASSERT_OK(lossless_enc.status()) << tag;
       EXPECT_EQ(lossless_enc.value(), lossless_ref.value()) << tag;
+
+      // Every parallel run must reproduce the serial run bit for bit —
+      // not just the same multiset.
+      if (threads == 1) {
+        serial_join = std::move(join_enc).value();
+      } else {
+        ExpectBitIdentical(*serial_join, join_enc.value(), tag);
+      }
     }
     // Theorem 11 itself: when the instance satisfies the c-FD, the
     // decomposition must be lossless for it.
@@ -497,6 +529,116 @@ TEST(DifferentialTest, ExecutorProjectionsAndJoins) {
     if (Satisfies(table, fd)) {
       EXPECT_TRUE(lossless_ref.value()) << what << " [thm11]";
     }
+  }
+}
+
+// --- Executor join corners: adversarial shapes for the morsel pipeline
+// — a single-hot-key skew table (one bucket holds every build row), a
+// zero-match join (count pass totals 0), empty inputs on either side,
+// and a join with no common columns (the cartesian path). Each is
+// crossed against the row-major join — including the exact emitted row
+// ORDER, which both executors pin to left-major / right-ascending —
+// and the parallel runs must reproduce the serial run bit for bit.
+
+Table MakeJoinInput(const std::string& name,
+                    const std::vector<std::string>& attrs,
+                    const std::vector<std::vector<Value>>& rows) {
+  auto schema = TableSchema::Make(name, attrs, {});
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  Table t(std::move(schema).value());
+  for (const std::vector<Value>& r : rows) {
+    auto st = t.AddRow(Tuple(r));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return t;
+}
+
+void CheckJoinCorner(const Table& left, const Table& right,
+                     const std::string& what) {
+  auto ref = EqualityJoin(left, right, "j");
+  ASSERT_OK(ref.status()) << what;
+  const EncodedRelation el = EncodedRelation::FromTable(left);
+  const EncodedRelation er = EncodedRelation::FromTable(right);
+  std::optional<EncodedRelation> serial;
+  for (int threads : {1, 2, 3, 8}) {
+    auto got = EqualityJoinEncoded(el, er, "j", ParallelOptions{threads});
+    ASSERT_OK(got.status()) << what << " t=" << threads;
+    if (threads == 1) {
+      ExpectSameRelation(ref.value(), got.value(), what + " [serial]");
+      const Table decoded = got.value().ToTable();
+      ASSERT_EQ(ref.value().num_rows(), decoded.num_rows()) << what;
+      for (int i = 0; i < decoded.num_rows(); ++i) {
+        ASSERT_EQ(ref.value().row(i), decoded.row(i))
+            << what << " row " << i;
+      }
+      serial = std::move(got).value();
+    } else {
+      ExpectBitIdentical(*serial, got.value(),
+                         what + " t=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(DifferentialTest, ExecutorJoinCorners) {
+  // Skew: every left and right row carries the same key, so the CSR
+  // index degenerates to one full bucket and each left morsel emits
+  // |right| rows. A sprinkle of ⊥ keys exercises kNullCode equality.
+  {
+    std::vector<std::vector<Value>> lrows, rrows;
+    for (int i = 0; i < 400; ++i) {
+      const Value k = i % 11 == 0 ? Value::Null() : Value::Str("hot");
+      lrows.push_back({k, Value::Int(i % 7)});
+    }
+    for (int j = 0; j < 23; ++j) {
+      const Value k = j % 5 == 0 ? Value::Null() : Value::Str("hot");
+      rrows.push_back({k, Value::Int(j)});
+    }
+    CheckJoinCorner(MakeJoinInput("L", {"k", "l"}, lrows),
+                    MakeJoinInput("R", {"k", "r"}, rrows), "skew");
+  }
+
+  // Zero matches: shared column, disjoint key sets — the count pass
+  // totals zero and the output must be an empty 3-column relation.
+  {
+    std::vector<std::vector<Value>> lrows, rrows;
+    for (int i = 0; i < 50; ++i) {
+      lrows.push_back({Value::Int(i), Value::Str("l")});
+      rrows.push_back({Value::Int(1000 + i), Value::Str("r")});
+    }
+    CheckJoinCorner(MakeJoinInput("L", {"k", "l"}, lrows),
+                    MakeJoinInput("R", {"k", "r"}, rrows), "zero-match");
+  }
+
+  // Empty inputs on either side (and both).
+  {
+    std::vector<std::vector<Value>> rows;
+    for (int i = 0; i < 20; ++i) {
+      rows.push_back({Value::Int(i % 4), Value::Int(i)});
+    }
+    const Table empty_l = MakeJoinInput("L", {"k", "l"}, {});
+    const Table empty_r = MakeJoinInput("R", {"k", "r"}, {});
+    CheckJoinCorner(empty_l, MakeJoinInput("R", {"k", "r"}, rows),
+                    "empty-left");
+    CheckJoinCorner(MakeJoinInput("L", {"k", "l"}, rows), empty_r,
+                    "empty-right");
+    CheckJoinCorner(empty_l, empty_r, "empty-both");
+  }
+
+  // No common columns: the cartesian path. Before the special case this
+  // hashed every row to the same FNV offset basis — one giant bucket.
+  {
+    std::vector<std::vector<Value>> lrows, rrows;
+    for (int i = 0; i < 37; ++i) {
+      lrows.push_back({Value::Int(i), i % 6 == 0 ? Value::Null()
+                                                 : Value::Str("x")});
+    }
+    for (int j = 0; j < 29; ++j) {
+      rrows.push_back({Value::Str("y" + std::to_string(j % 3))});
+    }
+    CheckJoinCorner(MakeJoinInput("L", {"a", "b"}, lrows),
+                    MakeJoinInput("R", {"c"}, rrows), "cartesian");
+    CheckJoinCorner(MakeJoinInput("L", {"a", "b"}, lrows),
+                    MakeJoinInput("R", {"c"}, {}), "cartesian-empty-right");
   }
 }
 
@@ -516,7 +658,8 @@ TEST(DifferentialTest, ExecutorDmlOnCodes) {
     const std::vector<ColumnCondition> conds = RandomConditions(&rng, table);
     auto pred = [&](const Tuple& t) { return MatchesConditions(t, conds); };
 
-    // Selection: same rows, in the same (ascending) scan order.
+    // Selection: same rows, in the same (ascending) scan order, and the
+    // morsel-parallel scan returns the exact same vector as serial.
     const EncodedTable enc(table);
     const Table sel_ref = SelectWhere(table, pred);
     const std::vector<int> sel = SelectRowsEncoded(enc, conds);
@@ -524,6 +667,10 @@ TEST(DifferentialTest, ExecutorDmlOnCodes) {
     EXPECT_EQ(sel_ref.num_rows(), sel_enc.num_rows()) << what;
     for (int i = 0; i < sel_ref.num_rows() && i < sel_enc.num_rows(); ++i) {
       EXPECT_EQ(sel_ref.row(i), sel_enc.row(i)) << what << " row " << i;
+    }
+    for (int threads : {2, 3, 8}) {
+      EXPECT_EQ(SelectRowsEncoded(enc, conds, ParallelOptions{threads}), sel)
+          << what << " t=" << threads;
     }
 
     // Update: a fresh non-⊥ value into a random column (⊥ would trip

@@ -3,11 +3,13 @@
 // (AppendRow / UpdateCell / EraseRows), dictionary probing, and the
 // code-bijection equivalence used by the enforcer consistency tests.
 
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sqlnf/core/encoded_table.h"
+#include "sqlnf/util/parallel.h"
 #include "sqlnf/util/rng.h"
 #include "test_util.h"
 
@@ -183,6 +185,69 @@ TEST(EncodedTableTest, RandomizedMaintenanceMatchesReEncode) {
           << "iter=" << iter << " step=" << step;
     }
   }
+}
+
+TEST(EncodedTableTest, DistinctRowsFirstOccurrenceAtAnyThreadCount) {
+  // The CSR-indexed DistinctRows must return ascending first-occurrence
+  // ids — the contract behind set projection — and be identical with
+  // and without a pool. Random tables with heavy duplication and ⊥.
+  Rng rng(321);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int cols = static_cast<int>(rng.Uniform(1, 4));
+    const TableSchema schema = testing::RandomSchema(&rng, cols);
+    const Table table = testing::RandomInstance(
+        &rng, schema, static_cast<int>(rng.Uniform(0, 80)), /*domain=*/2,
+        0.3);
+    const EncodedTable enc(table);
+
+    // Reference: quadratic first-occurrence scan on codes.
+    std::vector<int> expected;
+    for (int i = 0; i < enc.num_rows(); ++i) {
+      bool first = true;
+      for (int j = 0; j < i && first; ++j) {
+        bool same = true;
+        for (AttributeId a = 0; a < cols; ++a) {
+          if (enc.code(a, i) != enc.code(a, j)) {
+            same = false;
+            break;
+          }
+        }
+        if (same) first = false;
+      }
+      if (first) expected.push_back(i);
+    }
+
+    EXPECT_EQ(enc.DistinctRows(), expected) << "iter=" << iter;
+    for (int threads : {2, 3, 8}) {
+      ThreadPool pool(threads);
+      EXPECT_EQ(enc.DistinctRows(&pool), expected)
+          << "iter=" << iter << " threads=" << threads;
+    }
+  }
+}
+
+TEST(EncodedTableTest, AllocateTargetThenFillMatchesGather) {
+  // Writing codes through mutable_codes + RecountNulls must agree with
+  // the allocation-per-call GatherRows path.
+  const TableSchema schema = testing::Schema("abc");
+  const Table table = testing::Rows(
+      schema, {"1x_", "2y_", "1xz", "2_z", "1xz"});
+  const EncodedTable enc(table);
+  const std::vector<int> rows = {4, 0, 2, 2};
+
+  std::vector<std::pair<const EncodedTable*, AttributeId>> sources;
+  for (AttributeId a = 0; a < 3; ++a) sources.emplace_back(&enc, a);
+  EncodedTable out = EncodedTable::AllocateTarget(
+      sources, static_cast<int>(rows.size()));
+  for (AttributeId a = 0; a < 3; ++a) {
+    uint32_t* dst = out.mutable_codes(a);
+    for (size_t i = 0; i < rows.size(); ++i) dst[i] = enc.code(a, rows[i]);
+  }
+  out.RecountNulls();
+
+  const EncodedTable gathered = enc.GatherRows(rows);
+  ASSERT_TRUE(out.EquivalentTo(gathered));
+  EXPECT_EQ(out.NullFreeColumns(), gathered.NullFreeColumns());
 }
 
 }  // namespace
