@@ -12,11 +12,13 @@ EncodedTable::EncodedTable(const Table& table)
     : EncodedTable(table, AttributeSet::FullSet(table.num_columns())) {}
 
 EncodedTable::EncodedTable(const Table& table, const AttributeSet& columns)
-    : num_rows_(table.num_rows()),
-      encoded_(columns),
-      columns_(table.num_columns()) {
+    : num_rows_(table.num_rows()), encoded_(columns) {
+  columns_.reserve(table.num_columns());
+  for (int col = 0; col < table.num_columns(); ++col) {
+    columns_.push_back(std::make_shared<Column>());
+  }
   for (AttributeId col : encoded_) {
-    Column& c = columns_[col];
+    Column& c = *columns_[col];
     c.codes.resize(num_rows_);
     for (int row = 0; row < num_rows_; ++row) {
       c.codes[row] = Encode(&c, table.row(row)[col]);
@@ -25,7 +27,23 @@ EncodedTable::EncodedTable(const Table& table, const AttributeSet& columns)
 }
 
 EncodedTable::EncodedTable(int num_columns)
-    : encoded_(AttributeSet::FullSet(num_columns)), columns_(num_columns) {}
+    : encoded_(AttributeSet::FullSet(num_columns)) {
+  columns_.reserve(num_columns);
+  for (int col = 0; col < num_columns; ++col) {
+    columns_.push_back(std::make_shared<Column>());
+  }
+}
+
+EncodedTable::Column& EncodedTable::Detach(AttributeId col) {
+  std::shared_ptr<Column>& p = columns_[col];
+  // use_count > 1 means a snapshot (or sibling copy) still references
+  // this version; clone before writing so that reader stays bit-stable.
+  // Only the single writer thread ever detaches, and snapshot refcount
+  // drops can at worst leave a stale >1 reading (a harmless extra
+  // clone), never a stale ==1.
+  if (p.use_count() > 1) p = std::make_shared<Column>(*p);
+  return *p;
+}
 
 uint32_t EncodedTable::Encode(Column* col, const Value& value) {
   if (value.is_null()) {
@@ -40,7 +58,7 @@ uint32_t EncodedTable::Encode(Column* col, const Value& value) {
 
 uint32_t EncodedTable::LookupCode(AttributeId col, const Value& value) const {
   if (value.is_null()) return kNullCode;
-  const Column& c = columns_[col];
+  const Column& c = *columns_[col];
   auto it = c.dict.find(value);
   return it == c.dict.end() ? kMissingCode : it->second;
 }
@@ -48,28 +66,46 @@ uint32_t EncodedTable::LookupCode(AttributeId col, const Value& value) const {
 const Value& EncodedTable::DecodeCode(AttributeId col, uint32_t code) const {
   static const Value kNull = Value::Null();
   if (code == kNullCode) return kNull;
-  return columns_[col].values[code];
+  return columns_[col]->values[code];
 }
 
 AttributeSet EncodedTable::NullFreeColumns() const {
   AttributeSet out;
   for (AttributeId col : encoded_) {
-    if (columns_[col].null_count == 0) out.Add(col);
+    if (columns_[col]->null_count == 0) out.Add(col);
   }
   return out;
+}
+
+std::vector<int> EncodedTable::DictionarySizes() const {
+  std::vector<int> sizes(columns_.size(), 0);
+  for (AttributeId col : encoded_) sizes[col] = dictionary_size(col);
+  return sizes;
+}
+
+void EncodedTable::TrimDictionaries(const std::vector<int>& sizes) {
+  assert(sizes.size() == columns_.size());
+  for (AttributeId col : encoded_) {
+    if (dictionary_size(col) <= sizes[col]) continue;
+    Column& c = Detach(col);
+    while (static_cast<int>(c.values.size()) > sizes[col]) {
+      c.dict.erase(c.values.back());
+      c.values.pop_back();
+    }
+  }
 }
 
 void EncodedTable::AppendRow(const Tuple& row) {
   assert(row.size() == num_columns());
   for (AttributeId col : encoded_) {
-    Column& c = columns_[col];
+    Column& c = Detach(col);
     c.codes.push_back(Encode(&c, row[col]));
   }
   ++num_rows_;
 }
 
 void EncodedTable::UpdateCell(int row, AttributeId col, const Value& value) {
-  Column& c = columns_[col];
+  Column& c = Detach(col);
   if (c.codes[row] == kNullCode) --c.null_count;
   c.codes[row] = Encode(&c, value);
   // Encode counted a fresh ⊥; a non-null value leaves the count alone.
@@ -78,7 +114,7 @@ void EncodedTable::UpdateCell(int row, AttributeId col, const Value& value) {
 void EncodedTable::EraseRows(const std::vector<int>& rows) {
   if (rows.empty()) return;
   for (AttributeId col : encoded_) {
-    Column& c = columns_[col];
+    Column& c = Detach(col);
     size_t next_erase = 0;
     int write = 0;
     for (int read = 0; read < num_rows_; ++read) {
@@ -94,6 +130,29 @@ void EncodedTable::EraseRows(const std::vector<int>& rows) {
   num_rows_ -= static_cast<int>(rows.size());
 }
 
+void EncodedTable::UneraseRows(const std::vector<int>& rows,
+                               const std::vector<Tuple>& tuples) {
+  if (rows.empty()) return;
+  assert(rows.size() == tuples.size());
+  const int restored = num_rows_ + static_cast<int>(rows.size());
+  for (AttributeId col : encoded_) {
+    Column& c = Detach(col);
+    std::vector<uint32_t> codes(restored);
+    size_t next_restore = 0;
+    int read = 0;
+    for (int pos = 0; pos < restored; ++pos) {
+      if (next_restore < rows.size() && rows[next_restore] == pos) {
+        codes[pos] = Encode(&c, tuples[next_restore][col]);
+        ++next_restore;
+      } else {
+        codes[pos] = c.codes[read++];
+      }
+    }
+    c.codes = std::move(codes);
+  }
+  num_rows_ = restored;
+}
+
 Table EncodedTable::Decode(const TableSchema& schema) const {
   assert(schema.num_attributes() == num_columns());
   assert(encoded_ == AttributeSet::FullSet(num_columns()));
@@ -102,7 +161,7 @@ Table EncodedTable::Decode(const TableSchema& schema) const {
     std::vector<Value> values;
     values.reserve(num_columns());
     for (AttributeId col = 0; col < num_columns(); ++col) {
-      values.push_back(DecodeCode(col, columns_[col].codes[row]));
+      values.push_back(DecodeCode(col, columns_[col]->codes[row]));
     }
     Status st = out.AddRow(Tuple(std::move(values)));
     assert(st.ok());
@@ -113,16 +172,15 @@ Table EncodedTable::Decode(const TableSchema& schema) const {
 
 EncodedTable EncodedTable::GatherRows(const std::vector<int>& rows,
                                       ThreadPool* pool) const {
-  EncodedTable out(0);
+  EncodedTable out(num_columns());
   out.encoded_ = encoded_;
-  out.columns_.resize(columns_.size());
   out.num_rows_ = static_cast<int>(rows.size());
   std::vector<AttributeId> cols;
   cols.reserve(encoded_.size());
   for (AttributeId col : encoded_) cols.push_back(col);
   auto gather_one = [&](AttributeId col) {
-    const Column& src = columns_[col];
-    Column& dst = out.columns_[col];
+    const Column& src = *columns_[col];
+    Column& dst = *out.columns_[col];
     dst.values = src.values;
     dst.dict = src.dict;
     dst.codes.reserve(rows.size());
@@ -147,7 +205,7 @@ EncodedTable EncodedTable::GatherColumns(const std::vector<AttributeId>& cols,
   out.num_rows_ = num_rows_;
   auto copy_one = [&](size_t j) {
     assert(encoded_.Contains(cols[j]));
-    out.columns_[j] = columns_[cols[j]];
+    out.columns_[j] = columns_[cols[j]];  // shared copy-on-write
   };
   if (pool != nullptr && cols.size() > 1) {
     pool->RunTasks(static_cast<int>(cols.size()),
@@ -166,9 +224,9 @@ EncodedTable EncodedTable::AllocateTarget(
   for (size_t j = 0; j < sources.size(); ++j) {
     const auto& [src, col] = sources[j];
     assert(src->encoded_.Contains(col));
-    Column& dst = out.columns_[j];
-    dst.values = src->columns_[col].values;
-    dst.dict = src->columns_[col].dict;
+    Column& dst = *out.columns_[j];
+    dst.values = src->columns_[col]->values;
+    dst.dict = src->columns_[col]->dict;
     dst.codes.resize(num_rows);
   }
   return out;
@@ -176,7 +234,7 @@ EncodedTable EncodedTable::AllocateTarget(
 
 void EncodedTable::RecountNulls(ThreadPool* pool) {
   auto recount_one = [&](AttributeId col) {
-    Column& c = columns_[col];
+    Column& c = Detach(col);
     int nulls = 0;
     for (uint32_t code : c.codes) {
       if (code == kNullCode) ++nulls;
@@ -202,7 +260,7 @@ EncodedTable EncodedTable::Concat(const EncodedTable& left,
   EncodedTable out(left.num_columns() + right.num_columns());
   out.num_rows_ = left.num_rows_;
   for (int j = 0; j < left.num_columns(); ++j) {
-    out.columns_[j] = left.columns_[j];
+    out.columns_[j] = left.columns_[j];  // shared copy-on-write
   }
   for (int j = 0; j < right.num_columns(); ++j) {
     out.columns_[left.num_columns() + j] = right.columns_[j];
@@ -213,7 +271,7 @@ EncodedTable EncodedTable::Concat(const EncodedTable& left,
 std::vector<int> EncodedTable::DistinctRows(ThreadPool* pool) const {
   std::vector<const std::vector<uint32_t>*> cols;
   cols.reserve(encoded_.size());
-  for (AttributeId col : encoded_) cols.push_back(&columns_[col].codes);
+  for (AttributeId col : encoded_) cols.push_back(&columns_[col]->codes);
 
   // CSR hash index over all row codes; a row is a first occurrence iff
   // the bucket walk (ascending) reaches the row itself before any equal
@@ -260,7 +318,7 @@ std::vector<int> EncodedTable::DistinctRows(ThreadPool* pool) const {
 
 std::vector<uint32_t> EncodedTable::TranslationTo(
     AttributeId col, const EncodedTable& other, AttributeId other_col) const {
-  const Column& c = columns_[col];
+  const Column& c = *columns_[col];
   std::vector<uint32_t> map(c.values.size());
   for (size_t code = 0; code < c.values.size(); ++code) {
     map[code] = other.LookupCode(other_col, c.values[code]);
@@ -274,8 +332,8 @@ bool EncodedTable::EquivalentTo(const EncodedTable& other) const {
     return false;
   }
   for (AttributeId col : encoded_) {
-    const std::vector<uint32_t>& a = columns_[col].codes;
-    const std::vector<uint32_t>& b = other.columns_[col].codes;
+    const std::vector<uint32_t>& a = columns_[col]->codes;
+    const std::vector<uint32_t>& b = other.columns_[col]->codes;
     std::unordered_map<uint32_t, uint32_t> fwd, rev;
     for (int row = 0; row < num_rows_; ++row) {
       if ((a[row] == kNullCode) != (b[row] == kNullCode)) return false;
@@ -288,6 +346,25 @@ bool EncodedTable::EquivalentTo(const EncodedTable& other) const {
       }
       auto [rit, rinserted] = rev.emplace(b[row], a[row]);
       if (!rinserted && rit->second != a[row]) return false;
+    }
+  }
+  return true;
+}
+
+bool EncodedTable::BitIdentical(const EncodedTable& other) const {
+  if (num_rows_ != other.num_rows_ ||
+      num_columns() != other.num_columns() || encoded_ != other.encoded_) {
+    return false;
+  }
+  for (AttributeId col : encoded_) {
+    const Column& a = *columns_[col];
+    const Column& b = *other.columns_[col];
+    if (a.codes != b.codes || a.null_count != b.null_count ||
+        a.values.size() != b.values.size()) {
+      return false;
+    }
+    for (size_t code = 0; code < a.values.size(); ++code) {
+      if (!(a.values[code] == b.values[code])) return false;
     }
   }
   return true;

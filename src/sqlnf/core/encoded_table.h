@@ -18,13 +18,29 @@
 // enforcer holds one per stored table and never re-encodes), and
 // LookupCode probes the dictionaries without mutating them, so a
 // candidate row can be checked before it is accepted. Dictionaries only
-// grow — codes of deleted values are retired, not recycled — which
-// keeps every historical code stable.
+// grow during forward execution — codes of deleted values are retired,
+// not recycled — which keeps every historical code stable. The one
+// sanctioned way dictionaries shrink is TrimDictionaries, the undo-log
+// rollback that retires codes minted inside an aborted statement or
+// transaction back to a recorded high-water mark.
+//
+// COPY-ON-WRITE COLUMNS. Columns are held by shared_ptr, and copying an
+// EncodedTable is O(columns): the copy shares every column with the
+// original. Mutating entry points detach (clone) a shared column before
+// writing, so a copy taken as a SNAPSHOT stays bit-stable forever while
+// the original keeps evolving — this is the versioned-column pointer
+// swap behind the engine's snapshot reads (engine/catalog.h). A
+// snapshot's columns are freed when the last EncodedTable referencing
+// them is destroyed; no epoch bookkeeping is needed beyond the
+// shared_ptr counts. Sharing/detaching is safe under the engine's
+// single-writer discipline: concurrent readers of snapshot copies never
+// mutate, and the single writer is the only thread that detaches.
 
 #ifndef SQLNF_CORE_ENCODED_TABLE_H_
 #define SQLNF_CORE_ENCODED_TABLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -58,6 +74,14 @@ class EncodedTable {
   /// grown row by row via AppendRow.
   explicit EncodedTable(int num_columns);
 
+  /// Copies share every column (O(columns)); a later mutation of either
+  /// side detaches just the touched column. This is the snapshot
+  /// mechanism — see the header comment.
+  EncodedTable(const EncodedTable&) = default;
+  EncodedTable& operator=(const EncodedTable&) = default;
+  EncodedTable(EncodedTable&&) = default;
+  EncodedTable& operator=(EncodedTable&&) = default;
+
   int num_rows() const { return num_rows_; }
   int num_columns() const { return static_cast<int>(columns_.size()); }
 
@@ -65,18 +89,30 @@ class EncodedTable {
   const AttributeSet& encoded_columns() const { return encoded_; }
 
   uint32_t code(AttributeId col, int row) const {
-    return columns_[col].codes[row];
+    return columns_[col]->codes[row];
   }
   /// The whole code vector of one encoded column.
   const std::vector<uint32_t>& column(AttributeId col) const {
-    return columns_[col].codes;
+    return columns_[col]->codes;
   }
 
   /// Distinct non-null values ever encoded in `col` (codes are
   /// 0..dictionary_size-1; deleted values keep their retired codes).
   int dictionary_size(AttributeId col) const {
-    return static_cast<int>(columns_[col].values.size());
+    return static_cast<int>(columns_[col]->values.size());
   }
+
+  /// Every encoded column's dictionary_size, indexed by column — the
+  /// high-water mark an undo log records before a statement or
+  /// transaction mutates this encoding (unencoded columns report 0).
+  std::vector<int> DictionarySizes() const;
+
+  /// Retires every code minted past the recorded high-water marks:
+  /// column by column, values with codes >= sizes[col] are dropped from
+  /// the dictionary. The caller (the undo log) guarantees no live cell
+  /// still carries a trimmed code — all rows written since the marks
+  /// were taken have been rolled back first.
+  void TrimDictionaries(const std::vector<int>& sizes);
 
   /// Code `value` would carry in `col`: kNullCode for ⊥, the assigned
   /// code if present, kMissingCode otherwise. Does not mutate.
@@ -90,6 +126,10 @@ class EncodedTable {
   /// NFS). Maintained incrementally — O(columns) per call.
   AttributeSet NullFreeColumns() const;
 
+  /// The maintained ⊥ count of one encoded column (what NullFreeColumns
+  /// reads); exposed so invariant checks can compare it to a recount.
+  int null_count(AttributeId col) const { return columns_[col]->null_count; }
+
   /// Appends one row (arity must match). O(columns) dictionary probes.
   void AppendRow(const Tuple& row);
 
@@ -99,6 +139,15 @@ class EncodedTable {
   /// Removes the listed rows (ascending, deduplicated); surviving rows
   /// keep their relative order, ids shift down (the DELETE write path).
   void EraseRows(const std::vector<int>& rows);
+
+  /// Inverse of EraseRows — the DELETE rollback. Re-inserts `tuples`
+  /// so that tuples[k] lands at row id rows[k] of the RESTORED table
+  /// (`rows` ascending, positions in post-restore numbering); survivors
+  /// shift back up preserving order. Values are re-encoded, which
+  /// reproduces their original codes because dictionaries never shrank
+  /// in between.
+  void UneraseRows(const std::vector<int>& rows,
+                   const std::vector<Tuple>& tuples);
 
   /// Rebuilds the Table this encoding represents. Requires a full
   /// encoding and a schema of matching arity.
@@ -118,8 +167,9 @@ class EncodedTable {
 
   /// The listed columns (any order, duplicates allowed) as a new, fully
   /// encoded table: column j of the result is column cols[j] here. Every
-  /// listed column must be encoded. With a pool the column copies run as
-  /// parallel tasks (identical result).
+  /// listed column must be encoded. Columns are shared copy-on-write,
+  /// so this is O(result columns). With a pool the (cheap) pointer
+  /// copies still run as parallel tasks (identical result).
   EncodedTable GatherColumns(const std::vector<AttributeId>& cols,
                              ThreadPool* pool = nullptr) const;
 
@@ -136,8 +186,9 @@ class EncodedTable {
 
   /// Raw writable code slots of one column, for AllocateTarget fill
   /// passes (distinct output windows may be written concurrently).
+  /// Detaches the column if it is shared with a snapshot.
   uint32_t* mutable_codes(AttributeId col) {
-    return columns_[col].codes.data();
+    return Detach(col).codes.data();
   }
 
   /// Recomputes every column's ⊥ count from its codes — the seal step
@@ -146,7 +197,7 @@ class EncodedTable {
   void RecountNulls(ThreadPool* pool = nullptr);
 
   /// Side-by-side concatenation of two fully encoded tables with equal
-  /// row counts: left's columns, then right's.
+  /// row counts: left's columns, then right's (shared copy-on-write).
   static EncodedTable Concat(const EncodedTable& left,
                              const EncodedTable& right);
 
@@ -175,6 +226,13 @@ class EncodedTable {
   /// dictionaries may order (or retain) values differently.
   bool EquivalentTo(const EncodedTable& other) const;
 
+  /// True when both encodings are BIT-identical: same shape, same code
+  /// in every cell, and per column the same dictionary (same values in
+  /// the same code order). The abort-protocol tests use this — an
+  /// aborted transaction must restore not just the logical contents but
+  /// the exact codes and dictionary high-water marks.
+  bool BitIdentical(const EncodedTable& other) const;
+
  private:
   struct ValueHasher {
     size_t operator()(const Value& v) const { return v.Hash(); }
@@ -186,12 +244,16 @@ class EncodedTable {
     int null_count = 0;
   };
 
+  /// The mutable column, cloned first if a snapshot still shares it
+  /// (copy-on-write). Every mutating entry point goes through here.
+  Column& Detach(AttributeId col);
+
   /// Encodes `value` into `col`, growing the dictionary on first sight.
-  uint32_t Encode(Column* col, const Value& value);
+  static uint32_t Encode(Column* col, const Value& value);
 
   int num_rows_ = 0;
   AttributeSet encoded_;
-  std::vector<Column> columns_;
+  std::vector<std::shared_ptr<Column>> columns_;
 };
 
 /// The three per-pair similarity tests on codes (see header comment).

@@ -69,8 +69,20 @@ Tuple StoredTable::DecodeRow(int row) const {
   return Tuple(std::move(values));
 }
 
-Status Database::CreateTable(const TableSchema& schema,
-                             ConstraintSet sigma) {
+Result<Table> SelectFromSnapshot(
+    const TableSnapshot& snapshot,
+    const std::vector<ColumnCondition>& where) {
+  for (const ColumnCondition& c : where) {
+    if (c.column < 0 || c.column >= snapshot.schema.num_attributes()) {
+      return Status::Invalid("SELECT column out of range");
+    }
+  }
+  const std::vector<int> sel = SelectRowsEncoded(*snapshot.columns, where);
+  return snapshot.columns->GatherRows(sel).Decode(snapshot.schema);
+}
+
+Status Database::CreateTableLocked(const TableSchema& schema,
+                                   ConstraintSet sigma) {
   if (tables_.count(schema.name())) {
     return Status::Invalid("table '" + schema.name() + "' already exists");
   }
@@ -78,20 +90,46 @@ Status Database::CreateTable(const TableSchema& schema,
   return Status::OK();
 }
 
+Status Database::CreateTable(const TableSchema& schema,
+                             ConstraintSet sigma) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn_) {
+    return Status::FailedPrecondition(
+        "DDL is not allowed inside a transaction");
+  }
+  return CreateTableLocked(schema, std::move(sigma));
+}
+
 Status Database::IngestTable(const Table& data, ConstraintSet sigma) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn_) {
+    return Status::FailedPrecondition(
+        "DDL is not allowed inside a transaction");
+  }
   const std::string& name = data.schema().name();
-  SQLNF_RETURN_NOT_OK(CreateTable(data.schema(), std::move(sigma)));
+  SQLNF_RETURN_NOT_OK(CreateTableLocked(data.schema(), std::move(sigma)));
+  // One implicit transaction around the bulk load: no snapshot is
+  // republished per row, so copy-on-write never clones mid-ingest.
+  txn_ = std::make_unique<UndoLog>();
   for (const Tuple& row : data.rows()) {
-    Status st = Insert(name, row);
+    Status st = InsertLocked(name, row);
     if (!st.ok()) {
-      (void)DropTable(name);
+      txn_.reset();
+      tables_.erase(name);
       return st;
     }
   }
+  txn_.reset();
+  tables_.find(name)->second.MarkDirty();
   return Status::OK();
 }
 
 Status Database::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn_) {
+    return Status::FailedPrecondition(
+        "DDL is not allowed inside a transaction");
+  }
   if (tables_.erase(name) == 0) {
     return Status::NotFound("no table named '" + name + "'");
   }
@@ -125,7 +163,7 @@ Result<StoredTable*> Database::FindMutable(const std::string& name) {
   return &it->second;
 }
 
-Status Database::Insert(const std::string& name, Tuple row) {
+Status Database::InsertLocked(const std::string& name, Tuple row) {
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   if (row.size() != stored->num_columns()) {
     return Status::Invalid("INSERT arity mismatch: got " +
@@ -136,21 +174,38 @@ Status Database::Insert(const std::string& name, Tuple row) {
     return Status::FailedPrecondition(
         "INSERT rejected: " + violation->ToString(stored->schema()));
   }
-  stored->enforcer().Add(row, stored->num_rows());
+  const int row_id = stored->num_rows();
+  if (txn_) {
+    // Pin the committed state for readers, then log the inverse. Touch
+    // runs BEFORE the mutation so the dictionary high-water marks
+    // predate any code this statement mints.
+    stored->PinSnapshot();
+    TableUndo& undo = txn_->Touch(name, stored->columns());
+    stored->enforcer().Add(row, row_id);
+    UndoRecord r;
+    r.kind = UndoRecord::Kind::kInsert;
+    r.row_id = row_id;
+    undo.ops.push_back(std::move(r));
+  } else {
+    stored->enforcer().Add(row, row_id);
+    stored->MarkDirty();  // auto-commit
+  }
   return Status::OK();
+}
+
+Status Database::Insert(const std::string& name, Tuple row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InsertLocked(name, std::move(row));
 }
 
 Result<Table> Database::Select(
     const std::string& name,
     const std::vector<ColumnCondition>& where) const {
   SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, Find(name));
-  Table out(stored->schema());
+  // Columnar end to end: selection vector → gather → one decode at the
+  // result boundary (no per-row DecodeRow round trips).
   const std::vector<int> sel = SelectRowsEncoded(stored->columns(), where);
-  out.ReserveRows(static_cast<int>(sel.size()));
-  for (int i : sel) {
-    SQLNF_RETURN_NOT_OK(out.AddRow(stored->DecodeRow(i)));
-  }
-  return out;
+  return stored->columns().GatherRows(sel).Decode(stored->schema());
 }
 
 Result<int> Database::UpdateMatched(StoredTable* stored,
@@ -169,29 +224,44 @@ Result<int> Database::UpdateMatched(StoredTable* stored,
     return Status::FailedPrecondition(
         "UPDATE rejected: NOT NULL column cannot hold NULL");
   }
+  if (txn_) {
+    stored->PinSnapshot();
+    txn_->Touch(stored->schema().name(), enc);
+  }
+  // Statement-scope undo: pre-images plus the dictionary high-water
+  // marks, so a rejected statement also retires the codes it minted.
+  TableUndo statement;
+  statement.dict_mark = enc.DictionarySizes();
+  for (int i : changed) {
+    UndoRecord r;
+    r.kind = UndoRecord::Kind::kUpdate;
+    r.row_id = i;
+    r.pre_image = stored->DecodeRow(i);
+    statement.ops.push_back(std::move(r));
+  }
   // Flip the changed slots in place: unindex each row under its
   // PRE-image codes, then re-add the post-image (which re-encodes the
   // slot). Untouched rows keep their ids — no rebuild, no copy.
   IncrementalEnforcer& enforcer = stored->enforcer();
-  std::vector<Tuple> pre;
-  pre.reserve(changed.size());
-  for (int i : changed) pre.push_back(stored->DecodeRow(i));
-  for (size_t k = 0; k < changed.size(); ++k) {
-    Tuple post = pre[k];
+  for (const UndoRecord& r : statement.ops) {
+    Tuple post = r.pre_image;
     post[column] = value;
-    enforcer.Remove(changed[k]);
-    enforcer.Add(post, changed[k]);
+    enforcer.Remove(r.row_id);
+    enforcer.Add(post, r.row_id);
   }
   // Whole-statement post-image validation on the maintained encoding.
   // The NFS cannot newly fail (only `column` changed, checked above).
   if (auto violation = FindViolationEncoded(stored->columns(),
                                             stored->sigma())) {
-    for (size_t k = 0; k < changed.size(); ++k) {
-      enforcer.Remove(changed[k]);
-      enforcer.Add(pre[k], changed[k]);
-    }
+    UndoLog::RollbackTable(statement, &enforcer);
     return Status::FailedPrecondition(
         "UPDATE rejected: " + violation->ToString(stored->schema()));
+  }
+  if (txn_) {
+    TableUndo& undo = txn_->Touch(stored->schema().name(), enc);
+    for (UndoRecord& r : statement.ops) undo.ops.push_back(std::move(r));
+  } else {
+    stored->MarkDirty();  // auto-commit
   }
   return static_cast<int>(changed.size());
 }
@@ -199,6 +269,7 @@ Result<int> Database::UpdateMatched(StoredTable* stored,
 Result<int> Database::Update(const std::string& name,
                              const std::vector<ColumnCondition>& where,
                              AttributeId column, const Value& value) {
+  std::lock_guard<std::mutex> lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   if (column < 0 || column >= stored->num_columns()) {
     return Status::Invalid("UPDATE column out of range");
@@ -211,6 +282,7 @@ Result<int> Database::Update(
     const std::string& name,
     const std::function<bool(const Tuple&)>& predicate, AttributeId column,
     const Value& value) {
+  std::lock_guard<std::mutex> lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   if (column < 0 || column >= stored->num_columns()) {
     return Status::Invalid("UPDATE column out of range");
@@ -224,15 +296,29 @@ Result<int> Database::Update(
 
 int Database::DeleteMatched(StoredTable* stored,
                             const std::vector<int>& matches) {
+  if (matches.empty()) return 0;
+  if (txn_) {
+    stored->PinSnapshot();
+    TableUndo& undo = txn_->Touch(stored->schema().name(),
+                                  stored->columns());
+    UndoRecord r;
+    r.kind = UndoRecord::Kind::kDelete;
+    r.erased_ids = matches;
+    r.erased_rows.reserve(matches.size());
+    for (int i : matches) r.erased_rows.push_back(stored->DecodeRow(i));
+    undo.ops.push_back(std::move(r));
+  }
   // Unindex the erased rows (while their codes still hold them), then
   // compact the encoding and renumber the survivors in place.
   for (int i : matches) stored->enforcer().Remove(i);
   stored->enforcer().CompactAfterErase(matches);
+  if (!txn_) stored->MarkDirty();  // auto-commit
   return static_cast<int>(matches.size());
 }
 
 Result<int> Database::Delete(const std::string& name,
                              const std::vector<ColumnCondition>& where) {
+  std::lock_guard<std::mutex> lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   return DeleteMatched(stored, SelectRowsEncoded(stored->columns(), where));
 }
@@ -240,12 +326,61 @@ Result<int> Database::Delete(const std::string& name,
 Result<int> Database::Delete(
     const std::string& name,
     const std::function<bool(const Tuple&)>& predicate) {
+  std::lock_guard<std::mutex> lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   std::vector<int> matches;
   for (int i = 0; i < stored->num_rows(); ++i) {
     if (predicate(stored->DecodeRow(i))) matches.push_back(i);
   }
   return DeleteMatched(stored, matches);
+}
+
+Result<TableSnapshot> Database::GetSnapshot(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  // Mid-transaction this can only refresh tables the transaction has
+  // not touched (a touched table was pinned clean by its first write),
+  // so uncommitted rows are never published.
+  return stored->Snapshot();
+}
+
+Status Database::Begin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn_) {
+    return Status::FailedPrecondition(
+        "a transaction is already in progress");
+  }
+  txn_ = std::make_unique<UndoLog>();
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!txn_) {
+    return Status::FailedPrecondition("no transaction in progress");
+  }
+  for (const auto& [name, undo] : txn_->tables()) {
+    tables_.find(name)->second.MarkDirty();  // DDL is barred mid-txn
+  }
+  txn_.reset();
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!txn_) {
+    return Status::FailedPrecondition("no transaction in progress");
+  }
+  for (const auto& [name, undo] : txn_->tables()) {
+    UndoLog::RollbackTable(undo, &tables_.find(name)->second.enforcer());
+  }
+  txn_.reset();
+  return Status::OK();
+}
+
+bool Database::InTransaction() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return txn_ != nullptr;
 }
 
 }  // namespace sqlnf

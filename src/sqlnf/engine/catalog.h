@@ -17,17 +17,41 @@
 // the row-major Table appears only at the ingest/decode boundary (CSV,
 // SQL literals, ToString, test oracles) via Materialize()/DecodeRow().
 //
-// Writes are atomic per statement: a rejected write leaves the table
-// untouched (a rejected UPDATE may still grow dictionaries — codes are
-// append-only by design, and retired codes are harmless).
+// ATOMICITY. Writes are atomic per statement: a rejected statement
+// rolls back every slot it touched AND retires the dictionary codes it
+// minted (engine/txn.h), leaving the table bit-identical. Between
+// Begin() and Commit() statements accumulate in an undo log instead of
+// auto-committing, so a logical write that fans out over N normalized
+// component tables commits or aborts as one unit; Rollback() restores
+// every touched table — contents, constraint indexes, dictionaries —
+// to its pre-transaction state. DDL (create / ingest / drop) is barred
+// while a transaction is open.
+//
+// SNAPSHOT READS. Each stored table publishes an immutable snapshot of
+// its encoding at commit points. Publishing is lazy copy-on-write: the
+// snapshot shares every column with the live encoding (O(columns)
+// pointer copies), and the writer's next mutation detaches just the
+// columns it touches — many reader threads can therefore execute
+// SELECT/JOIN against a stable epoch while the single writer keeps
+// batching mutations. A snapshot's columns are freed when the last
+// reader drops its TableSnapshot (shared_ptr refcount — no epoch list
+// to sweep). Concurrency contract: any number of threads may call
+// GetSnapshot() and read the returned snapshot, concurrently with ONE
+// writer thread calling the mutating methods; the remaining accessors
+// (Find / Select / Materialize / ...) touch live state and belong to
+// the writer thread.
 
 #ifndef SQLNF_ENGINE_CATALOG_H_
 #define SQLNF_ENGINE_CATALOG_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sqlnf/constraints/constraint.h"
@@ -36,6 +60,7 @@
 #include "sqlnf/core/table.h"
 #include "sqlnf/engine/enforcer.h"
 #include "sqlnf/engine/relops.h"
+#include "sqlnf/engine/txn.h"
 #include "sqlnf/util/status.h"
 
 namespace sqlnf {
@@ -47,6 +72,26 @@ namespace sqlnf {
 std::optional<Violation> ValidateRowAgainst(const Table& table,
                                             const Tuple& row,
                                             const ConstraintSet& sigma);
+
+/// An immutable view of one table at a commit point. Copyable and
+/// cheap to pass between threads; the columns stay alive (and
+/// bit-stable) for as long as any copy holds them. `epoch` increments
+/// with every published version, so readers can correlate what they
+/// saw with the writer's commit history.
+struct TableSnapshot {
+  TableSchema schema;
+  std::shared_ptr<const EncodedTable> columns;
+  uint64_t epoch = 0;
+
+  int num_rows() const { return columns->num_rows(); }
+  Table Materialize() const { return columns->Decode(schema); }
+};
+
+/// SELECT against a snapshot: the rows satisfying every condition,
+/// matched on codes and decoded only at the result boundary. Safe to
+/// run from any reader thread without touching the Database.
+Result<Table> SelectFromSnapshot(const TableSnapshot& snapshot,
+                                 const std::vector<ColumnCondition>& where);
 
 /// One stored table. The instance lives as the enforcer's maintained
 /// encoding — columns() IS the data; Materialize() decodes on demand.
@@ -76,45 +121,85 @@ class StoredTable {
   IncrementalEnforcer& enforcer() { return enforcer_; }
   const IncrementalEnforcer& enforcer() const { return enforcer_; }
 
+  // ---- Snapshot publication (driven by Database under its mutex).
+
+  /// The published snapshot, refreshed first when a commit has dirtied
+  /// it. The refresh is an O(columns) copy sharing every column with
+  /// the live encoding; the writer's next mutation pays the
+  /// copy-on-write detach, so back-to-back commits with no reader in
+  /// between never clone anything.
+  TableSnapshot Snapshot() {
+    PinSnapshot();
+    return TableSnapshot{schema_, snapshot_, epoch_};
+  }
+
+  /// Refreshes the published snapshot if dirty, without handing it out.
+  /// A transaction's first write to this table pins the committed state
+  /// here so mid-transaction readers never observe uncommitted rows.
+  void PinSnapshot() {
+    if (stale_) {
+      snapshot_ = std::make_shared<const EncodedTable>(columns());
+      ++epoch_;
+      stale_ = false;
+    }
+  }
+
+  /// Marks the published snapshot out of date. Called at commit points
+  /// only — never mid-transaction.
+  void MarkDirty() { stale_ = true; }
+
+  /// Published versions so far (0 until the first Snapshot()).
+  uint64_t epoch() const { return epoch_; }
+
  private:
   TableSchema schema_;
   ConstraintSet sigma_;
   IncrementalEnforcer enforcer_;
+  std::shared_ptr<const EncodedTable> snapshot_;
+  uint64_t epoch_ = 0;
+  bool stale_ = true;
 };
 
-/// An in-memory multi-table database with constraint enforcement.
+/// An in-memory multi-table database with constraint enforcement,
+/// snapshot reads, and cross-table transactions.
 class Database {
  public:
-  /// Registers an empty table. Fails when the name exists.
+  /// Registers an empty table. Fails when the name exists or a
+  /// transaction is open.
   Status CreateTable(const TableSchema& schema, ConstraintSet sigma);
 
   /// Bulk-loads a row-major table through the enforcer (the CSV/ingest
   /// boundary); the table name comes from data.schema(). Fails on the
-  /// first rejected row and drops the partially loaded table.
+  /// first rejected row and drops the partially loaded table. Runs as
+  /// one implicit transaction, publishing a single snapshot at the end.
   Status IngestTable(const Table& data, ConstraintSet sigma);
 
-  /// Removes a table. NotFound when absent.
+  /// Removes a table. NotFound when absent; fails inside a transaction.
   Status DropTable(const std::string& name);
 
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
-  /// The stored table; NotFound when absent.
+  /// The stored table; NotFound when absent. Live state — writer
+  /// thread only (readers use GetSnapshot).
   Result<const StoredTable*> Find(const std::string& name) const;
 
   /// Inserts one row after validating it against the instance and Σ.
   /// FailedPrecondition with the violation text on rejection.
   Status Insert(const std::string& name, Tuple row);
 
-  /// SELECT: the rows satisfying every condition, matched on codes and
-  /// decoded only for the result.
+  /// SELECT on live state: the rows satisfying every condition, matched
+  /// on codes, gathered columnar, and decoded only at the result
+  /// boundary. Writer thread only — concurrent readers go through
+  /// GetSnapshot + SelectFromSnapshot.
   Result<Table> Select(const std::string& name,
                        const std::vector<ColumnCondition>& where) const;
 
   /// UPDATE ... SET column = value WHERE conditions, executed on codes
   /// (the SQL layer's default path). The whole statement is validated
   /// post-image on the maintained encoding; on violation every changed
-  /// slot is rolled back. Returns rows changed.
+  /// slot is rolled back and the statement's dictionary codes are
+  /// retired. Returns rows changed.
   Result<int> Update(const std::string& name,
                      const std::vector<ColumnCondition>& where,
                      AttributeId column, const Value& value);
@@ -136,11 +221,40 @@ class Database {
   Result<int> Delete(const std::string& name,
                      const std::function<bool(const Tuple&)>& predicate);
 
+  // ---- Snapshot reads.
+
+  /// The table's latest committed snapshot, publishing a fresh epoch if
+  /// commits happened since the last call. Thread-safe against the
+  /// writer; the returned snapshot is read without any lock.
+  Result<TableSnapshot> GetSnapshot(const std::string& name);
+
+  // ---- Transactions. One open transaction at a time (single-writer
+  // engine); statements between Begin and Commit log their inverses and
+  // publish no snapshots, so readers keep the pre-transaction epoch
+  // until Commit. A statement rejected mid-transaction rolls back only
+  // itself; the transaction stays open.
+
+  Status Begin();
+
+  /// Makes the transaction's effects permanent and publishable.
+  Status Commit();
+
+  /// Replays the undo log newest-first: every touched table — contents,
+  /// constraint indexes, dictionaries — returns bit-identical to its
+  /// pre-transaction state.
+  Status Rollback();
+
+  bool InTransaction() const;
+
  private:
   Result<StoredTable*> FindMutable(const std::string& name);
 
+  Status CreateTableLocked(const TableSchema& schema, ConstraintSet sigma);
+  Status InsertLocked(const std::string& name, Tuple row);
+
   /// Shared columnar write core: flips `column` to `value` on the
-  /// matched rows, validates the post-image, rolls back on violation.
+  /// matched rows, validates the post-image, rolls back (slots and
+  /// dictionary marks) on violation.
   Result<int> UpdateMatched(StoredTable* stored,
                             const std::vector<int>& matches,
                             AttributeId column, const Value& value);
@@ -148,7 +262,11 @@ class Database {
   /// Shared delete core: `matches` must be ascending.
   int DeleteMatched(StoredTable* stored, const std::vector<int>& matches);
 
+  /// Serializes snapshot publication against the writer; all mutating
+  /// entry points and GetSnapshot take it.
+  mutable std::mutex mu_;
   std::map<std::string, StoredTable> tables_;
+  std::unique_ptr<UndoLog> txn_;  // non-null while a transaction is open
 };
 
 }  // namespace sqlnf

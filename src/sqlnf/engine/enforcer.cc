@@ -10,13 +10,19 @@ namespace sqlnf {
 IncrementalEnforcer::IncrementalEnforcer(const TableSchema& schema,
                                          const ConstraintSet& sigma)
     : schema_(schema), encoded_(schema.num_attributes()) {
+  // Stable (hash) attributes per constraint: a weak (certain)
+  // constraint can relate rows through ⊥, so only schema-level NOT NULL
+  // attributes pin a bucket; strong similarity requires exact total
+  // equality on every attribute, so strong constraints hash the full
+  // similarity set and skip non-total rows entirely.
   for (const auto& fd : sigma.fds()) {
     ConstraintIndex index;
     index.constraint = fd;
     index.similarity_attrs = fd.lhs;
     index.rhs = fd.rhs;
     index.strong = fd.is_possible();
-    index.stable = fd.lhs.Intersect(schema.nfs());
+    index.stable =
+        index.strong ? fd.lhs : fd.lhs.Intersect(schema.nfs());
     indexes_.push_back(std::move(index));
   }
   for (const auto& key : sigma.keys()) {
@@ -24,7 +30,8 @@ IncrementalEnforcer::IncrementalEnforcer(const TableSchema& schema,
     index.constraint = key;
     index.similarity_attrs = key.attrs;
     index.strong = key.is_possible();
-    index.stable = key.attrs.Intersect(schema.nfs());
+    index.stable =
+        index.strong ? key.attrs : key.attrs.Intersect(schema.nfs());
     indexes_.push_back(std::move(index));
   }
 }
@@ -51,6 +58,14 @@ bool IncrementalEnforcer::RowTotal(int row_id,
   return true;
 }
 
+bool IncrementalEnforcer::ShouldIndex(const ConstraintIndex& index,
+                                      int row_id) const {
+  // Rows not total on the similarity attrs can still conflict under
+  // weak similarity, but never under strong similarity — skip them
+  // for possible constraints to keep buckets tight.
+  return !index.strong || RowTotal(row_id, index.similarity_attrs);
+}
+
 std::optional<Violation> IncrementalEnforcer::Check(const Tuple& row) const {
   const int candidate_id = encoded_.num_rows();
   for (AttributeId a : schema_.nfs()) {
@@ -69,6 +84,19 @@ std::optional<Violation> IncrementalEnforcer::Check(const Tuple& row) const {
     cand[a] = encoded_.LookupCode(a, row[a]);
   }
   for (const ConstraintIndex& index : indexes_) {
+    if (index.strong) {
+      // Strong similarity needs the candidate total on the similarity
+      // attrs; a ⊥ (or never-seen) cell there matches no stored row.
+      bool can_conflict = true;
+      for (AttributeId a : index.similarity_attrs) {
+        if (cand[a] == EncodedTable::kNullCode ||
+            cand[a] == EncodedTable::kMissingCode) {
+          can_conflict = false;
+          break;
+        }
+      }
+      if (!can_conflict) continue;
+    }
     auto bucket = index.buckets.find(HashCodes(cand, index.stable));
     if (bucket == index.buckets.end()) continue;
     const AttributeSet rest =
@@ -109,6 +137,13 @@ std::optional<Violation> IncrementalEnforcer::Check(const Tuple& row) const {
   return std::nullopt;
 }
 
+void IncrementalEnforcer::IndexRow(int row_id) {
+  for (ConstraintIndex& index : indexes_) {
+    if (!ShouldIndex(index, row_id)) continue;
+    index.buckets[HashStoredRow(row_id, index.stable)].push_back(row_id);
+  }
+}
+
 void IncrementalEnforcer::Add(const Tuple& row, int row_id) {
   if (row_id == encoded_.num_rows()) {
     encoded_.AppendRow(row);
@@ -119,25 +154,14 @@ void IncrementalEnforcer::Add(const Tuple& row, int row_id) {
       encoded_.UpdateCell(row_id, a, row[a]);
     }
   }
-  for (ConstraintIndex& index : indexes_) {
-    // Rows not total on the similarity attrs can still conflict under
-    // weak similarity, but never under strong similarity — skip them
-    // for possible constraints to keep buckets tight.
-    if (index.strong &&
-        !RowTotal(row_id, index.similarity_attrs)) {
-      continue;
-    }
-    index.buckets[HashStoredRow(row_id, index.stable)].push_back(row_id);
-  }
+  IndexRow(row_id);
 }
 
 void IncrementalEnforcer::Remove(int row_id) {
   // The encoding still holds the pre-image; hash from the stored codes.
   for (ConstraintIndex& index : indexes_) {
-    // Mirror Add(): rows skipped there were never indexed.
-    if (index.strong && !RowTotal(row_id, index.similarity_attrs)) {
-      continue;
-    }
+    // Mirror IndexRow(): rows skipped there were never indexed.
+    if (!ShouldIndex(index, row_id)) continue;
     auto bucket = index.buckets.find(HashStoredRow(row_id, index.stable));
     if (bucket == index.buckets.end()) continue;
     auto& ids = bucket->second;
@@ -162,6 +186,34 @@ void IncrementalEnforcer::CompactAfterErase(const std::vector<int>& erased) {
   }
 }
 
+void IncrementalEnforcer::Restore(const std::vector<int>& erased,
+                                  const std::vector<Tuple>& rows) {
+  if (erased.empty()) return;
+  assert(erased.size() == rows.size());
+  // survivor_final[c] = the post-restore id of the row currently
+  // numbered c: survivors occupy, in order, the positions NOT being
+  // restored.
+  const int restored =
+      encoded_.num_rows() + static_cast<int>(erased.size());
+  std::vector<int> survivor_final;
+  survivor_final.reserve(encoded_.num_rows());
+  size_t next = 0;
+  for (int pos = 0; pos < restored; ++pos) {
+    if (next < erased.size() && erased[next] == pos) {
+      ++next;
+      continue;
+    }
+    survivor_final.push_back(pos);
+  }
+  for (ConstraintIndex& index : indexes_) {
+    for (auto& [hash, ids] : index.buckets) {
+      for (int& id : ids) id = survivor_final[id];
+    }
+  }
+  encoded_.UneraseRows(erased, rows);
+  for (int id : erased) IndexRow(id);
+}
+
 void IncrementalEnforcer::Rebuild(const Table& table) {
   ++rebuilds_;
   encoded_ = EncodedTable(schema_.num_attributes());
@@ -169,6 +221,119 @@ void IncrementalEnforcer::Rebuild(const Table& table) {
   for (int i = 0; i < table.num_rows(); ++i) {
     Add(table.row(i), i);
   }
+}
+
+Status IncrementalEnforcer::CheckInvariants() const {
+  const int n = encoded_.num_rows();
+  // Encoding: code ranges, ⊥ counts, dictionary bijectivity.
+  for (AttributeId col : encoded_.encoded_columns()) {
+    const std::vector<uint32_t>& codes = encoded_.column(col);
+    if (static_cast<int>(codes.size()) != n) {
+      return Status::Internal("column " + std::to_string(col) +
+                              " code vector out of sync with row count");
+    }
+    const uint32_t dict_size =
+        static_cast<uint32_t>(encoded_.dictionary_size(col));
+    int nulls = 0;
+    for (uint32_t code : codes) {
+      if (code == EncodedTable::kNullCode) {
+        ++nulls;
+        continue;
+      }
+      if (code >= dict_size) {
+        return Status::Internal("column " + std::to_string(col) +
+                                " stores a retired or unminted code");
+      }
+    }
+    if (nulls != encoded_.null_count(col)) {
+      return Status::Internal("column " + std::to_string(col) +
+                              " null count drifted from its codes");
+    }
+    for (uint32_t code = 0; code < dict_size; ++code) {
+      if (encoded_.LookupCode(col, encoded_.DecodeCode(col, code)) != code) {
+        return Status::Internal("column " + std::to_string(col) +
+                                " dictionary is not a bijection at code " +
+                                std::to_string(code));
+      }
+    }
+  }
+  // Indexes: every row present exactly where it must be, hashed from
+  // its current codes.
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    const ConstraintIndex& index = indexes_[i];
+    std::vector<char> seen(n, 0);
+    for (const auto& [hash, ids] : index.buckets) {
+      if (ids.empty()) {
+        return Status::Internal("index " + std::to_string(i) +
+                                " retains an empty bucket");
+      }
+      for (int id : ids) {
+        if (id < 0 || id >= n) {
+          return Status::Internal("index " + std::to_string(i) +
+                                  " holds out-of-range row id " +
+                                  std::to_string(id));
+        }
+        if (seen[id]) {
+          return Status::Internal("index " + std::to_string(i) +
+                                  " holds row " + std::to_string(id) +
+                                  " twice");
+        }
+        seen[id] = 1;
+        if (!ShouldIndex(index, id)) {
+          return Status::Internal("index " + std::to_string(i) +
+                                  " holds non-total row " +
+                                  std::to_string(id) +
+                                  " of a strong constraint");
+        }
+        if (HashStoredRow(id, index.stable) != hash) {
+          return Status::Internal("index " + std::to_string(i) +
+                                  " files row " + std::to_string(id) +
+                                  " under a stale hash");
+        }
+      }
+    }
+    for (int id = 0; id < n; ++id) {
+      if (ShouldIndex(index, id) && !seen[id]) {
+        return Status::Internal("index " + std::to_string(i) +
+                                " is missing row " + std::to_string(id));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t IncrementalEnforcer::IndexFingerprint() const {
+  uint64_t fp = kFnv64OffsetBasis;
+  for (AttributeId col : encoded_.encoded_columns()) {
+    fp = FnvMix(fp,
+                static_cast<uint64_t>(encoded_.dictionary_size(col)));
+  }
+  for (const ConstraintIndex& index : indexes_) {
+    // Per-bucket digests combined commutatively: bucket iteration order
+    // and within-bucket insertion order are implementation noise, the
+    // (key → id set) mapping is the state.
+    uint64_t acc = 0;
+    for (const auto& [hash, ids] : index.buckets) {
+      std::vector<int> sorted = ids;
+      std::sort(sorted.begin(), sorted.end());
+      uint64_t h = FnvMix(kFnv64OffsetBasis, hash);
+      for (int id : sorted) h = FnvMix(h, static_cast<uint64_t>(id));
+      acc += h;
+    }
+    fp = FnvMix(fp, acc);
+  }
+  return fp;
+}
+
+IncrementalEnforcer::IndexStats IncrementalEnforcer::Stats(int index) const {
+  IndexStats stats;
+  for (const auto& [hash, ids] : indexes_[index].buckets) {
+    ++stats.buckets;
+    stats.indexed_rows += static_cast<int>(ids.size());
+    stats.largest_bucket =
+        std::max(stats.largest_bucket, static_cast<int>(ids.size()));
+  }
+  return stats;
 }
 
 }  // namespace sqlnf

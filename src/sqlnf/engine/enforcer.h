@@ -3,24 +3,37 @@
 // ValidateRowAgainst (catalog.h) probes every stored row per insert.
 // This enforcer maintains ONE dictionary encoding of the stored rows
 // (core/encoded_table.h) plus, per constraint, a hash index keyed by
-// the row's CODES on the constraint's STABLE columns — the LHS/key
-// attributes that are schema-level NOT NULL. Two rows can only be
-// (weakly or strongly) similar on the LHS when they agree exactly on
-// those columns, so candidate conflicts live in one bucket; within a
-// bucket the pairwise predicate runs on integer codes. Constraints
-// whose LHS has no NOT NULL attribute keep a single bucket (the
-// theoretical worst case — weak similarity can relate anything
-// through ⊥).
+// the row's CODES on the constraint's STABLE columns.
+//
+// For CERTAIN (weak) constraints the stable columns are the LHS/key
+// attributes that are schema-level NOT NULL: two rows can only be
+// weakly similar on the LHS when they agree exactly on those columns,
+// so candidate conflicts live in one bucket; within a bucket the
+// pairwise predicate runs on integer codes. A certain constraint whose
+// LHS has no NOT NULL attribute keeps a single bucket (the theoretical
+// worst case — weak similarity can relate anything through ⊥).
+//
+// For POSSIBLE (strong) constraints strong similarity requires exact,
+// total equality on EVERY similarity attribute, so the stable set is
+// the full similarity-attribute set regardless of the schema's NFS —
+// rows with a ⊥ there can never conflict and are not indexed at all.
+// This keeps buckets tight even for an all-nullable key (previously
+// such a key degraded to one bucket and O(n) per insert).
 //
 // A candidate row is checked WITHOUT touching the encoding: its cells
 // are probed against the dictionaries (LookupCode), and a value never
 // seen before can only conflict through ⊥ — which the code predicates
 // handle. The encoding is maintained across the write paths
-// (Add / Remove / CompactAfterErase) and never rebuilt from scratch.
+// (Add / Remove / CompactAfterErase / Restore) and never rebuilt from
+// scratch; Restore is the DELETE-rollback inverse the transaction undo
+// log (engine/txn.h) replays on abort.
 //
 // Equivalence with the batch semantics is property-tested against
 // constraints/satisfies.h; the encoding's consistency with a
-// from-scratch re-encode is property-tested in enforcer_test.
+// from-scratch re-encode is property-tested in enforcer_test. The
+// CheckInvariants() debug hook re-derives the buckets ↔ encoding
+// consistency on demand — the differential mutation harness calls it
+// after every operation.
 
 #ifndef SQLNF_ENGINE_ENFORCER_H_
 #define SQLNF_ENGINE_ENFORCER_H_
@@ -34,6 +47,7 @@
 #include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
 
 namespace sqlnf {
 
@@ -68,9 +82,26 @@ class IncrementalEnforcer {
   /// erased ids below it. O(index entries), no rehashing.
   void CompactAfterErase(const std::vector<int>& erased);
 
+  /// Inverse of Remove + CompactAfterErase — the DELETE rollback.
+  /// Re-inserts `rows[k]` at row id `erased[k]` of the restored table
+  /// (`erased` ascending, post-restore numbering): surviving ids shift
+  /// back up, the encoding re-inserts the pre-image cells (identical
+  /// codes — dictionaries never shrank in between), and the restored
+  /// rows are re-indexed. O(index entries + restored cells).
+  void Restore(const std::vector<int>& erased,
+               const std::vector<Tuple>& rows);
+
+  /// Retires dictionary codes minted past the recorded high-water marks
+  /// (core/encoded_table.h TrimDictionaries) — the final step of a
+  /// statement or transaction rollback, after every re-added pre-image
+  /// is back in place.
+  void TrimDictionaries(const std::vector<int>& sizes) {
+    encoded_.TrimDictionaries(sizes);
+  }
+
   /// Drops all state and re-encodes the table's current rows.
   /// Last-resort bulk rebuild; the write paths maintain everything
-  /// incrementally via Add/Remove/CompactAfterErase.
+  /// incrementally via Add/Remove/CompactAfterErase/Restore.
   void Rebuild(const Table& table);
 
   /// Number of Rebuild() calls over this enforcer's lifetime — lets
@@ -83,13 +114,41 @@ class IncrementalEnforcer {
   /// re-validation and mining skip the encode step.
   const EncodedTable& encoding() const { return encoded_; }
 
+  // ---- Debug / test introspection.
+
+  /// Re-derives every invariant the incremental maintenance relies on
+  /// and returns Internal with a description on the first breach:
+  /// dictionary bijectivity, code ranges and ⊥ counts of the encoding,
+  /// and buckets ↔ encoding consistency per constraint index (each row
+  /// indexed exactly when it must be, under the hash of its CURRENT
+  /// codes, with no duplicate or out-of-range ids). O(rows · |Σ| +
+  /// dictionary sizes) — a debug hook, not a fast path.
+  Status CheckInvariants() const;
+
+  /// Order-insensitive digest of the constraint indexes (bucket keys
+  /// and their id sets) plus the dictionary high-water marks. Two
+  /// enforcers over the same history agree; the abort protocol is
+  /// tested by fingerprint equality before Begin and after Rollback.
+  uint64_t IndexFingerprint() const;
+
+  /// Bucket fan-out of one constraint index (indexes are ordered: all
+  /// FDs in Σ order, then all keys in Σ order).
+  struct IndexStats {
+    int buckets = 0;         // distinct non-empty buckets
+    int largest_bucket = 0;  // ids in the fullest bucket
+    int indexed_rows = 0;    // total ids across buckets
+  };
+  int num_indexes() const { return static_cast<int>(indexes_.size()); }
+  IndexStats Stats(int index) const;
+
  private:
   struct ConstraintIndex {
     Constraint constraint;
     AttributeSet similarity_attrs;  // LHS for FDs, attrs for keys
     AttributeSet rhs;               // empty for keys
     bool strong = false;            // possible (strong) vs certain (weak)
-    AttributeSet stable;            // similarity_attrs ∩ schema NFS
+    AttributeSet stable;            // hash attrs: full set when strong,
+                                    // similarity_attrs ∩ NFS when weak
     std::unordered_map<uint64_t, std::vector<int>> buckets;
   };
 
@@ -102,6 +161,14 @@ class IncrementalEnforcer {
 
   /// True when the encoded row has no ⊥ on `attrs`.
   bool RowTotal(int row_id, const AttributeSet& attrs) const;
+
+  /// Whether `row_id`'s current codes belong in `index` at all (strong
+  /// constraints skip rows that are not total on the similarity attrs).
+  bool ShouldIndex(const ConstraintIndex& index, int row_id) const;
+
+  /// Pushes `row_id` into every index it belongs to, hashed from its
+  /// CURRENT codes (the slot must already hold them).
+  void IndexRow(int row_id);
 
   TableSchema schema_;
   EncodedTable encoded_;

@@ -129,9 +129,13 @@ class Parser {
     if (AcceptKeyword("DROP")) return Drop();
     if (AcceptKeyword("SHOW")) return Show();
     if (AcceptKeyword("DESCRIBE")) return Describe();
+    if (AcceptKeyword("BEGIN")) return Begin();
+    if (AcceptKeyword("COMMIT")) return TxnEnd(/*commit=*/true);
+    if (AcceptKeyword("ROLLBACK")) return TxnEnd(/*commit=*/false);
     return Status::ParseError("unknown statement: expected CREATE / "
                               "INSERT / SELECT / UPDATE / DELETE / DROP / "
-                              "SHOW / DESCRIBE");
+                              "SHOW / DESCRIBE / BEGIN / COMMIT / "
+                              "ROLLBACK");
   }
 
  private:
@@ -456,6 +460,29 @@ class Parser {
     SQLNF_RETURN_NOT_OK(db_->DropTable(name));
     QueryResult result;
     result.message = "dropped table " + name;
+    return result;
+  }
+
+  // BEGIN / COMMIT / ROLLBACK, each with an optional TRANSACTION or
+  // WORK noise word. Statements between BEGIN and COMMIT take effect
+  // (and become visible to snapshot readers) only at COMMIT; ROLLBACK
+  // restores every touched table bit-identically.
+  Result<QueryResult> Begin() {
+    AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_RETURN_NOT_OK(db_->Begin());
+    QueryResult result;
+    result.message = "transaction started";
+    return result;
+  }
+
+  Result<QueryResult> TxnEnd(bool commit) {
+    AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_RETURN_NOT_OK(commit ? db_->Commit() : db_->Rollback());
+    QueryResult result;
+    result.message =
+        commit ? "transaction committed" : "transaction rolled back";
     return result;
   }
 

@@ -19,6 +19,7 @@
 //   DROP TABLE t;
 //   SHOW TABLES;
 //   DESCRIBE t;
+//   BEGIN [TRANSACTION|WORK]; COMMIT; ROLLBACK;
 //
 // Literals: 'single-quoted strings' ('' escapes a quote), integers,
 // NULL. Types are declarative only (everything is a Value). WHERE
@@ -29,6 +30,13 @@
 // declare the paper's constraint classes, and the Database enforces
 // them on every write — including certain keys over nullable columns,
 // which standard SQL cannot express declaratively.
+//
+// Transactions: between BEGIN and COMMIT, DML accumulates in the
+// Database's undo log (engine/txn.h) — an insert fanned out over N
+// normalized component tables commits or aborts as one unit, and
+// ROLLBACK restores every touched table bit-identically. A statement
+// rejected mid-transaction rolls back only itself; DDL is barred
+// while a transaction is open.
 
 #ifndef SQLNF_ENGINE_SQL_H_
 #define SQLNF_ENGINE_SQL_H_

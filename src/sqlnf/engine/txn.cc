@@ -1,0 +1,65 @@
+#include "sqlnf/engine/txn.h"
+
+#include "sqlnf/engine/catalog.h"
+
+namespace sqlnf {
+
+TableUndo& UndoLog::Touch(const std::string& table,
+                          const EncodedTable& encoding) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    it = tables_.emplace(table, TableUndo{}).first;
+    it->second.dict_mark = encoding.DictionarySizes();
+  }
+  return it->second;
+}
+
+void UndoLog::RollbackTable(const TableUndo& undo,
+                            IncrementalEnforcer* enforcer) {
+  for (auto it = undo.ops.rbegin(); it != undo.ops.rend(); ++it) {
+    const UndoRecord& r = *it;
+    switch (r.kind) {
+      case UndoRecord::Kind::kInsert:
+        // Every later mutation is already undone, so the inserted row
+        // sits at its original append position again.
+        enforcer->Remove(r.row_id);
+        enforcer->CompactAfterErase({r.row_id});
+        break;
+      case UndoRecord::Kind::kUpdate:
+        enforcer->Remove(r.row_id);
+        enforcer->Add(r.pre_image, r.row_id);
+        break;
+      case UndoRecord::Kind::kDelete:
+        enforcer->Restore(r.erased_ids, r.erased_rows);
+        break;
+    }
+  }
+  enforcer->TrimDictionaries(undo.dict_mark);
+}
+
+TransactionGuard::TransactionGuard(Database* db)
+    : db_(db), begin_status_(db->Begin()) {
+  finished_ = !begin_status_.ok();
+}
+
+TransactionGuard::~TransactionGuard() {
+  if (!finished_) (void)db_->Rollback();
+}
+
+Status TransactionGuard::Commit() {
+  if (finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  finished_ = true;
+  return db_->Commit();
+}
+
+Status TransactionGuard::Rollback() {
+  if (finished_) {
+    return Status::FailedPrecondition("transaction already finished");
+  }
+  finished_ = true;
+  return db_->Rollback();
+}
+
+}  // namespace sqlnf
