@@ -1,6 +1,8 @@
 #include "sqlnf/core/encoded_table.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 #include <utility>
 
 #include "sqlnf/core/code_hash_index.h"
@@ -21,8 +23,9 @@ EncodedTable::EncodedTable(const Table& table, const AttributeSet& columns)
     Column& c = *columns_[col];
     c.codes.resize(num_rows_);
     for (int row = 0; row < num_rows_; ++row) {
-      c.codes[row] = Encode(&c, table.row(row)[col]);
+      c.codes[row] = EncodeUnordered(&c, table.row(row)[col]);
     }
+    RebuildOrder(&c);  // one O(d log d) sort beats d ordered insertions
   }
 }
 
@@ -46,6 +49,13 @@ EncodedTable::Column& EncodedTable::Detach(AttributeId col) {
 }
 
 uint32_t EncodedTable::Encode(Column* col, const Value& value) {
+  const size_t before = col->values.size();
+  const uint32_t code = EncodeUnordered(col, value);
+  if (col->values.size() != before) InsertOrdered(col, code);
+  return code;
+}
+
+uint32_t EncodedTable::EncodeUnordered(Column* col, const Value& value) {
   if (value.is_null()) {
     ++col->null_count;
     return kNullCode;
@@ -56,11 +66,153 @@ uint32_t EncodedTable::Encode(Column* col, const Value& value) {
   return it->second;
 }
 
+void EncodedTable::InsertOrdered(Column* col, uint32_t code) {
+  const Value& v = col->values[code];
+  const auto it = std::lower_bound(
+      col->sorted.begin(), col->sorted.end(), v,
+      [col](uint32_t c, const Value& x) { return col->values[c] < x; });
+  const size_t at = static_cast<size_t>(it - col->sorted.begin());
+  col->sorted.insert(it, code);
+  // The rank array grows by one slot; the sentinel moves up to stay at
+  // index values.size(), and every code displaced by the insertion
+  // shifts one rank. Values arriving in ascending order (at == code)
+  // touch only the new tail slot.
+  col->rank.push_back(kNoRank);
+  for (size_t r = at; r < col->sorted.size(); ++r) {
+    col->rank[col->sorted[r]] = static_cast<uint32_t>(r);
+  }
+  col->rank[col->values.size()] = kNoRank;
+  col->ordered = col->ordered && at == code;
+}
+
+void EncodedTable::RebuildOrder(Column* col) {
+  const size_t d = col->values.size();
+  col->sorted.resize(d);
+  std::iota(col->sorted.begin(), col->sorted.end(), 0u);
+  std::sort(col->sorted.begin(), col->sorted.end(),
+            [col](uint32_t a, uint32_t b) {
+              return col->values[a] < col->values[b];
+            });
+  col->rank.assign(d + 1, kNoRank);
+  col->ordered = true;
+  for (size_t r = 0; r < d; ++r) {
+    col->rank[col->sorted[r]] = static_cast<uint32_t>(r);
+    col->ordered = col->ordered && col->sorted[r] == r;
+  }
+}
+
+void EncodedTable::CopyDictionary(const Column& src, Column* dst) {
+  dst->values = src.values;
+  dst->dict = src.dict;
+  dst->sorted = src.sorted;
+  dst->rank = src.rank;
+  dst->ordered = src.ordered;
+}
+
 uint32_t EncodedTable::LookupCode(AttributeId col, const Value& value) const {
   if (value.is_null()) return kNullCode;
   const Column& c = *columns_[col];
   auto it = c.dict.find(value);
   return it == c.dict.end() ? kMissingCode : it->second;
+}
+
+uint32_t EncodedTable::LowerBoundRank(AttributeId col, const Value& v) const {
+  const Column& c = *columns_[col];
+  const auto it = std::lower_bound(
+      c.sorted.begin(), c.sorted.end(), v,
+      [&c](uint32_t code, const Value& x) { return c.values[code] < x; });
+  return static_cast<uint32_t>(it - c.sorted.begin());
+}
+
+uint32_t EncodedTable::UpperBoundRank(AttributeId col, const Value& v) const {
+  const Column& c = *columns_[col];
+  const auto it = std::upper_bound(
+      c.sorted.begin(), c.sorted.end(), v,
+      [&c](const Value& x, uint32_t code) { return x < c.values[code]; });
+  return static_cast<uint32_t>(it - c.sorted.begin());
+}
+
+std::vector<int> EncodedTable::CompactDictionaries() {
+  std::vector<int> retired(columns_.size(), 0);
+  for (AttributeId col : encoded_) {
+    const Column& before = *columns_[col];
+    const size_t d = before.values.size();
+    // Liveness scan on the shared column — no detach needed yet.
+    std::vector<char> live(d, 0);
+    for (uint32_t code : before.codes) {
+      if (code != kNullCode) live[code] = 1;
+    }
+    size_t live_count = 0;
+    for (char l : live) live_count += static_cast<size_t>(l);
+    if (live_count == d && before.ordered) continue;  // already canonical
+    retired[col] = static_cast<int>(d - live_count);
+
+    // Canonical target: live values in ascending value order get codes
+    // 0..live_count-1, so code order IS value order (rank identity).
+    // `before.sorted` already lists codes in that order; walking it and
+    // skipping dead codes yields the old→new remap directly.
+    std::vector<uint32_t> remap(d, kMissingCode);
+    Column next;
+    next.values.reserve(live_count);
+    next.dict.reserve(live_count);
+    for (uint32_t old_code : before.sorted) {
+      if (!live[old_code]) continue;
+      remap[old_code] = static_cast<uint32_t>(next.values.size());
+      next.dict.emplace(before.values[old_code],
+                        static_cast<uint32_t>(next.values.size()));
+      next.values.push_back(before.values[old_code]);
+    }
+    next.sorted.resize(live_count);
+    std::iota(next.sorted.begin(), next.sorted.end(), 0u);
+    next.rank.assign(live_count + 1, kNoRank);
+    for (size_t r = 0; r < live_count; ++r) {
+      next.rank[r] = static_cast<uint32_t>(r);
+    }
+    next.ordered = true;
+    next.null_count = before.null_count;
+    next.codes.resize(before.codes.size());
+    for (size_t row = 0; row < before.codes.size(); ++row) {
+      const uint32_t code = before.codes[row];
+      next.codes[row] = code == kNullCode ? kNullCode : remap[code];
+    }
+    // Publish the rebuilt column as a fresh version; snapshots sharing
+    // the old shared_ptr keep their pre-compaction codes bit-stable.
+    columns_[col] = std::make_shared<Column>(std::move(next));
+  }
+  return retired;
+}
+
+Status EncodedTable::CheckDictionaryOrder() const {
+  for (AttributeId col : encoded_) {
+    const Column& c = *columns_[col];
+    const size_t d = c.values.size();
+    if (c.sorted.size() != d) {
+      return Status::Internal("order index: sorted size != dictionary");
+    }
+    if (c.rank.size() != d + 1 || c.rank[d] != kNoRank) {
+      return Status::Internal("order index: rank sentinel missing");
+    }
+    std::vector<char> seen(d, 0);
+    bool identity = true;
+    for (size_t r = 0; r < d; ++r) {
+      const uint32_t code = c.sorted[r];
+      if (code >= d || seen[code]) {
+        return Status::Internal("order index: sorted not a permutation");
+      }
+      seen[code] = 1;
+      if (c.rank[code] != r) {
+        return Status::Internal("order index: rank is not sorted's inverse");
+      }
+      if (r > 0 && !(c.values[c.sorted[r - 1]] < c.values[code])) {
+        return Status::Internal("order index: values not strictly ascending");
+      }
+      identity = identity && code == r;
+    }
+    if (c.ordered != identity) {
+      return Status::Internal("order index: ordered flag stale");
+    }
+  }
+  return Status::OK();
 }
 
 const Value& EncodedTable::DecodeCode(AttributeId col, uint32_t code) const {
@@ -92,6 +244,7 @@ void EncodedTable::TrimDictionaries(const std::vector<int>& sizes) {
       c.dict.erase(c.values.back());
       c.values.pop_back();
     }
+    RebuildOrder(&c);
   }
 }
 
@@ -181,8 +334,7 @@ EncodedTable EncodedTable::GatherRows(const std::vector<int>& rows,
   auto gather_one = [&](AttributeId col) {
     const Column& src = *columns_[col];
     Column& dst = *out.columns_[col];
-    dst.values = src.values;
-    dst.dict = src.dict;
+    CopyDictionary(src, &dst);
     dst.codes.reserve(rows.size());
     for (int row : rows) {
       const uint32_t code = src.codes[row];
@@ -225,8 +377,7 @@ EncodedTable EncodedTable::AllocateTarget(
     const auto& [src, col] = sources[j];
     assert(src->encoded_.Contains(col));
     Column& dst = *out.columns_[j];
-    dst.values = src->columns_[col]->values;
-    dst.dict = src->columns_[col]->dict;
+    CopyDictionary(*src->columns_[col], &dst);
     dst.codes.resize(num_rows);
   }
   return out;

@@ -19,10 +19,32 @@
 // LookupCode probes the dictionaries without mutating them, so a
 // candidate row can be checked before it is accepted. Dictionaries only
 // grow during forward execution — codes of deleted values are retired,
-// not recycled — which keeps every historical code stable. The one
-// sanctioned way dictionaries shrink is TrimDictionaries, the undo-log
+// not recycled — which keeps every historical code stable. Two
+// sanctioned operations shrink them: TrimDictionaries, the undo-log
 // rollback that retires codes minted inside an aborted statement or
-// transaction back to a recorded high-water mark.
+// transaction back to a recorded high-water mark, and
+// CompactDictionaries, the explicit maintenance pass that drops dead
+// entries and re-encodes the survivors order-preservingly (below).
+//
+// ORDER-AWARE DICTIONARIES. Codes are assigned in first-occurrence
+// order, so code order says nothing about value order — but every
+// column additionally maintains its ORDER INDEX: the permutation of
+// codes in ascending value order (`sorted`) and its inverse
+// (`rank`, one rank per code). An ordered predicate `col < v` /
+// `BETWEEN` then reduces to a code-INTERVAL test: binary-search the
+// operand into the sorted permutation once (LowerBoundRank /
+// UpperBoundRank), and a row matches iff the rank of its code falls in
+// the resulting half-open rank interval — one gather plus one unsigned
+// compare per row, no Value ever touched (engine/predicate.h compiles
+// whole predicate trees onto this). ⊥ never enters a dictionary, so ⊥
+// is excluded from every ordered comparison by construction; values of
+// different kinds compare by Value's total order (Int < Str).
+// CompactDictionaries additionally CANONICALIZES a column: live values
+// are re-encoded in ascending value order, so rank becomes the
+// identity (DictionaryOrdered) and the interval test runs directly on
+// raw codes with no gather — and two encodings with equal decoded
+// contents compact to BIT-IDENTICAL encodings regardless of their
+// mutation histories.
 //
 // COPY-ON-WRITE COLUMNS. Columns are held by shared_ptr, and copying an
 // EncodedTable is O(columns): the copy shares every column with the
@@ -49,6 +71,7 @@
 #include "sqlnf/core/schema.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/core/value.h"
+#include "sqlnf/util/status.h"
 
 namespace sqlnf {
 
@@ -62,6 +85,11 @@ class EncodedTable {
   /// Returned by LookupCode for values absent from a dictionary; such a
   /// value differs from every encoded cell of the column. Never stored.
   static constexpr uint32_t kMissingCode = 0xFFFFFFFEu;
+  /// The sentinel rank: CodeRanks(col) carries one extra slot at index
+  /// dictionary_size holding kNoRank, so gathering with
+  /// min(code, dictionary_size) maps kNullCode onto a rank outside
+  /// every interval — ⊥ drops out of ordered comparisons branch-free.
+  static constexpr uint32_t kNoRank = 0xFFFFFFFFu;
 
   /// Encodes every column of `table`.
   explicit EncodedTable(const Table& table);
@@ -117,6 +145,52 @@ class EncodedTable {
   /// Code `value` would carry in `col`: kNullCode for ⊥, the assigned
   /// code if present, kMissingCode otherwise. Does not mutate.
   uint32_t LookupCode(AttributeId col, const Value& value) const;
+
+  // ---- Order index (see the header comment). Ranks are positions in
+  // ascending value order: rank r holds the (r+1)-smallest dictionary
+  // value. Maintained across every dictionary mutation; an encoded
+  // column always answers these in O(log dictionary) / O(1).
+
+  /// Rank per code with one trailing kNoRank sentinel slot at index
+  /// dictionary_size — the gather array behind encoded ordered
+  /// predicates (index with min(code, dictionary_size)).
+  const std::vector<uint32_t>& CodeRanks(AttributeId col) const {
+    return columns_[col]->rank;
+  }
+
+  /// True when code order already equals value order (rank identity) —
+  /// the post-compaction fast path: ordered predicates then test raw
+  /// codes against the interval with no rank gather at all.
+  bool DictionaryOrdered(AttributeId col) const {
+    return columns_[col]->ordered;
+  }
+
+  /// Number of dictionary values of `col` strictly less than `v`
+  /// under Value's total order — the lower endpoint of an ordered
+  /// predicate's rank interval. ⊥ is never in a dictionary.
+  uint32_t LowerBoundRank(AttributeId col, const Value& v) const;
+
+  /// Number of dictionary values of `col` less than or equal to `v`.
+  uint32_t UpperBoundRank(AttributeId col, const Value& v) const;
+
+  /// Order-preserving dictionary compaction: per column, drops every
+  /// value no longer referenced by any row (dead codes left behind by
+  /// UPDATE re-encodes and DELETEs) and re-encodes the survivors in
+  /// ascending value order — the canonical encoding. Afterwards
+  /// DictionaryOrdered(col) holds everywhere, and two encodings with
+  /// equal decoded contents are BitIdentical no matter how they got
+  /// there. Codes change, so external state keyed on codes (the
+  /// enforcer's constraint indexes) must be rebuilt by the caller; the
+  /// engine's sanctioned entry point is Database::CompactTable, which
+  /// is barred while a transaction's undo log holds pre-compaction
+  /// codes. Returns the number of retired entries per column.
+  std::vector<int> CompactDictionaries();
+
+  /// Debug hook: re-derives every order-index invariant (sorted is a
+  /// permutation of the codes in strictly ascending value order, rank
+  /// is its inverse with the sentinel slot in place, DictionaryOrdered
+  /// equals rank identity) and returns Internal on the first breach.
+  Status CheckDictionaryOrder() const;
 
   /// The value behind a code (⊥ for kNullCode). Requires a code
   /// previously assigned in `col`.
@@ -242,14 +316,38 @@ class EncodedTable {
     std::vector<Value> values;    // code -> value
     std::unordered_map<Value, uint32_t, ValueHasher> dict;
     int null_count = 0;
+    // Order index, derived from `values` and maintained by every
+    // dictionary mutation: codes in ascending value order, the inverse
+    // rank per code (with the kNoRank sentinel at index values.size()),
+    // and whether code order equals value order.
+    std::vector<uint32_t> sorted;
+    std::vector<uint32_t> rank = {kNoRank};
+    bool ordered = true;
   };
 
   /// The mutable column, cloned first if a snapshot still shares it
   /// (copy-on-write). Every mutating entry point goes through here.
   Column& Detach(AttributeId col);
 
-  /// Encodes `value` into `col`, growing the dictionary on first sight.
+  /// Encodes `value` into `col`, growing the dictionary — and its
+  /// order index — on first sight.
   static uint32_t Encode(Column* col, const Value& value);
+
+  /// Dictionary growth without order maintenance, for bulk encodes
+  /// that RebuildOrder() once at the end instead of paying the
+  /// incremental insertion per distinct value.
+  static uint32_t EncodeUnordered(Column* col, const Value& value);
+
+  /// Splices freshly minted `code` into the order index (O(dictionary)
+  /// worst case; O(1) when values arrive in ascending order).
+  static void InsertOrdered(Column* col, uint32_t code);
+
+  /// Recomputes the order index from `values` (O(d log d)).
+  static void RebuildOrder(Column* col);
+
+  /// Copies the dictionary state (values, hash map, order index) of
+  /// `src` into `dst` — the shared step of GatherRows/AllocateTarget.
+  static void CopyDictionary(const Column& src, Column* dst);
 
   int num_rows_ = 0;
   AttributeSet encoded_;

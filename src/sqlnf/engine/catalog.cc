@@ -69,16 +69,18 @@ Tuple StoredTable::DecodeRow(int row) const {
   return Tuple(std::move(values));
 }
 
+Result<Table> SelectFromSnapshot(const TableSnapshot& snapshot,
+                                 const Predicate& where) {
+  SQLNF_RETURN_NOT_OK(
+      ValidatePredicate(where, snapshot.schema.num_attributes()));
+  const std::vector<int> sel = SelectRowsEncoded(*snapshot.columns, where);
+  return snapshot.columns->GatherRows(sel).Decode(snapshot.schema);
+}
+
 Result<Table> SelectFromSnapshot(
     const TableSnapshot& snapshot,
     const std::vector<ColumnCondition>& where) {
-  for (const ColumnCondition& c : where) {
-    if (c.column < 0 || c.column >= snapshot.schema.num_attributes()) {
-      return Status::Invalid("SELECT column out of range");
-    }
-  }
-  const std::vector<int> sel = SelectRowsEncoded(*snapshot.columns, where);
-  return snapshot.columns->GatherRows(sel).Decode(snapshot.schema);
+  return SelectFromSnapshot(snapshot, ToPredicate(where));
 }
 
 Status Database::CreateTableLocked(const TableSchema& schema,
@@ -198,14 +200,20 @@ Status Database::Insert(const std::string& name, Tuple row) {
   return InsertLocked(name, std::move(row));
 }
 
-Result<Table> Database::Select(
-    const std::string& name,
-    const std::vector<ColumnCondition>& where) const {
+Result<Table> Database::Select(const std::string& name,
+                               const Predicate& where) const {
   SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, Find(name));
+  SQLNF_RETURN_NOT_OK(ValidatePredicate(where, stored->num_columns()));
   // Columnar end to end: selection vector → gather → one decode at the
   // result boundary (no per-row DecodeRow round trips).
   const std::vector<int> sel = SelectRowsEncoded(stored->columns(), where);
   return stored->columns().GatherRows(sel).Decode(stored->schema());
+}
+
+Result<Table> Database::Select(
+    const std::string& name,
+    const std::vector<ColumnCondition>& where) const {
+  return Select(name, ToPredicate(where));
 }
 
 Result<int> Database::UpdateMatched(StoredTable* stored,
@@ -267,15 +275,22 @@ Result<int> Database::UpdateMatched(StoredTable* stored,
 }
 
 Result<int> Database::Update(const std::string& name,
-                             const std::vector<ColumnCondition>& where,
-                             AttributeId column, const Value& value) {
+                             const Predicate& where, AttributeId column,
+                             const Value& value) {
   std::lock_guard<std::mutex> lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   if (column < 0 || column >= stored->num_columns()) {
     return Status::Invalid("UPDATE column out of range");
   }
+  SQLNF_RETURN_NOT_OK(ValidatePredicate(where, stored->num_columns()));
   return UpdateMatched(stored, SelectRowsEncoded(stored->columns(), where),
                        column, value);
+}
+
+Result<int> Database::Update(const std::string& name,
+                             const std::vector<ColumnCondition>& where,
+                             AttributeId column, const Value& value) {
+  return Update(name, ToPredicate(where), column, value);
 }
 
 Result<int> Database::Update(
@@ -317,10 +332,16 @@ int Database::DeleteMatched(StoredTable* stored,
 }
 
 Result<int> Database::Delete(const std::string& name,
-                             const std::vector<ColumnCondition>& where) {
+                             const Predicate& where) {
   std::lock_guard<std::mutex> lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  SQLNF_RETURN_NOT_OK(ValidatePredicate(where, stored->num_columns()));
   return DeleteMatched(stored, SelectRowsEncoded(stored->columns(), where));
+}
+
+Result<int> Database::Delete(const std::string& name,
+                             const std::vector<ColumnCondition>& where) {
+  return Delete(name, ToPredicate(where));
 }
 
 Result<int> Database::Delete(
@@ -333,6 +354,26 @@ Result<int> Database::Delete(
     if (predicate(stored->DecodeRow(i))) matches.push_back(i);
   }
   return DeleteMatched(stored, matches);
+}
+
+Result<int> Database::CompactTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (txn_) {
+    // The undo log records pre-compaction codes and dictionary
+    // high-water marks; replaying it over canonical codes would
+    // restore garbage. VACUUM therefore waits for the commit point.
+    return Status::FailedPrecondition(
+        "VACUUM is not allowed inside a transaction");
+  }
+  SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
+  // Keep the current epoch readable: published snapshot columns are
+  // separate shared_ptrs, and compaction publishes fresh column
+  // versions rather than mutating in place, so concurrent readers
+  // keep their pre-compaction codes bit-stable.
+  stored->PinSnapshot();
+  const int retired = stored->enforcer().CompactDictionaries();
+  stored->MarkDirty();  // next GetSnapshot sees canonical codes
+  return retired;
 }
 
 Result<TableSnapshot> Database::GetSnapshot(const std::string& name) {

@@ -87,9 +87,15 @@ struct TableSnapshot {
   Table Materialize() const { return columns->Decode(schema); }
 };
 
-/// SELECT against a snapshot: the rows satisfying every condition,
-/// matched on codes and decoded only at the result boundary. Safe to
-/// run from any reader thread without touching the Database.
+/// SELECT against a snapshot: the rows satisfying the WHERE predicate
+/// tree (engine/predicate.h — ranges, BETWEEN, IN, OR), matched on
+/// codes and decoded only at the result boundary. Safe to run from any
+/// reader thread without touching the Database; the compiled predicate
+/// reads only the snapshot's immutable columns.
+Result<Table> SelectFromSnapshot(const TableSnapshot& snapshot,
+                                 const Predicate& where);
+
+/// Legacy conjunctive form (lowers through ToPredicate).
 Result<Table> SelectFromSnapshot(const TableSnapshot& snapshot,
                                  const std::vector<ColumnCondition>& where);
 
@@ -188,18 +194,26 @@ class Database {
   /// FailedPrecondition with the violation text on rejection.
   Status Insert(const std::string& name, Tuple row);
 
-  /// SELECT on live state: the rows satisfying every condition, matched
-  /// on codes, gathered columnar, and decoded only at the result
-  /// boundary. Writer thread only — concurrent readers go through
-  /// GetSnapshot + SelectFromSnapshot.
+  /// SELECT on live state: the rows satisfying the WHERE predicate
+  /// tree, matched on codes, gathered columnar, and decoded only at
+  /// the result boundary. Writer thread only — concurrent readers go
+  /// through GetSnapshot + SelectFromSnapshot.
+  Result<Table> Select(const std::string& name,
+                       const Predicate& where) const;
+
+  /// Legacy conjunctive form (lowers through ToPredicate).
   Result<Table> Select(const std::string& name,
                        const std::vector<ColumnCondition>& where) const;
 
-  /// UPDATE ... SET column = value WHERE conditions, executed on codes
-  /// (the SQL layer's default path). The whole statement is validated
-  /// post-image on the maintained encoding; on violation every changed
-  /// slot is rolled back and the statement's dictionary codes are
-  /// retired. Returns rows changed.
+  /// UPDATE ... SET column = value WHERE predicate tree, executed on
+  /// codes (the SQL layer's default path). The whole statement is
+  /// validated post-image on the maintained encoding; on violation
+  /// every changed slot is rolled back and the statement's dictionary
+  /// codes are retired. Returns rows changed.
+  Result<int> Update(const std::string& name, const Predicate& where,
+                     AttributeId column, const Value& value);
+
+  /// Legacy conjunctive form (lowers through ToPredicate).
   Result<int> Update(const std::string& name,
                      const std::vector<ColumnCondition>& where,
                      AttributeId column, const Value& value);
@@ -210,9 +224,12 @@ class Database {
                      const std::function<bool(const Tuple&)>& predicate,
                      AttributeId column, const Value& value);
 
-  /// DELETE FROM ... WHERE conditions, executed on codes. Deletes
+  /// DELETE FROM ... WHERE predicate tree, executed on codes. Deletes
   /// cannot violate FDs/keys (they are anti-monotone), so no validation
   /// is needed. Returns rows removed.
+  Result<int> Delete(const std::string& name, const Predicate& where);
+
+  /// Legacy conjunctive form (lowers through ToPredicate).
   Result<int> Delete(const std::string& name,
                      const std::vector<ColumnCondition>& where);
 
@@ -220,6 +237,16 @@ class Database {
   /// it).
   Result<int> Delete(const std::string& name,
                      const std::function<bool(const Tuple&)>& predicate);
+
+  /// VACUUM: order-preserving dictionary compaction of one table
+  /// (enforcer CompactDictionaries — dead codes reclaimed, survivors
+  /// re-encoded canonically, constraint indexes rebuilt). Returns the
+  /// number of retired dictionary entries. Barred while a transaction
+  /// is open: the undo log records pre-compaction codes and dictionary
+  /// high-water marks, which compaction would invalidate. Readers are
+  /// unaffected — published snapshots keep the pre-compaction columns
+  /// alive and bit-stable; the next GetSnapshot sees canonical codes.
+  Result<int> CompactTable(const std::string& name);
 
   // ---- Snapshot reads.
 

@@ -214,6 +214,20 @@ void IncrementalEnforcer::Restore(const std::vector<int>& erased,
   for (int id : erased) IndexRow(id);
 }
 
+int IncrementalEnforcer::CompactDictionaries() {
+  const std::vector<int> retired = encoded_.CompactDictionaries();
+  // Codes may change even when nothing was retired (an unordered
+  // dictionary still canonicalizes), so the code-keyed buckets are
+  // rebuilt from the new codes unconditionally. Bucket contents are a
+  // pure function of the (deterministic) new codes, so two enforcers
+  // with equal decoded contents fingerprint identically afterwards.
+  for (ConstraintIndex& index : indexes_) index.buckets.clear();
+  for (int id = 0; id < encoded_.num_rows(); ++id) IndexRow(id);
+  int total = 0;
+  for (int r : retired) total += r;
+  return total;
+}
+
 void IncrementalEnforcer::Rebuild(const Table& table) {
   ++rebuilds_;
   encoded_ = EncodedTable(schema_.num_attributes());
@@ -225,6 +239,9 @@ void IncrementalEnforcer::Rebuild(const Table& table) {
 
 Status IncrementalEnforcer::CheckInvariants() const {
   const int n = encoded_.num_rows();
+  // Order index first: sorted/rank/ordered must stay consistent with
+  // the dictionaries across every write and compaction.
+  SQLNF_RETURN_NOT_OK(encoded_.CheckDictionaryOrder());
   // Encoding: code ranges, ⊥ counts, dictionary bijectivity.
   for (AttributeId col : encoded_.encoded_columns()) {
     const std::vector<uint32_t>& codes = encoded_.column(col);

@@ -99,6 +99,17 @@ class IncrementalEnforcer {
     encoded_.TrimDictionaries(sizes);
   }
 
+  /// Order-preserving dictionary compaction of the maintained encoding
+  /// (core/encoded_table.h CompactDictionaries): dead codes left by
+  /// UPDATEs/DELETEs are reclaimed, survivors re-encode canonically
+  /// (ascending value order), and the code-keyed constraint indexes
+  /// are rebuilt from the new codes. Returns the total number of
+  /// retired dictionary entries. Not a Rebuild(): no row-major Table
+  /// is consulted, no Value re-encodes, and rebuilds() stays put. The
+  /// caller must guarantee no undo log holds pre-compaction codes
+  /// (Database::CompactTable bars it mid-transaction).
+  int CompactDictionaries();
+
   /// Drops all state and re-encodes the table's current rows.
   /// Last-resort bulk rebuild; the write paths maintain everything
   /// incrementally via Add/Remove/CompactAfterErase/Restore.

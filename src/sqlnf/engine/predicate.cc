@@ -1,0 +1,305 @@
+#include "sqlnf/engine/predicate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+#include <utility>
+
+namespace sqlnf {
+
+PredicateAtom Cmp(AttributeId column, CompareOp op, Value value) {
+  PredicateAtom atom;
+  atom.column = column;
+  atom.op = op;
+  atom.value = std::move(value);
+  return atom;
+}
+
+PredicateAtom Between(AttributeId column, Value lo, Value hi) {
+  PredicateAtom atom;
+  atom.column = column;
+  atom.op = CompareOp::kBetween;
+  atom.value = std::move(lo);
+  atom.upper = std::move(hi);
+  return atom;
+}
+
+PredicateAtom In(AttributeId column, std::vector<Value> list) {
+  PredicateAtom atom;
+  atom.column = column;
+  atom.op = CompareOp::kIn;
+  atom.list = std::move(list);
+  return atom;
+}
+
+Status ValidatePredicate(const Predicate& pred, int num_columns) {
+  for (const Conjunction& conj : pred.disjuncts) {
+    for (const PredicateAtom& atom : conj) {
+      if (atom.column < 0 || atom.column >= num_columns) {
+        return Status::Invalid("predicate column " +
+                               std::to_string(atom.column) +
+                               " out of range");
+      }
+      if (atom.op == CompareOp::kIn && !atom.upper.is_null()) {
+        return Status::Invalid("IN atom carries a BETWEEN upper bound");
+      }
+      if (atom.op != CompareOp::kIn && !atom.list.empty()) {
+        return Status::Invalid("non-IN atom carries an IN list");
+      }
+      if (atom.op != CompareOp::kBetween && atom.op != CompareOp::kIn &&
+          !atom.upper.is_null()) {
+        return Status::Invalid("upper bound outside BETWEEN");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool MatchesAtom(const Value& cell, const PredicateAtom& atom) {
+  switch (atom.op) {
+    case CompareOp::kEq:
+      return cell == atom.value;
+    case CompareOp::kNe:
+      return !(cell == atom.value);
+    case CompareOp::kLt:
+      if (cell.is_null() || atom.value.is_null()) return false;
+      return cell < atom.value;
+    case CompareOp::kLe:
+      if (cell.is_null() || atom.value.is_null()) return false;
+      return !(atom.value < cell);
+    case CompareOp::kGt:
+      if (cell.is_null() || atom.value.is_null()) return false;
+      return atom.value < cell;
+    case CompareOp::kGe:
+      if (cell.is_null() || atom.value.is_null()) return false;
+      return !(cell < atom.value);
+    case CompareOp::kBetween:
+      if (cell.is_null() || atom.value.is_null() || atom.upper.is_null()) {
+        return false;
+      }
+      return !(cell < atom.value) && !(atom.upper < cell);
+    case CompareOp::kIn:
+      for (const Value& member : atom.list) {
+        if (cell == member) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+bool MatchesPredicate(const Tuple& t, const Predicate& pred) {
+  for (const Conjunction& conj : pred.disjuncts) {
+    bool all = true;
+    for (const PredicateAtom& atom : conj) {
+      if (!MatchesAtom(t[atom.column], atom)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+CompiledPredicate::CompiledPredicate(const EncodedTable& enc,
+                                     const Predicate& pred) {
+  for (const Conjunction& conj : pred.disjuncts) {
+    std::vector<Atom> compiled;
+    compiled.reserve(conj.size());
+    bool feasible = true;
+    for (const PredicateAtom& atom : conj) {
+      assert(enc.encoded_columns().Contains(atom.column));
+      const uint32_t d =
+          static_cast<uint32_t>(enc.dictionary_size(atom.column));
+      Atom out;
+      out.codes = enc.column(atom.column).data();
+      out.d = d;
+      auto rank_interval = [&](uint32_t lo, uint32_t hi) {
+        // Half-open [lo, hi) over ranks; empty interval kills the
+        // conjunction. On an ordered dictionary rank is the identity,
+        // so the same interval tests raw codes with no gather —
+        // kNullCode wraps far above any span, keeping ⊥ excluded.
+        if (lo >= hi) {
+          feasible = false;
+          return;
+        }
+        out.lo = lo;
+        out.span = hi - lo;
+        if (enc.DictionaryOrdered(atom.column)) {
+          out.kind = Atom::Kind::kCodeInterval;
+        } else {
+          out.kind = Atom::Kind::kRankInterval;
+          out.rank = enc.CodeRanks(atom.column).data();
+        }
+      };
+      switch (atom.op) {
+        case CompareOp::kEq:
+          // A kMissingCode want matches no cell — no special case
+          // needed, no stored code ever equals it.
+          out.kind = Atom::Kind::kEqCode;
+          out.want = enc.LookupCode(atom.column, atom.value);
+          break;
+        case CompareOp::kNe:
+          // want == kMissingCode correctly matches every row.
+          out.kind = Atom::Kind::kNeCode;
+          out.want = enc.LookupCode(atom.column, atom.value);
+          break;
+        case CompareOp::kLt:
+          if (atom.value.is_null()) {
+            feasible = false;
+            break;
+          }
+          rank_interval(0, enc.LowerBoundRank(atom.column, atom.value));
+          break;
+        case CompareOp::kLe:
+          if (atom.value.is_null()) {
+            feasible = false;
+            break;
+          }
+          rank_interval(0, enc.UpperBoundRank(atom.column, atom.value));
+          break;
+        case CompareOp::kGt:
+          if (atom.value.is_null()) {
+            feasible = false;
+            break;
+          }
+          rank_interval(enc.UpperBoundRank(atom.column, atom.value), d);
+          break;
+        case CompareOp::kGe:
+          if (atom.value.is_null()) {
+            feasible = false;
+            break;
+          }
+          rank_interval(enc.LowerBoundRank(atom.column, atom.value), d);
+          break;
+        case CompareOp::kBetween:
+          if (atom.value.is_null() || atom.upper.is_null()) {
+            feasible = false;
+            break;
+          }
+          rank_interval(enc.LowerBoundRank(atom.column, atom.value),
+                        enc.UpperBoundRank(atom.column, atom.upper));
+          break;
+        case CompareOp::kIn: {
+          // Membership byte table over codes; slot d is ⊥ (kNullCode
+          // gathers onto it via min(code, d)).
+          out.kind = Atom::Kind::kTable;
+          out.table.assign(d + 1, 0);
+          bool any = false;
+          for (const Value& member : atom.list) {
+            const uint32_t code = enc.LookupCode(atom.column, member);
+            if (code == EncodedTable::kMissingCode) continue;
+            out.table[std::min(code, d)] = 1;
+            any = true;
+          }
+          if (!any) feasible = false;
+          break;
+        }
+      }
+      if (!feasible) break;
+      compiled.push_back(std::move(out));
+    }
+    if (!feasible) continue;  // this disjunct can never match
+    if (compiled.empty()) always_ = true;
+    disjuncts_.push_back(std::move(compiled));
+  }
+}
+
+template <bool kAssign>
+void CompiledPredicate::ApplyAtom(const Atom& atom, int64_t begin, int len,
+                                  uint8_t* out) {
+  // store: first atom of a conjunction assigns, later atoms AND — the
+  // conjunction needs no fill-with-ones pass before its scan loops.
+  const auto store = [out](int i, uint8_t v) {
+    if constexpr (kAssign) {
+      out[i] = v;
+    } else {
+      out[i] &= v;
+    }
+  };
+  const uint32_t* codes = atom.codes + begin;
+  switch (atom.kind) {
+    case Atom::Kind::kEqCode: {
+      const uint32_t want = atom.want;
+      for (int i = 0; i < len; ++i) {
+        store(i, static_cast<uint8_t>(codes[i] == want));
+      }
+      break;
+    }
+    case Atom::Kind::kNeCode: {
+      const uint32_t want = atom.want;
+      for (int i = 0; i < len; ++i) {
+        store(i, static_cast<uint8_t>(codes[i] != want));
+      }
+      break;
+    }
+    case Atom::Kind::kCodeInterval: {
+      // Unsigned wrap: kNullCode - lo lands far above span, so ⊥
+      // (and any code below lo) tests false without a branch.
+      const uint32_t lo = atom.lo;
+      const uint32_t span = atom.span;
+      for (int i = 0; i < len; ++i) {
+        store(i, static_cast<uint8_t>(codes[i] - lo < span));
+      }
+      break;
+    }
+    case Atom::Kind::kRankInterval: {
+      const uint32_t* rank = atom.rank;
+      const uint32_t d = atom.d;
+      const uint32_t lo = atom.lo;
+      const uint32_t span = atom.span;
+      for (int i = 0; i < len; ++i) {
+        const uint32_t r = rank[std::min(codes[i], d)];
+        store(i, static_cast<uint8_t>(r - lo < span));
+      }
+      break;
+    }
+    case Atom::Kind::kTable: {
+      const uint8_t* table = atom.table.data();
+      const uint32_t d = atom.d;
+      for (int i = 0; i < len; ++i) {
+        store(i, table[std::min(codes[i], d)]);
+      }
+      break;
+    }
+  }
+}
+
+void CompiledPredicate::EvalBlock(int64_t begin, int64_t n,
+                                  uint8_t* match) const {
+  assert(n <= kBlock);
+  const int len = static_cast<int>(n);
+  if (disjuncts_.empty()) {
+    for (int i = 0; i < len; ++i) match[i] = 0;
+    return;
+  }
+  // The first disjunct writes `match` directly; later disjuncts build
+  // their conjunction in scratch and OR it in. A one-range predicate
+  // is then a single assign loop over the block — no zero-init, no
+  // fill-with-ones, no merge.
+  uint8_t conj[kBlock];
+  bool first_disjunct = true;
+  for (const std::vector<Atom>& atoms : disjuncts_) {
+    uint8_t* out = first_disjunct ? match : conj;
+    bool first_atom = true;
+    for (const Atom& atom : atoms) {
+      if (first_atom) {
+        ApplyAtom<true>(atom, begin, len, out);
+      } else {
+        ApplyAtom<false>(atom, begin, len, out);
+      }
+      first_atom = false;
+    }
+    // An empty conjunction is TRUE (the compiler marks always_, but
+    // stay correct if EvalBlock is called anyway).
+    if (first_atom) {
+      for (int i = 0; i < len; ++i) out[i] = 1;
+    }
+    if (!first_disjunct) {
+      for (int i = 0; i < len; ++i) match[i] |= conj[i];
+    }
+    first_disjunct = false;
+  }
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,181 @@
+// Predicate trees over encoded columns: the engine's WHERE shape.
+//
+// A Predicate is kept in DISJUNCTIVE NORMAL FORM — an OR over
+// conjunctions of atoms — because every SQL WHERE the parser accepts
+// (engine/sql.h) flattens into it, and DNF evaluates as two nested
+// branch-free loops over match bytes. An atom compares one column
+// against literals:
+//
+//   col =  v | col <> v                 marker equality / its complement
+//   col <  v | <= | > | >=             ordered comparison
+//   col BETWEEN a AND b                shorthand for >= a AND <= b
+//   col IN (v1, ..., vk)               marker equality with any member
+//
+// ⊥ SEMANTICS (MARKER, not SQL three-valued logic — consistent with the
+// paper's Section 2 tuple equality and the engine's existing
+// ColumnCondition): `=` is syntactic marker equality, so `col = NULL`
+// matches exactly the ⊥ cells and `<>` matches the complement. Ordered
+// comparisons EXCLUDE ⊥ by definition: a ⊥ cell satisfies no
+// `<`/`<=`/`>`/`>=`/BETWEEN atom, and a ⊥ operand (e.g. `col < NULL`)
+// makes the atom false everywhere. Values of different kinds compare by
+// Value's total order (Int < Str). IN is k-fold marker equality — ⊥ may
+// appear in the list and matches the ⊥ cells.
+//
+// Two evaluators share these semantics and are differentially tested
+// against each other (tests/predicate_fuzz_test.cc):
+//
+//   MatchesPredicate   the literal row-major oracle on decoded tuples
+//   CompiledPredicate  the columnar evaluator: per atom, dictionary
+//                      probes / binary searches happen ONCE at compile
+//                      time, reducing the atom to an integer test on
+//                      raw uint32 codes (equality, code interval, rank
+//                      interval, or a d+1-byte membership table); rows
+//                      are then evaluated in blocks with branch-free
+//                      AND/OR loops the compiler auto-vectorizes.
+//
+// Ordered atoms compile through the column's order index
+// (core/encoded_table.h): `col < v` becomes a half-open RANK interval
+// [0, LowerBoundRank(v)), tested as one gather
+// rank[min(code, d)] plus one unsigned compare — the kNoRank sentinel
+// at slot d makes ⊥ fall outside every interval without a branch. On a
+// compacted (DictionaryOrdered) column the gather disappears and the
+// interval tests raw codes directly.
+
+#ifndef SQLNF_ENGINE_PREDICATE_H_
+#define SQLNF_ENGINE_PREDICATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sqlnf/core/encoded_table.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/core/value.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Atom comparison operators. kBetween uses `value`..`upper`
+/// inclusive; kIn uses `list`; all others use `value` alone.
+enum class CompareOp : uint8_t {
+  kEq,       // marker equality (⊥ = ⊥ matches)
+  kNe,       // complement of kEq
+  kLt,       // ordered, ⊥ excluded
+  kLe,
+  kGt,
+  kGe,
+  kBetween,  // value <= col <= upper, ⊥ excluded
+  kIn,       // marker equality with any list member
+};
+
+/// One comparison of a column against literal operand(s).
+struct PredicateAtom {
+  AttributeId column = 0;
+  CompareOp op = CompareOp::kEq;
+  Value value;              // operand; lower bound for kBetween
+  Value upper;              // kBetween only
+  std::vector<Value> list;  // kIn only; empty list matches nothing
+};
+
+/// AND of atoms; empty conjunction is TRUE.
+using Conjunction = std::vector<PredicateAtom>;
+
+/// OR of conjunctions (DNF); zero disjuncts is FALSE.
+struct Predicate {
+  std::vector<Conjunction> disjuncts;
+
+  /// The predicate matching every row: one empty conjunction.
+  static Predicate True() { return Predicate{{Conjunction{}}}; }
+
+  /// A single-conjunction predicate (the common parser output).
+  static Predicate And(Conjunction atoms) {
+    return Predicate{{std::move(atoms)}};
+  }
+
+  bool IsTrue() const {
+    for (const Conjunction& c : disjuncts) {
+      if (c.empty()) return true;
+    }
+    return false;
+  }
+};
+
+/// Convenience atom builders (tests and parser).
+PredicateAtom Cmp(AttributeId column, CompareOp op, Value value);
+PredicateAtom Between(AttributeId column, Value lo, Value hi);
+PredicateAtom In(AttributeId column, std::vector<Value> list);
+
+/// Checks every atom references a column < num_columns and carries the
+/// operand shape its op requires. The engine validates once at the
+/// statement boundary; evaluators may assume validity.
+Status ValidatePredicate(const Predicate& pred, int num_columns);
+
+/// The literal row-major oracle: evaluates the tree on a decoded tuple
+/// exactly as the semantics above read. Differential reference for
+/// CompiledPredicate.
+bool MatchesAtom(const Value& cell, const PredicateAtom& atom);
+bool MatchesPredicate(const Tuple& t, const Predicate& pred);
+
+/// A predicate compiled against one EncodedTable: every dictionary
+/// probe and order-index binary search is done up front, leaving pure
+/// integer tests per row. Immutable after Compile, so one instance is
+/// safely shared by all scan threads. Holds raw pointers into the
+/// table's columns — the table must outlive the compiled form and not
+/// be mutated while evaluations run (the engine guarantees this:
+/// scans compile against an immutable snapshot or run on the single
+/// writer thread).
+class CompiledPredicate {
+ public:
+  /// Rows evaluated per EvalBlock call; scratch buffers of this many
+  /// bytes fit on the stack of each scan thread.
+  static constexpr int kBlock = 2048;
+
+  CompiledPredicate(const EncodedTable& enc, const Predicate& pred);
+
+  /// Writes match[j] = 1 if row begin+j satisfies the predicate else 0,
+  /// for j in [0, n). Requires n <= kBlock and match sized n.
+  /// Branch-free over the block; const and thread-safe.
+  void EvalBlock(int64_t begin, int64_t n, uint8_t* match) const;
+
+  /// True when no row can ever match (e.g. zero disjuncts, or every
+  /// disjunct contains an unsatisfiable atom).
+  bool never_matches() const { return disjuncts_.empty(); }
+
+  /// True when every row matches (some disjunct compiled to no tests).
+  bool always_matches() const { return always_; }
+
+ private:
+  // One atom reduced to an integer test on codes. `kTable` is the
+  // general membership form: d+1 bytes indexed by min(code, d), slot d
+  // holding ⊥'s membership (kNullCode gathers onto it).
+  struct Atom {
+    enum class Kind : uint8_t {
+      kEqCode,        // codes[i] == want
+      kNeCode,        // codes[i] != want
+      kCodeInterval,  // (codes[i] - lo) < span   (ordered dictionary)
+      kRankInterval,  // (rank[min(codes[i],d)] - lo) < span
+      kTable,         // table[min(codes[i],d)]
+    };
+    Kind kind = Kind::kEqCode;
+    const uint32_t* codes = nullptr;
+    const uint32_t* rank = nullptr;  // kRankInterval
+    uint32_t d = 0;                  // gather clamp: min(code, d)
+    uint32_t want = 0;               // kEqCode / kNeCode
+    uint32_t lo = 0;                 // intervals
+    uint32_t span = 0;
+    std::vector<uint8_t> table;      // kTable
+  };
+
+  // One atom's test over a block, written into `out`: the first atom
+  // of a conjunction assigns (kAssign), later atoms AND — so no
+  // fill-with-ones pass precedes the scan loops.
+  template <bool kAssign>
+  static void ApplyAtom(const Atom& atom, int64_t begin, int len,
+                        uint8_t* out);
+
+  std::vector<std::vector<Atom>> disjuncts_;
+  bool always_ = false;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_PREDICATE_H_

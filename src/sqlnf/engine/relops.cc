@@ -1,5 +1,6 @@
 #include "sqlnf/engine/relops.h"
 
+#include <algorithm>
 #include <optional>
 
 namespace sqlnf {
@@ -12,60 +13,73 @@ bool MatchesConditions(const Tuple& t,
   return true;
 }
 
-std::vector<int> SelectRowsEncoded(
-    const EncodedTable& enc,
-    const std::vector<ColumnCondition>& conditions,
-    const ParallelOptions& par) {
+Predicate ToPredicate(const std::vector<ColumnCondition>& conditions) {
+  Conjunction conj;
+  conj.reserve(conditions.size());
+  for (const ColumnCondition& c : conditions) {
+    conj.push_back(Cmp(c.column, CompareOp::kEq, c.value));
+  }
+  return Predicate::And(std::move(conj));
+}
+
+std::vector<int> SelectRowsEncoded(const EncodedTable& enc,
+                                   const Predicate& pred,
+                                   const ParallelOptions& par) {
   std::vector<int> sel;
-  if (conditions.empty()) {
+  // All probing and order-index work happens once, here; the scan
+  // below touches only flat uint32 code arrays. The compiled form is
+  // immutable and shared read-only by all scan threads.
+  const CompiledPredicate compiled(enc, pred);
+  if (compiled.never_matches()) return sel;
+  if (compiled.always_matches()) {
     sel.resize(enc.num_rows());
     for (int i = 0; i < enc.num_rows(); ++i) sel[i] = i;
     return sel;
   }
-  // One dictionary probe per condition up front; the scan itself is a
-  // fused conjunction of integer compares per row — no per-condition
-  // intermediate selection vectors.
-  std::vector<const uint32_t*> codes(conditions.size());
-  std::vector<uint32_t> want(conditions.size());
-  for (size_t k = 0; k < conditions.size(); ++k) {
-    codes[k] = enc.column(conditions[k].column).data();
-    want[k] = enc.LookupCode(conditions[k].column, conditions[k].value);
-  }
-  auto matches = [&](int64_t i) {
-    for (size_t k = 0; k < conditions.size(); ++k) {
-      if (codes[k][i] != want[k]) return false;
-    }
-    return true;
-  };
 
   std::optional<ThreadPool> pool_storage;
   if (par.threads > 1 && enc.num_rows() > 1) {
     pool_storage.emplace(par.threads);
   }
+  constexpr int kBlock = CompiledPredicate::kBlock;
   ParallelEmit(
       pool_storage ? &*pool_storage : nullptr, 0, enc.num_rows(),
       [&](int64_t b, int64_t e) {
+        uint8_t match[kBlock];
         int64_t n = 0;
-        for (int64_t i = b; i < e; ++i) {
-          if (matches(i)) ++n;
+        for (int64_t at = b; at < e; at += kBlock) {
+          const int64_t len = std::min<int64_t>(kBlock, e - at);
+          compiled.EvalBlock(at, len, match);
+          for (int64_t i = 0; i < len; ++i) n += match[i];
         }
         return n;
       },
       [&](int64_t total) { sel.resize(total); },
       [&](int64_t b, int64_t e, int64_t offset) {
-        for (int64_t i = b; i < e; ++i) {
-          if (matches(i)) sel[offset++] = static_cast<int>(i);
+        uint8_t match[kBlock];
+        for (int64_t at = b; at < e; at += kBlock) {
+          const int64_t len = std::min<int64_t>(kBlock, e - at);
+          compiled.EvalBlock(at, len, match);
+          for (int64_t i = 0; i < len; ++i) {
+            if (match[i]) sel[offset++] = static_cast<int>(at + i);
+          }
         }
       });
   return sel;
 }
 
-int UpdateWhereEncoded(EncodedTable* enc,
-                       const std::vector<ColumnCondition>& conditions,
+std::vector<int> SelectRowsEncoded(
+    const EncodedTable& enc,
+    const std::vector<ColumnCondition>& conditions,
+    const ParallelOptions& par) {
+  return SelectRowsEncoded(enc, ToPredicate(conditions), par);
+}
+
+int UpdateWhereEncoded(EncodedTable* enc, const Predicate& pred,
                        AttributeId column, const Value& value) {
   const uint32_t want = enc->LookupCode(column, value);
   int changed = 0;
-  for (int i : SelectRowsEncoded(*enc, conditions)) {
+  for (int i : SelectRowsEncoded(*enc, pred)) {
     if (enc->code(column, i) == want) continue;
     enc->UpdateCell(i, column, value);
     ++changed;
@@ -73,11 +87,21 @@ int UpdateWhereEncoded(EncodedTable* enc,
   return changed;
 }
 
-int DeleteWhereEncoded(EncodedTable* enc,
-                       const std::vector<ColumnCondition>& conditions) {
-  std::vector<int> sel = SelectRowsEncoded(*enc, conditions);
+int UpdateWhereEncoded(EncodedTable* enc,
+                       const std::vector<ColumnCondition>& conditions,
+                       AttributeId column, const Value& value) {
+  return UpdateWhereEncoded(enc, ToPredicate(conditions), column, value);
+}
+
+int DeleteWhereEncoded(EncodedTable* enc, const Predicate& pred) {
+  std::vector<int> sel = SelectRowsEncoded(*enc, pred);
   enc->EraseRows(sel);
   return static_cast<int>(sel.size());
+}
+
+int DeleteWhereEncoded(EncodedTable* enc,
+                       const std::vector<ColumnCondition>& conditions) {
+  return DeleteWhereEncoded(enc, ToPredicate(conditions));
 }
 
 Table SelectWhere(const Table& table,

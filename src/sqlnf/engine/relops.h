@@ -15,6 +15,7 @@
 #include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/decomposition/decomposition.h"
+#include "sqlnf/engine/predicate.h"
 #include "sqlnf/util/parallel.h"
 #include "sqlnf/util/status.h"
 
@@ -34,28 +35,43 @@ struct ColumnCondition {
 bool MatchesConditions(const Tuple& t,
                        const std::vector<ColumnCondition>& conditions);
 
-/// Selection vector (ascending row ids) of the rows satisfying every
-/// condition, computed on codes: one dictionary probe per condition up
-/// front, then one fused pass of integer compares per row. A value
-/// absent from a dictionary (kMissingCode) matches no row. No
-/// conditions selects every row. With `par.threads > 1` the scan runs
-/// as a two-phase count/fill emission over row morsels
+/// The predicate-tree form of a legacy conjunction: one disjunct of
+/// kEq atoms. Conjunction call sites lower through this, so both
+/// WHERE shapes run the same compiled scan.
+Predicate ToPredicate(const std::vector<ColumnCondition>& conditions);
+
+/// Selection vector (ascending row ids) of the rows satisfying the
+/// predicate tree, computed on codes: atoms compile once against the
+/// encoding (dictionary probes, order-index binary searches —
+/// engine/predicate.h), then one fused pass of branch-free integer
+/// compares per row block evaluates the whole DNF. A value absent from
+/// a dictionary matches no row (kEq/kIn) or every row (kNe);
+/// Predicate::True() selects every row. With `par.threads > 1` the
+/// scan runs as a two-phase count/fill emission over row morsels
 /// (util/parallel.h ParallelEmit) — the returned vector is identical
 /// at every thread count.
+std::vector<int> SelectRowsEncoded(const EncodedTable& enc,
+                                   const Predicate& pred,
+                                   const ParallelOptions& par = {});
+
+/// Legacy conjunction overload; no conditions selects every row.
 std::vector<int> SelectRowsEncoded(
     const EncodedTable& enc, const std::vector<ColumnCondition>& conditions,
     const ParallelOptions& par = {});
 
-/// In-place columnar "UPDATE ... SET column = value WHERE conditions",
+/// In-place columnar "UPDATE ... SET column = value WHERE pred",
 /// re-encoding only the cells whose code actually changes; returns rows
 /// changed. Constraint/NFS checks live in the Database layer
 /// (engine/catalog.h); this is the bare executor primitive.
+int UpdateWhereEncoded(EncodedTable* enc, const Predicate& pred,
+                       AttributeId column, const Value& value);
 int UpdateWhereEncoded(EncodedTable* enc,
                        const std::vector<ColumnCondition>& conditions,
                        AttributeId column, const Value& value);
 
-/// In-place columnar "DELETE FROM ... WHERE conditions"; returns rows
+/// In-place columnar "DELETE FROM ... WHERE pred"; returns rows
 /// removed.
+int DeleteWhereEncoded(EncodedTable* enc, const Predicate& pred);
 int DeleteWhereEncoded(EncodedTable* enc,
                        const std::vector<ColumnCondition>& conditions);
 

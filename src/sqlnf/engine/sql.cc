@@ -101,6 +101,35 @@ Result<std::vector<Token>> Lex(std::string_view sql) {
       i += 2;
       continue;
     }
+    // Comparison operators; the two-character forms lex as one token.
+    if (c == '<') {
+      if (i + 1 < sql.size() && (sql[i + 1] == '=' || sql[i + 1] == '>')) {
+        push_symbol(std::string("<") + sql[i + 1]);
+        i += 2;
+      } else {
+        push_symbol("<");
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        push_symbol(">=");
+        i += 2;
+      } else {
+        push_symbol(">");
+        ++i;
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < sql.size() && sql[i + 1] == '=') {
+        push_symbol("!=");
+        i += 2;
+        continue;
+      }
+      return Status::ParseError("unexpected character '!' in SQL");
+    }
     if (std::string("(),=;*").find(c) != std::string::npos) {
       push_symbol(std::string(1, c));
       ++i;
@@ -127,6 +156,7 @@ class Parser {
     if (AcceptKeyword("UPDATE")) return Update();
     if (AcceptKeyword("DELETE")) return Delete();
     if (AcceptKeyword("DROP")) return Drop();
+    if (AcceptKeyword("VACUUM")) return Vacuum();
     if (AcceptKeyword("SHOW")) return Show();
     if (AcceptKeyword("DESCRIBE")) return Describe();
     if (AcceptKeyword("BEGIN")) return Begin();
@@ -134,7 +164,7 @@ class Parser {
     if (AcceptKeyword("ROLLBACK")) return TxnEnd(/*commit=*/false);
     return Status::ParseError("unknown statement: expected CREATE / "
                               "INSERT / SELECT / UPDATE / DELETE / DROP / "
-                              "SHOW / DESCRIBE / BEGIN / COMMIT / "
+                              "VACUUM / SHOW / DESCRIBE / BEGIN / COMMIT / "
                               "ROLLBACK");
   }
 
@@ -329,21 +359,70 @@ class Parser {
     return result;
   }
 
-  // WHERE col = lit [AND col = lit]* → conjunctive conditions over
-  // `schema`. The executor matches them on codes (engine/relops.h);
-  // a NULL literal matches exactly the ⊥ cells (marker equality).
-  Result<std::vector<ColumnCondition>> WhereClause(
-      const TableSchema& schema) {
-    std::vector<ColumnCondition> conditions;
-    if (!AcceptKeyword("WHERE")) return conditions;
+  // One WHERE atom:
+  //   col (= | <> | != | < | <= | > | >=) lit
+  //   col BETWEEN lit AND lit              (the AND belongs to BETWEEN)
+  //   col IN (lit [, lit]*)
+  // `=`/`<>`/IN use marker equality (col = NULL matches exactly the ⊥
+  // cells); ordered comparisons exclude ⊥ by definition
+  // (engine/predicate.h).
+  Result<PredicateAtom> WhereAtom(const TableSchema& schema) {
+    SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
+    SQLNF_ASSIGN_OR_RETURN(AttributeId id, schema.FindAttribute(col));
+    if (AcceptKeyword("BETWEEN")) {
+      SQLNF_ASSIGN_OR_RETURN(Value lo, ExpectLiteral());
+      SQLNF_RETURN_NOT_OK(ExpectKeyword("AND"));
+      SQLNF_ASSIGN_OR_RETURN(Value hi, ExpectLiteral());
+      return Between(id, std::move(lo), std::move(hi));
+    }
+    if (AcceptKeyword("IN")) {
+      SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> list;
+      do {
+        SQLNF_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+        list.push_back(std::move(v));
+      } while (AcceptSymbol(","));
+      SQLNF_RETURN_NOT_OK(ExpectSymbol(")"));
+      return In(id, std::move(list));
+    }
+    CompareOp op;
+    if (AcceptSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (AcceptSymbol("<>") || AcceptSymbol("!=")) {
+      op = CompareOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (AcceptSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (AcceptSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (AcceptSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Status::ParseError(
+          "expected comparison operator, BETWEEN, or IN, got '" +
+          Peek().text + "'");
+    }
+    SQLNF_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
+    return Cmp(id, op, std::move(v));
+  }
+
+  // WHERE atom [AND atom]* [OR atom [AND atom]*]* → the predicate tree
+  // in DNF (AND binds tighter than OR; no parenthesized grouping). The
+  // executor compiles the whole tree onto codes (engine/predicate.h).
+  // No WHERE clause yields Predicate::True().
+  Result<Predicate> WhereClause(const TableSchema& schema) {
+    if (!AcceptKeyword("WHERE")) return Predicate::True();
+    Predicate pred;
     do {
-      SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
-      SQLNF_RETURN_NOT_OK(ExpectSymbol("="));
-      SQLNF_ASSIGN_OR_RETURN(Value v, ExpectLiteral());
-      SQLNF_ASSIGN_OR_RETURN(AttributeId id, schema.FindAttribute(col));
-      conditions.push_back({id, std::move(v)});
-    } while (AcceptKeyword("AND"));
-    return conditions;
+      Conjunction conj;
+      do {
+        SQLNF_ASSIGN_OR_RETURN(PredicateAtom atom, WhereAtom(schema));
+        conj.push_back(std::move(atom));
+      } while (AcceptKeyword("AND"));
+      pred.disjuncts.push_back(std::move(conj));
+    } while (AcceptKeyword("OR"));
+    return pred;
   }
 
   Result<QueryResult> Select() {
@@ -460,6 +539,20 @@ class Parser {
     SQLNF_RETURN_NOT_OK(db_->DropTable(name));
     QueryResult result;
     result.message = "dropped table " + name;
+    return result;
+  }
+
+  // VACUUM t: order-preserving dictionary compaction (dead codes
+  // reclaimed, codes canonicalized — Database::CompactTable). Barred
+  // inside a transaction.
+  Result<QueryResult> Vacuum() {
+    SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
+    SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
+    SQLNF_ASSIGN_OR_RETURN(int retired, db_->CompactTable(name));
+    QueryResult result;
+    result.affected = retired;
+    result.message = "vacuumed " + name + ": " + std::to_string(retired) +
+                     " dictionary entries reclaimed";
     return result;
   }
 

@@ -12,19 +12,31 @@
 //     [POSSIBLE FD (lhs -> rhs)]       -- p-FD           (SQL extension)
 //   );
 //   INSERT INTO t VALUES (lit, ...) [, (lit, ...)]*;
-//   SELECT * | col[, col]* FROM t [NATURAL JOIN u]* [WHERE col = lit
-//       [AND col = lit]*];
-//   UPDATE t SET col = lit [WHERE ...];
-//   DELETE FROM t [WHERE ...];
+//   SELECT * | col[, col]* FROM t [NATURAL JOIN u]* [WHERE pred];
+//   UPDATE t SET col = lit [WHERE pred];
+//   DELETE FROM t [WHERE pred];
 //   DROP TABLE t;
+//   VACUUM t;                            -- dictionary compaction
 //   SHOW TABLES;
 //   DESCRIBE t;
 //   BEGIN [TRANSACTION|WORK]; COMMIT; ROLLBACK;
 //
+// WHERE predicates (AND binds tighter than OR; no parentheses):
+//
+//   pred := conj [OR conj]*
+//   conj := atom [AND atom]*
+//   atom := col (= | <> | != | < | <= | > | >=) lit
+//         | col BETWEEN lit AND lit      -- >= lit AND <= lit
+//         | col IN (lit [, lit]*)
+//
 // Literals: 'single-quoted strings' ('' escapes a quote), integers,
 // NULL. Types are declarative only (everything is a Value). WHERE
-// equality is marker equality: col = NULL matches exactly the ⊥ rows
-// (this engine is about schema design, not SQL's three-valued WHERE).
+// semantics are MARKER semantics, not SQL's three-valued WHERE (this
+// engine is about schema design): `=`/`<>`/IN use marker equality, so
+// col = NULL matches exactly the ⊥ rows, and ordered comparisons
+// (`<`/`<=`/`>`/`>=`/BETWEEN) exclude ⊥ by definition — a ⊥ cell never
+// satisfies one, nor does a NULL bound (engine/predicate.h). The whole
+// clause compiles to branch-free integer tests on dictionary codes.
 //
 // The CERTAIN/POSSIBLE clauses are this library's SQL extension: they
 // declare the paper's constraint classes, and the Database enforces

@@ -250,5 +250,114 @@ TEST(EncodedTableTest, AllocateTargetThenFillMatchesGather) {
   EXPECT_EQ(out.NullFreeColumns(), gathered.NullFreeColumns());
 }
 
+TEST(EncodedTableTest, CompactionReclaimsDeadCodesAfterUpdates) {
+  // An update-heavy workload strands dictionary entries: every
+  // overwritten value keeps its code but no row references it.
+  const TableSchema schema = Schema("ab");
+  const Table table = Rows(schema, {"1x", "2y", "3z"});
+  EncodedTable enc(table);
+  enc.UpdateCell(0, 0, Value::Str("9"));  // "1" now dead
+  enc.UpdateCell(1, 0, Value::Str("9"));  // "2" now dead
+  enc.UpdateCell(2, 1, Value::Str("w"));  // "z" now dead
+  enc.EraseRows({1});                     // "y" now dead too
+  ASSERT_EQ(enc.dictionary_size(0), 4);   // 1 2 3 9
+  ASSERT_EQ(enc.dictionary_size(1), 4);   // x y z w
+
+  const Table before = enc.Decode(schema);
+  const std::vector<int> retired = enc.CompactDictionaries();
+  EXPECT_EQ(retired, (std::vector<int>{2, 2}));
+  EXPECT_EQ(enc.dictionary_size(0), 2);  // 3 9
+  EXPECT_EQ(enc.dictionary_size(1), 2);  // w x
+  ASSERT_OK(enc.CheckDictionaryOrder());
+  for (AttributeId a = 0; a < 2; ++a) {
+    EXPECT_TRUE(enc.DictionaryOrdered(a)) << "col " << a;
+  }
+  // Decoded contents are untouched by compaction.
+  EXPECT_TRUE(enc.EquivalentTo(EncodedTable(before)));
+  // A second compaction is a no-op: already canonical.
+  EXPECT_EQ(enc.CompactDictionaries(), (std::vector<int>{0, 0}));
+}
+
+TEST(EncodedTableTest, CompactionCanonicalizesAcrossHistories) {
+  // Two encodings of the SAME decoded contents reached through
+  // different mutation histories carry different codes — after
+  // compaction both are the canonical (value-ordered, dead-free)
+  // encoding, hence bit-identical.
+  const TableSchema schema = Schema("ab");
+  const Table target = Rows(schema, {"2x", "1_", "3y"});
+
+  EncodedTable direct(target);  // codes in first-occurrence order
+
+  EncodedTable history(schema.num_attributes());
+  history.AppendRow(Tuple({Value::Str("9"), Value::Str("q")}));
+  history.AppendRow(Tuple({Value::Str("1"), Value::Null()}));
+  history.AppendRow(Tuple({Value::Str("3"), Value::Str("y")}));
+  history.AppendRow(Tuple({Value::Str("5"), Value::Str("x")}));
+  history.UpdateCell(0, 0, Value::Str("2"));
+  history.UpdateCell(0, 1, Value::Str("x"));
+  history.EraseRows({3});
+
+  ASSERT_TRUE(history.EquivalentTo(direct));
+  ASSERT_FALSE(history.BitIdentical(direct));  // codes differ pre-compaction
+
+  direct.CompactDictionaries();
+  history.CompactDictionaries();
+  ASSERT_OK(direct.CheckDictionaryOrder());
+  ASSERT_OK(history.CheckDictionaryOrder());
+  EXPECT_TRUE(history.BitIdentical(direct));
+  EXPECT_TRUE(direct.EquivalentTo(EncodedTable(target)));
+}
+
+TEST(EncodedTableTest, CompactionLeavesSharedCopiesBitStable) {
+  // Compaction rewrites codes by publishing fresh column versions, so a
+  // snapshot taken before it keeps its pre-compaction codes unchanged.
+  const TableSchema schema = Schema("ab");
+  EncodedTable live(Rows(schema, {"2x", "1y", "2_"}));
+  live.UpdateCell(1, 0, Value::Str("3"));  // dead "1"
+  const EncodedTable frozen = live;        // O(columns) pointer share
+  const EncodedTable expected = live;
+
+  const std::vector<int> retired = live.CompactDictionaries();
+  EXPECT_EQ(retired, (std::vector<int>{1, 0}));
+  EXPECT_TRUE(frozen.BitIdentical(expected));
+  EXPECT_FALSE(frozen.BitIdentical(live));
+  EXPECT_TRUE(frozen.EquivalentTo(live));
+}
+
+TEST(EncodedTableTest, RandomizedCompactionPreservesContents) {
+  Rng rng(7741);
+  const TableSchema schema = Schema("abc");
+  for (int iter = 0; iter < 15; ++iter) {
+    Table table(schema);
+    EncodedTable enc(schema.num_attributes());
+    for (int step = 0; step < 50; ++step) {
+      if (rng.Chance(0.5) || table.num_rows() == 0) {
+        std::vector<Value> values;
+        for (int a = 0; a < 3; ++a) {
+          values.push_back(rng.Chance(0.2)
+                               ? Value::Null()
+                               : Value::Int(rng.Uniform(0, 9)));
+        }
+        Tuple row(std::move(values));
+        ASSERT_TRUE(table.AddRow(row).ok());
+        enc.AppendRow(row);
+      } else {
+        const int r = static_cast<int>(rng.Index(table.num_rows()));
+        const AttributeId a = static_cast<AttributeId>(rng.Index(3));
+        const Value v = rng.Chance(0.2) ? Value::Null()
+                                        : Value::Int(rng.Uniform(0, 9));
+        (*table.mutable_row(r))[a] = v;
+        enc.UpdateCell(r, a, v);
+      }
+    }
+    enc.CompactDictionaries();
+    ASSERT_OK(enc.CheckDictionaryOrder()) << "iter=" << iter;
+    // Canonical form: bit-identical to a compacted fresh encoding.
+    EncodedTable fresh(table);
+    fresh.CompactDictionaries();
+    ASSERT_TRUE(enc.BitIdentical(fresh)) << "iter=" << iter;
+  }
+}
+
 }  // namespace
 }  // namespace sqlnf

@@ -1,0 +1,304 @@
+// Predicate-fuzzer differential harness: random predicate TREES
+// (nested OR/AND over comparison atoms — BETWEEN, IN, ⊥ literals,
+// values absent from every dictionary) evaluated three independent
+// ways on random tables:
+//
+//   1. the nested tree itself, recursively, on decoded tuples (the
+//      literal oracle — no DNF, no codes),
+//   2. MatchesPredicate on the tree's DNF flattening (row-major over
+//      the engine's Predicate shape),
+//   3. SelectRowsEncoded on the DNF against the dictionary encoding,
+//      at threads ∈ {1, 2, 3, 8} (compiled branch-free code intervals
+//      through the ParallelEmit count/fill path).
+//
+// All paths must agree row for row. A fourth pass re-runs the columnar
+// selection after CompactDictionaries (canonical order-preserving
+// re-encode) — same rows, now through the no-gather raw-code fast
+// path.
+//
+// SQLNF_DIFF_ITERS (integer ≥ 1, default 1) multiplies the sweep; the
+// nightly differential job runs ≥ 1000 trees.
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sqlnf/core/encoded_table.h"
+#include "sqlnf/core/table.h"
+#include "sqlnf/engine/predicate.h"
+#include "sqlnf/engine/relops.h"
+#include "sqlnf/util/rng.h"
+#include "test_util.h"
+
+namespace sqlnf {
+namespace {
+
+using testing::Schema;
+
+int IterMultiplier() {
+  const char* env = std::getenv("SQLNF_DIFF_ITERS");
+  if (env == nullptr) return 1;
+  const int v = std::atoi(env);
+  return v >= 1 ? v : 1;
+}
+
+int ScaledIters(int base) { return base * IterMultiplier(); }
+
+// ---------------------------------------------------------------- data
+
+// Mixed-kind instance: small-domain ints AND strings in every column
+// (so ordered comparisons cross the Int < Str kind boundary), ⊥
+// anywhere.
+Table RandomMixedInstance(Rng* rng, const TableSchema& schema, int rows,
+                          int domain) {
+  Table table(schema);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Value> values;
+    for (AttributeId a = 0; a < schema.num_attributes(); ++a) {
+      const double roll = rng->NextDouble();
+      if (roll < 0.2) {
+        values.push_back(Value::Null());
+      } else if (roll < 0.6) {
+        values.push_back(Value::Int(rng->Uniform(0, domain - 1)));
+      } else {
+        values.push_back(Value::Str(
+            std::string(1, static_cast<char>('a' + rng->Uniform(0, 4)))));
+      }
+    }
+    auto st = table.AddRow(Tuple(std::move(values)));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+// Operand pool: in-domain ints, strings, ⊥, and values no dictionary
+// has ever seen (large ints / unused strings).
+Value RandomOperand(Rng* rng, int domain) {
+  const double roll = rng->NextDouble();
+  if (roll < 0.15) return Value::Null();
+  if (roll < 0.30) return Value::Int(rng->Uniform(100, 105));  // absent
+  if (roll < 0.40) return Value::Str("zzz");                   // absent
+  if (roll < 0.75) return Value::Int(rng->Uniform(0, domain - 1));
+  return Value::Str(
+      std::string(1, static_cast<char>('a' + rng->Uniform(0, 4))));
+}
+
+PredicateAtom RandomAtom(Rng* rng, int num_columns, int domain) {
+  const AttributeId col =
+      static_cast<AttributeId>(rng->Index(static_cast<size_t>(num_columns)));
+  switch (rng->Uniform(0, 7)) {
+    case 0:
+      return Cmp(col, CompareOp::kEq, RandomOperand(rng, domain));
+    case 1:
+      return Cmp(col, CompareOp::kNe, RandomOperand(rng, domain));
+    case 2:
+      return Cmp(col, CompareOp::kLt, RandomOperand(rng, domain));
+    case 3:
+      return Cmp(col, CompareOp::kLe, RandomOperand(rng, domain));
+    case 4:
+      return Cmp(col, CompareOp::kGt, RandomOperand(rng, domain));
+    case 5:
+      return Cmp(col, CompareOp::kGe, RandomOperand(rng, domain));
+    case 6:
+      // Bounds in random order: inverted ranges (empty) included.
+      return Between(col, RandomOperand(rng, domain),
+                     RandomOperand(rng, domain));
+    default: {
+      std::vector<Value> list;
+      const int k = static_cast<int>(rng->Uniform(0, 3));  // 0 = empty IN
+      for (int i = 0; i < k; ++i) {
+        list.push_back(RandomOperand(rng, domain));
+      }
+      return In(col, std::move(list));
+    }
+  }
+}
+
+// ----------------------------------------------------- predicate trees
+
+// A nested boolean tree — the shape a general WHERE grammar would
+// produce before DNF flattening.
+struct Node {
+  enum class Kind { kAtom, kAnd, kOr };
+  Kind kind = Kind::kAtom;
+  PredicateAtom atom;
+  std::vector<Node> children;
+};
+
+Node RandomTree(Rng* rng, int num_columns, int domain, int depth) {
+  Node node;
+  if (depth == 0 || rng->Chance(0.45)) {
+    node.kind = Node::Kind::kAtom;
+    node.atom = RandomAtom(rng, num_columns, domain);
+    return node;
+  }
+  node.kind = rng->Chance(0.5) ? Node::Kind::kAnd : Node::Kind::kOr;
+  const int fanout = static_cast<int>(rng->Uniform(2, 3));
+  for (int i = 0; i < fanout; ++i) {
+    node.children.push_back(RandomTree(rng, num_columns, domain, depth - 1));
+  }
+  return node;
+}
+
+// The literal tree oracle — nested evaluation, no DNF involved.
+bool EvalTree(const Tuple& t, const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kAtom:
+      return MatchesAtom(t[node.atom.column], node.atom);
+    case Node::Kind::kAnd:
+      for (const Node& child : node.children) {
+        if (!EvalTree(t, child)) return false;
+      }
+      return true;
+    case Node::Kind::kOr:
+      for (const Node& child : node.children) {
+        if (EvalTree(t, child)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+// Flattens a tree to DNF: OR concatenates child DNFs, AND distributes
+// (cross product of child disjuncts). Depth ≤ 3 / fanout ≤ 3 keeps the
+// product tiny.
+Predicate ToDnf(const Node& node) {
+  switch (node.kind) {
+    case Node::Kind::kAtom:
+      return Predicate::And({node.atom});
+    case Node::Kind::kOr: {
+      Predicate out;
+      for (const Node& child : node.children) {
+        Predicate part = ToDnf(child);
+        for (Conjunction& conj : part.disjuncts) {
+          out.disjuncts.push_back(std::move(conj));
+        }
+      }
+      return out;
+    }
+    case Node::Kind::kAnd: {
+      Predicate out = Predicate::True();
+      for (const Node& child : node.children) {
+        const Predicate part = ToDnf(child);
+        Predicate next;
+        for (const Conjunction& left : out.disjuncts) {
+          for (const Conjunction& right : part.disjuncts) {
+            Conjunction merged = left;
+            merged.insert(merged.end(), right.begin(), right.end());
+            next.disjuncts.push_back(std::move(merged));
+          }
+        }
+        out = std::move(next);
+      }
+      return out;
+    }
+  }
+  return Predicate{};
+}
+
+// ------------------------------------------------------------ the fuzz
+
+// One random (table, tree) case checked end to end across all paths
+// and thread counts.
+void CheckCase(Rng* rng, int case_id) {
+  const int num_columns = static_cast<int>(rng->Uniform(2, 5));
+  const TableSchema schema =
+      Schema(std::string("abcdef").substr(0, num_columns));
+  const int rows = static_cast<int>(rng->Uniform(0, 80));
+  const int domain = static_cast<int>(rng->Uniform(2, 6));
+  const Table table = RandomMixedInstance(rng, schema, rows, domain);
+  const EncodedTable enc(table);
+
+  const Node tree = RandomTree(rng, num_columns, domain, 3);
+  const Predicate dnf = ToDnf(tree);
+  ASSERT_OK(ValidatePredicate(dnf, num_columns));
+
+  // Oracle selection from the nested tree.
+  std::vector<int> expected;
+  for (int i = 0; i < table.num_rows(); ++i) {
+    if (EvalTree(table.row(i), tree)) expected.push_back(i);
+    // DNF flattening must not change row-major semantics.
+    ASSERT_EQ(EvalTree(table.row(i), tree),
+              MatchesPredicate(table.row(i), dnf))
+        << "case " << case_id << " row " << i;
+  }
+
+  for (int threads : {1, 2, 3, 8}) {
+    ParallelOptions par;
+    par.threads = threads;
+    const std::vector<int> got = SelectRowsEncoded(enc, dnf, par);
+    ASSERT_EQ(got, expected)
+        << "case " << case_id << " threads " << threads;
+  }
+
+  // Compaction canonicalizes codes (order-preserving); the same DNF
+  // recompiles onto raw-code intervals and must select the same rows.
+  EncodedTable compacted = enc;
+  compacted.CompactDictionaries();
+  ASSERT_OK(compacted.CheckDictionaryOrder());
+  ASSERT_EQ(SelectRowsEncoded(compacted, dnf), expected)
+      << "case " << case_id << " after compaction";
+}
+
+TEST(PredicateFuzz, TreesMatchOracleAtEveryThreadCount) {
+  // ≥ 3 trees per case; the nightly multiplier (SQLNF_DIFF_ITERS ≥ 3)
+  // pushes the sweep past 1000 trees.
+  const int cases = ScaledIters(400);
+  Rng rng(20260808);
+  for (int c = 0; c < cases; ++c) {
+    CheckCase(&rng, c);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+// Directed corner cases the random sweep could visit rarely.
+TEST(PredicateFuzz, DirectedEdgeCases) {
+  const TableSchema schema = Schema("ab");
+  Table table(schema);
+  ASSERT_OK(table.AddRow(Tuple({Value::Int(1), Value::Null()})));
+  ASSERT_OK(table.AddRow(Tuple({Value::Int(2), Value::Str("x")})));
+  ASSERT_OK(table.AddRow(Tuple({Value::Null(), Value::Int(7)})));
+  const EncodedTable enc(table);
+
+  // ⊥ never satisfies an ordered comparison — even one ⊥ would trip.
+  EXPECT_EQ(SelectRowsEncoded(enc, Predicate::And({Cmp(
+                                       0, CompareOp::kGe, Value::Int(0))})),
+            (std::vector<int>{0, 1}));
+  // ⊥ operand: atom false everywhere.
+  EXPECT_TRUE(SelectRowsEncoded(enc, Predicate::And({Cmp(
+                                         0, CompareOp::kLt, Value::Null())}))
+                  .empty());
+  // Marker equality on ⊥ selects exactly the ⊥ cells; <> the rest.
+  EXPECT_EQ(SelectRowsEncoded(enc, Predicate::And({Cmp(
+                                       1, CompareOp::kEq, Value::Null())})),
+            (std::vector<int>{0}));
+  EXPECT_EQ(SelectRowsEncoded(enc, Predicate::And({Cmp(
+                                       1, CompareOp::kNe, Value::Null())})),
+            (std::vector<int>{1, 2}));
+  // Cross-kind order: every Int < every Str.
+  EXPECT_EQ(SelectRowsEncoded(enc, Predicate::And({Cmp(
+                                       1, CompareOp::kLt, Value::Str("a"))})),
+            (std::vector<int>{2}));
+  // IN with ⊥ and an absent value.
+  EXPECT_EQ(SelectRowsEncoded(
+                enc, Predicate::And({In(
+                         1, {Value::Null(), Value::Int(99)})})),
+            (std::vector<int>{0}));
+  // Empty IN and zero-disjunct predicates match nothing; inverted
+  // BETWEEN is an empty interval.
+  EXPECT_TRUE(SelectRowsEncoded(enc, Predicate::And({In(0, {})})).empty());
+  EXPECT_TRUE(SelectRowsEncoded(enc, Predicate{}).empty());
+  EXPECT_TRUE(
+      SelectRowsEncoded(
+          enc, Predicate::And(
+                   {Between(0, Value::Int(5), Value::Int(1))}))
+          .empty());
+  // Predicate::True() selects everything.
+  EXPECT_EQ(SelectRowsEncoded(enc, Predicate::True()),
+            (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace sqlnf

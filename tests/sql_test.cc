@@ -196,5 +196,89 @@ TEST_F(SqlTest, IntegerLiterals) {
   EXPECT_EQ(rows.rows->row(0)[1], Value::Int(-7));
 }
 
+TEST_F(SqlTest, RangePredicates) {
+  Must("CREATE TABLE t (n INTEGER, s TEXT);");
+  Must("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, NULL), "
+       "(NULL, 'e');");
+
+  // Each ordered operator reduces to one code/rank interval; ⊥ cells
+  // (row 5's n) never satisfy an ordered comparison.
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n < 3;").rows->num_rows(), 2);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n <= 3;").rows->num_rows(), 3);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n > 3;").rows->num_rows(), 1);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n >= 3;").rows->num_rows(), 2);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n BETWEEN 2 AND 3;").rows->num_rows(),
+            2);
+  // <> and != are the exact marker complement of =, so ⊥ rows count.
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n <> 2;").rows->num_rows(), 4);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n != 2;").rows->num_rows(), 4);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s IN ('a', 'c', 'zzz');")
+                .rows->num_rows(),
+            2);
+  // IN with NULL uses marker equality: it picks up the ⊥ cell.
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s IN (NULL, 'b');").rows->num_rows(),
+            2);
+}
+
+TEST_F(SqlTest, WherePrecedenceAndOr) {
+  Must("CREATE TABLE t (n INTEGER, s TEXT);");
+  Must("INSERT INTO t VALUES (1, 'a'), (2, 'a'), (3, 'b'), (4, 'b');");
+  // AND binds tighter than OR: (n<2) OR (n>3 AND s='b') → rows 1, 4.
+  QueryResult rows =
+      Must("SELECT * FROM t WHERE n < 2 OR n > 3 AND s = 'b';");
+  ASSERT_EQ(rows.rows->num_rows(), 2);
+  EXPECT_EQ(rows.rows->row(0)[0], Value::Int(1));
+  EXPECT_EQ(rows.rows->row(1)[0], Value::Int(4));
+  // BETWEEN consumes its own AND; the conjunction continues after it.
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n BETWEEN 1 AND 3 AND s = 'a';")
+                .rows->num_rows(),
+            2);
+  // Cross-kind comparison under the Value total order: Int < Str.
+  EXPECT_EQ(Must("SELECT * FROM t WHERE n < 'x';").rows->num_rows(), 4);
+}
+
+TEST_F(SqlTest, UpdateDeleteWithRangePredicates) {
+  Must("CREATE TABLE t (n INTEGER, s TEXT);");
+  Must("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c'), (4, 'd');");
+  QueryResult upd = Must("UPDATE t SET s = 'hi' WHERE n BETWEEN 2 AND 3;");
+  EXPECT_EQ(upd.affected, 2);
+  EXPECT_EQ(Must("SELECT * FROM t WHERE s = 'hi';").rows->num_rows(), 2);
+  QueryResult del = Must("DELETE FROM t WHERE n >= 4 OR s = 'a';");
+  EXPECT_EQ(del.affected, 2);
+  EXPECT_EQ(Must("SELECT * FROM t;").rows->num_rows(), 2);
+}
+
+TEST_F(SqlTest, VacuumStatement) {
+  Must("CREATE TABLE t (n INTEGER, s TEXT);");
+  Must("INSERT INTO t VALUES (1, 'a'), (2, 'b');");
+  Must("UPDATE t SET s = 'c' WHERE n = 1;");  // strands 'a'
+  QueryResult vac = Must("VACUUM t;");
+  EXPECT_EQ(vac.affected, 1);
+  EXPECT_NE(vac.message.find("1 dictionary entries reclaimed"),
+            std::string::npos);
+  // Already canonical: a second pass reclaims nothing.
+  EXPECT_EQ(Must("VACUUM t;").affected, 0);
+  // Barred while a transaction is open.
+  Must("BEGIN;");
+  EXPECT_FALSE(Try("VACUUM t;").ok());
+  Must("ROLLBACK;");
+  EXPECT_EQ(Must("VACUUM t;").affected, 0);
+  EXPECT_FALSE(Try("VACUUM missing;").ok());
+}
+
+TEST_F(SqlTest, WhereParseErrors) {
+  Must("CREATE TABLE t (n INTEGER, s TEXT);");
+  Must("INSERT INTO t VALUES (1, 'a');");
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n ! 1;").ok());   // bare !
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n = ;").ok());
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n BETWEEN 1;").ok());
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n BETWEEN 1 2;").ok());
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n IN 1;").ok());   // no parens
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n IN ();").ok());  // ≥ 1 member
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE n < 1 OR;").ok());
+  EXPECT_FALSE(Try("SELECT * FROM t WHERE missing = 1;").ok());
+  EXPECT_FALSE(Try("VACUUM t extra;").ok());
+}
+
 }  // namespace
 }  // namespace sqlnf
