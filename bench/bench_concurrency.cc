@@ -64,6 +64,7 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
 // w are payload churned by the writer. (Database owns a mutex, so it
 // is populated in place rather than returned.)
 void Preload(Database* db) {
+  WriterScope writer;  // runs on the main thread before any reader exists
   TableSchema schema =
       ValueOrDie(TableSchema::MakeCompact("kv", "kvw", "k"), "schema");
   ConstraintSet sigma;
@@ -138,6 +139,7 @@ struct WriterResult {
 // the undo-log replay path.
 void WriterLoop(Database* db, std::atomic<bool>* stop,
                 std::atomic<int>* failures, WriterResult* out) {
+  WriterScope writer;  // this function IS the single writer thread
   Rng rng(0x5eedull);
   int64_t next_key = kPreloadRows;
   int64_t pending_delete = -1;
@@ -240,7 +242,9 @@ int Run() {
     }
 
     // Shape checks on the final state: enforcer invariants hold and the
-    // published snapshot is bit-identical to the live encoding.
+    // published snapshot is bit-identical to the live encoding. All
+    // threads have joined, so the main thread owns the writer role.
+    WriterScope shape_check_writer;
     const StoredTable* stored = ValueOrDie(db.Find("kv"), "Find kv");
     CheckOk(stored->enforcer().CheckInvariants(), "CheckInvariants");
     TableSnapshot final_snap = ValueOrDie(db.GetSnapshot("kv"), "snapshot");

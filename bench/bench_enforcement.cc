@@ -11,6 +11,7 @@
 #include "sqlnf/constraints/parser.h"
 #include "sqlnf/datagen/lmrp.h"
 #include "sqlnf/engine/catalog.h"
+#include "sqlnf/engine/writer_role.h"
 #include "sqlnf/engine/relops.h"
 #include "sqlnf/engine/validate.h"
 #include "sqlnf/util/text_table.h"
@@ -49,6 +50,7 @@ int Run() {
   Table indexed_table(big.schema());
   IncrementalEnforcer enforcer(big.schema(), sigma);
   double indexed_ms = TimeMs([&] {
+    WriterScope writer;
     for (const Tuple& row : big.rows()) {
       if (!enforcer.Check(row)) {
         enforcer.Add(row, indexed_table.num_rows());

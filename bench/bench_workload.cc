@@ -38,6 +38,9 @@ int Run() {
   using bench::TimeMs;
   using bench::ValueOrDie;
 
+  // Single-threaded bench: this thread is the writer for both DBs.
+  WriterScope writer;
+
   Table contractor = ValueOrDie(Contractor(), "contractor");
   Table big = ValueOrDie(CrossWithSequence(contractor, kScale, "new"),
                          "cross");
@@ -58,6 +61,7 @@ int Run() {
   Database denorm;
   bench::CheckOk(denorm.CreateTable(big.schema(), sigma), "create");
   double denorm_load = TimeMs([&] {
+    WriterScope scope;
     for (const Tuple& t : big.rows()) {
       bench::CheckOk(denorm.Insert(big.schema().name(), t), "load");
     }
@@ -82,6 +86,7 @@ int Run() {
     part_names.push_back(parts[i].schema().name());
   }
   double norm_load = TimeMs([&] {
+    WriterScope scope;
     for (const Table& part : parts) {
       for (const Tuple& t : part.rows()) {
         bench::CheckOk(norm.Insert(part.schema().name(), t), "load part");
@@ -116,6 +121,7 @@ int Run() {
 
   // --- workload 1: 30 group fact updates (alternate the status value).
   denorm_lat.update_ms = TimeMs([&] {
+    WriterScope scope;
     for (int round = 0; round < 30; ++round) {
       Value v = Value::Str(round % 2 ? "active" : "suspended");
       auto changed = denorm.Update(
@@ -129,6 +135,7 @@ int Run() {
   const AttributeId part_status = ValueOrDie(
       (*stored_status)->schema().FindAttribute("status"), "ps");
   norm_lat.update_ms = TimeMs([&] {
+    WriterScope scope;
     for (int round = 0; round < 30; ++round) {
       Value v = Value::Str(round % 2 ? "active" : "suspended");
       auto changed = norm.Update(status_table, {{part_city, city_value(3)}},
@@ -139,6 +146,7 @@ int Run() {
 
   // --- workload 2: 300 point lookups by city.
   denorm_lat.select_ms = TimeMs([&] {
+    WriterScope scope;
     for (int i = 0; i < 300; ++i) {
       auto hit = denorm.Select(big.schema().name(),
                                {{big_city, city_value(i % 38)}});
@@ -147,6 +155,7 @@ int Run() {
     }
   });
   norm_lat.select_ms = TimeMs([&] {
+    WriterScope scope;
     for (int i = 0; i < 300; ++i) {
       auto hit = norm.Select(status_table,
                              {{part_city, city_value(i % 38)}});

@@ -16,7 +16,8 @@ using namespace sqlnf;
 
 namespace {
 
-void Run(SqlSession* session, const char* statement) {
+void Run(SqlSession* session, const char* statement)
+    SQLNF_REQUIRES(writer_thread_role) {
   std::printf("sql> %s\n", statement);
   auto result = session->Execute(statement);
   if (result.ok()) {
@@ -29,6 +30,7 @@ void Run(SqlSession* session, const char* statement) {
 }  // namespace
 
 int main() {
+  WriterScope writer;  // single-threaded example: main is the writer
   Database db;
   SqlSession session(&db);
 

@@ -141,7 +141,7 @@ Result<Table> ContactDraftLookup() {
   for (const SnippetRow& r : kSnippet) used.insert(r.contact_id);
   std::vector<int> free_ids;
   for (int id = 1; id <= 124; ++id) {
-    if (!used.count(id)) free_ids.push_back(id);
+    if (!used.contains(id)) free_ids.push_back(id);
   }
 
   for (const SnippetRow& r : kSnippet) {

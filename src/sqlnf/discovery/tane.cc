@@ -173,13 +173,13 @@ Result<TaneResult> DiscoverFdsTane(const Table& table,
         const AttributeSet& y = *keys[j];
         AttributeSet merged = x.Union(y);
         if (merged.size() != level + 1) continue;
-        if (next.count(merged)) continue;
+        if (next.contains(merged)) continue;
         // All level-sized subsets must have survived pruning.
         bool all_present = true;
         for (AttributeId a : merged) {
           AttributeSet sub = merged;
           sub.Remove(a);
-          if (!current.count(sub)) {
+          if (!current.contains(sub)) {
             all_present = false;
             break;
           }

@@ -85,7 +85,7 @@ Result<Table> SelectFromSnapshot(
 
 Status Database::CreateTableLocked(const TableSchema& schema,
                                    ConstraintSet sigma) {
-  if (tables_.count(schema.name())) {
+  if (tables_.contains(schema.name())) {
     return Status::Invalid("table '" + schema.name() + "' already exists");
   }
   tables_.emplace(schema.name(), StoredTable(schema, std::move(sigma)));
@@ -94,7 +94,7 @@ Status Database::CreateTableLocked(const TableSchema& schema,
 
 Status Database::CreateTable(const TableSchema& schema,
                              ConstraintSet sigma) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (txn_) {
     return Status::FailedPrecondition(
         "DDL is not allowed inside a transaction");
@@ -103,7 +103,7 @@ Status Database::CreateTable(const TableSchema& schema,
 }
 
 Status Database::IngestTable(const Table& data, ConstraintSet sigma) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (txn_) {
     return Status::FailedPrecondition(
         "DDL is not allowed inside a transaction");
@@ -122,12 +122,12 @@ Status Database::IngestTable(const Table& data, ConstraintSet sigma) {
     }
   }
   txn_.reset();
-  tables_.find(name)->second.MarkDirty();
+  tables_.find(name)->second.MarkDirty(mu_);
   return Status::OK();
 }
 
 Status Database::DropTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (txn_) {
     return Status::FailedPrecondition(
         "DDL is not allowed inside a transaction");
@@ -139,22 +139,32 @@ Status Database::DropTable(const std::string& name) {
 }
 
 bool Database::HasTable(const std::string& name) const {
-  return tables_.count(name) > 0;
+  MutexLock lock(mu_);
+  return tables_.contains(name);
 }
 
 std::vector<std::string> Database::TableNames() const {
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(tables_.size());
   for (const auto& [name, table] : tables_) out.push_back(name);
   return out;
 }
 
-Result<const StoredTable*> Database::Find(const std::string& name) const {
+Result<const StoredTable*> Database::FindLocked(
+    const std::string& name) const {
   auto it = tables_.find(name);
   if (it == tables_.end()) {
     return Status::NotFound("no table named '" + name + "'");
   }
   return &it->second;
+}
+
+Result<const StoredTable*> Database::Find(const std::string& name) const {
+  // The map lookup itself is serialized; the returned pointer is live
+  // state, which the writer role on this method keeps single-threaded.
+  MutexLock lock(mu_);
+  return FindLocked(name);
 }
 
 Result<StoredTable*> Database::FindMutable(const std::string& name) {
@@ -181,7 +191,7 @@ Status Database::InsertLocked(const std::string& name, Tuple row) {
     // Pin the committed state for readers, then log the inverse. Touch
     // runs BEFORE the mutation so the dictionary high-water marks
     // predate any code this statement mints.
-    stored->PinSnapshot();
+    stored->PinSnapshot(mu_);
     TableUndo& undo = txn_->Touch(name, stored->columns());
     stored->enforcer().Add(row, row_id);
     UndoRecord r;
@@ -190,19 +200,20 @@ Status Database::InsertLocked(const std::string& name, Tuple row) {
     undo.ops.push_back(std::move(r));
   } else {
     stored->enforcer().Add(row, row_id);
-    stored->MarkDirty();  // auto-commit
+    stored->MarkDirty(mu_);  // auto-commit
   }
   return Status::OK();
 }
 
 Status Database::Insert(const std::string& name, Tuple row) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return InsertLocked(name, std::move(row));
 }
 
 Result<Table> Database::Select(const std::string& name,
                                const Predicate& where) const {
-  SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, Find(name));
+  MutexLock lock(mu_);
+  SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, FindLocked(name));
   SQLNF_RETURN_NOT_OK(ValidatePredicate(where, stored->num_columns()));
   // Columnar end to end: selection vector → gather → one decode at the
   // result boundary (no per-row DecodeRow round trips).
@@ -233,7 +244,7 @@ Result<int> Database::UpdateMatched(StoredTable* stored,
         "UPDATE rejected: NOT NULL column cannot hold NULL");
   }
   if (txn_) {
-    stored->PinSnapshot();
+    stored->PinSnapshot(mu_);
     txn_->Touch(stored->schema().name(), enc);
   }
   // Statement-scope undo: pre-images plus the dictionary high-water
@@ -269,7 +280,7 @@ Result<int> Database::UpdateMatched(StoredTable* stored,
     TableUndo& undo = txn_->Touch(stored->schema().name(), enc);
     for (UndoRecord& r : statement.ops) undo.ops.push_back(std::move(r));
   } else {
-    stored->MarkDirty();  // auto-commit
+    stored->MarkDirty(mu_);  // auto-commit
   }
   return static_cast<int>(changed.size());
 }
@@ -277,7 +288,7 @@ Result<int> Database::UpdateMatched(StoredTable* stored,
 Result<int> Database::Update(const std::string& name,
                              const Predicate& where, AttributeId column,
                              const Value& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   if (column < 0 || column >= stored->num_columns()) {
     return Status::Invalid("UPDATE column out of range");
@@ -297,7 +308,7 @@ Result<int> Database::Update(
     const std::string& name,
     const std::function<bool(const Tuple&)>& predicate, AttributeId column,
     const Value& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   if (column < 0 || column >= stored->num_columns()) {
     return Status::Invalid("UPDATE column out of range");
@@ -313,7 +324,7 @@ int Database::DeleteMatched(StoredTable* stored,
                             const std::vector<int>& matches) {
   if (matches.empty()) return 0;
   if (txn_) {
-    stored->PinSnapshot();
+    stored->PinSnapshot(mu_);
     TableUndo& undo = txn_->Touch(stored->schema().name(),
                                   stored->columns());
     UndoRecord r;
@@ -327,13 +338,13 @@ int Database::DeleteMatched(StoredTable* stored,
   // compact the encoding and renumber the survivors in place.
   for (int i : matches) stored->enforcer().Remove(i);
   stored->enforcer().CompactAfterErase(matches);
-  if (!txn_) stored->MarkDirty();  // auto-commit
+  if (!txn_) stored->MarkDirty(mu_);  // auto-commit
   return static_cast<int>(matches.size());
 }
 
 Result<int> Database::Delete(const std::string& name,
                              const Predicate& where) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   SQLNF_RETURN_NOT_OK(ValidatePredicate(where, stored->num_columns()));
   return DeleteMatched(stored, SelectRowsEncoded(stored->columns(), where));
@@ -347,7 +358,7 @@ Result<int> Database::Delete(const std::string& name,
 Result<int> Database::Delete(
     const std::string& name,
     const std::function<bool(const Tuple&)>& predicate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   std::vector<int> matches;
   for (int i = 0; i < stored->num_rows(); ++i) {
@@ -357,7 +368,7 @@ Result<int> Database::Delete(
 }
 
 Result<int> Database::CompactTable(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (txn_) {
     // The undo log records pre-compaction codes and dictionary
     // high-water marks; replaying it over canonical codes would
@@ -370,23 +381,23 @@ Result<int> Database::CompactTable(const std::string& name) {
   // separate shared_ptrs, and compaction publishes fresh column
   // versions rather than mutating in place, so concurrent readers
   // keep their pre-compaction codes bit-stable.
-  stored->PinSnapshot();
+  stored->PinSnapshot(mu_);
   const int retired = stored->enforcer().CompactDictionaries();
-  stored->MarkDirty();  // next GetSnapshot sees canonical codes
+  stored->MarkDirty(mu_);  // next GetSnapshot sees canonical codes
   return retired;
 }
 
 Result<TableSnapshot> Database::GetSnapshot(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   SQLNF_ASSIGN_OR_RETURN(StoredTable * stored, FindMutable(name));
   // Mid-transaction this can only refresh tables the transaction has
   // not touched (a touched table was pinned clean by its first write),
   // so uncommitted rows are never published.
-  return stored->Snapshot();
+  return stored->Snapshot(mu_);
 }
 
 Status Database::Begin() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (txn_) {
     return Status::FailedPrecondition(
         "a transaction is already in progress");
@@ -396,19 +407,19 @@ Status Database::Begin() {
 }
 
 Status Database::Commit() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!txn_) {
     return Status::FailedPrecondition("no transaction in progress");
   }
   for (const auto& [name, undo] : txn_->tables()) {
-    tables_.find(name)->second.MarkDirty();  // DDL is barred mid-txn
+    tables_.find(name)->second.MarkDirty(mu_);  // DDL is barred mid-txn
   }
   txn_.reset();
   return Status::OK();
 }
 
 Status Database::Rollback() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!txn_) {
     return Status::FailedPrecondition("no transaction in progress");
   }
@@ -420,7 +431,7 @@ Status Database::Rollback() {
 }
 
 bool Database::InTransaction() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return txn_ != nullptr;
 }
 

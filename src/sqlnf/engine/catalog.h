@@ -40,6 +40,15 @@
 // writer thread calling the mutating methods; the remaining accessors
 // (Find / Select / Materialize / ...) touch live state and belong to
 // the writer thread.
+//
+// The contract is MACHINE-CHECKED (DESIGN.md §8): Database::mu_ is a
+// capability-annotated Mutex guarding tables_ and txn_, StoredTable's
+// publication methods take the guarding mutex as a parameter with
+// SQLNF_REQUIRES(mu), and every writer-thread-only entry point
+// requires the WriterThread phantom capability
+// (engine/writer_role.h) — so a reader context that never entered a
+// WriterScope cannot even compile a call to Insert or Update under
+// clang -Wthread-safety.
 
 #ifndef SQLNF_ENGINE_CATALOG_H_
 #define SQLNF_ENGINE_CATALOG_H_
@@ -48,7 +57,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -61,7 +69,10 @@
 #include "sqlnf/engine/enforcer.h"
 #include "sqlnf/engine/relops.h"
 #include "sqlnf/engine/txn.h"
+#include "sqlnf/engine/writer_role.h"
+#include "sqlnf/util/mutex.h"
 #include "sqlnf/util/status.h"
+#include "sqlnf/util/thread_annotations.h"
 
 namespace sqlnf {
 
@@ -128,21 +139,28 @@ class StoredTable {
   const IncrementalEnforcer& enforcer() const { return enforcer_; }
 
   // ---- Snapshot publication (driven by Database under its mutex).
+  //
+  // Each method takes the guarding mutex as a parameter: the analysis
+  // substitutes the caller's argument into SQLNF_REQUIRES, so
+  // `stored->Snapshot(mu_)` type-checks exactly when Database holds
+  // mu_. (A back-pointer to the mutex would defeat the syntactic
+  // matching — the capability expression must be the caller's own.)
 
   /// The published snapshot, refreshed first when a commit has dirtied
   /// it. The refresh is an O(columns) copy sharing every column with
   /// the live encoding; the writer's next mutation pays the
   /// copy-on-write detach, so back-to-back commits with no reader in
   /// between never clone anything.
-  TableSnapshot Snapshot() {
-    PinSnapshot();
+  TableSnapshot Snapshot(Mutex& mu) SQLNF_REQUIRES(mu) {
+    PinSnapshot(mu);
     return TableSnapshot{schema_, snapshot_, epoch_};
   }
 
   /// Refreshes the published snapshot if dirty, without handing it out.
   /// A transaction's first write to this table pins the committed state
   /// here so mid-transaction readers never observe uncommitted rows.
-  void PinSnapshot() {
+  void PinSnapshot(Mutex& mu) SQLNF_REQUIRES(mu) {
+    static_cast<void>(mu);  // capability-only parameter
     if (stale_) {
       snapshot_ = std::make_shared<const EncodedTable>(columns());
       ++epoch_;
@@ -152,7 +170,10 @@ class StoredTable {
 
   /// Marks the published snapshot out of date. Called at commit points
   /// only — never mid-transaction.
-  void MarkDirty() { stale_ = true; }
+  void MarkDirty(Mutex& mu) SQLNF_REQUIRES(mu) {
+    static_cast<void>(mu);  // capability-only parameter
+    stale_ = true;
+  }
 
   /// Published versions so far (0 until the first Snapshot()).
   uint64_t epoch() const { return epoch_; }
@@ -161,6 +182,10 @@ class StoredTable {
   TableSchema schema_;
   ConstraintSet sigma_;
   IncrementalEnforcer enforcer_;
+  // Publication state — mutated only via the SQLNF_REQUIRES(mu)
+  // methods above, under Database::mu_ (the owning mutex is not a
+  // member, so GUARDED_BY cannot name it here; the method-level
+  // requirements carry the whole contract).
   std::shared_ptr<const EncodedTable> snapshot_;
   uint64_t epoch_ = 0;
   bool stale_ = true;
@@ -168,42 +193,54 @@ class StoredTable {
 
 /// An in-memory multi-table database with constraint enforcement,
 /// snapshot reads, and cross-table transactions.
+///
+/// Role annotations mirror the concurrency contract above: methods
+/// marked SQLNF_REQUIRES(writer_thread_role) belong to the single
+/// writer thread (establish a WriterScope there); the role-free
+/// methods (GetSnapshot, HasTable, TableNames, InTransaction) are safe
+/// from any reader thread.
 class Database {
  public:
   /// Registers an empty table. Fails when the name exists or a
   /// transaction is open.
-  Status CreateTable(const TableSchema& schema, ConstraintSet sigma);
+  Status CreateTable(const TableSchema& schema, ConstraintSet sigma)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Bulk-loads a row-major table through the enforcer (the CSV/ingest
   /// boundary); the table name comes from data.schema(). Fails on the
   /// first rejected row and drops the partially loaded table. Runs as
   /// one implicit transaction, publishing a single snapshot at the end.
-  Status IngestTable(const Table& data, ConstraintSet sigma);
+  Status IngestTable(const Table& data, ConstraintSet sigma)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Removes a table. NotFound when absent; fails inside a transaction.
-  Status DropTable(const std::string& name);
+  Status DropTable(const std::string& name)
+      SQLNF_REQUIRES(writer_thread_role);
 
   bool HasTable(const std::string& name) const;
   std::vector<std::string> TableNames() const;
 
   /// The stored table; NotFound when absent. Live state — writer
   /// thread only (readers use GetSnapshot).
-  Result<const StoredTable*> Find(const std::string& name) const;
+  Result<const StoredTable*> Find(const std::string& name) const
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Inserts one row after validating it against the instance and Σ.
   /// FailedPrecondition with the violation text on rejection.
-  Status Insert(const std::string& name, Tuple row);
+  Status Insert(const std::string& name, Tuple row)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// SELECT on live state: the rows satisfying the WHERE predicate
   /// tree, matched on codes, gathered columnar, and decoded only at
   /// the result boundary. Writer thread only — concurrent readers go
   /// through GetSnapshot + SelectFromSnapshot.
-  Result<Table> Select(const std::string& name,
-                       const Predicate& where) const;
+  Result<Table> Select(const std::string& name, const Predicate& where) const
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Legacy conjunctive form (lowers through ToPredicate).
   Result<Table> Select(const std::string& name,
-                       const std::vector<ColumnCondition>& where) const;
+                       const std::vector<ColumnCondition>& where) const
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// UPDATE ... SET column = value WHERE predicate tree, executed on
   /// codes (the SQL layer's default path). The whole statement is
@@ -211,32 +248,38 @@ class Database {
   /// every changed slot is rolled back and the statement's dictionary
   /// codes are retired. Returns rows changed.
   Result<int> Update(const std::string& name, const Predicate& where,
-                     AttributeId column, const Value& value);
+                     AttributeId column, const Value& value)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Legacy conjunctive form (lowers through ToPredicate).
   Result<int> Update(const std::string& name,
                      const std::vector<ColumnCondition>& where,
-                     AttributeId column, const Value& value);
+                     AttributeId column, const Value& value)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// UPDATE with an arbitrary row predicate: rows are decoded to
   /// evaluate it, then the write takes the same columnar path.
   Result<int> Update(const std::string& name,
                      const std::function<bool(const Tuple&)>& predicate,
-                     AttributeId column, const Value& value);
+                     AttributeId column, const Value& value)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// DELETE FROM ... WHERE predicate tree, executed on codes. Deletes
   /// cannot violate FDs/keys (they are anti-monotone), so no validation
   /// is needed. Returns rows removed.
-  Result<int> Delete(const std::string& name, const Predicate& where);
+  Result<int> Delete(const std::string& name, const Predicate& where)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Legacy conjunctive form (lowers through ToPredicate).
   Result<int> Delete(const std::string& name,
-                     const std::vector<ColumnCondition>& where);
+                     const std::vector<ColumnCondition>& where)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// DELETE with an arbitrary row predicate (decodes rows to evaluate
   /// it).
   Result<int> Delete(const std::string& name,
-                     const std::function<bool(const Tuple&)>& predicate);
+                     const std::function<bool(const Tuple&)>& predicate)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// VACUUM: order-preserving dictionary compaction of one table
   /// (enforcer CompactDictionaries — dead codes reclaimed, survivors
@@ -246,7 +289,8 @@ class Database {
   /// high-water marks, which compaction would invalidate. Readers are
   /// unaffected — published snapshots keep the pre-compaction columns
   /// alive and bit-stable; the next GetSnapshot sees canonical codes.
-  Result<int> CompactTable(const std::string& name);
+  Result<int> CompactTable(const std::string& name)
+      SQLNF_REQUIRES(writer_thread_role);
 
   // ---- Snapshot reads.
 
@@ -261,39 +305,48 @@ class Database {
   // until Commit. A statement rejected mid-transaction rolls back only
   // itself; the transaction stays open.
 
-  Status Begin();
+  Status Begin() SQLNF_REQUIRES(writer_thread_role);
 
   /// Makes the transaction's effects permanent and publishable.
-  Status Commit();
+  Status Commit() SQLNF_REQUIRES(writer_thread_role);
 
   /// Replays the undo log newest-first: every touched table — contents,
   /// constraint indexes, dictionaries — returns bit-identical to its
   /// pre-transaction state.
-  Status Rollback();
+  Status Rollback() SQLNF_REQUIRES(writer_thread_role);
 
   bool InTransaction() const;
 
  private:
-  Result<StoredTable*> FindMutable(const std::string& name);
+  Result<const StoredTable*> FindLocked(const std::string& name) const
+      SQLNF_REQUIRES(mu_);
+  Result<StoredTable*> FindMutable(const std::string& name)
+      SQLNF_REQUIRES(mu_);
 
-  Status CreateTableLocked(const TableSchema& schema, ConstraintSet sigma);
-  Status InsertLocked(const std::string& name, Tuple row);
+  Status CreateTableLocked(const TableSchema& schema, ConstraintSet sigma)
+      SQLNF_REQUIRES(mu_);
+  Status InsertLocked(const std::string& name, Tuple row)
+      SQLNF_REQUIRES(mu_, writer_thread_role);
 
   /// Shared columnar write core: flips `column` to `value` on the
   /// matched rows, validates the post-image, rolls back (slots and
   /// dictionary marks) on violation.
   Result<int> UpdateMatched(StoredTable* stored,
                             const std::vector<int>& matches,
-                            AttributeId column, const Value& value);
+                            AttributeId column, const Value& value)
+      SQLNF_REQUIRES(mu_, writer_thread_role);
 
   /// Shared delete core: `matches` must be ascending.
-  int DeleteMatched(StoredTable* stored, const std::vector<int>& matches);
+  int DeleteMatched(StoredTable* stored, const std::vector<int>& matches)
+      SQLNF_REQUIRES(mu_, writer_thread_role);
 
   /// Serializes snapshot publication against the writer; all mutating
   /// entry points and GetSnapshot take it.
-  mutable std::mutex mu_;
-  std::map<std::string, StoredTable> tables_;
-  std::unique_ptr<UndoLog> txn_;  // non-null while a transaction is open
+  mutable Mutex mu_;
+  std::map<std::string, StoredTable> tables_ SQLNF_GUARDED_BY(mu_);
+  // Non-null while a transaction is open.
+  std::unique_ptr<UndoLog> txn_ SQLNF_GUARDED_BY(mu_)
+      SQLNF_PT_GUARDED_BY(mu_);
 };
 
 }  // namespace sqlnf

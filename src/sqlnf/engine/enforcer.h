@@ -47,13 +47,21 @@
 #include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
+#include "sqlnf/engine/writer_role.h"
 #include "sqlnf/util/status.h"
+#include "sqlnf/util/thread_annotations.h"
 
 namespace sqlnf {
 
 /// Incremental checker for one (schema, Σ) pair. The enforcer does not
 /// own the table; feed it every accepted row via Add() (or Rebuild()
 /// after bulk changes).
+///
+/// Thread discipline: the enforcer is live, mutable state owned by the
+/// catalog's write path — it is never published to snapshot readers.
+/// Every probe or mutation therefore requires the engine's WriterThread
+/// role (engine/writer_role.h); only the debug/introspection hooks at
+/// the bottom are role-free, for single-threaded test harnesses.
 class IncrementalEnforcer {
  public:
   IncrementalEnforcer(const TableSchema& schema, const ConstraintSet& sigma);
@@ -61,26 +69,28 @@ class IncrementalEnforcer {
   /// Violation the candidate row would cause against the rows added so
   /// far, or nullopt when it is safe. The candidate is named in the
   /// violation by the current append position (encoding().num_rows()).
-  std::optional<Violation> Check(const Tuple& row) const;
+  std::optional<Violation> Check(const Tuple& row) const
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Registers an accepted row (the table's row index `row_id`).
   /// `row_id` must be the append position — encoded rows and table rows
   /// stay aligned — except when re-adding a row previously Remove()d in
   /// place (the UPDATE write path), where the slot is re-encoded.
-  void Add(const Tuple& row, int row_id);
+  void Add(const Tuple& row, int row_id) SQLNF_REQUIRES(writer_thread_role);
 
   /// Unregisters a previously Add()ed row from the constraint indexes.
   /// Must run while the encoded slot still holds the pre-image (it is
   /// hashed from the stored codes). The slot itself stays: Add() with
   /// the same id re-encodes it, and CompactAfterErase() drops it for
   /// deletes.
-  void Remove(int row_id);
+  void Remove(int row_id) SQLNF_REQUIRES(writer_thread_role);
 
   /// Renumbers the indexed row ids after rows `erased` (ascending,
   /// already Remove()d) were deleted from the table, and compacts the
   /// encoding to match: every surviving id drops by the number of
   /// erased ids below it. O(index entries), no rehashing.
-  void CompactAfterErase(const std::vector<int>& erased);
+  void CompactAfterErase(const std::vector<int>& erased)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Inverse of Remove + CompactAfterErase — the DELETE rollback.
   /// Re-inserts `rows[k]` at row id `erased[k]` of the restored table
@@ -88,14 +98,15 @@ class IncrementalEnforcer {
   /// back up, the encoding re-inserts the pre-image cells (identical
   /// codes — dictionaries never shrank in between), and the restored
   /// rows are re-indexed. O(index entries + restored cells).
-  void Restore(const std::vector<int>& erased,
-               const std::vector<Tuple>& rows);
+  void Restore(const std::vector<int>& erased, const std::vector<Tuple>& rows)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Retires dictionary codes minted past the recorded high-water marks
   /// (core/encoded_table.h TrimDictionaries) — the final step of a
   /// statement or transaction rollback, after every re-added pre-image
   /// is back in place.
-  void TrimDictionaries(const std::vector<int>& sizes) {
+  void TrimDictionaries(const std::vector<int>& sizes)
+      SQLNF_REQUIRES(writer_thread_role) {
     encoded_.TrimDictionaries(sizes);
   }
 
@@ -108,12 +119,12 @@ class IncrementalEnforcer {
   /// is consulted, no Value re-encodes, and rebuilds() stays put. The
   /// caller must guarantee no undo log holds pre-compaction codes
   /// (Database::CompactTable bars it mid-transaction).
-  int CompactDictionaries();
+  int CompactDictionaries() SQLNF_REQUIRES(writer_thread_role);
 
   /// Drops all state and re-encodes the table's current rows.
   /// Last-resort bulk rebuild; the write paths maintain everything
   /// incrementally via Add/Remove/CompactAfterErase/Restore.
-  void Rebuild(const Table& table);
+  void Rebuild(const Table& table) SQLNF_REQUIRES(writer_thread_role);
 
   /// Number of Rebuild() calls over this enforcer's lifetime — lets
   /// tests assert the incremental write paths never fall back to a full

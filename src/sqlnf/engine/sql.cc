@@ -144,12 +144,16 @@ Result<std::vector<Token>> Lex(std::string_view sql) {
 
 // --------------------------------------------------------------- parser
 
+// The parser executes as it goes, so every statement method that
+// reaches the Database inherits the session's WriterThread role
+// requirement (engine/writer_role.h); the pure token helpers are
+// role-free.
 class Parser {
  public:
   Parser(std::vector<Token> tokens, Database* db)
       : tokens_(std::move(tokens)), db_(db) {}
 
-  Result<QueryResult> ParseAndExecute() {
+  Result<QueryResult> ParseAndExecute() SQLNF_REQUIRES(writer_thread_role) {
     if (AcceptKeyword("CREATE")) return Create();
     if (AcceptKeyword("INSERT")) return Insert();
     if (AcceptKeyword("SELECT")) return Select();
@@ -240,7 +244,7 @@ class Parser {
   }
 
   // ---- statements.
-  Result<QueryResult> Create() {
+  Result<QueryResult> Create() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectSymbol("("));
@@ -336,7 +340,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> Insert() {
+  Result<QueryResult> Insert() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("INTO"));
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectKeyword("VALUES"));
@@ -425,7 +429,7 @@ class Parser {
     return pred;
   }
 
-  Result<QueryResult> Select() {
+  Result<QueryResult> Select() SQLNF_REQUIRES(writer_thread_role) {
     // Projection list.
     bool star = false;
     std::vector<std::string> cols;
@@ -500,7 +504,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> Update() {
+  Result<QueryResult> Update() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectKeyword("SET"));
     SQLNF_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier());
@@ -519,7 +523,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> Delete() {
+  Result<QueryResult> Delete() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("FROM"));
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
@@ -532,7 +536,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> Drop() {
+  Result<QueryResult> Drop() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("TABLE"));
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
@@ -545,7 +549,7 @@ class Parser {
   // VACUUM t: order-preserving dictionary compaction (dead codes
   // reclaimed, codes canonicalized — Database::CompactTable). Barred
   // inside a transaction.
-  Result<QueryResult> Vacuum() {
+  Result<QueryResult> Vacuum() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_ASSIGN_OR_RETURN(int retired, db_->CompactTable(name));
@@ -560,7 +564,7 @@ class Parser {
   // WORK noise word. Statements between BEGIN and COMMIT take effect
   // (and become visible to snapshot readers) only at COMMIT; ROLLBACK
   // restores every touched table bit-identically.
-  Result<QueryResult> Begin() {
+  Result<QueryResult> Begin() SQLNF_REQUIRES(writer_thread_role) {
     AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_RETURN_NOT_OK(db_->Begin());
@@ -569,7 +573,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> TxnEnd(bool commit) {
+  Result<QueryResult> TxnEnd(bool commit) SQLNF_REQUIRES(writer_thread_role) {
     AcceptKeyword("TRANSACTION") || AcceptKeyword("WORK");
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_RETURN_NOT_OK(commit ? db_->Commit() : db_->Rollback());
@@ -579,7 +583,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> Show() {
+  Result<QueryResult> Show() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_RETURN_NOT_OK(ExpectKeyword("TABLES"));
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_ASSIGN_OR_RETURN(TableSchema schema,
@@ -596,7 +600,7 @@ class Parser {
     return result;
   }
 
-  Result<QueryResult> Describe() {
+  Result<QueryResult> Describe() SQLNF_REQUIRES(writer_thread_role) {
     SQLNF_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier());
     SQLNF_RETURN_NOT_OK(ExpectStatementEnd());
     SQLNF_ASSIGN_OR_RETURN(const StoredTable* stored, db_->Find(name));
@@ -628,32 +632,31 @@ Result<QueryResult> SqlSession::Execute(std::string_view statement) {
   return Parser(std::move(tokens), db_).ParseAndExecute();
 }
 
-Result<std::vector<QueryResult>> SqlSession::ExecuteScript(
-    std::string_view script) {
-  std::vector<QueryResult> results;
-  // Split on ';' outside string literals.
+namespace {
+
+/// True when `statement` holds nothing but '--' line comments and
+/// whitespace.
+bool OnlyComments(const std::string& statement) {
+  for (const std::string& line : SplitString(statement, '\n')) {
+    std::string_view stripped = StripAsciiWhitespace(line);
+    if (!stripped.empty() && !StartsWith(stripped, "--")) return false;
+  }
+  return true;
+}
+
+/// Splits the script on ';' outside string literals, dropping '--'
+/// line comments and empty / comment-only statements. Pure text
+/// processing — execution happens in ExecuteScript's loop, so no
+/// capability requirement crosses a lambda boundary.
+std::vector<std::string> SplitStatements(std::string_view script) {
+  std::vector<std::string> statements;
   std::string current;
   bool in_string = false;
-  auto flush = [&]() -> Status {
-    if (StripAsciiWhitespace(current).empty()) {
-      current.clear();
-      return Status::OK();
-    }
-    // Drop pure-comment statements.
-    bool only_comments = true;
-    for (const std::string& line : SplitString(current, '\n')) {
-      std::string_view stripped = StripAsciiWhitespace(line);
-      if (!stripped.empty() && !StartsWith(stripped, "--")) {
-        only_comments = false;
-        break;
-      }
-    }
-    if (!only_comments) {
-      SQLNF_ASSIGN_OR_RETURN(QueryResult result, Execute(current));
-      results.push_back(std::move(result));
+  auto flush = [&] {
+    if (!StripAsciiWhitespace(current).empty() && !OnlyComments(current)) {
+      statements.push_back(current);
     }
     current.clear();
-    return Status::OK();
   };
   for (size_t i = 0; i < script.size(); ++i) {
     char c = script[i];
@@ -666,12 +669,24 @@ Result<std::vector<QueryResult>> SqlSession::ExecuteScript(
     }
     if (c == '\'') in_string = !in_string;
     if (c == ';' && !in_string) {
-      SQLNF_RETURN_NOT_OK(flush());
+      flush();
       continue;
     }
     current += c;
   }
-  SQLNF_RETURN_NOT_OK(flush());
+  flush();
+  return statements;
+}
+
+}  // namespace
+
+Result<std::vector<QueryResult>> SqlSession::ExecuteScript(
+    std::string_view script) {
+  std::vector<QueryResult> results;
+  for (const std::string& statement : SplitStatements(script)) {
+    SQLNF_ASSIGN_OR_RETURN(QueryResult result, Execute(statement));
+    results.push_back(std::move(result));
+  }
   return results;
 }
 

@@ -59,7 +59,9 @@
 #include <vector>
 
 #include "sqlnf/engine/catalog.h"
+#include "sqlnf/engine/writer_role.h"
 #include "sqlnf/util/status.h"
+#include "sqlnf/util/thread_annotations.h"
 
 namespace sqlnf {
 
@@ -74,17 +76,24 @@ struct QueryResult {
 
 /// Executes SQL against a Database. Stateless besides the Database
 /// pointer; statements are independent.
+///
+/// A session drives DML/DDL through the Database's live state, so it
+/// belongs to the single writer thread: both entry points require the
+/// WriterThread role (engine/writer_role.h). Reader threads query
+/// snapshots (GetSnapshot + SelectFromSnapshot), not SQL.
 class SqlSession {
  public:
   /// `db` must outlive the session.
   explicit SqlSession(Database* db) : db_(db) {}
 
   /// Executes exactly one statement (trailing ';' optional).
-  Result<QueryResult> Execute(std::string_view statement);
+  Result<QueryResult> Execute(std::string_view statement)
+      SQLNF_REQUIRES(writer_thread_role);
 
   /// Executes a ';'-separated script, stopping at the first error.
   /// '--' line comments are ignored.
-  Result<std::vector<QueryResult>> ExecuteScript(std::string_view script);
+  Result<std::vector<QueryResult>> ExecuteScript(std::string_view script)
+      SQLNF_REQUIRES(writer_thread_role);
 
  private:
   Database* db_;

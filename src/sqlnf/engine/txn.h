@@ -49,7 +49,9 @@
 #include "sqlnf/core/encoded_table.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/engine/enforcer.h"
+#include "sqlnf/engine/writer_role.h"
 #include "sqlnf/util/status.h"
+#include "sqlnf/util/thread_annotations.h"
 
 namespace sqlnf {
 
@@ -83,7 +85,8 @@ class UndoLog {
   /// The table's undo state, creating it — and recording the
   /// dictionary marks from `encoding` — on first touch. Must be called
   /// BEFORE the statement mutates the table.
-  TableUndo& Touch(const std::string& table, const EncodedTable& encoding);
+  TableUndo& Touch(const std::string& table, const EncodedTable& encoding)
+      SQLNF_REQUIRES(writer_thread_role);
 
   const std::map<std::string, TableUndo>& tables() const { return tables_; }
 
@@ -92,7 +95,8 @@ class UndoLog {
   /// engine for statement-scope rollback (with a statement-local
   /// TableUndo).
   static void RollbackTable(const TableUndo& undo,
-                            IncrementalEnforcer* enforcer);
+                            IncrementalEnforcer* enforcer)
+      SQLNF_REQUIRES(writer_thread_role);
 
  private:
   std::map<std::string, TableUndo> tables_;
@@ -109,8 +113,8 @@ class UndoLog {
 ///   return txn.Commit();
 class TransactionGuard {
  public:
-  explicit TransactionGuard(Database* db);
-  ~TransactionGuard();
+  explicit TransactionGuard(Database* db) SQLNF_REQUIRES(writer_thread_role);
+  ~TransactionGuard() SQLNF_REQUIRES(writer_thread_role);
 
   TransactionGuard(const TransactionGuard&) = delete;
   TransactionGuard& operator=(const TransactionGuard&) = delete;
@@ -120,10 +124,10 @@ class TransactionGuard {
   const Status& begin_status() const { return begin_status_; }
 
   /// Commits the transaction; after this the destructor is a no-op.
-  Status Commit();
+  Status Commit() SQLNF_REQUIRES(writer_thread_role);
 
   /// Rolls back explicitly; after this the destructor is a no-op.
-  Status Rollback();
+  Status Rollback() SQLNF_REQUIRES(writer_thread_role);
 
  private:
   Database* db_;

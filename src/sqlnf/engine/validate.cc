@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cassert>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "sqlnf/core/similarity.h"
 #include "sqlnf/discovery/partition.h"
 #include "sqlnf/util/fnv.h"
+#include "sqlnf/util/mutex.h"
 #include "sqlnf/util/parallel.h"
 
 namespace sqlnf {
@@ -103,12 +103,12 @@ std::optional<Violation> ScanBuckets(const BucketList& buckets, BadFn&& bad,
     if (bucket.size() > 1) work.push_back(&bucket);
   }
   std::atomic<bool> found{false};
-  std::mutex mu;
+  Mutex mu;
   std::optional<Violation> result;
   pool->RunTasks(static_cast<int>(work.size()), [&](int k) {
     if (found.load(std::memory_order_relaxed)) return;
     if (auto violation = scan_one(*work[k])) {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       if (!result) result = violation;
       found.store(true, std::memory_order_relaxed);
     }

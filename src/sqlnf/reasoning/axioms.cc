@@ -204,11 +204,11 @@ bool AxiomEngine::Derivable(const FunctionalDependency& fd) const {
   // FDs with an empty RHS hold in every instance; the calculus does not
   // bother deriving them (see header).
   if (fd.rhs.empty()) return true;
-  return fd_index_.count(fd) > 0;
+  return fd_index_.contains(fd);
 }
 
 bool AxiomEngine::Derivable(const KeyConstraint& key) const {
-  return key_index_.count(key) > 0;
+  return key_index_.contains(key);
 }
 
 bool AxiomEngine::Derivable(const Constraint& c) const {

@@ -1,0 +1,107 @@
+// Capability-annotated synchronization primitives.
+//
+// std::mutex carries no thread-safety attributes, so Clang's
+// -Wthread-safety analysis cannot see through it. These thin wrappers
+// add the capability annotations (util/thread_annotations.h) with zero
+// runtime overhead; everything in src/ synchronizes through them — the
+// repo linter (tools/lint/sqlnf_lint.py, rule `raw-mutex`) rejects raw
+// std::mutex / std::lock_guard / std::condition_variable outside this
+// header, so new locking is annotated by construction.
+//
+// Besides the mutex, this header defines ThreadRole: a PHANTOM
+// capability with no runtime state, used to encode thread-DISCIPLINE
+// contracts ("only the writer thread may call this") that no mutex
+// expresses. Acquiring a role is a no-op at runtime; the value is that
+// functions annotated SQLNF_REQUIRES(role) become compile-time
+// unreachable from contexts that never entered a RoleScope — see
+// engine/writer_role.h for the engine's WriterThread role.
+
+#ifndef SQLNF_UTIL_MUTEX_H_
+#define SQLNF_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "sqlnf/util/thread_annotations.h"
+
+namespace sqlnf {
+
+/// An annotated std::mutex. Lock/Unlock carry acquire/release
+/// attributes; the lowercase BasicLockable spelling exists so CondVar
+/// (std::condition_variable_any underneath) can wait on it directly.
+class SQLNF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() SQLNF_ACQUIRE() { mu_.lock(); }
+  void Unlock() SQLNF_RELEASE() { mu_.unlock(); }
+  bool TryLock() SQLNF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  // BasicLockable, for std::condition_variable_any.
+  void lock() SQLNF_ACQUIRE() { mu_.lock(); }
+  void unlock() SQLNF_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock — the annotated stand-in for std::lock_guard.
+class SQLNF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SQLNF_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() SQLNF_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable over Mutex. Wait() must be called with the mutex
+/// held; it releases/reacquires internally (invisible to the analysis,
+/// which correctly treats the capability as held across the wait —
+/// guarded state may have changed, so callers re-test their predicate
+/// in a loop, which spurious wakeups force anyway).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) SQLNF_REQUIRES(mu) { cv_.wait(mu); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// A phantom capability: no runtime state, pure compile-time token.
+/// Functions annotated SQLNF_REQUIRES(some_role) are callable only
+/// from scopes that acquired the role via RoleScope.
+class SQLNF_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+};
+
+/// Scoped acquisition of a ThreadRole. Constructing one asserts "this
+/// scope runs on the thread the role names" — a claim the programmer
+/// makes exactly once at the top of a thread's entry function, and the
+/// analysis then checks every call underneath it.
+class SQLNF_SCOPED_CAPABILITY RoleScope {
+ public:
+  explicit RoleScope(ThreadRole& role) SQLNF_ACQUIRE(role) { (void)role; }
+  ~RoleScope() SQLNF_RELEASE() {}
+
+  RoleScope(const RoleScope&) = delete;
+  RoleScope& operator=(const RoleScope&) = delete;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_UTIL_MUTEX_H_

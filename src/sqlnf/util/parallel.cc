@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -23,17 +23,21 @@ void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int)>* job;
+    int total;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) work_cv_.Wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
       job = job_;
       // A batch that already retired (job_ reset) leaves nothing to
       // claim; waking for it must not touch the task counters.
       if (job == nullptr) continue;
+      // The batch size is fixed for the batch's lifetime, so a copy
+      // taken under the lock stays valid for the whole claiming loop —
+      // RunTasks only rewrites total_ for the NEXT batch, which cannot
+      // start until this worker deregisters below.
+      total = total_;
       // Registering under the lock is what lets RunTasks know a worker
       // is inside the claiming loop: the batch cannot retire — and the
       // counters cannot be reused for the next batch — until every
@@ -42,15 +46,15 @@ void ThreadPool::WorkerLoop() {
     }
     for (;;) {
       const int i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= total_) break;
+      if (i >= total) break;
       (*job)(i);
       completed_.fetch_add(1, std::memory_order_acq_rel);
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --active_;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -62,18 +66,18 @@ void ThreadPool::RunTasks(int num_tasks,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &task;
     total_ = num_tasks;
     next_.store(0, std::memory_order_relaxed);
     completed_.store(0, std::memory_order_relaxed);
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread claims tasks alongside the workers.
   for (;;) {
     const int i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= total_) break;
+    if (i >= num_tasks) break;
     task(i);
     completed_.fetch_add(1, std::memory_order_acq_rel);
   }
@@ -82,11 +86,11 @@ void ThreadPool::RunTasks(int num_tasks,
   // worker still probing next_ after the final task could observe the
   // counters reset by the NEXT batch and re-claim index 0 against this
   // batch's (by then dangling) job pointer.
-  std::unique_lock<std::mutex> lock(mu_);
-  done_cv_.wait(lock, [&] {
-    return completed_.load(std::memory_order_acquire) == total_ &&
-           active_ == 0;
-  });
+  MutexLock lock(mu_);
+  while (completed_.load(std::memory_order_acquire) != num_tasks ||
+         active_ != 0) {
+    done_cv_.Wait(mu_);
+  }
   job_ = nullptr;
 }
 

@@ -19,12 +19,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "sqlnf/util/mutex.h"
+#include "sqlnf/util/thread_annotations.h"
 
 namespace sqlnf {
 
@@ -59,16 +60,19 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;  // batch in flight
-  int total_ = 0;
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  // Batch in flight; workers snapshot job_/total_ into locals under mu_
+  // and claim tasks lock-free from the atomics afterwards.
+  const std::function<void(int)>* job_ SQLNF_GUARDED_BY(mu_) = nullptr;
+  int total_ SQLNF_GUARDED_BY(mu_) = 0;
   std::atomic<int> next_{0};
   std::atomic<int> completed_{0};
-  int active_ = 0;  // workers currently claiming from the batch
-  uint64_t generation_ = 0;
-  bool stop_ = false;
+  // Workers currently claiming from the batch.
+  int active_ SQLNF_GUARDED_BY(mu_) = 0;
+  uint64_t generation_ SQLNF_GUARDED_BY(mu_) = 0;
+  bool stop_ SQLNF_GUARDED_BY(mu_) = false;
 };
 
 /// Number of chunks used to split `n` items for a pool: enough slack

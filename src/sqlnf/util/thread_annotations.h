@@ -1,0 +1,79 @@
+// Clang Thread Safety Analysis macro shims.
+//
+// The engine's concurrency contract — one writer thread, any number of
+// snapshot readers, snapshot publication only under the catalog mutex —
+// is machine-checked by Clang's -Wthread-safety capability analysis.
+// These macros expand to the underlying attributes under Clang and to
+// nothing elsewhere, so GCC builds are unaffected and the annotations
+// cost nothing at runtime.
+//
+// CI compiles the whole tree with clang and -Werror=thread-safety (the
+// `thread-safety` job), and tests/thread_safety_violation.cc is a
+// negative-compile probe asserting the gate actually rejects a write
+// from a reader context. See DESIGN.md §8 for the capability model and
+// how to annotate new code.
+
+#ifndef SQLNF_UTIL_THREAD_ANNOTATIONS_H_
+#define SQLNF_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define SQLNF_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define SQLNF_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a capability (a mutex, or a phantom role such as
+/// the engine's WriterThread). The string names it in diagnostics.
+#define SQLNF_CAPABILITY(x) SQLNF_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (MutexLock, WriterScope).
+#define SQLNF_SCOPED_CAPABILITY SQLNF_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability:
+/// reads require it shared, writes require it exclusively.
+#define SQLNF_GUARDED_BY(x) SQLNF_THREAD_ANNOTATION_(guarded_by(x))
+
+/// As GUARDED_BY, but for the data a pointer member points to.
+#define SQLNF_PT_GUARDED_BY(x) SQLNF_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// The function may only be called while holding the listed
+/// capabilities exclusively; it neither acquires nor releases them.
+#define SQLNF_REQUIRES(...) \
+  SQLNF_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Shared (reader) form of SQLNF_REQUIRES.
+#define SQLNF_REQUIRES_SHARED(...) \
+  SQLNF_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it on return.
+#define SQLNF_ACQUIRE(...) \
+  SQLNF_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held on entry).
+#define SQLNF_RELEASE(...) \
+  SQLNF_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define SQLNF_TRY_ACQUIRE(result, ...) \
+  SQLNF_THREAD_ANNOTATION_(try_acquire_capability(result, __VA_ARGS__))
+
+/// The function must NOT be called while holding the listed
+/// capabilities (non-reentrancy / deadlock guard).
+#define SQLNF_EXCLUDES(...) \
+  SQLNF_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Asserts at analysis level that the capability is held (for code
+/// reached only via paths the analysis cannot follow).
+#define SQLNF_ASSERT_CAPABILITY(x) \
+  SQLNF_THREAD_ANNOTATION_(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define SQLNF_RETURN_CAPABILITY(x) SQLNF_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Use only where the
+/// analysis is structurally unable to follow the locking (and say why).
+#define SQLNF_NO_THREAD_SAFETY_ANALYSIS \
+  SQLNF_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SQLNF_UTIL_THREAD_ANNOTATIONS_H_

@@ -39,6 +39,7 @@ TEST(ValidateRowAgainstTest, MatchesBatchSemantics) {
 }
 
 TEST(DatabaseTest, CreateDropAndLookup) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "a");
   EXPECT_OK(db.CreateTable(schema, ConstraintSet()));
@@ -51,6 +52,7 @@ TEST(DatabaseTest, CreateDropAndLookup) {
 }
 
 TEST(DatabaseTest, InsertEnforcesCertainKeyOverNullableColumns) {
+  WriterScope writer;
   // c<i,c> with nullable c — inexpressible in standard SQL.
   Database db;
   TableSchema schema = Schema("icp", "ip");
@@ -67,6 +69,7 @@ TEST(DatabaseTest, InsertEnforcesCertainKeyOverNullableColumns) {
 }
 
 TEST(DatabaseTest, InsertEnforcesCertainFd) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("icp", "ip");
   ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "ic ->w p")));
@@ -77,6 +80,7 @@ TEST(DatabaseTest, InsertEnforcesCertainFd) {
 }
 
 TEST(DatabaseTest, RejectedWritesLeaveTableUntouched) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "ab");
   ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "c<a>")));
@@ -88,6 +92,7 @@ TEST(DatabaseTest, RejectedWritesLeaveTableUntouched) {
 }
 
 TEST(DatabaseTest, UpdateValidatesPostImageAtomically) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("abc", "abc");
   ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "a ->w c")));
@@ -113,6 +118,7 @@ TEST(DatabaseTest, UpdateValidatesPostImageAtomically) {
 }
 
 TEST(DatabaseTest, UpdateRejectsNullIntoNotNull) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "a");
   ASSERT_OK(db.CreateTable(schema, ConstraintSet()));
@@ -128,6 +134,7 @@ TEST(DatabaseTest, UpdateRejectsNullIntoNotNull) {
 }
 
 TEST(DatabaseTest, DeleteNeverViolates) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "ab");
   ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "a ->w b")));
@@ -142,6 +149,7 @@ TEST(DatabaseTest, DeleteNeverViolates) {
 }
 
 TEST(DatabaseTest, UpdateAndDeleteMaintainIndexWithoutRebuild) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("abc", "a");
   ASSERT_OK(db.CreateTable(schema, testing::Sigma(schema, "c<ab>; a ->w c")));
@@ -179,6 +187,7 @@ TEST(DatabaseTest, UpdateAndDeleteMaintainIndexWithoutRebuild) {
 }
 
 TEST(DatabaseTest, MutationsKeepEnforcerConsistentRandomized) {
+  WriterScope writer;
   Rng rng(2026);
   for (int trial = 0; trial < 8; ++trial) {
     const int n = 3 + static_cast<int>(rng.Uniform(0, 1));
@@ -230,6 +239,7 @@ TEST(DatabaseTest, MutationsKeepEnforcerConsistentRandomized) {
 }
 
 TEST(DatabaseTest, InsertArityChecked) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab");
   ASSERT_OK(db.CreateTable(schema, ConstraintSet()));

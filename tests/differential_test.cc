@@ -712,6 +712,7 @@ TEST(DifferentialTest, ExecutorDmlOnCodes) {
 // Update / Delete through the catalog must track a shadow row-major
 // Table driven by the reference operators.
 TEST(DifferentialTest, DatabaseColumnarDmlMatchesShadowTable) {
+  WriterScope writer;
   Rng rng(60606);
   const int runs = ScaledIters(40);
   for (int iter = 0; iter < runs; ++iter) {

@@ -17,6 +17,7 @@ using testing::Schema;
 using testing::Sigma;
 
 TEST(EnforcerTest, BasicConflicts) {
+  WriterScope writer;
   TableSchema schema = Schema("icp", "ip");
   ConstraintSet sigma = Sigma(schema, "ic ->w p; c<ic>");
   Table table(schema);
@@ -38,6 +39,7 @@ TEST(EnforcerTest, BasicConflicts) {
 }
 
 TEST(EnforcerTest, RebuildAfterMutation) {
+  WriterScope writer;
   TableSchema schema = Schema("ab", "ab");
   ConstraintSet sigma = Sigma(schema, "c<a>");
   Table table(schema);
@@ -55,6 +57,7 @@ TEST(EnforcerTest, RebuildAfterMutation) {
 class EnforcerPropertyTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(EnforcerPropertyTest, MatchesReferenceRowValidation) {
+  WriterScope writer;
   Rng rng(GetParam() * 131 + 3);
   for (int trial = 0; trial < 20; ++trial) {
     int n = 2 + static_cast<int>(rng.Uniform(0, 3));
@@ -98,6 +101,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EnforcerPropertyTest,
 // DELETE workload — and the write paths must never fall back to
 // Rebuild().
 TEST(EnforcerTest, EncodingStaysConsistentAcrossWriteWorkload) {
+  WriterScope writer;
   Rng rng(314159);
   for (int trial = 0; trial < 10; ++trial) {
     const int n = 2 + static_cast<int>(rng.Uniform(0, 3));

@@ -150,6 +150,7 @@ TEST(IntegrationTest, GenerateMineValidate) {
 // CREATE TABLE statements, run them, load the projected data through
 // INSERTs, and watch the declared keys do their job.
 TEST(IntegrationTest, DdlRoundTripsThroughSqlEngine) {
+  WriterScope writer;
   TableSchema schema = Schema("oicp", "oip");
   SchemaDesign design{schema, Sigma(schema, "oic ->w oicp")};
   ASSERT_OK_AND_ASSIGN(VrnfResult vrnf, VrnfDecompose(design));

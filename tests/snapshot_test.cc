@@ -63,6 +63,7 @@ TEST(SnapshotTest, CopyOnWriteKeepsCopiesBitStable) {
 }
 
 TEST(SnapshotTest, SnapshotAdvancesOnlyAtCommitPoints) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "a");
   ASSERT_OK(db.CreateTable(schema, ConstraintSet()));
@@ -107,6 +108,7 @@ TEST(SnapshotTest, SnapshotAdvancesOnlyAtCommitPoints) {
 }
 
 TEST(SnapshotTest, SelectFromSnapshotMatchesMaterialized) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("abc", "a");
   ASSERT_OK(db.IngestTable(
@@ -140,6 +142,7 @@ TEST(SnapshotTest, SelectFromSnapshotMatchesMaterialized) {
 // never a torn batch, never an uncommitted row. Runs under TSan via
 // the `concurrency` ctest label.
 TEST(SnapshotTest, ConcurrentReadersSeeCommittedPrefixesOnly) {
+  WriterScope writer;
   constexpr int kBatches = 60;
   constexpr int kBatch = 3;
   Database db;
@@ -246,6 +249,7 @@ TEST(SnapshotTest, ConcurrentReadersSeeCommittedPrefixesOnly) {
 // O(n) probes per insert; rows with ⊥ on the key are not indexed at
 // all (strong similarity can never relate them).
 TEST(SnapshotTest, StrongConstraintIndexFansOutOnNullableKey) {
+  WriterScope writer;
   TableSchema schema = Schema("ab");  // no NOT NULL attribute anywhere
   ConstraintSet sigma = testing::Sigma(schema, "p<ab>");
   IncrementalEnforcer enforcer(schema, sigma);
@@ -277,6 +281,7 @@ TEST(SnapshotTest, StrongConstraintIndexFansOutOnNullableKey) {
 // (GatherRows) and decodes once at the boundary; result must be the
 // same multiset of rows the per-row decode reference produces.
 TEST(SnapshotTest, SelectMatchesPerRowDecodeReference) {
+  WriterScope writer;
   Rng rng(77);
   for (int trial = 0; trial < 6; ++trial) {
     const int n = 2 + static_cast<int>(rng.Uniform(0, 2));
@@ -315,6 +320,7 @@ TEST(SnapshotTest, SelectMatchesPerRowDecodeReference) {
 // bit-stable while compaction publishes fresh column versions
 // underneath them. Runs under TSan via the `concurrency` ctest label.
 TEST(SnapshotTest, RangeScanReadersRaceCommittingWriterAndVacuum) {
+  WriterScope writer;
   constexpr int kSteps = 120;
   Database db;
   TableSchema schema = Schema("ab", "a");

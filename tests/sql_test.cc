@@ -15,13 +15,17 @@ class SqlTest : public ::testing::Test {
   Database db_;
   SqlSession sql_{&db_};
 
+  // Each test runs single-threaded; the helpers claim the writer role
+  // so the role-annotated SQL entry points are reachable.
   QueryResult Must(const std::string& statement) {
+    WriterScope writer;
     auto result = sql_.Execute(statement);
     EXPECT_TRUE(result.ok()) << statement << "\n"
                              << result.status().ToString();
     return result.ok() ? std::move(result).value() : QueryResult{};
   }
   Status Try(const std::string& statement) {
+    WriterScope writer;
     auto result = sql_.Execute(statement);
     return result.ok() ? Status::OK() : result.status();
   }
@@ -141,6 +145,7 @@ TEST_F(SqlTest, ShowAndDescribe) {
 }
 
 TEST_F(SqlTest, ScriptExecution) {
+  WriterScope writer;
   auto results = sql_.ExecuteScript(R"(
     -- the paper's running example, enforced
     CREATE TABLE purchase (
@@ -160,6 +165,7 @@ TEST_F(SqlTest, ScriptExecution) {
 }
 
 TEST_F(SqlTest, ScriptStopsAtFirstError) {
+  WriterScope writer;
   auto results = sql_.ExecuteScript(
       "CREATE TABLE t (a TEXT, UNIQUE (a));"
       "INSERT INTO t VALUES ('1');"

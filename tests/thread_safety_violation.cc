@@ -1,0 +1,55 @@
+// NEGATIVE-COMPILE FIXTURE — this file must NOT compile under Clang
+// with -Wthread-safety -Werror=thread-safety. It is deliberately
+// excluded from SQLNF_TESTS; the thread_safety_violation_must_not_compile
+// ctest target (Clang builds only) invokes the compiler on it directly
+// and asserts the build FAILS with thread-safety diagnostics — proving
+// the annotations in util/thread_annotations.h are live, not inert
+// macros. Every function below is a distinct violation of the
+// machine-checked contract; if any of them ever compiles, the gate
+// has rotted.
+//
+// (tools/negative_compile_check.sh also asserts the failure mentions
+// thread-safety, so an unrelated syntax error cannot masquerade as a
+// passing gate.)
+
+#include <string>
+
+#include "sqlnf/engine/catalog.h"
+#include "sqlnf/engine/sql.h"
+#include "sqlnf/util/mutex.h"
+
+namespace sqlnf {
+
+// Violation 1: a reader-context function — no WriterScope anywhere on
+// its path — calling a writer-only catalog entry point. This is the
+// exact bug class the phantom WriterThread capability exists to stop:
+// a reader thread mutating live state it may only observe through
+// snapshots.
+Status ReaderMutatesLiveCatalog(Database* db, const Tuple& row) {
+  return db->Insert("t", row);  // requires writer_thread_role
+}
+
+// Violation 2: driving SQL (DML/DDL entry point) from a reader
+// context. SqlSession::Execute requires the role transitively.
+void ReaderRunsSql(SqlSession* session) {
+  (void)session->Execute("DELETE FROM t;");  // requires writer_thread_role
+}
+
+// Violation 3: opening a transaction without the writer role.
+Status ReaderOpensTransaction(Database* db) {
+  return db->Begin();  // requires writer_thread_role
+}
+
+// Violation 4: releasing a mutex that was never acquired — the
+// capability on util/mutex.h's Mutex is tracked, not decorative.
+void UnlockWithoutLock(Mutex& mu) {
+  mu.Unlock();  // releasing a capability that is not held
+}
+
+// Violation 5: acquiring without releasing — a function may not exit
+// while still holding a capability it claimed.
+void LockWithoutUnlock(Mutex& mu) {
+  mu.Lock();  // capability still held at end of function
+}
+
+}  // namespace sqlnf

@@ -67,6 +67,7 @@ struct TableState {
 };
 
 TEST(TxnTest, CommitMakesCrossTableWritesPermanent) {
+  WriterScope writer;
   // The normalized-schema scenario: one logical fact fans out over two
   // component tables and must land in both or neither.
   Database db;
@@ -93,6 +94,7 @@ TEST(TxnTest, CommitMakesCrossTableWritesPermanent) {
 }
 
 TEST(TxnTest, RollbackRestoresEveryTableBitIdentical) {
+  WriterScope writer;
   Database db;
   TableSchema s1 = TableSchema::MakeCompact("t1", "abc", "a").value();
   TableSchema s2 = TableSchema::MakeCompact("t2", "xy", "x").value();
@@ -139,6 +141,7 @@ TEST(TxnTest, RollbackRestoresEveryTableBitIdentical) {
 // high-water marks, so the table is bit-identical — dictionaries
 // included — after the rejection.
 TEST(TxnTest, RejectedUpdateRetiresMintedDictionaryCodes) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("abc", "abc");
   ASSERT_OK(db.CreateTable(schema, Sigma(schema, "a ->w b")));
@@ -163,6 +166,7 @@ TEST(TxnTest, RejectedUpdateRetiresMintedDictionaryCodes) {
 }
 
 TEST(TxnTest, RejectedStatementInsideTransactionRollsBackOnlyItself) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "ab");
   ASSERT_OK(db.CreateTable(schema, Sigma(schema, "c<a>")));
@@ -187,6 +191,7 @@ TEST(TxnTest, RejectedStatementInsideTransactionRollsBackOnlyItself) {
 }
 
 TEST(TxnTest, TransactionGuardRollsBackOnScopeExit) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "a");
   ASSERT_OK(db.CreateTable(schema, ConstraintSet()));
@@ -214,6 +219,7 @@ TEST(TxnTest, TransactionGuardRollsBackOnScopeExit) {
 }
 
 TEST(TxnTest, NoNestingAndDdlBarred) {
+  WriterScope writer;
   Database db;
   TableSchema schema = Schema("ab", "a");
   ASSERT_OK(db.CreateTable(schema, ConstraintSet()));
@@ -238,6 +244,7 @@ TEST(TxnTest, NoNestingAndDdlBarred) {
 }
 
 TEST(TxnTest, SqlBeginCommitRollbackVerbs) {
+  WriterScope writer;
   Database db;
   SqlSession session(&db);
   ASSERT_OK(session
@@ -338,6 +345,7 @@ struct Reference {
 };
 
 TEST(TxnTest, DifferentialMutationSequences) {
+  WriterScope writer;
   Rng rng(20260808);
   for (int trial = 0; trial < 8; ++trial) {
     const int n = 2 + static_cast<int>(rng.Uniform(0, 2));
@@ -422,6 +430,7 @@ TEST(TxnTest, DifferentialMutationSequences) {
 }
 
 TEST(TxnTest, VacuumBarredMidTransaction) {
+  WriterScope writer;
   // The undo log records pre-compaction codes and dictionary high-water
   // marks; letting compaction renumber codes underneath it would make
   // rollback restore garbage. So VACUUM refuses while a transaction is
@@ -463,6 +472,7 @@ TEST(TxnTest, VacuumBarredMidTransaction) {
 }
 
 TEST(TxnTest, CompactionCanonicalizesFingerprintsAcrossHistories) {
+  WriterScope writer;
   // Two databases under the same constraints arrive at the same decoded
   // contents through different UPDATE/DELETE histories. Their encodings
   // (and so their code-keyed constraint indexes) differ — until

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Tests for sqlnf_lint.py: one fixture tree per rule under testdata/.
+
+Each violation fixture also embeds the rule's sanctioned counterpart
+(allowlisted file, exempt construct), so these tests pin both halves of
+every rule: it fires where it must and stays quiet where it must not.
+"""
+
+import sys
+import unittest
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import sqlnf_lint  # noqa: E402
+
+TESTDATA = Path(__file__).resolve().parent / "testdata"
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings})
+
+
+class CleanFixtureTest(unittest.TestCase):
+    def test_clean_tree_has_no_findings(self):
+        findings = sqlnf_lint.run(TESTDATA / "clean")
+        self.assertEqual(findings, [],
+                         "\n".join(str(f) for f in findings))
+
+
+class OrderedCodeCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.findings = sqlnf_lint.check_ordered_code_compare(
+            TESTDATA / "ordered_code")
+
+    def test_flags_code_vs_code_comparison(self):
+        self.assertEqual(len(self.findings), 1,
+                         "\n".join(str(f) for f in self.findings))
+        f = self.findings[0]
+        self.assertEqual(f.rule, "ordered-code-compare")
+        self.assertEqual(f.path, "src/sqlnf/engine/join.cc")
+        self.assertEqual(f.line, 4)
+
+    def test_exempts_bounds_checks_and_allowlisted_files(self):
+        flagged = {f.path for f in self.findings}
+        self.assertNotIn("src/sqlnf/engine/predicate.cc", flagged)
+        # join.cc's bounds check (line 7) must not be among the hits.
+        self.assertEqual([f.line for f in self.findings
+                          if f.path == "src/sqlnf/engine/join.cc"], [4])
+
+
+class NondeterminismTest(unittest.TestCase):
+    def test_flags_rand_clock_and_getenv(self):
+        findings = sqlnf_lint.check_nondeterminism(TESTDATA / "nondet")
+        self.assertEqual(len(findings), 3,
+                         "\n".join(str(f) for f in findings))
+        messages = " ".join(f.message for f in findings)
+        self.assertIn("rand()", messages)
+        self.assertIn("chrono clock", messages)
+        self.assertIn("getenv()", messages)
+
+    def test_comments_and_strings_do_not_fire(self):
+        findings = sqlnf_lint.check_nondeterminism(TESTDATA / "clean")
+        self.assertEqual(findings, [])
+
+
+class MutableCodesTest(unittest.TestCase):
+    def test_flags_unsanctioned_caller_only(self):
+        findings = sqlnf_lint.check_mutable_codes(TESTDATA / "mutable_codes")
+        self.assertEqual(len(findings), 1,
+                         "\n".join(str(f) for f in findings))
+        self.assertEqual(findings[0].path, "src/sqlnf/engine/sneaky.cc")
+        self.assertEqual(findings[0].rule, "mutable-codes")
+
+
+class TestRegistrationTest(unittest.TestCase):
+    def test_flags_orphan_and_stale_entries(self):
+        findings = sqlnf_lint.check_test_registration(
+            TESTDATA / "unregistered")
+        self.assertEqual(rules_of(findings), ["unregistered-test"])
+        messages = " ".join(f.message for f in findings)
+        self.assertIn("orphan_test", messages)  # on disk, not registered
+        self.assertIn("ghost_test", messages)   # registered, not on disk
+        self.assertEqual(len(findings), 2,
+                         "\n".join(str(f) for f in findings))
+
+    def test_clean_registration_passes(self):
+        findings = sqlnf_lint.check_test_registration(TESTDATA / "clean")
+        self.assertEqual(findings, [])
+
+
+class RawMutexTest(unittest.TestCase):
+    def test_flags_raw_locking_outside_wrapper(self):
+        findings = sqlnf_lint.check_raw_mutex(TESTDATA / "raw_mutex")
+        flagged = {(f.path, f.line) for f in findings}
+        # The include, the std::mutex member, and the lock_guard.
+        self.assertEqual(len(findings), 3,
+                         "\n".join(str(f) for f in findings))
+        self.assertTrue(all(p == "src/sqlnf/engine/locky.cc"
+                            for p, _ in flagged))
+
+    def test_wrapper_itself_is_sanctioned(self):
+        findings = sqlnf_lint.check_raw_mutex(TESTDATA / "raw_mutex")
+        self.assertNotIn("src/sqlnf/util/mutex.h",
+                         {f.path for f in findings})
+
+
+class RealTreeTest(unittest.TestCase):
+    """The shipped tree must be lint-clean — this is the CI gate."""
+
+    def test_repository_is_clean(self):
+        repo_root = Path(__file__).resolve().parents[2]
+        if not (repo_root / "src" / "sqlnf").is_dir():
+            self.skipTest("not running inside the repository checkout")
+        findings = sqlnf_lint.run(repo_root)
+        self.assertEqual(findings, [],
+                         "\n".join(str(f) for f in findings))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,20 @@
+// Exercises every rule's exemptions: bounds checks on codes, the
+// seeded Rng, comments naming banned identifiers, and no locking.
+#include <cstdint>
+#include <vector>
+
+namespace sqlnf {
+
+// rand() and std::mutex in a comment must not fire.
+int CountInRange(const std::vector<uint32_t>& codes, uint32_t dict_size) {
+  int hits = 0;
+  for (uint32_t code = 0; code < dict_size; ++code) {
+    if (code >= codes.size()) break;   // bounds check: size-ish partner
+    hits += static_cast<int>(codes[code] != 0);  // equality is fine
+  }
+  const char* banner = "std::random_device inside a string literal";
+  (void)banner;
+  return hits;
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,6 @@
+namespace sqlnf {
+void Emit(EncodedTable* t) {
+  auto* dst = t->mutable_codes(0);  // sanctioned: two-phase emission
+  (void)dst;
+}
+}  // namespace sqlnf

@@ -1,0 +1,6 @@
+namespace sqlnf {
+void Sneak(EncodedTable* t) {
+  auto* dst = t->mutable_codes(0);  // VIOLATION: bypasses bookkeeping
+  (void)dst;
+}
+}  // namespace sqlnf

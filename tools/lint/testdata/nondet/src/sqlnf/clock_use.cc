@@ -1,0 +1,10 @@
+#include <chrono>
+#include <cstdlib>
+namespace sqlnf {
+long Nondet() {
+  long x = std::rand();                                    // VIOLATION
+  x += std::chrono::steady_clock::now().time_since_epoch().count();  // VIOLATION
+  if (std::getenv("SQLNF_SEED") != nullptr) x += 1;        // VIOLATION
+  return x;
+}
+}  // namespace sqlnf

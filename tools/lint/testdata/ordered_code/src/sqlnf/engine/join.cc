@@ -1,0 +1,9 @@
+#include <cstdint>
+namespace sqlnf {
+bool Before(uint32_t left_code, uint32_t right_code) {
+  return left_code < right_code;  // VIOLATION: code-vs-code order
+}
+bool Bounded(uint32_t code, uint32_t dict_size) {
+  return code < dict_size;  // exempt: bounds check
+}
+}  // namespace sqlnf

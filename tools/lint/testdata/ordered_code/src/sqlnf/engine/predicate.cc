@@ -1,0 +1,6 @@
+#include <cstdint>
+namespace sqlnf {
+bool RangeHit(uint32_t code, uint32_t lo_code) {
+  return code >= lo_code;  // sanctioned: order-preserving contract file
+}
+}  // namespace sqlnf

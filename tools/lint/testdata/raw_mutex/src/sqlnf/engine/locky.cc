@@ -1,0 +1,7 @@
+#include <mutex>
+namespace sqlnf {
+std::mutex raw_mu;  // VIOLATION: invisible to thread safety analysis
+void Critical() {
+  std::lock_guard<std::mutex> lock(raw_mu);  // VIOLATION
+}
+}  // namespace sqlnf

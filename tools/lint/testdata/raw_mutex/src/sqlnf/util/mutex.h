@@ -1,0 +1,6 @@
+#include <mutex>
+namespace sqlnf {
+class Mutex {
+  std::mutex mu_;  // sanctioned: the one wrapper over std::mutex
+};
+}  // namespace sqlnf

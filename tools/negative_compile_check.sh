@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Negative-compile gate for the thread-safety contract.
+#
+# Usage: negative_compile_check.sh <compiler> <source> [extra compile flags...]
+#
+# Asserts that <source> FAILS to compile under Clang Thread Safety
+# Analysis, and that the failure is actually a thread-safety diagnostic
+# (an unrelated syntax error must not count as a passing gate). Run by
+# the thread_safety_violation_must_not_compile ctest target on Clang
+# builds; see tests/thread_safety_violation.cc.
+set -u
+
+if [ "$#" -lt 2 ]; then
+  echo "usage: $0 <compiler> <source> [flags...]" >&2
+  exit 2
+fi
+
+compiler="$1"
+src="$2"
+shift 2
+
+out=$("$compiler" -std=c++20 -fsyntax-only \
+      -Wthread-safety -Werror=thread-safety "$@" "$src" 2>&1)
+status=$?
+
+if [ "$status" -eq 0 ]; then
+  echo "FAIL: $src compiled cleanly — thread safety analysis did not fire."
+  echo "The annotations are inert or the violation fixture has rotted."
+  exit 1
+fi
+
+# A compiler that does not know -Wthread-safety (GCC) fails with an
+# "unknown option" error that also mentions the flag name — that must
+# not count as the analysis firing.
+case "$out" in
+  *"unrecognized command-line option"*|*"no option -Wthread-safety"*)
+    echo "FAIL: compiler does not support -Wthread-safety; this gate"
+    echo "requires Clang. Compiler output:"
+    echo "$out"
+    exit 1
+    ;;
+esac
+
+case "$out" in
+  *thread-safety-analysis*|*"requires holding"*|*"is not held"*)
+    ;;
+  *)
+    echo "FAIL: $src failed to compile, but not with a thread-safety"
+    echo "diagnostic. Compiler output:"
+    echo "$out"
+    exit 1
+    ;;
+esac
+
+count=$(echo "$out" | grep -c 'error:')
+echo "OK: thread safety analysis rejected $src ($count errors)."
+exit 0

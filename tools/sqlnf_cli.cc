@@ -76,6 +76,7 @@ int Usage() {
 }
 
 int CmdShell(const std::string& path) {
+  WriterScope writer;  // the CLI is single-threaded: it owns the writer role
   Database db;
   SqlSession session(&db);
   if (!path.empty()) {
@@ -294,6 +295,7 @@ int CmdQuery(const std::string& path, const std::string& sql) {
   auto table = ReadCsvFile(path, options);
   if (!table.ok()) return Fail(table.status());
 
+  WriterScope writer;  // single-threaded command
   Database db;
   Status ingested = db.IngestTable(*table, ConstraintSet{});
   if (!ingested.ok()) return Fail(ingested);
