@@ -396,6 +396,15 @@ Result<TableSnapshot> Database::GetSnapshot(const std::string& name) {
   return stored->Snapshot(mu_);
 }
 
+std::map<std::string, TableSnapshot> Database::SnapshotAll() {
+  MutexLock lock(mu_);
+  std::map<std::string, TableSnapshot> out;
+  for (auto& [name, stored] : tables_) {
+    out.emplace(name, stored.Snapshot(mu_));
+  }
+  return out;
+}
+
 Status Database::Begin() {
   MutexLock lock(mu_);
   if (txn_) {

@@ -91,6 +91,7 @@ std::optional<Violation> ValidateRowAgainst(const Table& table,
 /// saw with the writer's commit history.
 struct TableSnapshot {
   TableSchema schema;
+  ConstraintSet sigma;
   std::shared_ptr<const EncodedTable> columns;
   uint64_t epoch = 0;
 
@@ -153,7 +154,7 @@ class StoredTable {
   /// between never clone anything.
   TableSnapshot Snapshot(Mutex& mu) SQLNF_REQUIRES(mu) {
     PinSnapshot(mu);
-    return TableSnapshot{schema_, snapshot_, epoch_};
+    return TableSnapshot{schema_, sigma_, snapshot_, epoch_};
   }
 
   /// Refreshes the published snapshot if dirty, without handing it out.
@@ -298,6 +299,13 @@ class Database {
   /// commits happened since the last call. Thread-safe against the
   /// writer; the returned snapshot is read without any lock.
   Result<TableSnapshot> GetSnapshot(const std::string& name);
+
+  /// Committed snapshots of every table, taken atomically under one
+  /// lock acquisition — the read-only script path in engine/session.h
+  /// resolves all its table references against this map, so a script
+  /// never mixes epochs from either side of a concurrent commit.
+  /// O(tables) pointer copies; no column data is cloned.
+  std::map<std::string, TableSnapshot> SnapshotAll();
 
   // ---- Transactions. One open transaction at a time (single-writer
   // engine); statements between Begin and Commit log their inverses and

@@ -1,0 +1,158 @@
+#include "sqlnf/engine/result.h"
+
+#include <utility>
+
+#include "sqlnf/core/value.h"
+#include "sqlnf/engine/csv.h"
+#include "sqlnf/util/json.h"
+
+namespace sqlnf {
+
+std::string QueryResult::ToString() const {
+  std::string out = message;
+  if (rows.has_value()) {
+    if (!out.empty()) out += "\n";
+    out += rows->ToString();
+  }
+  return out;
+}
+
+std::string ErrorDetail::ToString() const {
+  std::string out = StatusCodeToString(code);
+  out += ": ";
+  out += message;
+  std::string loc;
+  if (statement_index >= 0) {
+    loc += "statement " + std::to_string(statement_index + 1);
+  }
+  if (line > 0) {
+    if (!loc.empty()) loc += ", ";
+    loc += "line " + std::to_string(line) + ":" + std::to_string(column);
+  }
+  if (!loc.empty()) out += " (" + loc + ")";
+  return out;
+}
+
+ErrorDetail MakeErrorDetail(const Status& status, std::string_view script,
+                            int statement_index, int byte_offset) {
+  ErrorDetail d;
+  d.code = status.code();
+  d.message = status.message();
+  d.statement_index = statement_index;
+  d.byte_offset = byte_offset;
+  if (byte_offset >= 0 &&
+      static_cast<size_t>(byte_offset) <= script.size()) {
+    d.line = 1;
+    d.column = 1;
+    for (int i = 0; i < byte_offset; ++i) {
+      if (script[i] == '\n') {
+        ++d.line;
+        d.column = 1;
+      } else {
+        ++d.column;
+      }
+    }
+  }
+  return d;
+}
+
+std::string RenderStatementText(const QueryResult& result) {
+  return result.ToString();
+}
+
+std::string RenderCsv(const ResultSet& rs) {
+  std::string out;
+  bool first = true;
+  for (const QueryResult& r : rs.statements) {
+    if (!first) out += "\n";
+    first = false;
+    if (r.rows.has_value()) {
+      out += WriteCsvString(*r.rows);
+    } else {
+      out += r.message;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteCell(const Value& v, JsonWriter* w) {
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      w->Null();
+      break;
+    case Value::Kind::kInt:
+      w->Int(v.int_value());
+      break;
+    case Value::Kind::kString:
+      w->String(v.str_value());
+      break;
+  }
+}
+
+void WriteStatement(const QueryResult& r, JsonWriter* w) {
+  w->BeginObject();
+  w->Key("message");
+  w->String(r.message);
+  w->Key("affected");
+  w->Int(r.affected);
+  if (r.rows.has_value()) {
+    const Table& t = *r.rows;
+    w->Key("rows");
+    w->BeginObject();
+    w->Key("columns");
+    w->BeginArray();
+    for (int c = 0; c < t.num_columns(); ++c) {
+      w->String(t.schema().attribute_name(c));
+    }
+    w->EndArray();
+    w->Key("data");
+    w->BeginArray();
+    for (int i = 0; i < t.num_rows(); ++i) {
+      w->BeginArray();
+      for (int c = 0; c < t.num_columns(); ++c) {
+        WriteCell(t.row(i)[c], w);
+      }
+      w->EndArray();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string RenderJson(const ResultSet& rs) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ok");
+  w.Bool(rs.ok());
+  if (!rs.ok()) {
+    w.Key("error");
+    w.BeginObject();
+    w.Key("code");
+    w.String(StatusCodeToString(rs.error.code));
+    w.Key("message");
+    w.String(rs.error.message);
+    w.Key("statement_index");
+    w.Int(rs.error.statement_index);
+    w.Key("byte_offset");
+    w.Int(rs.error.byte_offset);
+    w.Key("line");
+    w.Int(rs.error.line);
+    w.Key("column");
+    w.Int(rs.error.column);
+    w.EndObject();
+  }
+  w.Key("statements");
+  w.BeginArray();
+  for (const QueryResult& r : rs.statements) WriteStatement(r, &w);
+  w.EndArray();
+  w.EndObject();
+  return std::move(w).Take();
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,104 @@
+// The result layer: one structured outcome type for every execution
+// path (CLI, session, HTTP service), with text / CSV / JSON renderers
+// over it.
+//
+// Before this layer, each front end rendered ad hoc: the CLI printf'd
+// tables, errors were bare message strings, and a network caller had
+// nothing machine-readable to parse. Now every executor produces a
+// ResultSet — per-statement columnar payloads plus, on failure, a
+// structured ErrorDetail (status code, statement index, byte offset,
+// line:column) — and the front ends differ only in which renderer they
+// apply. RenderStatementText reproduces the pre-refactor CLI output
+// byte for byte (pinned by the golden-output ctest).
+
+#ifndef SQLNF_ENGINE_RESULT_H_
+#define SQLNF_ENGINE_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sqlnf/core/table.h"
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// Outcome of one statement: the columnar payload (SELECT / SHOW /
+/// DESCRIBE), the DML row count, and a human-readable summary.
+struct QueryResult {
+  std::optional<Table> rows;  // SELECT / SHOW / DESCRIBE payload
+  int affected = 0;           // DML row count
+  std::string message;        // human-readable summary
+
+  std::string ToString() const;
+};
+
+/// Structured error location and classification. `byte_offset` indexes
+/// into the submitted script text (-1 when the failure has no textual
+/// anchor, e.g. a constraint violation); `line`/`column` are 1-based
+/// and derived from the offset.
+struct ErrorDetail {
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  int statement_index = -1;
+  int byte_offset = -1;
+  int line = 0;
+  int column = 0;
+
+  /// "ParseError: expected FROM (statement 2, line 3:7)" — the CLI
+  /// diagnostic form; degrades gracefully when fields are unknown.
+  std::string ToString() const;
+};
+
+/// Outcome of executing a script: the per-statement results up to the
+/// first error, plus the error itself (if any). All execution paths —
+/// Session::Execute, the HTTP endpoints, the CLI commands — return
+/// this shape; renderers below turn it into text, CSV, or JSON.
+struct ResultSet {
+  Status status;                        // OK iff the whole script ran
+  ErrorDetail error;                    // populated when !status.ok()
+  std::vector<QueryResult> statements;  // results before the error
+
+  bool ok() const { return status.ok(); }
+
+  static ResultSet Of(std::vector<QueryResult> results) {
+    ResultSet rs;
+    rs.statements = std::move(results);
+    return rs;
+  }
+  static ResultSet Fail(Status status, ErrorDetail detail) {
+    ResultSet rs;
+    rs.status = std::move(status);
+    rs.error = std::move(detail);
+    return rs;
+  }
+};
+
+/// Builds an ErrorDetail from a Status plus location info, deriving
+/// line/column from `script` when `byte_offset` is in range.
+ErrorDetail MakeErrorDetail(const Status& status, std::string_view script,
+                            int statement_index, int byte_offset);
+
+/// The pre-refactor CLI rendering of one statement: message, then the
+/// ASCII table when rows are present. Byte-identical to the historical
+/// QueryResult::ToString output (golden-pinned).
+std::string RenderStatementText(const QueryResult& result);
+
+/// CSV rendering: each statement's rows as an RFC-4180 block (header +
+/// rows), statements separated by a blank line; row-less statements
+/// contribute their message as a comment-free single line.
+std::string RenderCsv(const ResultSet& rs);
+
+/// JSON envelope used by the HTTP service:
+///   {"ok":true,"statements":[{"message":...,"affected":N,
+///    "rows":{"columns":[...],"data":[[...],...]}}]}
+/// or on failure
+///   {"ok":false,"error":{"code":...,"message":...,"statement_index":N,
+///    "byte_offset":N,"line":N,"column":N},"statements":[...]}
+/// Cells map ⊥ → null, ints → numbers, strings → strings.
+std::string RenderJson(const ResultSet& rs);
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_ENGINE_RESULT_H_

@@ -49,30 +49,57 @@
 // ROLLBACK restores every touched table bit-identically. A statement
 // rejected mid-transaction rolls back only itself; DDL is barred
 // while a transaction is open.
+//
+// TWO EXECUTION PATHS, ONE PARSER. Statements are parsed into
+// database-independent structures first and bound to storage second,
+// so the same grammar serves both sides of the concurrency contract:
+// SqlSession drives live state and requires the WriterThread role,
+// while ExecuteReadOnly binds SELECT / SHOW / DESCRIBE against an
+// immutable snapshot map and is safe from any reader thread — no
+// capability ever crosses an indirection boundary (DESIGN.md §8).
 
 #ifndef SQLNF_ENGINE_SQL_H_
 #define SQLNF_ENGINE_SQL_H_
 
-#include <optional>
+#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "sqlnf/engine/catalog.h"
+#include "sqlnf/engine/result.h"
 #include "sqlnf/engine/writer_role.h"
 #include "sqlnf/util/status.h"
 #include "sqlnf/util/thread_annotations.h"
 
 namespace sqlnf {
 
-/// Outcome of one statement.
-struct QueryResult {
-  std::optional<Table> rows;  // SELECT / SHOW / DESCRIBE payload
-  int affected = 0;           // DML row count
-  std::string message;        // human-readable summary
-
-  std::string ToString() const;
+/// One statement of a script: a slice of the original text (comments
+/// included — the lexer skips them) plus its byte offset in the
+/// script, so statement-relative error offsets can be mapped back to
+/// script coordinates (engine/result.h MakeErrorDetail).
+struct SqlStatement {
+  std::string_view text;
+  size_t offset = 0;
 };
+
+/// Splits a script on ';' outside string literals and '--' comments,
+/// dropping empty and comment-only pieces. Pure text processing.
+std::vector<SqlStatement> SplitSqlStatements(std::string_view script);
+
+/// True when the statement's leading keyword is SELECT / SHOW /
+/// DESCRIBE — the statements ExecuteReadOnly can serve from snapshots.
+bool StatementIsReadOnly(std::string_view statement);
+
+/// Executes one read-only statement (SELECT / SHOW / DESCRIBE) against
+/// a consistent snapshot map (Database::SnapshotAll). Role-free: reads
+/// only the immutable snapshot columns, so any number of threads can
+/// call it concurrently with the single writer. On error, when
+/// `error_offset` is non-null it receives the byte offset of the
+/// offending token within `statement` (-1 when unlocatable).
+Result<QueryResult> ExecuteReadOnly(
+    const std::map<std::string, TableSnapshot>& snapshots,
+    std::string_view statement, int* error_offset = nullptr);
 
 /// Executes SQL against a Database. Stateless besides the Database
 /// pointer; statements are independent.
@@ -80,14 +107,18 @@ struct QueryResult {
 /// A session drives DML/DDL through the Database's live state, so it
 /// belongs to the single writer thread: both entry points require the
 /// WriterThread role (engine/writer_role.h). Reader threads query
-/// snapshots (GetSnapshot + SelectFromSnapshot), not SQL.
+/// snapshots (ExecuteReadOnly above), not SqlSession.
 class SqlSession {
  public:
   /// `db` must outlive the session.
   explicit SqlSession(Database* db) : db_(db) {}
 
-  /// Executes exactly one statement (trailing ';' optional).
-  Result<QueryResult> Execute(std::string_view statement)
+  /// Executes exactly one statement (trailing ';' optional). On error,
+  /// `error_offset` (when non-null) receives the byte offset of the
+  /// offending token within `statement`, or -1 when the failure has no
+  /// textual anchor (e.g. a constraint violation).
+  Result<QueryResult> Execute(std::string_view statement,
+                              int* error_offset = nullptr)
       SQLNF_REQUIRES(writer_thread_role);
 
   /// Executes a ';'-separated script, stopping at the first error.

@@ -1,0 +1,57 @@
+// A deliberately small blocking HTTP/1.1 client for the loopback
+// tests and the server benchmark. One HttpConnection = one TCP
+// connection; requests on it are sequential and reuse the connection
+// (keep-alive) until the server closes it. Not a general client — no
+// TLS, no redirects, no chunked bodies — just enough to exercise the
+// server in net/server.h, and the reason raw sockets stay confined to
+// src/sqlnf/net/ (tools/lint/sqlnf_lint.py enforces the boundary).
+
+#ifndef SQLNF_NET_CLIENT_H_
+#define SQLNF_NET_CLIENT_H_
+
+#include <map>
+#include <string>
+
+#include "sqlnf/util/status.h"
+
+namespace sqlnf {
+
+/// A parsed response. Header names are lower-cased.
+struct HttpClientResponse {
+  int status = 0;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+class HttpConnection {
+ public:
+  /// Connects to 127.0.0.1:port.
+  static Result<HttpConnection> Open(int port);
+
+  HttpConnection(HttpConnection&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  HttpConnection& operator=(HttpConnection&& other) noexcept;
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+  ~HttpConnection();
+
+  Result<HttpClientResponse> Get(const std::string& path);
+  Result<HttpClientResponse> Post(const std::string& path,
+                                  const std::string& body);
+
+  /// Sends raw bytes verbatim and reads one response — for tests that
+  /// need malformed or hand-framed requests.
+  Result<HttpClientResponse> RoundTrip(const std::string& raw_request);
+
+ private:
+  explicit HttpConnection(int fd) : fd_(fd) {}
+
+  Result<HttpClientResponse> ReadResponse();
+
+  int fd_ = -1;
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NET_CLIENT_H_

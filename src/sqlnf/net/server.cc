@@ -1,0 +1,180 @@
+#include "sqlnf/net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+
+#include "sqlnf/util/json.h"
+
+namespace sqlnf {
+namespace {
+
+/// send(2) until the buffer is drained or the peer is gone.
+bool SendAll(int fd, std::string_view data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Status HttpServer::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError("socket() failed, errno=" +
+                           std::to_string(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int bind_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(port=" + std::to_string(options_.port) +
+                           ") failed, errno=" + std::to_string(bind_errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &len) != 0) {
+    const int name_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("getsockname() failed, errno=" +
+                           std::to_string(name_errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const int listen_errno = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed, errno=" +
+                           std::to_string(listen_errno));
+  }
+
+  started_ = true;
+  const int workers = options_.workers > 0 ? options_.workers : 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!started_) return;
+  {
+    MutexLock lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock workers mid-recv; the fds stay open (and owned by the
+    // serving worker) until ServeConnection returns.
+    for (const int fd : active_) ::shutdown(fd, SHUT_RDWR);
+    for (const int fd : pending_) ::close(fd);
+    pending_.clear();
+  }
+  queue_cv_.NotifyAll();
+  ::shutdown(listen_fd_, SHUT_RDWR);  // unblocks accept()
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down (Stop) or fatal — exit loop
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    MutexLock lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    pending_.push_back(fd);
+    queue_cv_.NotifyOne();
+  }
+}
+
+void HttpServer::WorkerLoop() {
+  for (;;) {
+    int fd;
+    {
+      MutexLock lock(mu_);
+      while (pending_.empty() && !stopping_) queue_cv_.Wait(mu_);
+      if (stopping_) return;
+      fd = pending_.front();
+      pending_.pop_front();
+      active_.insert(fd);
+    }
+    ServeConnection(fd);
+    {
+      MutexLock lock(mu_);
+      active_.erase(fd);
+    }
+    ::close(fd);
+  }
+}
+
+void HttpServer::ServeConnection(int fd) {
+  HttpRequestReader reader(options_.limits);
+  char buf[8192];
+  for (;;) {
+    // Drain every request already buffered (pipelining / keep-alive)
+    // before the next recv.
+    while (reader.state() == HttpRequestReader::State::kReady) {
+      const HttpRequest& req = reader.request();
+      HttpResponse response = handler_(req);
+      const bool close = response.close || !req.keep_alive;
+      response.close = close;
+      if (!SendAll(fd, SerializeHttpResponse(response)) || close) return;
+      reader.ConsumeRequest();
+    }
+    if (reader.state() == HttpRequestReader::State::kError) {
+      HttpResponse reject;
+      reject.status = reader.error_status();
+      reject.body =
+          "{\"ok\":false,\"error\":{\"code\":" +
+          JsonQuote(HttpReasonPhrase(reject.status)) +
+          ",\"message\":" + JsonQuote(reader.error_message()) + "}}";
+      reject.close = true;
+      SendAll(fd, SerializeHttpResponse(reject));
+      return;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return;  // peer closed or Stop() shut the socket down
+    reader.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+}  // namespace sqlnf

@@ -1,0 +1,91 @@
+// A minimal blocking HTTP/1.1 server: one accept thread feeding a
+// bounded queue of connections, N worker threads draining it. Each
+// worker owns one connection at a time and serves keep-alive requests
+// on it sequentially through an HttpRequestReader (net/http.h), so the
+// handler sees complete, validated requests only.
+//
+// Concurrency contract: the handler runs on worker threads, many at
+// once — it must be thread-safe but needs no capability annotations.
+// The service layer (net/service.h) satisfies this by construction:
+// its per-request Session routes reads through immutable snapshots and
+// serializes writes behind SessionRegistry::writer_mu() internally, so
+// the writer capability never crosses the std::function boundary
+// (which Clang TSA cannot see through anyway — DESIGN.md §8).
+//
+// Shutdown is cooperative and clock-free: Stop() shuts down the listen
+// socket (unblocking accept) and every in-flight connection socket
+// (unblocking recv), then joins all threads. No timeouts, no polling.
+
+#ifndef SQLNF_NET_SERVER_H_
+#define SQLNF_NET_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sqlnf/net/http.h"
+#include "sqlnf/util/mutex.h"
+#include "sqlnf/util/status.h"
+#include "sqlnf/util/thread_annotations.h"
+
+namespace sqlnf {
+
+struct HttpServerOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port
+  /// (read it back from port() after Start()).
+  int port = 0;
+  /// Worker threads serving connections.
+  int workers = 4;
+  /// listen(2) backlog.
+  int backlog = 64;
+  /// Request framing limits, enforced before the handler runs.
+  HttpRequestReader::Limits limits;
+};
+
+class HttpServer {
+ public:
+  /// `handler` is invoked concurrently from worker threads.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(Handler handler, HttpServerOptions options = {})
+      : handler_(std::move(handler)), options_(options) {}
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept + worker threads.
+  Status Start();
+
+  /// The bound port (after a successful Start()).
+  int port() const { return port_; }
+
+  /// Stops accepting, aborts in-flight connections, joins all threads.
+  /// Idempotent; also called by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+
+  Handler handler_;
+  HttpServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  Mutex mu_;
+  CondVar queue_cv_;
+  std::deque<int> pending_ SQLNF_GUARDED_BY(mu_);  // accepted, unserved
+  std::set<int> active_ SQLNF_GUARDED_BY(mu_);     // being served
+  bool stopping_ SQLNF_GUARDED_BY(mu_) = false;
+  bool started_ = false;  // Start()/Stop() are same-thread
+};
+
+}  // namespace sqlnf
+
+#endif  // SQLNF_NET_SERVER_H_

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Golden-output gate for the CLI front ends (ISSUE acceptance
+# criterion): `sqlnf query` and `sqlnf validate` must stay
+# byte-identical across the session/result refactor. The goldens in
+# tests/golden/ were captured from the pre-refactor CLI on the
+# contractor corpus; any diff here means the service layers changed
+# user-visible output.
+#
+# Usage: golden_cli_check.sh <sqlnf_binary> <golden_dir>
+set -u
+
+if [ "$#" -ne 2 ]; then
+  echo "usage: $0 <sqlnf_binary> <golden_dir>" >&2
+  exit 2
+fi
+
+sqlnf="$1"
+golden="$2"
+work=$(mktemp -d) || exit 2
+trap 'rm -rf "$work"' EXIT
+fail=0
+
+"$sqlnf" corpus contractor "$work/contractor.csv" > /dev/null || {
+  echo "FAIL: could not generate the contractor corpus"
+  exit 1
+}
+
+# q1: predicate mix (AND/OR precedence, comparisons) with projection.
+"$sqlnf" query "$work/contractor.csv" \
+  "SELECT city, url, dmerc_rgn, status FROM contractor WHERE status = 'retired' AND contractor_id < 60 OR dmerc_rgn = 'R2'" \
+  > "$work/q1.txt" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: q1 exited $status (want 0)"
+  fail=1
+fi
+
+# q2: a two-statement script (BETWEEN, IN, NULL comparison semantics).
+"$sqlnf" query "$work/contractor.csv" \
+  "SELECT * FROM contractor WHERE contractor_id BETWEEN '10' AND '14'; SELECT cmd_name, phone FROM contractor WHERE dmerc_rgn = NULL AND contractor_id IN ('3', '5', '151')" \
+  > "$work/q2.txt" 2>&1
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: q2 exited $status (want 0)"
+  fail=1
+fi
+
+# v1: mixed satisfied/violated constraints; exit 1 signals violations.
+"$sqlnf" validate "$work/contractor.csv" \
+  'city,url ->w dmerc_rgn,status; cmd_name,phone,url ->w contractor_version,status_flag; address1,contractor_bus_name,contractor_type_id ->w url; c<contractor_id>; city,state ->w contractor_id' \
+  --threads 2 > "$work/v1.txt" 2>&1
+status=$?
+if [ "$status" -ne 1 ]; then
+  echo "FAIL: v1 exited $status (want 1: violations present)"
+  fail=1
+fi
+
+for case in q1 q2 v1; do
+  if ! diff -u "$golden/$case.txt" "$work/$case.txt"; then
+    echo "FAIL: $case output diverged from tests/golden/$case.txt"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "OK: CLI output byte-identical to the pre-refactor goldens."
+exit 0

@@ -36,6 +36,13 @@ preference:
                         Thread Safety Analysis sees every acquisition.
                         A raw std::mutex is invisible to the analysis.
 
+  raw-socket            All socket syscalls and socket headers live in
+                        src/sqlnf/net/ — the one place the transport
+                        reader limits, EINTR loops, and shutdown-based
+                        cancellation are enforced. A stray socket() in
+                        engine code would bypass all three and punch an
+                        unaudited I/O path through the library.
+
 Usage: sqlnf_lint.py [--root DIR]
 Exits 0 when clean, 1 with findings on stdout, 2 on usage errors.
 """
@@ -297,12 +304,48 @@ def check_raw_mutex(root: Path) -> list[Finding]:
     return findings
 
 
+# --- Rule: raw-socket -----------------------------------------------------
+
+# The transport layer: the only subtree that may touch BSD sockets.
+RAW_SOCKET_ALLOWED_PREFIX = "src/sqlnf/net/"
+
+# Socket syscalls as free/global calls. The negative lookbehind skips
+# member calls (queue.send(x), listener.accept()) — only `send(` and
+# `::send(` style calls are the C API.
+_RAW_SOCKET_CALL_RE = re.compile(
+    r"(?<![\w.>])(?:::)?"
+    r"(?:socket|bind|listen|accept4?|connect|recv|recvfrom|send|sendto|"
+    r"setsockopt|getsockopt|getsockname|getpeername|shutdown)\s*\(")
+_RAW_SOCKET_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w.]+|arpa/inet\.h|"
+    r"netdb\.h|sys/un\.h)>")
+
+
+def check_raw_socket(root: Path) -> list[Finding]:
+    findings = []
+    for path in iter_cxx_files(root, "src"):
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith(RAW_SOCKET_ALLOWED_PREFIX):
+            continue
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = _strip_comments_and_strings(raw)
+            if (_RAW_SOCKET_INCLUDE_RE.search(raw)
+                    or _RAW_SOCKET_CALL_RE.search(line)):
+                findings.append(Finding(
+                    rel, lineno, "raw-socket",
+                    "socket syscalls outside the transport layer bypass "
+                    "its framing limits and cancellation (sanctioned: "
+                    f"{RAW_SOCKET_ALLOWED_PREFIX})"))
+    return findings
+
+
 ALL_CHECKS = [
     check_ordered_code_compare,
     check_nondeterminism,
     check_mutable_codes,
     check_test_registration,
     check_raw_mutex,
+    check_raw_socket,
 ]
 
 

@@ -104,6 +104,29 @@ class RawMutexTest(unittest.TestCase):
                          {f.path for f in findings})
 
 
+class RawSocketTest(unittest.TestCase):
+    def setUp(self):
+        self.findings = sqlnf_lint.check_raw_socket(
+            TESTDATA / "raw_socket")
+
+    def test_flags_engine_socket_usage(self):
+        # The include, the socket() call, and the ::connect() call.
+        self.assertEqual(len(self.findings), 3,
+                         "\n".join(str(f) for f in self.findings))
+        self.assertTrue(all(f.rule == "raw-socket" for f in self.findings))
+        self.assertTrue(all(f.path == "src/sqlnf/engine/phone_home.cc"
+                            for f in self.findings))
+
+    def test_member_calls_do_not_fire(self):
+        lines = {f.line for f in self.findings}
+        # send/accept member calls live past line 10 of the fixture.
+        self.assertTrue(all(line <= 10 for line in lines), lines)
+
+    def test_net_subtree_is_sanctioned(self):
+        self.assertNotIn("src/sqlnf/net/transport.cc",
+                         {f.path for f in self.findings})
+
+
 class RealTreeTest(unittest.TestCase):
     """The shipped tree must be lint-clean — this is the CI gate."""
 

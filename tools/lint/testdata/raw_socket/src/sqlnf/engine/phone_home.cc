@@ -1,0 +1,15 @@
+// Violation fixture: engine code opening its own socket, bypassing the
+// transport layer's limits and cancellation. The include and the two
+// calls below must each fire the raw-socket rule; the member calls
+// and the comment further down must not.
+
+#include <sys/socket.h>
+
+int fd = socket(AF_INET, SOCK_STREAM, 0);
+int err = ::connect(fd, nullptr, 0);
+
+void MemberCallsAreNotSyscalls(Queue* q, Queue& local) {
+  q->send(1);    // member call: exempt
+  q->accept();   // member call: exempt
+  local.send(2);  // also exempt; socket() in this comment is too
+}

@@ -1,0 +1,12 @@
+// Sanctioned counterpart: the transport subtree owns the socket API.
+
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+
+int Listen() {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  bind(fd, nullptr, 0);
+  listen(fd, 16);
+  shutdown(fd, SHUT_RDWR);
+  return fd;
+}

@@ -22,9 +22,19 @@
 //   sqlnf shell [script.sql]
 //       Run SQL (with the CERTAIN KEY / CERTAIN FD extensions, enforced
 //       on every write) from a script file or interactively from stdin.
+//   sqlnf serve [--port P] [--workers N] [--threads N] [csv...]
+//       HTTP front door: load the CSVs and expose /query /validate
+//       /discover /normalize /health as JSON endpoints (net/service.h).
+//   sqlnf corpus <name> <out.csv>
+//       Write a built-in corpus (contractor, uci_adult, ...) to a CSV.
+//
+// query and validate are thin renderers over the same session layer
+// the server uses (engine/session.h): one execution pipeline, two
+// transports.
 //
 // Design file format: see sqlnf/constraints/serialize.h.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +42,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "sqlnf/constraints/parser.h"
 #include "sqlnf/constraints/satisfies.h"
@@ -41,11 +52,16 @@
 #include "sqlnf/decomposition/lossless.h"
 #include "sqlnf/decomposition/report.h"
 #include "sqlnf/decomposition/vrnf_decompose.h"
+#include "sqlnf/datagen/lmrp.h"
+#include "sqlnf/datagen/uci.h"
 #include "sqlnf/discovery/discover.h"
 #include "sqlnf/engine/csv.h"
 #include "sqlnf/engine/ddl.h"
+#include "sqlnf/engine/session.h"
 #include "sqlnf/engine/sql.h"
 #include "sqlnf/engine/validate.h"
+#include "sqlnf/net/server.h"
+#include "sqlnf/net/service.h"
 #include "sqlnf/normalform/construction.h"
 #include "sqlnf/normalform/normal_forms.h"
 #include "sqlnf/reasoning/axioms.h"
@@ -56,6 +72,13 @@ namespace {
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+/// Failure with a script position: "error: ParseError: ... (statement
+/// 2, line 3:14)" — the detail is assembled by the session layer.
+int FailDetail(const ErrorDetail& detail) {
+  std::fprintf(stderr, "error: %s\n", detail.ToString().c_str());
   return 1;
 }
 
@@ -71,7 +94,13 @@ int Usage() {
       "  validate <csv-file> <constraints> [--threads N]\n"
       "                                     columnar constraint check\n"
       "  query <csv-file> <sql>             run SQL against a CSV\n"
-      "  shell [script.sql]                 SQL with enforced c-keys/FDs\n");
+      "  shell [script.sql]                 SQL with enforced c-keys/FDs\n"
+      "  serve [--port P] [--workers N] [--threads N] [csv...]\n"
+      "                                     HTTP API (/query /validate\n"
+      "                                     /discover /normalize /health)\n"
+      "  corpus <name> <out.csv>            write a built-in corpus\n"
+      "                                     (contractor, uci_breast,\n"
+      "                                     uci_adult, uci_hepatitis)\n");
   return 2;
 }
 
@@ -241,10 +270,6 @@ int CmdValidate(const std::string& path, const std::string& sigma_text,
   if (!table.ok()) return Fail(table.status());
   auto sigma = ParseConstraintSet(table->schema(), sigma_text);
   if (!sigma.ok()) return Fail(sigma.status());
-  std::printf("table: %d rows x %d columns; validating %zu "
-              "constraint(s), threads=%d\n",
-              table->num_rows(), table->num_columns(),
-              sigma->All().size(), threads);
 
   // One dictionary encoding over every mentioned column, shared by all
   // constraints.
@@ -256,30 +281,13 @@ int CmdValidate(const std::string& path, const std::string& sigma_text,
     mentioned = mentioned.Union(key.attrs);
   }
   const EncodedTable enc(*table, mentioned);
-  const ParallelOptions par{threads};
 
-  int violated = 0;
-  auto report = [&](const std::string& text,
-                    const std::optional<Violation>& v) {
-    if (v) {
-      ++violated;
-      std::printf("  VIOLATED   %s  (rows %d, %d)\n", text.c_str(),
-                  v->row1, v->row2);
-    } else {
-      std::printf("  satisfied  %s\n", text.c_str());
-    }
-  };
-  for (const auto& fd : sigma->fds()) {
-    report(fd.ToString(table->schema()),
-           FindFdViolationEncoded(enc, fd, par));
-  }
-  for (const auto& key : sigma->keys()) {
-    report(key.ToString(table->schema()),
-           FindKeyViolationEncoded(enc, key, par));
-  }
-  std::printf("%d of %zu constraint(s) violated\n", violated,
-              sigma->All().size());
-  return violated == 0 ? 0 : 1;
+  // The shared session-layer core; RenderText() is the historical
+  // stdout of this command, byte for byte (golden-pinned).
+  const ValidationReport report =
+      ValidateConstraints(table->schema(), enc, *sigma, threads);
+  std::fputs(report.RenderText().c_str(), stdout);
+  return report.violated == 0 ? 0 : 1;
 }
 
 int CmdQuery(const std::string& path, const std::string& sql) {
@@ -295,17 +303,22 @@ int CmdQuery(const std::string& path, const std::string& sql) {
   auto table = ReadCsvFile(path, options);
   if (!table.ok()) return Fail(table.status());
 
-  WriterScope writer;  // single-threaded command
   Database db;
-  Status ingested = db.IngestTable(*table, ConstraintSet{});
-  if (!ingested.ok()) return Fail(ingested);
+  {
+    WriterScope writer;  // ingest is a write; scoped to just that
+    Status ingested = db.IngestTable(*table, ConstraintSet{});
+    if (!ingested.ok()) return Fail(ingested);
+  }
   std::printf("loaded '%s': %d rows x %d columns\n\n", stem.c_str(),
               table->num_rows(), table->num_columns());
 
-  SqlSession session(&db);
-  auto results = session.ExecuteScript(sql);
-  if (!results.ok()) return Fail(results.status());
-  for (const QueryResult& result : *results) {
+  // The same session pipeline the HTTP server runs; the CLI is just a
+  // text renderer over its ResultSet.
+  SessionRegistry registry(&db);
+  Session session(&registry);
+  const ResultSet rs = session.Execute(sql);
+  if (!rs.ok()) return FailDetail(rs.error);
+  for (const QueryResult& result : rs.statements) {
     std::printf("%s\n", result.ToString().c_str());
   }
   return 0;
@@ -347,12 +360,119 @@ int CmdAdvise(const std::string& path) {
   return 0;
 }
 
+/// File stem: data/contractor.csv → contractor.
+std::string TableStem(const std::string& path) {
+  std::string stem = path;
+  const size_t slash = stem.find_last_of("/\\");
+  if (slash != std::string::npos) stem = stem.substr(slash + 1);
+  const size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) stem = stem.substr(0, dot);
+  return stem;
+}
+
+int CmdServe(const std::vector<std::string>& args) {
+  int port = 8080;
+  int workers = 4;
+  int threads = 1;
+  std::vector<std::string> csvs;
+  for (size_t i = 0; i < args.size(); ++i) {
+    auto int_flag = [&](const char* name, int* out) {
+      if (args[i] != name) return false;
+      if (i + 1 >= args.size()) return true;  // value missing: keep default
+      *out = std::atoi(args[++i].c_str());
+      return true;
+    };
+    if (int_flag("--port", &port) || int_flag("--workers", &workers) ||
+        int_flag("--threads", &threads)) {
+      continue;
+    }
+    csvs.push_back(args[i]);
+  }
+
+  Database db;
+  {
+    WriterScope writer;
+    for (const std::string& path : csvs) {
+      CsvOptions options;
+      options.table_name = TableStem(path);
+      auto table = ReadCsvFile(path, options);
+      if (!table.ok()) return Fail(table.status());
+      Status ingested = db.IngestTable(*table, ConstraintSet{});
+      if (!ingested.ok()) return Fail(ingested);
+      std::printf("loaded '%s': %d rows x %d columns\n",
+                  options.table_name.c_str(), table->num_rows(),
+                  table->num_columns());
+    }
+  }
+
+  SessionRegistry registry(&db);
+  SqlnfServiceOptions service_options;
+  service_options.threads = threads < 1 ? 1 : threads;
+  SqlnfService service(&registry, service_options);
+
+  // Block the shutdown signals BEFORE spawning server threads (they
+  // inherit the mask), then wait for one synchronously — no handler,
+  // no flag race.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  HttpServerOptions server_options;
+  server_options.port = port;
+  server_options.workers = workers < 1 ? 1 : workers;
+  HttpServer server(
+      [&service](const HttpRequest& request) {
+        return service.Handle(request);
+      },
+      server_options);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started);
+  std::printf("serving on http://127.0.0.1:%d (%d workers)\n",
+              server.port(), server_options.workers);
+  std::fflush(stdout);
+
+  int received = 0;
+  sigwait(&signals, &received);
+  std::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}
+
+int CmdCorpus(const std::string& name, const std::string& out_path) {
+  Result<Table> table = Status::Invalid("");
+  if (name == "contractor") {
+    table = Contractor();
+  } else if (name == "uci_breast") {
+    table = UciBreastCancerShaped();
+  } else if (name == "uci_adult") {
+    table = UciAdultShaped();
+  } else if (name == "uci_hepatitis") {
+    table = UciHepatitisShaped();
+  } else {
+    return Fail(Status::Invalid(
+        "unknown corpus '" + name +
+        "' (try contractor, uci_breast, uci_adult, uci_hepatitis)"));
+  }
+  if (!table.ok()) return Fail(table.status());
+  Status written = WriteCsvFile(*table, out_path);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote '%s': %d rows x %d columns\n", out_path.c_str(),
+              table->num_rows(), table->num_columns());
+  return 0;
+}
+
 }  // namespace
 }  // namespace sqlnf
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "shell") {
     return sqlnf::CmdShell(argc >= 3 ? argv[2] : "");
+  }
+  if (argc >= 2 && std::string(argv[1]) == "serve") {
+    return sqlnf::CmdServe(
+        std::vector<std::string>(argv + 2, argv + argc));
   }
   if (argc < 3) return sqlnf::Usage();
   const std::string command = argv[1];
@@ -379,6 +499,10 @@ int main(int argc, char** argv) {
       }
     }
     return sqlnf::CmdValidate(arg, argv[3], threads);
+  }
+  if (command == "corpus") {
+    if (argc < 4) return sqlnf::Usage();
+    return sqlnf::CmdCorpus(arg, argv[3]);
   }
   return sqlnf::Usage();
 }
