@@ -33,11 +33,25 @@
 // demands the compiled scan ≥ 4× the fallback at 1% selectivity —
 // core-count independent, both sides are single-threaded.
 //
-// Timings are also emitted machine-readably to BENCH_columnar.json and
-// BENCH_rangescan.json in the working directory: one {op, rows,
-// threads, ns_per_op} record per measurement, for CI trend tracking.
+// E19 — the explicit SIMD kernel layer: every core/simd_kernels.h
+// kernel timed per dispatch level (scalar → simd128 → avx2, as far as
+// the machine goes) on a synthetic 1M-code column, ns/row each, with a
+// bit-identity cross-check of every wider level against the scalar
+// oracle on the same inputs. The gate requires the AVX2 eq-scan and
+// interval-scan kernels to be ≥ 2× the forced-scalar kernels; on a
+// machine (or build) without AVX2 the gate SKIPS with a note — there
+// is nothing to measure, and the scalar-forced CI leg must still pass.
+// `bench_columnar --check` runs ONLY the E19 section (fast, for CI).
+//
+// Timings are also emitted machine-readably to BENCH_columnar.json,
+// BENCH_rangescan.json, and BENCH_simd.json in the working directory:
+// one {op, rows, threads, ns_per_op} record per measurement, for CI
+// trend tracking.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <functional>
 #include <optional>
 #include <string>
 #include <thread>
@@ -45,12 +59,15 @@
 
 #include "bench_util.h"
 #include "sqlnf/constraints/parser.h"
+#include "sqlnf/core/simd_kernels.h"
 #include "sqlnf/datagen/lmrp.h"
 #include "sqlnf/decomposition/encoded_ops.h"
 #include "sqlnf/decomposition/lossless.h"
 #include "sqlnf/decomposition/vrnf_decompose.h"
 #include "sqlnf/engine/predicate.h"
 #include "sqlnf/engine/relops.h"
+#include "sqlnf/util/fnv.h"
+#include "sqlnf/util/rng.h"
 #include "sqlnf/util/text_table.h"
 
 namespace sqlnf {
@@ -100,6 +117,211 @@ bool BitIdentical(const EncodedRelation& a, const EncodedRelation& b) {
     }
   }
   return true;
+}
+
+// --- E19: the SIMD kernel layer, per kernel × per dispatch level.
+
+/// Human label + the levels this machine can actually run.
+std::vector<simd::Level> AvailableLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::DetectedLevel() >= simd::Level::kSimd128) {
+    levels.push_back(simd::Level::kSimd128);
+  }
+  if (simd::DetectedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+int RunSimdE19() {
+  using bench::TimeMs;
+
+  constexpr int kN = 1 << 18;        // 256K codes: L2-resident, compute-bound
+  constexpr uint32_t kD = 1 << 14;   // dictionary size for gather kernels
+  constexpr int kRounds = 60;
+
+  // Synthetic column: uniform codes with a sprinkle of ⊥/missing
+  // sentinels (they clamp to the rank/table sentinel slot, exactly as
+  // in a real encoded column).
+  Rng rng(20260808);
+  std::vector<uint32_t> codes(kN);
+  for (uint32_t& c : codes) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.05) {
+      c = EncodedTable::kNullCode;
+    } else if (roll < 0.07) {
+      c = EncodedTable::kMissingCode;
+    } else {
+      c = static_cast<uint32_t>(rng.Uniform(0, kD - 1));
+    }
+  }
+  std::vector<uint32_t> rank(kD + 1);
+  for (uint32_t i = 0; i < kD; ++i) rank[i] = i;
+  rank[kD] = 0xFFFFFFFFu;  // the kNoRank sentinel slot
+  std::vector<uint8_t> in_table(kD + 1 + simd::kByteTablePad, 0);
+  for (uint32_t i = 0; i < kD; ++i) in_table[i] = rng.Chance(0.5) ? 1 : 0;
+  std::vector<uint8_t> src_bytes(kN);
+  for (uint8_t& b : src_bytes) b = rng.Chance(0.5) ? 1 : 0;
+  std::vector<int> gather_rows(kN);
+  for (int i = 0; i < kN; ++i) gather_rows[i] = i;
+  rng.Shuffle(&gather_rows);
+
+  const uint32_t want = kD / 3;
+  const uint32_t lo = kD / 4;
+  const uint32_t span = kD / 2;
+
+  // One timed body per kernel, writing into per-kernel scratch. Each
+  // body is a pure function of its inputs, so the scalar run doubles
+  // as the differential oracle for the wider levels.
+  std::vector<uint8_t> match(kN);
+  std::vector<uint64_t> hashes(kN);
+  std::vector<uint32_t> folded(kN), gathered(kN);
+  std::vector<int> sel(kN);
+  volatile long long sink = 0;
+  (void)sink;
+  struct Kernel {
+    const char* name;
+    std::function<void(simd::Level)> body;
+  };
+  const std::vector<Kernel> kernels = {
+      {"eq_code",
+       [&](simd::Level l) {
+         simd::EqCode(l, codes.data(), kN, want, simd::Store::kAssign,
+                      match.data());
+       }},
+      {"ne_code",
+       [&](simd::Level l) {
+         simd::NeCode(l, codes.data(), kN, want, simd::Store::kAssign,
+                      match.data());
+       }},
+      {"code_interval",
+       [&](simd::Level l) {
+         simd::CodeInterval(l, codes.data(), kN, lo, span,
+                            simd::Store::kAssign, match.data());
+       }},
+      {"rank_interval",
+       [&](simd::Level l) {
+         simd::RankInterval(l, codes.data(), kN, rank.data(), kD, lo, span,
+                            simd::Store::kAssign, match.data());
+       }},
+      {"byte_table",
+       [&](simd::Level l) {
+         simd::ByteTable(l, codes.data(), kN, in_table.data(), kD,
+                         simd::Store::kAssign, match.data());
+       }},
+      {"or_bytes",
+       [&](simd::Level l) {
+         std::memset(match.data(), 0, kN);
+         simd::OrBytes(l, src_bytes.data(), kN, match.data());
+       }},
+      {"count_bytes",
+       [&](simd::Level l) {
+         sink += simd::CountBytes(l, src_bytes.data(), kN);
+       }},
+      {"compress_store",
+       [&](simd::Level l) {
+         sink += simd::CompressStore(l, src_bytes.data(), kN, 0, sel.data());
+       }},
+      {"fnv_mix_codes",
+       [&](simd::Level l) {
+         std::fill(hashes.begin(), hashes.end(), kFnv64OffsetBasis);
+         simd::FnvMixCodes(l, codes.data(), kN, hashes.data());
+       }},
+      {"fold_mask",
+       [&](simd::Level l) {
+         simd::FoldMask(l, hashes.data(), kN, (1u << 16) - 1, folded.data());
+       }},
+      {"gather_codes",
+       [&](simd::Level l) {
+         simd::GatherCodes(l, codes.data(), gather_rows.data(), kN,
+                           gathered.data());
+       }},
+  };
+
+  const std::vector<simd::Level> levels = AvailableLevels();
+  std::printf("\nE19 SIMD kernels: %d rows × %d rounds, detected level %s\n",
+              kN, kRounds, simd::LevelName(simd::DetectedLevel()));
+
+  // Bit-identity cross-check first: every wider level must reproduce
+  // the scalar kernel byte for byte on the full input.
+  bool identical = true;
+  for (const Kernel& k : kernels) {
+    // Snapshot the scalar outputs, then compare each level's.
+    k.body(simd::Level::kScalar);
+    const auto m0 = match;
+    const auto h0 = hashes;
+    const auto f0 = folded;
+    const auto g0 = gathered;
+    const auto s0 = sel;
+    for (size_t li = 1; li < levels.size(); ++li) {
+      k.body(levels[li]);
+      const bool same = match == m0 && hashes == h0 && folded == f0 &&
+                        gathered == g0 && sel == s0;
+      if (!same) {
+        std::printf("E19 IDENTITY FAILURE: %s at level %s\n", k.name,
+                    simd::LevelName(levels[li]));
+        identical = false;
+      }
+    }
+  }
+
+  // Timings: ns/row per kernel per level.
+  TextTable tt;
+  std::vector<std::string> header = {"kernel"};
+  for (const simd::Level l : levels) {
+    header.push_back(std::string(simd::LevelName(l)) + " [ns/row]");
+  }
+  if (levels.size() > 1) header.push_back("speedup");
+  tt.SetHeader(header);
+
+  std::vector<BenchRecord> records;
+  double eq_speedup = 0.0, interval_speedup = 0.0;
+  for (const Kernel& k : kernels) {
+    std::vector<double> ns_per_row;
+    for (const simd::Level l : levels) {
+      const double ms = TimeMs([&] {
+        for (int r = 0; r < kRounds; ++r) k.body(l);
+      });
+      ns_per_row.push_back(ms * 1e6 / kRounds / kN);
+      records.push_back({std::string(k.name) + "_" + simd::LevelName(l), kN,
+                         1, ms * 1e6 / kRounds});
+    }
+    std::vector<std::string> row = {k.name};
+    char buf[32];
+    for (const double ns : ns_per_row) {
+      std::snprintf(buf, sizeof(buf), "%.3f", ns);
+      row.push_back(buf);
+    }
+    if (levels.size() > 1) {
+      const double speedup = ns_per_row.front() / ns_per_row.back();
+      std::snprintf(buf, sizeof(buf), "%.1fx", speedup);
+      row.push_back(buf);
+      if (std::strcmp(k.name, "eq_code") == 0) eq_speedup = speedup;
+      if (std::strcmp(k.name, "code_interval") == 0) {
+        interval_speedup = speedup;
+      }
+    }
+    tt.AddRow(row);
+  }
+  std::printf("%s\n", tt.ToString().c_str());
+  WriteJson("BENCH_simd.json", records);
+
+  if (!identical) {
+    std::printf("E19 shape check: FAILED (kernel outputs differ by level)\n");
+    return 1;
+  }
+  // The perf gate only has meaning when the widest level exists.
+  if (simd::DetectedLevel() < simd::Level::kAvx2) {
+    std::printf("E19 perf gate skipped: no AVX2 at runtime (level %s) — "
+                "identity checks passed\n",
+                simd::LevelName(simd::DetectedLevel()));
+    return 0;
+  }
+  const bool ok = eq_speedup >= 2.0 && interval_speedup >= 2.0;
+  std::printf("E19 shape check (avx2 eq/interval scan ≥2x forced-scalar, "
+              "got %.1fx / %.1fx; all levels bit-identical): %s\n",
+              eq_speedup, interval_speedup, ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
 }
 
 int Run() {
@@ -408,8 +630,11 @@ int Run() {
               "≥4x decode-per-row at 1%% selectivity, got %.1fx): %s\n",
               range_gate_speedup, range_ok ? "OK" : "FAILED");
 
+  // E19 runs last so its table lands next to the shape checks.
+  const bool simd_ok = RunSimdE19() == 0;
+
   bool ok = join_same && scan_same && update_same && lossless && range_ok &&
-            row_join_ms / enc_join_ms[0] >= 2.0;
+            simd_ok && row_join_ms / enc_join_ms[0] >= 2.0;
   // The parallel-speedup gate needs real cores; on a smaller machine it
   // is reported but not enforced.
   const unsigned hw = std::thread::hardware_concurrency();
@@ -432,4 +657,11 @@ int Run() {
 }  // namespace
 }  // namespace sqlnf
 
-int main() { return sqlnf::Run(); }
+int main(int argc, char** argv) {
+  // `--check` runs only the E19 kernel gate (fast; skips the perf bar
+  // without AVX2) — the scalar-forced CI leg uses it.
+  if (argc > 1 && std::strcmp(argv[1], "--check") == 0) {
+    return sqlnf::RunSimdE19();
+  }
+  return sqlnf::Run();
+}

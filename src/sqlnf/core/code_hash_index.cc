@@ -2,10 +2,19 @@
 
 #include <algorithm>
 
+#include "sqlnf/core/simd_kernels.h"
 #include "sqlnf/util/fnv.h"
 #include "sqlnf/util/parallel.h"
 
 namespace sqlnf {
+namespace {
+
+// Rows per bucket-id tile in the count/fill passes: big enough to
+// amortize the kernel dispatch, small enough that the uint32 bucket-id
+// scratch stays in L1 alongside the histogram.
+constexpr int kHashTile = 512;
+
+}  // namespace
 
 uint64_t CodeHashIndex::HashKey(
     const std::vector<const std::vector<uint32_t>*>& keys, int row) {
@@ -14,6 +23,20 @@ uint64_t CodeHashIndex::HashKey(
     h = FnvMix(h, (*col)[row]);
   }
   return h;
+}
+
+void CodeHashIndex::HashRows(
+    const std::vector<const std::vector<uint32_t>*>& keys, int begin,
+    int end, uint64_t* out) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  std::fill(out, out + n, kFnv64OffsetBasis);
+  // Column-major mixing: every row folds its columns in list order,
+  // exactly the HashKey sequence, just batched across rows.
+  const simd::Level level = simd::ActiveLevel();
+  for (const std::vector<uint32_t>* col : keys) {
+    simd::FnvMixCodes(level, col->data() + begin, n, out);
+  }
 }
 
 CodeHashIndex::CodeHashIndex(
@@ -40,15 +63,21 @@ CodeHashIndex::CodeHashIndex(
     }
   };
 
-  // Count: hash every row once, histogram per (chunk, bucket).
+  // Count: hash every row once (batched column-major mixing), then
+  // histogram per (chunk, bucket) by tiling the bucket-id fold through
+  // simd::FoldMask — the scatter increment itself stays scalar.
+  const simd::Level level = simd::ActiveLevel();
   run([&](int c) {
     uint32_t* counts = cursors.data() + static_cast<size_t>(c) * buckets;
     const int b = c * per_chunk;
     const int e = std::min(rows, b + per_chunk);
-    for (int row = b; row < e; ++row) {
-      const uint64_t h = HashKey(keys, row);
-      hashes_[row] = h;
-      ++counts[Fold(h) & mask_];
+    if (b >= e) return;
+    HashRows(keys, b, e, hashes_.data() + b);
+    uint32_t ids[kHashTile];
+    for (int at = b; at < e; at += kHashTile) {
+      const int len = std::min(kHashTile, e - at);
+      simd::FoldMask(level, hashes_.data() + at, len, mask_, ids);
+      for (int i = 0; i < len; ++i) ++counts[ids[i]];
     }
   });
 
@@ -68,13 +97,19 @@ CodeHashIndex::CodeHashIndex(
   }
   starts_[buckets] = total;
 
-  // Fill: scatter row ids through the per-chunk cursors.
+  // Fill: scatter row ids through the per-chunk cursors, re-deriving
+  // bucket ids tile-wise from the cached hashes.
   run([&](int c) {
     uint32_t* cursor = cursors.data() + static_cast<size_t>(c) * buckets;
     const int b = c * per_chunk;
     const int e = std::min(rows, b + per_chunk);
-    for (int row = b; row < e; ++row) {
-      row_ids_[cursor[Fold(hashes_[row]) & mask_]++] = row;
+    uint32_t ids[kHashTile];
+    for (int at = b; at < e; at += kHashTile) {
+      const int len = std::min(kHashTile, e - at);
+      simd::FoldMask(level, hashes_.data() + at, len, mask_, ids);
+      for (int i = 0; i < len; ++i) {
+        row_ids_[cursor[ids[i]]++] = at + i;
+      }
     }
   });
 }

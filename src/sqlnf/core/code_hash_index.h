@@ -48,6 +48,14 @@ class CodeHashIndex {
   static uint64_t HashKey(
       const std::vector<const std::vector<uint32_t>*>& keys, int row);
 
+  /// Batch form of HashKey over rows [begin, end): out[i] receives the
+  /// hash of row begin+i. Mixes column-major through the SIMD kernels
+  /// (simd::FnvMixCodes) — the per-row mix order is identical to
+  /// HashKey, so the results are bit-equal. Probe sides tile their
+  /// rows through this instead of hashing row-at-a-time.
+  static void HashRows(const std::vector<const std::vector<uint32_t>*>& keys,
+                       int begin, int end, uint64_t* out);
+
   /// The build-side hash of an indexed row (cached from the build).
   uint64_t row_hash(int row) const { return hashes_[row]; }
 

@@ -211,10 +211,12 @@ Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
   }
 
   // The probe kernel both passes share: visit row i's matches in bucket
-  // (= ascending right-row) order.
-  auto for_matches = [&](int i, auto&& body) {
-    const CodeHashIndex::Range bucket =
-        index.Bucket(CodeHashIndex::HashKey(left_keys, i));
+  // (= ascending right-row) order. The caller supplies row i's key
+  // hash — both passes batch-hash their probe rows tile-wise through
+  // CodeHashIndex::HashRows (SIMD FNV mixing) instead of re-walking
+  // the key columns row-at-a-time.
+  auto for_matches = [&](int i, uint64_t hash, auto&& body) {
+    const CodeHashIndex::Range bucket = index.Bucket(hash);
     for (const int* p = bucket.begin; p != bucket.end; ++p) {
       const int j = *p;
       bool match = true;
@@ -227,6 +229,7 @@ Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
       if (match) body(j);
     }
   };
+  constexpr int kProbeTile = 512;
 
   // Two-phase morsel probe: count sizes each chunk's output window, the
   // prefix sum inside ParallelEmit fixes deterministic chunk-ordered
@@ -237,24 +240,41 @@ Result<EncodedRelation> EqualityJoinEncoded(const TableSchema& ls,
       pool, 0, left_rows,
       [&](int64_t begin, int64_t end) {
         int64_t n = 0;
-        for (int64_t i = begin; i < end; ++i) {
-          for_matches(static_cast<int>(i), [&](int) { ++n; });
+        uint64_t hashes[kProbeTile];
+        for (int64_t at = begin; at < end; at += kProbeTile) {
+          const int len = static_cast<int>(
+              std::min<int64_t>(kProbeTile, end - at));
+          CodeHashIndex::HashRows(left_keys, static_cast<int>(at),
+                                  static_cast<int>(at) + len, hashes);
+          for (int i = 0; i < len; ++i) {
+            for_matches(static_cast<int>(at) + i, hashes[i],
+                        [&](int) { ++n; });
+          }
         }
         return n;
       },
       [&](int64_t total) { alloc_status = allocate_out(total); },
       [&](int64_t begin, int64_t end, int64_t offset) {
         if (!alloc_status.ok()) return;
-        for (int64_t i = begin; i < end; ++i) {
-          for_matches(static_cast<int>(i), [&](int j) {
-            for (size_t c = 0; c < static_cast<size_t>(num_left_out); ++c) {
-              dst[c][offset] = src[c][i];
-            }
-            for (size_t c = num_left_out; c < num_out; ++c) {
-              dst[c][offset] = src[c][j];
-            }
-            ++offset;
-          });
+        uint64_t hashes[kProbeTile];
+        for (int64_t at = begin; at < end; at += kProbeTile) {
+          const int len = static_cast<int>(
+              std::min<int64_t>(kProbeTile, end - at));
+          CodeHashIndex::HashRows(left_keys, static_cast<int>(at),
+                                  static_cast<int>(at) + len, hashes);
+          for (int ti = 0; ti < len; ++ti) {
+            const int64_t i = at + ti;
+            for_matches(static_cast<int>(i), hashes[ti], [&](int j) {
+              for (size_t c = 0; c < static_cast<size_t>(num_left_out);
+                   ++c) {
+                dst[c][offset] = src[c][i];
+              }
+              for (size_t c = num_left_out; c < num_out; ++c) {
+                dst[c][offset] = src[c][j];
+              }
+              ++offset;
+            });
+          }
         }
       });
   SQLNF_RETURN_NOT_OK(alloc_status);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -184,7 +185,9 @@ CompiledPredicate::CompiledPredicate(const EncodedTable& enc,
           // Membership byte table over codes; slot d is ⊥ (kNullCode
           // gathers onto it via min(code, d)).
           out.kind = Atom::Kind::kTable;
-          out.table.assign(d + 1, 0);
+          // d+1 live slots plus the pad bytes the AVX2 scale-1 gather
+          // reads past slot d (simd::ByteTable contract).
+          out.table.assign(d + 1 + simd::kByteTablePad, 0);
           bool any = false;
           for (const Value& member : atom.list) {
             const uint32_t code = enc.LookupCode(atom.column, member);
@@ -205,63 +208,30 @@ CompiledPredicate::CompiledPredicate(const EncodedTable& enc,
   }
 }
 
-template <bool kAssign>
-void CompiledPredicate::ApplyAtom(const Atom& atom, int64_t begin, int len,
+void CompiledPredicate::ApplyAtom(const Atom& atom, simd::Level level,
+                                  int64_t begin, int len, simd::Store store,
                                   uint8_t* out) {
-  // store: first atom of a conjunction assigns, later atoms AND — the
-  // conjunction needs no fill-with-ones pass before its scan loops.
-  const auto store = [out](int i, uint8_t v) {
-    if constexpr (kAssign) {
-      out[i] = v;
-    } else {
-      out[i] &= v;
-    }
-  };
   const uint32_t* codes = atom.codes + begin;
   switch (atom.kind) {
-    case Atom::Kind::kEqCode: {
-      const uint32_t want = atom.want;
-      for (int i = 0; i < len; ++i) {
-        store(i, static_cast<uint8_t>(codes[i] == want));
-      }
+    case Atom::Kind::kEqCode:
+      simd::EqCode(level, codes, len, atom.want, store, out);
       break;
-    }
-    case Atom::Kind::kNeCode: {
-      const uint32_t want = atom.want;
-      for (int i = 0; i < len; ++i) {
-        store(i, static_cast<uint8_t>(codes[i] != want));
-      }
+    case Atom::Kind::kNeCode:
+      simd::NeCode(level, codes, len, atom.want, store, out);
       break;
-    }
-    case Atom::Kind::kCodeInterval: {
+    case Atom::Kind::kCodeInterval:
       // Unsigned wrap: kNullCode - lo lands far above span, so ⊥
       // (and any code below lo) tests false without a branch.
-      const uint32_t lo = atom.lo;
-      const uint32_t span = atom.span;
-      for (int i = 0; i < len; ++i) {
-        store(i, static_cast<uint8_t>(codes[i] - lo < span));
-      }
+      simd::CodeInterval(level, codes, len, atom.lo, atom.span, store, out);
       break;
-    }
-    case Atom::Kind::kRankInterval: {
-      const uint32_t* rank = atom.rank;
-      const uint32_t d = atom.d;
-      const uint32_t lo = atom.lo;
-      const uint32_t span = atom.span;
-      for (int i = 0; i < len; ++i) {
-        const uint32_t r = rank[std::min(codes[i], d)];
-        store(i, static_cast<uint8_t>(r - lo < span));
-      }
+    case Atom::Kind::kRankInterval:
+      simd::RankInterval(level, codes, len, atom.rank, atom.d, atom.lo,
+                         atom.span, store, out);
       break;
-    }
-    case Atom::Kind::kTable: {
-      const uint8_t* table = atom.table.data();
-      const uint32_t d = atom.d;
-      for (int i = 0; i < len; ++i) {
-        store(i, table[std::min(codes[i], d)]);
-      }
+    case Atom::Kind::kTable:
+      simd::ByteTable(level, codes, len, atom.table.data(), atom.d, store,
+                      out);
       break;
-    }
   }
 }
 
@@ -270,9 +240,13 @@ void CompiledPredicate::EvalBlock(int64_t begin, int64_t n,
   assert(n <= kBlock);
   const int len = static_cast<int>(n);
   if (disjuncts_.empty()) {
-    for (int i = 0; i < len; ++i) match[i] = 0;
+    std::memset(match, 0, static_cast<size_t>(len));
     return;
   }
+  // Resolve the dispatch level once per block, not per atom: the
+  // override/env lookup stays off the inner path, and every atom of
+  // the block provably runs at one level.
+  const simd::Level level = simd::ActiveLevel();
   // The first disjunct writes `match` directly; later disjuncts build
   // their conjunction in scratch and OR it in. A one-range predicate
   // is then a single assign loop over the block — no zero-init, no
@@ -283,20 +257,17 @@ void CompiledPredicate::EvalBlock(int64_t begin, int64_t n,
     uint8_t* out = first_disjunct ? match : conj;
     bool first_atom = true;
     for (const Atom& atom : atoms) {
-      if (first_atom) {
-        ApplyAtom<true>(atom, begin, len, out);
-      } else {
-        ApplyAtom<false>(atom, begin, len, out);
-      }
+      ApplyAtom(atom, level, begin, len,
+                first_atom ? simd::Store::kAssign : simd::Store::kAnd, out);
       first_atom = false;
     }
     // An empty conjunction is TRUE (the compiler marks always_, but
     // stay correct if EvalBlock is called anyway).
     if (first_atom) {
-      for (int i = 0; i < len; ++i) out[i] = 1;
+      std::memset(out, 1, static_cast<size_t>(len));
     }
     if (!first_disjunct) {
-      for (int i = 0; i < len; ++i) match[i] |= conj[i];
+      simd::OrBytes(level, conj, len, match);
     }
     first_disjunct = false;
   }

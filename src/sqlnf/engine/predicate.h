@@ -29,9 +29,12 @@
 //                      probes / binary searches happen ONCE at compile
 //                      time, reducing the atom to an integer test on
 //                      raw uint32 codes (equality, code interval, rank
-//                      interval, or a d+1-byte membership table); rows
-//                      are then evaluated in blocks with branch-free
-//                      AND/OR loops the compiler auto-vectorizes.
+//                      interval, or a membership byte table); rows are
+//                      then evaluated in blocks through the explicit
+//                      SIMD kernels of core/simd_kernels.h (scalar /
+//                      128-bit / AVX2, runtime-dispatched,
+//                      bit-identical across levels by contract — the
+//                      fuzzer sweeps SQLNF_SIMD_LEVEL to prove it).
 //
 // Ordered atoms compile through the column's order index
 // (core/encoded_table.h): `col < v` becomes a half-open RANK interval
@@ -48,6 +51,7 @@
 #include <vector>
 
 #include "sqlnf/core/encoded_table.h"
+#include "sqlnf/core/simd_kernels.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/core/value.h"
 #include "sqlnf/util/status.h"
@@ -145,8 +149,9 @@ class CompiledPredicate {
 
  private:
   // One atom reduced to an integer test on codes. `kTable` is the
-  // general membership form: d+1 bytes indexed by min(code, d), slot d
-  // holding ⊥'s membership (kNullCode gathers onto it).
+  // general membership form: d+1 live bytes indexed by min(code, d),
+  // slot d holding ⊥'s membership (kNullCode gathers onto it), plus
+  // simd::kByteTablePad trailing zeros for the AVX2 4-byte gather.
   struct Atom {
     enum class Kind : uint8_t {
       kEqCode,        // codes[i] == want
@@ -165,12 +170,12 @@ class CompiledPredicate {
     std::vector<uint8_t> table;      // kTable
   };
 
-  // One atom's test over a block, written into `out`: the first atom
-  // of a conjunction assigns (kAssign), later atoms AND — so no
+  // One atom's test over a block, routed to the simd kernel matching
+  // its kind at dispatch level `level`: the first atom of a
+  // conjunction assigns (Store::kAssign), later atoms AND — so no
   // fill-with-ones pass precedes the scan loops.
-  template <bool kAssign>
-  static void ApplyAtom(const Atom& atom, int64_t begin, int len,
-                        uint8_t* out);
+  static void ApplyAtom(const Atom& atom, simd::Level level, int64_t begin,
+                        int len, simd::Store store, uint8_t* out);
 
   std::vector<std::vector<Atom>> disjuncts_;
   bool always_ = false;

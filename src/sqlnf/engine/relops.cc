@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "sqlnf/core/simd_kernels.h"
+
 namespace sqlnf {
 
 bool MatchesConditions(const Tuple& t,
@@ -42,6 +44,12 @@ std::vector<int> SelectRowsEncoded(const EncodedTable& enc,
     pool_storage.emplace(par.threads);
   }
   constexpr int kBlock = CompiledPredicate::kBlock;
+  // Both phases run the same EvalBlock kernels; the count phase sums
+  // match bytes (simd::CountBytes) and the fill phase compress-stores
+  // the selected row ids (simd::CompressStore) into this chunk's
+  // exactly-sized window of `sel` — each chunk writes a disjoint
+  // range, so the emission stays bit-identical at any thread count.
+  const simd::Level level = simd::ActiveLevel();
   ParallelEmit(
       pool_storage ? &*pool_storage : nullptr, 0, enc.num_rows(),
       [&](int64_t b, int64_t e) {
@@ -50,7 +58,7 @@ std::vector<int> SelectRowsEncoded(const EncodedTable& enc,
         for (int64_t at = b; at < e; at += kBlock) {
           const int64_t len = std::min<int64_t>(kBlock, e - at);
           compiled.EvalBlock(at, len, match);
-          for (int64_t i = 0; i < len; ++i) n += match[i];
+          n += simd::CountBytes(level, match, static_cast<int>(len));
         }
         return n;
       },
@@ -60,9 +68,9 @@ std::vector<int> SelectRowsEncoded(const EncodedTable& enc,
         for (int64_t at = b; at < e; at += kBlock) {
           const int64_t len = std::min<int64_t>(kBlock, e - at);
           compiled.EvalBlock(at, len, match);
-          for (int64_t i = 0; i < len; ++i) {
-            if (match[i]) sel[offset++] = static_cast<int>(at + i);
-          }
+          offset += simd::CompressStore(level, match, static_cast<int>(len),
+                                        static_cast<int>(at),
+                                        sel.data() + offset);
         }
       });
   return sel;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sqlnf/core/similarity.h"
+#include "sqlnf/core/simd_kernels.h"
 #include "sqlnf/discovery/partition.h"
 #include "sqlnf/util/fnv.h"
 #include "sqlnf/util/mutex.h"
@@ -34,6 +35,32 @@ std::vector<int> AllRows(int n) {
 
 using BucketList = std::vector<std::vector<int>>;
 using BucketMap = std::unordered_map<uint64_t, std::vector<int>>;
+
+// A contiguous view of one bucket's row ids.
+struct Span {
+  const int* data = nullptr;
+  size_t size = 0;
+};
+
+// Bucketed rows behind a uniform scan surface: `spans` is what
+// ScanBuckets walks; `owned` (hash path) or `csr` (radix path) holds
+// the storage the spans point into. Radix buckets live side by side in
+// one flat array instead of one heap vector per dictionary entry.
+struct Buckets {
+  std::vector<Span> spans;
+  BucketList owned;
+  std::vector<int> csr;
+};
+
+Buckets FromBucketList(BucketList list) {
+  Buckets out;
+  out.owned = std::move(list);
+  out.spans.reserve(out.owned.size());
+  for (const std::vector<int>& b : out.owned) {
+    out.spans.push_back({b.data(), b.size()});
+  }
+  return out;
+}
 
 // Buckets row ids by an integer key. With a pool, each thread buckets a
 // contiguous slice of `rows`, and the slices merge in slice order —
@@ -77,14 +104,13 @@ BucketList HashBuckets(const std::vector<int>& rows, KeyFn&& key,
 // any violating pair is a correct witness, so the parallel pick may
 // differ from the serial one.
 template <typename BadFn>
-std::optional<Violation> ScanBuckets(const BucketList& buckets, BadFn&& bad,
+std::optional<Violation> ScanBuckets(const Buckets& buckets, BadFn&& bad,
                                      ThreadPool* pool) {
-  auto scan_one =
-      [&](const std::vector<int>& bucket) -> std::optional<Violation> {
-    for (size_t i = 0; i < bucket.size(); ++i) {
-      for (size_t j = i + 1; j < bucket.size(); ++j) {
-        if (bad(bucket[i], bucket[j])) {
-          return Violation{bucket[i], bucket[j], std::nullopt,
+  auto scan_one = [&](const Span& bucket) -> std::optional<Violation> {
+    for (size_t i = 0; i < bucket.size; ++i) {
+      for (size_t j = i + 1; j < bucket.size; ++j) {
+        if (bad(bucket.data[i], bucket.data[j])) {
+          return Violation{bucket.data[i], bucket.data[j], std::nullopt,
                            std::nullopt};
         }
       }
@@ -92,15 +118,15 @@ std::optional<Violation> ScanBuckets(const BucketList& buckets, BadFn&& bad,
     return std::nullopt;
   };
   if (pool == nullptr) {
-    for (const auto& bucket : buckets) {
+    for (const Span& bucket : buckets.spans) {
       if (auto violation = scan_one(bucket)) return violation;
     }
     return std::nullopt;
   }
-  std::vector<const std::vector<int>*> work;
-  work.reserve(buckets.size());
-  for (const auto& bucket : buckets) {
-    if (bucket.size() > 1) work.push_back(&bucket);
+  std::vector<const Span*> work;
+  work.reserve(buckets.spans.size());
+  for (const Span& bucket : buckets.spans) {
+    if (bucket.size > 1) work.push_back(&bucket);
   }
   std::atomic<bool> found{false};
   Mutex mu;
@@ -154,24 +180,48 @@ bool RowTotalOn(const EncodedTable& enc, int row,
 // radix-bucket directly on the dense code value — no hashing and no
 // collisions; wider groups hash-mix the codes, and *exact is cleared so
 // the scan re-confirms group equality per pair.
-BucketList BucketByCodes(const EncodedTable& enc, const AttributeSet& group,
-                         const std::vector<int>& rows, ThreadPool* pool,
-                         bool* exact) {
+//
+// The radix path is a CSR count → prefix → scatter build: row codes
+// are gathered through simd::GatherCodes, histogrammed per code, and
+// scattered into one flat row array — bucket contents stay in
+// ascending row order (stable scatter over an ascending row list),
+// matching the hash path's ordering guarantee.
+Buckets BucketByCodes(const EncodedTable& enc, const AttributeSet& group,
+                      const std::vector<int>& rows, ThreadPool* pool,
+                      bool* exact) {
   *exact = true;
   if (group.empty()) {
-    BucketList out;
-    if (!rows.empty()) out.push_back(rows);
+    Buckets out;
+    out.csr = rows;
+    if (!out.csr.empty()) out.spans.push_back({out.csr.data(), out.csr.size()});
     return out;
   }
   if (group.size() == 1) {
     const AttributeId a = *group.begin();
-    BucketList out(enc.dictionary_size(a));
-    for (int i : rows) out[enc.code(a, i)].push_back(i);
+    // Rows are total on `a`, so every gathered code is a dense
+    // dictionary code < d — the histogram needs no sentinel slot.
+    const size_t d = static_cast<size_t>(enc.dictionary_size(a));
+    const int n = static_cast<int>(rows.size());
+    std::vector<uint32_t> codes(rows.size());
+    simd::GatherCodes(simd::ActiveLevel(), enc.column(a).data(), rows.data(),
+                      n, codes.data());
+    std::vector<uint32_t> starts(d + 1, 0);
+    for (int k = 0; k < n; ++k) ++starts[codes[k] + 1];
+    for (size_t c = 1; c <= d; ++c) starts[c] += starts[c - 1];
+    Buckets out;
+    out.csr.resize(rows.size());
+    std::vector<uint32_t> cursor(starts.begin(), starts.end() - 1);
+    for (int k = 0; k < n; ++k) out.csr[cursor[codes[k]]++] = rows[k];
+    out.spans.reserve(d);
+    for (size_t c = 0; c < d; ++c) {
+      const size_t len = starts[c + 1] - starts[c];
+      if (len > 0) out.spans.push_back({out.csr.data() + starts[c], len});
+    }
     return out;
   }
   *exact = false;
-  return HashBuckets(
-      rows, [&](int i) { return HashCodesOn(enc, i, group); }, pool);
+  return FromBucketList(HashBuckets(
+      rows, [&](int i) { return HashCodesOn(enc, i, group); }, pool));
 }
 
 }  // namespace
@@ -192,7 +242,7 @@ std::optional<Violation> FindFdViolationEncoded(
     for (int i = 0; i < enc.num_rows(); ++i) {
       if (RowTotalOn(enc, i, fd.lhs)) rows.push_back(i);
     }
-    BucketList buckets = BucketByCodes(enc, fd.lhs, rows, p, &exact);
+    Buckets buckets = BucketByCodes(enc, fd.lhs, rows, p, &exact);
     violation = ScanBuckets(
         buckets,
         [&](int i, int j) {
@@ -203,7 +253,7 @@ std::optional<Violation> FindFdViolationEncoded(
   } else {
     const AttributeSet group = fd.lhs.Intersect(enc.NullFreeColumns());
     const AttributeSet rest = fd.lhs.Difference(group);
-    BucketList buckets =
+    Buckets buckets =
         BucketByCodes(enc, group, AllRows(enc.num_rows()), p, &exact);
     violation = ScanBuckets(
         buckets,
@@ -232,7 +282,7 @@ std::optional<Violation> FindKeyViolationEncoded(const EncodedTable& enc,
     for (int i = 0; i < enc.num_rows(); ++i) {
       if (RowTotalOn(enc, i, key.attrs)) rows.push_back(i);
     }
-    BucketList buckets = BucketByCodes(enc, key.attrs, rows, p, &exact);
+    Buckets buckets = BucketByCodes(enc, key.attrs, rows, p, &exact);
     violation = ScanBuckets(
         buckets,
         [&](int i, int j) {
@@ -242,7 +292,7 @@ std::optional<Violation> FindKeyViolationEncoded(const EncodedTable& enc,
   } else {
     const AttributeSet group = key.attrs.Intersect(enc.NullFreeColumns());
     const AttributeSet rest = key.attrs.Difference(group);
-    BucketList buckets =
+    Buckets buckets =
         BucketByCodes(enc, group, AllRows(enc.num_rows()), p, &exact);
     violation = ScanBuckets(
         buckets,
@@ -341,10 +391,10 @@ size_t HashOn(const Tuple& t, const AttributeSet& x) {
   return h;
 }
 
-BucketList BucketRows(const Table& table, const AttributeSet& group_by,
-                      const std::vector<int>& rows, ThreadPool* pool) {
-  return HashBuckets(
-      rows, [&](int i) { return HashOn(table.row(i), group_by); }, pool);
+Buckets BucketRows(const Table& table, const AttributeSet& group_by,
+                   const std::vector<int>& rows, ThreadPool* pool) {
+  return FromBucketList(HashBuckets(
+      rows, [&](int i) { return HashOn(table.row(i), group_by); }, pool));
 }
 
 }  // namespace

@@ -104,6 +104,14 @@ void ParallelFor(ThreadPool& pool, int64_t begin, int64_t end,
 ///
 /// `pool == nullptr` runs the same two passes inline as one chunk.
 /// Returns the total number of items emitted.
+///
+/// The hot callers vectorize both phases through core/simd_kernels.h:
+/// counting is simd::CountBytes over match bytes and filling is
+/// simd::CompressStore into the chunk's window. Because each window is
+/// EXACTLY count items, fill kernels must never overstore past their
+/// window (CompressStore spills its vector locally and copies only the
+/// selected ids) — a full-vector store would race with the adjacent
+/// chunk's window.
 int64_t ParallelEmit(ThreadPool* pool, int64_t begin, int64_t end,
                      const std::function<int64_t(int64_t, int64_t)>& count,
                      const std::function<void(int64_t)>& reserve,

@@ -28,6 +28,7 @@
 
 #include "sqlnf/constraints/satisfies.h"
 #include "sqlnf/core/encoded_table.h"
+#include "sqlnf/core/simd_kernels.h"
 #include "sqlnf/datagen/generator.h"
 #include "sqlnf/decomposition/encoded_ops.h"
 #include "sqlnf/decomposition/lossless.h"
@@ -60,6 +61,24 @@ int IterMultiplier() {
 }
 
 int ScaledIters(int base) { return base * IterMultiplier(); }
+
+// Every SIMD dispatch level this machine can run, scalar (the
+// differential oracle implementation) first.
+std::vector<simd::Level> SweepLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::DetectedLevel() >= simd::Level::kSimd128) {
+    levels.push_back(simd::Level::kSimd128);
+  }
+  if (simd::DetectedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+// Unpins the dispatch level even when an ASSERT bails out of a sweep.
+struct LevelSweepGuard {
+  ~LevelSweepGuard() { simd::ClearLevelForTesting(); }
+};
 
 // The witness a path returned must itself be a violating pair under the
 // oracle's definitions — verdict equality alone would let a path return
@@ -559,22 +578,30 @@ void CheckJoinCorner(const Table& left, const Table& right,
   ASSERT_OK(ref.status()) << what;
   const EncodedRelation el = EncodedRelation::FromTable(left);
   const EncodedRelation er = EncodedRelation::FromTable(right);
+  // The serial scalar run anchors the sweep: every level × thread-count
+  // combination must reproduce it bit for bit (the hash/probe/emit
+  // kernels are bit-identical across dispatch levels by contract).
   std::optional<EncodedRelation> serial;
-  for (int threads : {1, 2, 3, 8}) {
-    auto got = EqualityJoinEncoded(el, er, "j", ParallelOptions{threads});
-    ASSERT_OK(got.status()) << what << " t=" << threads;
-    if (threads == 1) {
-      ExpectSameRelation(ref.value(), got.value(), what + " [serial]");
-      const Table decoded = got.value().ToTable();
-      ASSERT_EQ(ref.value().num_rows(), decoded.num_rows()) << what;
-      for (int i = 0; i < decoded.num_rows(); ++i) {
-        ASSERT_EQ(ref.value().row(i), decoded.row(i))
-            << what << " row " << i;
+  LevelSweepGuard guard;
+  for (const simd::Level level : SweepLevels()) {
+    simd::SetLevelForTesting(level);
+    for (int threads : {1, 2, 3, 8}) {
+      const std::string tag = what + " t=" + std::to_string(threads) +
+                              " level " + simd::LevelName(level);
+      auto got = EqualityJoinEncoded(el, er, "j", ParallelOptions{threads});
+      ASSERT_OK(got.status()) << tag;
+      if (!serial.has_value()) {
+        ExpectSameRelation(ref.value(), got.value(), what + " [serial]");
+        const Table decoded = got.value().ToTable();
+        ASSERT_EQ(ref.value().num_rows(), decoded.num_rows()) << what;
+        for (int i = 0; i < decoded.num_rows(); ++i) {
+          ASSERT_EQ(ref.value().row(i), decoded.row(i))
+              << what << " row " << i;
+        }
+        serial = std::move(got).value();
+      } else {
+        ExpectBitIdentical(*serial, got.value(), tag);
       }
-      serial = std::move(got).value();
-    } else {
-      ExpectBitIdentical(*serial, got.value(),
-                         what + " t=" + std::to_string(threads));
     }
   }
 }
@@ -668,9 +695,18 @@ TEST(DifferentialTest, ExecutorDmlOnCodes) {
     for (int i = 0; i < sel_ref.num_rows() && i < sel_enc.num_rows(); ++i) {
       EXPECT_EQ(sel_ref.row(i), sel_enc.row(i)) << what << " row " << i;
     }
-    for (int threads : {2, 3, 8}) {
-      EXPECT_EQ(SelectRowsEncoded(enc, conds, ParallelOptions{threads}), sel)
-          << what << " t=" << threads;
+    {
+      // Same selection vector at every dispatch level × thread count.
+      LevelSweepGuard guard;
+      for (const simd::Level level : SweepLevels()) {
+        simd::SetLevelForTesting(level);
+        for (int threads : {1, 2, 3, 8}) {
+          EXPECT_EQ(SelectRowsEncoded(enc, conds, ParallelOptions{threads}),
+                    sel)
+              << what << " t=" << threads << " level "
+              << simd::LevelName(level);
+        }
+      }
     }
 
     // Update: a fresh non-⊥ value into a random column (⊥ would trip

@@ -8,13 +8,16 @@
 //   2. MatchesPredicate on the tree's DNF flattening (row-major over
 //      the engine's Predicate shape),
 //   3. SelectRowsEncoded on the DNF against the dictionary encoding,
-//      at threads ∈ {1, 2, 3, 8} (compiled branch-free code intervals
-//      through the ParallelEmit count/fill path).
+//      at threads ∈ {1, 2, 3, 8} × every SIMD dispatch level the
+//      machine supports (compiled branch-free code intervals through
+//      the simd_kernels.h scan kernels and the ParallelEmit count/fill
+//      path).
 //
-// All paths must agree row for row. A fourth pass re-runs the columnar
-// selection after CompactDictionaries (canonical order-preserving
-// re-encode) — same rows, now through the no-gather raw-code fast
-// path.
+// All paths must agree row for row — the SIMD level sweep is the
+// executable form of the kernel bit-identity contract. A fourth pass
+// re-runs the columnar selection after CompactDictionaries (canonical
+// order-preserving re-encode) — same rows, now through the no-gather
+// raw-code fast path.
 //
 // SQLNF_DIFF_ITERS (integer ≥ 1, default 1) multiplies the sweep; the
 // nightly differential job runs ≥ 1000 trees.
@@ -26,6 +29,7 @@
 #include <gtest/gtest.h>
 
 #include "sqlnf/core/encoded_table.h"
+#include "sqlnf/core/simd_kernels.h"
 #include "sqlnf/core/table.h"
 #include "sqlnf/engine/predicate.h"
 #include "sqlnf/engine/relops.h"
@@ -45,6 +49,25 @@ int IterMultiplier() {
 }
 
 int ScaledIters(int base) { return base * IterMultiplier(); }
+
+// Every SIMD dispatch level this machine can run, scalar first. The
+// scalar kernels are the differential oracle; each wider level must be
+// bit-identical to them.
+std::vector<simd::Level> SweepLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (simd::DetectedLevel() >= simd::Level::kSimd128) {
+    levels.push_back(simd::Level::kSimd128);
+  }
+  if (simd::DetectedLevel() >= simd::Level::kAvx2) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+// Unpins the dispatch level even when an ASSERT bails out of the sweep.
+struct LevelSweepGuard {
+  ~LevelSweepGuard() { simd::ClearLevelForTesting(); }
+};
 
 // ---------------------------------------------------------------- data
 
@@ -225,21 +248,27 @@ void CheckCase(Rng* rng, int case_id) {
         << "case " << case_id << " row " << i;
   }
 
-  for (int threads : {1, 2, 3, 8}) {
-    ParallelOptions par;
-    par.threads = threads;
-    const std::vector<int> got = SelectRowsEncoded(enc, dnf, par);
-    ASSERT_EQ(got, expected)
-        << "case " << case_id << " threads " << threads;
-  }
-
   // Compaction canonicalizes codes (order-preserving); the same DNF
   // recompiles onto raw-code intervals and must select the same rows.
   EncodedTable compacted = enc;
   compacted.CompactDictionaries();
   ASSERT_OK(compacted.CheckDictionaryOrder());
-  ASSERT_EQ(SelectRowsEncoded(compacted, dnf), expected)
-      << "case " << case_id << " after compaction";
+
+  LevelSweepGuard guard;
+  for (const simd::Level level : SweepLevels()) {
+    simd::SetLevelForTesting(level);
+    for (int threads : {1, 2, 3, 8}) {
+      ParallelOptions par;
+      par.threads = threads;
+      const std::vector<int> got = SelectRowsEncoded(enc, dnf, par);
+      ASSERT_EQ(got, expected)
+          << "case " << case_id << " threads " << threads << " level "
+          << simd::LevelName(level);
+    }
+    ASSERT_EQ(SelectRowsEncoded(compacted, dnf), expected)
+        << "case " << case_id << " after compaction, level "
+        << simd::LevelName(level);
+  }
 }
 
 TEST(PredicateFuzz, TreesMatchOracleAtEveryThreadCount) {
@@ -298,6 +327,133 @@ TEST(PredicateFuzz, DirectedEdgeCases) {
   // Predicate::True() selects everything.
   EXPECT_EQ(SelectRowsEncoded(enc, Predicate::True()),
             (std::vector<int>{0, 1, 2}));
+}
+
+// ------------------------------------------- block/vector tail directed
+
+std::vector<int> RowMajorSelect(const Table& table, const Predicate& dnf) {
+  std::vector<int> out;
+  for (int i = 0; i < table.num_rows(); ++i) {
+    if (MatchesPredicate(table.row(i), dnf)) out.push_back(i);
+  }
+  return out;
+}
+
+// Runs one (table, predicate) pair through every dispatch level at a
+// serial and a parallel thread count and demands oracle agreement.
+void CheckAllLevels(const Table& table, const EncodedTable& enc,
+                    const Predicate& dnf, const std::string& label) {
+  const std::vector<int> expected = RowMajorSelect(table, dnf);
+  LevelSweepGuard guard;
+  for (const simd::Level level : SweepLevels()) {
+    simd::SetLevelForTesting(level);
+    for (int threads : {1, 3}) {
+      ParallelOptions par;
+      par.threads = threads;
+      ASSERT_EQ(SelectRowsEncoded(enc, dnf, par), expected)
+          << label << " threads " << threads << " level "
+          << simd::LevelName(level);
+    }
+  }
+}
+
+// EvalBlock tail handling: lengths below one vector, lengths that are
+// not a multiple of any vector width (8/4), and the exact kBlock=2048
+// boundary (2049 = one full block plus a one-row tail).
+TEST(PredicateFuzz, BlockAndVectorTailsAgreeAtEveryLevel) {
+  const TableSchema schema = Schema("a");
+  for (int rows : {1, 3, 7, 8, 9, 37, 2047, 2048, 2049}) {
+    Table table(schema);
+    for (int i = 0; i < rows; ++i) {
+      ASSERT_OK(table.AddRow(Tuple(
+          {i % 11 == 3 ? Value::Null() : Value::Int(i % 5)})));
+    }
+    const EncodedTable enc(table);
+
+    // eq, interval, IN (byte table), and a two-disjunct OR merge.
+    Predicate two = Predicate::And({Cmp(0, CompareOp::kEq, Value::Int(0))});
+    two.disjuncts.push_back({Cmp(0, CompareOp::kEq, Value::Int(4))});
+    const Predicate preds[] = {
+        Predicate::And({Cmp(0, CompareOp::kEq, Value::Int(2))}),
+        Predicate::And({Cmp(0, CompareOp::kNe, Value::Int(2))}),
+        Predicate::And({Between(0, Value::Int(1), Value::Int(3))}),
+        Predicate::And({In(0, {Value::Int(0), Value::Int(4)})}),
+        std::move(two),
+    };
+    for (size_t p = 0; p < std::size(preds); ++p) {
+      CheckAllLevels(table, enc, preds[p],
+                     "rows " + std::to_string(rows) + " pred " +
+                         std::to_string(p));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+// Dictionary-size boundaries for the gather kernels' clamp: d = 0
+// (all-⊥ column — every code is a sentinel), d = 1, and a d = 2
+// unordered dictionary that forces the rank-gather path.
+TEST(PredicateFuzz, TinyDictionaryClampAtEveryLevel) {
+  const TableSchema schema = Schema("a");
+
+  // d = 0: 2500 rows of ⊥ spans a block boundary with no real codes.
+  {
+    Table table(schema);
+    for (int i = 0; i < 2500; ++i) {
+      ASSERT_OK(table.AddRow(Tuple({Value::Null()})));
+    }
+    const EncodedTable enc(table);
+    const Predicate preds[] = {
+        Predicate::And({Cmp(0, CompareOp::kGe, Value::Int(0))}),
+        Predicate::And({Cmp(0, CompareOp::kEq, Value::Null())}),
+        Predicate::And({Cmp(0, CompareOp::kNe, Value::Null())}),
+        Predicate::And({In(0, {Value::Null(), Value::Int(1)})}),
+    };
+    for (size_t p = 0; p < std::size(preds); ++p) {
+      CheckAllLevels(table, enc, preds[p], "d=0 pred " + std::to_string(p));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // d = 1: a single distinct value mixed with ⊥ across the boundary.
+  {
+    Table table(schema);
+    for (int i = 0; i < 2049; ++i) {
+      ASSERT_OK(table.AddRow(Tuple(
+          {i % 2 == 0 ? Value::Int(7) : Value::Null()})));
+    }
+    const EncodedTable enc(table);
+    const Predicate preds[] = {
+        Predicate::And({Cmp(0, CompareOp::kEq, Value::Int(7))}),
+        Predicate::And({Cmp(0, CompareOp::kLt, Value::Int(7))}),
+        Predicate::And({Between(0, Value::Int(7), Value::Int(7))}),
+        Predicate::And({In(0, {Value::Int(7), Value::Int(8)})}),
+    };
+    for (size_t p = 0; p < std::size(preds); ++p) {
+      CheckAllLevels(table, enc, preds[p], "d=1 pred " + std::to_string(p));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+
+  // d = 2 with values first seen out of order (9 before 7): the
+  // dictionary is NOT order-preserving, so ordered atoms compile to
+  // rank intervals and exercise the rank-gather kernel with d = 2.
+  {
+    Table table(schema);
+    for (int i = 0; i < 2049; ++i) {
+      ASSERT_OK(table.AddRow(Tuple({Value::Int(i % 3 == 0 ? 9 : 7)})));
+    }
+    const EncodedTable enc(table);
+    const Predicate preds[] = {
+        Predicate::And({Cmp(0, CompareOp::kLt, Value::Int(9))}),
+        Predicate::And({Cmp(0, CompareOp::kGe, Value::Int(8))}),
+        Predicate::And({Between(0, Value::Int(7), Value::Int(8))}),
+    };
+    for (size_t p = 0; p < std::size(preds); ++p) {
+      CheckAllLevels(table, enc, preds[p],
+                     "unordered d=2 pred " + std::to_string(p));
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
 }
 
 }  // namespace

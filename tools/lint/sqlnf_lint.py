@@ -19,6 +19,19 @@ preference:
                         process ids, or env vars in library code (the
                         seeded util/rng.h is the sanctioned source of
                         randomness; benches and tests may time things).
+                        One pinned exemption: the SQLNF_SIMD_LEVEL
+                        getenv() in core/simd_kernels.cc — the SIMD
+                        bit-identity contract means the dispatch level
+                        selects an implementation, never an answer.
+
+  simd-confinement      Intrinsics headers (immintrin.h, arm_neon.h,
+                        ...) and SQLNF_SIMD_* feature macros live ONLY
+                        in util/simd.h + core/simd_kernels.cc. Every
+                        other translation unit goes through the
+                        ISA-agnostic dispatch API of
+                        core/simd_kernels.h, so one stray _mm256_*
+                        call can never fork engine semantics by ISA or
+                        break the scalar-forced CI leg.
 
   mutable-codes         EncodedTable::mutable_codes() bypasses the
                         dictionary/null-count bookkeeping. Only the
@@ -111,11 +124,13 @@ def iter_cxx_files(root: Path, subdir: str):
 # --- Rule: ordered-code-compare -------------------------------------------
 
 # Files where ordered comparisons on codes are sanctioned: the
-# order-preserving dictionary itself and the vectorized range kernels
-# built on its contract.
+# order-preserving dictionary itself and the range kernels built on its
+# contract (the compiled-predicate compiler and the SIMD kernel layer
+# its scan loops dispatch into).
 ORDERED_CODE_ALLOWLIST = {
     "src/sqlnf/engine/predicate.cc",
     "src/sqlnf/core/encoded_table.cc",
+    "src/sqlnf/core/simd_kernels.cc",
 }
 
 # An operand: identifier path (a.b->c[i]) with optional casts stripped
@@ -196,6 +211,15 @@ _NONDET_PATTERNS = [
     (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
 ]
 
+# Pinned (file, pattern) exemptions. simd_kernels.cc reads
+# SQLNF_SIMD_LEVEL once to cap the dispatch level; the kernels are
+# bit-identical across levels by contract (enforced by the
+# level-sweeping fuzz/differential harnesses), so the env var can
+# change speed but never a result.
+_NONDET_EXEMPT = {
+    ("src/sqlnf/core/simd_kernels.cc", "getenv()"),
+}
+
 
 def check_nondeterminism(root: Path) -> list[Finding]:
     findings = []
@@ -204,6 +228,8 @@ def check_nondeterminism(root: Path) -> list[Finding]:
         for lineno, raw in enumerate(path.read_text().splitlines(), 1):
             line = _strip_comments_and_strings(raw)
             for pattern, what in _NONDET_PATTERNS:
+                if (rel, what) in _NONDET_EXEMPT:
+                    continue
                 if pattern.search(line):
                     findings.append(Finding(
                         rel, lineno, "nondeterminism",
@@ -339,9 +365,46 @@ def check_raw_socket(root: Path) -> list[Finding]:
     return findings
 
 
+# --- Rule: simd-confinement -----------------------------------------------
+
+# The kernel layer: the only files that may see intrinsics headers or
+# the SQLNF_SIMD_* feature-detection macros. Everything else calls the
+# ISA-agnostic dispatchers in core/simd_kernels.h, which are
+# bit-identical across levels — so no caller can fork behavior by ISA.
+SIMD_ALLOWLIST = {
+    "src/sqlnf/util/simd.h",
+    "src/sqlnf/core/simd_kernels.cc",
+}
+
+_SIMD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(?:immintrin\.h|x86intrin\.h|arm_neon\.h|arm_sve\.h|"
+    r"[a-z]+mmintrin\.h)>")
+_SIMD_MACRO_RE = re.compile(r"\bSQLNF_SIMD_\w+")
+
+
+def check_simd_confinement(root: Path) -> list[Finding]:
+    findings = []
+    for subdir in ("src", "tests", "bench", "tools"):
+        for path in iter_cxx_files(root, subdir):
+            rel = path.relative_to(root).as_posix()
+            if rel in SIMD_ALLOWLIST or "/testdata/" in rel:
+                continue
+            for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+                line = _strip_comments_and_strings(raw)
+                if _SIMD_INCLUDE_RE.search(line) or _SIMD_MACRO_RE.search(line):
+                    findings.append(Finding(
+                        rel, lineno, "simd-confinement",
+                        "intrinsics and SQLNF_SIMD_* macros are confined to "
+                        "the kernel layer — dispatch through "
+                        "core/simd_kernels.h (sanctioned: "
+                        f"{', '.join(sorted(SIMD_ALLOWLIST))})"))
+    return findings
+
+
 ALL_CHECKS = [
     check_ordered_code_compare,
     check_nondeterminism,
+    check_simd_confinement,
     check_mutable_codes,
     check_test_registration,
     check_raw_mutex,

@@ -62,6 +62,32 @@ class NondeterminismTest(unittest.TestCase):
         findings = sqlnf_lint.check_nondeterminism(TESTDATA / "clean")
         self.assertEqual(findings, [])
 
+    def test_simd_dispatch_getenv_is_exempt(self):
+        # The pinned (simd_kernels.cc, getenv) pair never fires; the
+        # fixture tree carries that exact call to prove it.
+        findings = sqlnf_lint.check_nondeterminism(TESTDATA / "nondet")
+        self.assertNotIn("src/sqlnf/core/simd_kernels.cc",
+                         {f.path for f in findings})
+
+
+class SimdConfinementTest(unittest.TestCase):
+    def setUp(self):
+        self.findings = sqlnf_lint.check_simd_confinement(TESTDATA / "simd")
+
+    def test_flags_intrinsics_and_macros_outside_kernel_layer(self):
+        # The immintrin.h include and the SQLNF_SIMD_X86 use.
+        self.assertEqual(len(self.findings), 2,
+                         "\n".join(str(f) for f in self.findings))
+        self.assertTrue(all(f.rule == "simd-confinement"
+                            for f in self.findings))
+        self.assertTrue(all(f.path == "src/sqlnf/engine/hand_vector.cc"
+                            for f in self.findings))
+
+    def test_kernel_layer_is_sanctioned(self):
+        flagged = {f.path for f in self.findings}
+        self.assertNotIn("src/sqlnf/util/simd.h", flagged)
+        self.assertNotIn("src/sqlnf/core/simd_kernels.cc", flagged)
+
 
 class MutableCodesTest(unittest.TestCase):
     def test_flags_unsanctioned_caller_only(self):

@@ -1,0 +1,8 @@
+#include <cstdlib>
+namespace sqlnf::simd {
+int EnvLevel() {
+  // EXEMPT: the pinned SQLNF_SIMD_LEVEL dispatch-cap read.
+  const char* env = std::getenv("SQLNF_SIMD_LEVEL");
+  return env != nullptr ? 1 : 0;
+}
+}  // namespace sqlnf::simd

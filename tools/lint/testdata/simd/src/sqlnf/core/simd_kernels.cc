@@ -1,0 +1,7 @@
+// sanctioned: the kernel layer may include intrinsics and test macros.
+#if SQLNF_SIMD_X86
+#include <immintrin.h>
+#endif
+namespace sqlnf::simd {
+int Kernels() { return 0; }
+}  // namespace sqlnf::simd

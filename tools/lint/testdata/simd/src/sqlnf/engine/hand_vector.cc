@@ -1,0 +1,10 @@
+#include <immintrin.h>  // VIOLATION: intrinsics outside the kernel layer
+namespace sqlnf {
+int HandVectorized(const unsigned* codes) {
+#if SQLNF_SIMD_X86  // VIOLATION: feature macro outside the kernel layer
+  return _mm_cvtsi128_si32(_mm_loadu_si128((const __m128i*)codes));
+#else
+  return (int)codes[0];
+#endif
+}
+}  // namespace sqlnf

@@ -1,0 +1,9 @@
+// sanctioned: the ISA-plumbing header may define the feature macros.
+#ifndef SQLNF_UTIL_SIMD_H_
+#define SQLNF_UTIL_SIMD_H_
+#if defined(__x86_64__)
+#define SQLNF_SIMD_X86 1
+#else
+#define SQLNF_SIMD_X86 0
+#endif
+#endif  // SQLNF_UTIL_SIMD_H_
